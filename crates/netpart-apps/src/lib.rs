@@ -1,0 +1,39 @@
+//! # netpart-apps — data parallel applications
+//!
+//! The applications the paper evaluates (and motivates) the partitioning
+//! method with, implemented as real computations over the SPMD runtime:
+//!
+//! * [`stencil`] — the §6 centerpiece: a dense N×N iterative five-point
+//!   stencil, in both the non-overlapped (**STEN-1**) and overlapped
+//!   (**STEN-2**) variants, verified bit-for-bit against a sequential
+//!   reference;
+//! * [`gauss`] — Gaussian elimination with partial pivoting, the paper's
+//!   *non-uniform* complexity example, with tree-reduction pivot selection
+//!   and pivot-row broadcast;
+//! * [`particles`] — a 1-D particle simulation with an irregular PDU
+//!   (a cell's worth of particles), exercising the unstructured-domain
+//!   generality the PDU abstraction claims;
+//! * [`matmul`] — ring-rotation dense matrix multiply: heavy rotating
+//!   block transfers exercising the bandwidth and fragmentation paths;
+//! * [`stencil2d`] — the same stencil under a 2-D block decomposition,
+//!   enabling the 1-D vs 2-D decomposition ablation (and exposing a
+//!   limitation of the paper's annotation interface — see the module
+//!   docs).
+//!
+//! Each module exposes both the executable [`SpmdApp`](netpart_spmd::SpmdApp)
+//! and the `*_model` annotation constructor the partitioner consumes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gauss;
+pub mod matmul;
+pub mod particles;
+pub mod stencil;
+pub mod stencil2d;
+
+pub use gauss::{gauss_model, make_system, sequential_solve, GaussApp};
+pub use matmul::{make_matrices, matmul_model, reference_product, MatmulApp};
+pub use particles::{particle_model, seed_particles, Particle, ParticleApp};
+pub use stencil::{sequential_reference, stencil_model, StencilApp, StencilVariant};
+pub use stencil2d::{stencil2d_model, Stencil2DApp};

@@ -1,0 +1,375 @@
+//! The paper's canonical application: a dense N×N iterative five-point
+//! stencil with a block-row decomposition (Fig. 2).
+//!
+//! Two implementations, exactly as evaluated in §6:
+//!
+//! * **STEN-1** — communication is not overlapped with computation: each
+//!   cycle sends the border rows, blocks for the neighbors' borders, then
+//!   updates the whole block.
+//! * **STEN-2** — border transmission is overlapped with the grid update:
+//!   send borders, update the interior (which needs no halo data), then
+//!   receive borders and update the two border rows.
+//!
+//! The §4 annotations (PDU = one row, 4-byte grid points):
+//!
+//! ```text
+//! topology                 = 1-D
+//! communication complexity = 4N bytes
+//! num_PDUs                 = N
+//! computational complexity = 5N flops per PDU
+//! ```
+//!
+//! The distributed computation does real `f32` arithmetic and must agree
+//! **bit for bit** with [`sequential_reference`], whatever the partition
+//! vector — the integration tests rely on that.
+
+use bytes::Bytes;
+
+use netpart_model::{AppModel, CommPhase, CompPhase, OpKind, PartitionVector};
+use netpart_spmd::{SpmdApp, Step};
+use netpart_topology::Topology;
+
+/// Which §6 implementation variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StencilVariant {
+    /// No communication/computation overlap.
+    Sten1,
+    /// Border transmission overlapped with the interior update.
+    Sten2,
+}
+
+/// Compute part ids used in the scripts.
+const PART_ALL: u32 = 0;
+const PART_INTERIOR: u32 = 1;
+const PART_BORDER: u32 = 2;
+
+/// The §4 annotations as an [`AppModel`] for the partitioner.
+pub fn stencil_model(n: u64, variant: StencilVariant) -> AppModel {
+    let comm = CommPhase::constant("border exchange", Topology::OneD, 4.0 * n as f64);
+    let comm = match variant {
+        StencilVariant::Sten1 => comm,
+        StencilVariant::Sten2 => comm.overlapping("grid update"),
+    };
+    AppModel::new("five-point stencil", "grid row", n)
+        .with_comp(CompPhase::linear(
+            "grid update",
+            5.0 * n as f64,
+            OpKind::Flop,
+        ))
+        .with_comm(comm)
+}
+
+/// Deterministic initial grid: a hot left wall, cold interior, and a
+/// sinusoidal-ish top edge, all derived from integer arithmetic so every
+/// construction is identical.
+pub fn initial_grid(n: usize) -> Vec<f32> {
+    let mut g = vec![0.0f32; n * n];
+    for i in 0..n {
+        g[i * n] = 100.0; // left wall
+        g[i * n + n - 1] = 25.0; // right wall
+        g[i] = (i % 7) as f32 * 3.0 + 10.0; // top edge
+        g[(n - 1) * n + i] = 50.0; // bottom edge
+    }
+    g
+}
+
+/// Run `iters` Jacobi iterations sequentially: every interior point
+/// becomes the average of its four neighbors from the previous iteration.
+pub fn sequential_reference(n: usize, iters: u64) -> Vec<f32> {
+    let mut cur = initial_grid(n);
+    let mut next = cur.clone();
+    for _ in 0..iters {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                next[i * n + j] = (cur[(i - 1) * n + j]
+                    + cur[(i + 1) * n + j]
+                    + cur[i * n + j - 1]
+                    + cur[i * n + j + 1])
+                    / 4.0;
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+struct RankState {
+    /// Global index of the first owned row.
+    start: usize,
+    /// One past the last owned row.
+    end: usize,
+    /// Owned rows at the current iteration, row-major.
+    cur: Vec<f32>,
+    /// Scratch for the next iteration.
+    next: Vec<f32>,
+    /// Halo row above `start` (from the previous rank).
+    halo_top: Vec<f32>,
+    /// Halo row below `end - 1` (from the next rank).
+    halo_bottom: Vec<f32>,
+}
+
+/// The distributed stencil application.
+pub struct StencilApp {
+    n: usize,
+    iters: u64,
+    variant: StencilVariant,
+    ranks: Vec<RankState>,
+    p: usize,
+    initial: Vec<f32>,
+}
+
+impl StencilApp {
+    /// An N×N stencil for `iters` iterations over `p` ranks, starting
+    /// from [`initial_grid`].
+    pub fn new(n: usize, iters: u64, variant: StencilVariant, p: usize) -> StencilApp {
+        StencilApp::from_grid(initial_grid(n), n, iters, variant, p)
+    }
+
+    /// Like [`StencilApp::new`] but resuming from an existing grid state —
+    /// used by the dynamic-rebalancing baseline, which re-partitions the
+    /// live grid between chunks of iterations.
+    pub fn from_grid(
+        grid: Vec<f32>,
+        n: usize,
+        iters: u64,
+        variant: StencilVariant,
+        p: usize,
+    ) -> StencilApp {
+        assert!(n >= 2, "grid too small");
+        assert_eq!(grid.len(), n * n);
+        StencilApp {
+            n,
+            iters,
+            variant,
+            ranks: Vec::with_capacity(p),
+            p,
+            initial: grid,
+        }
+    }
+
+    fn neighbors(&self, rank: usize) -> Vec<usize> {
+        Topology::OneD
+            .neighbors(rank as u32, self.p as u32)
+            .into_iter()
+            .map(|r| r as usize)
+            .collect()
+    }
+
+    /// Reassemble the full grid from all ranks (host-side, after a run).
+    pub fn gather(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut g = vec![0.0f32; n * n];
+        for s in &self.ranks {
+            g[s.start * n..s.end * n].copy_from_slice(&s.cur);
+        }
+        g
+    }
+
+    /// Update rows `[lo, hi)` (global indices) of `rank` from `cur` +
+    /// halos into `next`, returning the flop count charged.
+    fn update_rows(&mut self, rank: usize, lo: usize, hi: usize) -> f64 {
+        let n = self.n;
+        let s = &mut self.ranks[rank];
+        let mut rows_updated = 0usize;
+        for gi in lo..hi {
+            if gi == 0 || gi == n - 1 {
+                // Boundary rows are fixed; copy through.
+                let li = gi - s.start;
+                s.next[li * n..(li + 1) * n].copy_from_slice(&s.cur[li * n..(li + 1) * n]);
+                continue;
+            }
+            rows_updated += 1;
+            let li = gi - s.start;
+            // Row above / below, from owned data or the halos.
+            for j in 0..n {
+                if j == 0 || j == n - 1 {
+                    s.next[li * n + j] = s.cur[li * n + j];
+                    continue;
+                }
+                let above = if gi > s.start {
+                    s.cur[(li - 1) * n + j]
+                } else {
+                    s.halo_top[j]
+                };
+                let below = if gi + 1 < s.end {
+                    s.cur[(li + 1) * n + j]
+                } else {
+                    s.halo_bottom[j]
+                };
+                s.next[li * n + j] =
+                    (above + below + s.cur[li * n + j - 1] + s.cur[li * n + j + 1]) / 4.0;
+            }
+        }
+        // The §4 annotation: 5N flops per PDU (row).
+        5.0 * n as f64 * rows_updated as f64
+    }
+
+    fn swap_buffers(&mut self, rank: usize) {
+        let s = &mut self.ranks[rank];
+        std::mem::swap(&mut s.cur, &mut s.next);
+    }
+}
+
+impl SpmdApp for StencilApp {
+    fn setup(&mut self, rank: usize, vector: &PartitionVector) {
+        if rank == 0 {
+            self.ranks.clear();
+            assert_eq!(vector.num_ranks(), self.p, "vector/rank mismatch");
+            assert_eq!(vector.total(), self.n as u64, "PDUs must equal rows");
+        }
+        let ranges = vector.ranges();
+        let (gs, ge) = (ranges[rank].start as usize, ranges[rank].end as usize);
+        assert!(ge > gs, "stencil ranks must own at least one row");
+        let n = self.n;
+        self.ranks.push(RankState {
+            start: gs,
+            end: ge,
+            cur: self.initial[gs * n..ge * n].to_vec(),
+            next: vec![0.0; (ge - gs) * n],
+            halo_top: vec![0.0; n],
+            halo_bottom: vec![0.0; n],
+        });
+    }
+
+    fn num_cycles(&self) -> u64 {
+        self.iters
+    }
+
+    fn script(&self, rank: usize, _cycle: u64) -> Vec<Step> {
+        let nb = self.neighbors(rank);
+        if nb.is_empty() {
+            return vec![Step::Compute { part: PART_ALL }];
+        }
+        match self.variant {
+            StencilVariant::Sten1 => vec![
+                Step::Send { to: nb.clone() },
+                Step::Recv { from: nb },
+                Step::Compute { part: PART_ALL },
+            ],
+            StencilVariant::Sten2 => vec![
+                Step::Send { to: nb.clone() },
+                Step::Compute {
+                    part: PART_INTERIOR,
+                },
+                Step::Recv { from: nb },
+                Step::Compute { part: PART_BORDER },
+            ],
+        }
+    }
+
+    fn produce(&mut self, rank: usize, _cycle: u64, to: usize) -> Bytes {
+        // Communication complexity 4N: one row of 4-byte points.
+        let n = self.n;
+        let s = &self.ranks[rank];
+        let row = if to < rank {
+            &s.cur[0..n] // my top row goes up
+        } else {
+            &s.cur[(s.end - s.start - 1) * n..] // my bottom row goes down
+        };
+        let mut buf = Vec::with_capacity(4 * n);
+        for v in row {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Bytes::from(buf)
+    }
+
+    fn consume(&mut self, rank: usize, _cycle: u64, from: usize, payload: &[u8]) {
+        let n = self.n;
+        assert_eq!(payload.len(), 4 * n, "border row must be 4N bytes");
+        let target = if from < rank {
+            &mut self.ranks[rank].halo_top
+        } else {
+            &mut self.ranks[rank].halo_bottom
+        };
+        for (j, chunk) in payload.chunks_exact(4).enumerate() {
+            target[j] = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+    }
+
+    fn compute(&mut self, rank: usize, _cycle: u64, part: u32) -> (f64, OpKind) {
+        let (start, end) = {
+            let s = &self.ranks[rank];
+            (s.start, s.end)
+        };
+        let ops = match part {
+            PART_ALL => {
+                let ops = self.update_rows(rank, start, end);
+                self.swap_buffers(rank);
+                ops
+            }
+            PART_INTERIOR => {
+                // Rows not touching a halo: safe before borders arrive.
+                let lo = start + 1;
+                let hi = end.saturating_sub(1).max(lo);
+                if hi > lo {
+                    self.update_rows(rank, lo, hi)
+                } else {
+                    0.0
+                }
+            }
+            PART_BORDER => {
+                let mut ops = self.update_rows(rank, start, (start + 1).min(end));
+                if end - start > 1 {
+                    ops += self.update_rows(rank, end - 1, end);
+                }
+                self.swap_buffers(rank);
+                ops
+            }
+            other => panic!("unknown stencil part {other}"),
+        };
+        (ops, OpKind::Flop)
+    }
+
+    fn distribution_bytes(&self, rank: usize) -> u64 {
+        // The master ships each rank its block of 4-byte points.
+        let s = &self.ranks[rank];
+        ((s.end - s.start) * self.n * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reference_converges_smoothly() {
+        let g = sequential_reference(16, 50);
+        // Interior values sit between the boundary extremes.
+        for i in 1..15 {
+            for j in 1..15 {
+                let v = g[i * 16 + j];
+                assert!((0.0..=100.0).contains(&v), "({i},{j}) = {v}");
+            }
+        }
+        // Iterating longer changes the field (not yet converged at 50).
+        let g2 = sequential_reference(16, 51);
+        assert_ne!(g, g2);
+    }
+
+    #[test]
+    fn model_carries_section4_annotations() {
+        let m = stencil_model(600, StencilVariant::Sten1);
+        assert_eq!(m.num_pdus(), 600);
+        assert_eq!(m.dominant_comm().topology, Topology::OneD);
+        assert_eq!(m.dominant_comm().bytes(1.0), 2400.0);
+        assert_eq!(m.dominant_comp().ops(1.0), 3000.0);
+        assert!(!m.dominant_phases_overlap());
+        assert!(stencil_model(600, StencilVariant::Sten2).dominant_phases_overlap());
+    }
+
+    #[test]
+    fn initial_grid_is_deterministic() {
+        assert_eq!(initial_grid(32), initial_grid(32));
+    }
+
+    #[test]
+    fn update_rows_matches_reference_for_single_rank() {
+        let n = 12;
+        let mut app = StencilApp::new(n, 0, StencilVariant::Sten1, 1);
+        app.setup(0, &PartitionVector::equal(n as u64, 1));
+        for _ in 0..5 {
+            app.compute(0, 0, PART_ALL);
+        }
+        assert_eq!(app.gather(), sequential_reference(n, 5));
+    }
+}

@@ -1,0 +1,327 @@
+//! Five-point stencil with a **2-D block decomposition**.
+//!
+//! The paper's topology set includes 2-D meshes (§3/§4) but its stencil
+//! evaluation uses only the 1-D block-row decomposition. This module
+//! supplies the 2-D counterpart so the classic decomposition trade-off is
+//! measurable on the same substrate: a 1-D task ships `2·4N` border bytes
+//! per cycle regardless of `p`, while a 2-D task ships
+//! `2·4·(N/rows) + 2·4·(N/cols)` — less data for `p ≥ 4`, paid for with
+//! four smaller messages (more per-message latency) instead of two.
+//!
+//! One modelling finding falls out: the §4 annotation callbacks receive
+//! only the task's PDU count `a_i`, but a 2-D block's message sizes are
+//! functions of the *mesh factorization of p* — information the paper's
+//! annotation interface cannot express. [`stencil2d_model`] therefore
+//! takes `p` explicitly and is per-configuration, which is exactly how the
+//! ablation uses it (and a documented limitation of the paper's model).
+//!
+//! The decomposition requires a homogeneous processor set (equal blocks);
+//! the heterogeneous case would need non-uniform mesh cuts that the
+//! partition vector cannot describe. The 1-D/2-D ablation uses this to
+//! show where each decomposition wins.
+
+use bytes::Bytes;
+
+use netpart_model::{AppModel, CommPhase, CompPhase, OpKind, PartitionVector};
+use netpart_spmd::{SpmdApp, Step};
+use netpart_topology::Topology;
+
+use crate::stencil::initial_grid;
+
+/// §4-style annotations for the 2-D decomposition at a *given* processor
+/// count (the mesh factorization fixes the message sizes).
+pub fn stencil2d_model(n: u64, p: u32) -> AppModel {
+    let (rows, cols) = Topology::mesh_dims(p);
+    let block_h = (n as f64 / rows.max(1) as f64).ceil();
+    let block_w = (n as f64 / cols.max(1) as f64).ceil();
+    // Bytes per message: the larger of the two border kinds (the cost
+    // functions take one b; synchronous cycles are set by the worst).
+    let bytes = 4.0 * block_h.max(block_w);
+    AppModel::new("five-point stencil (2-D blocks)", "grid row", n)
+        .with_comp(CompPhase::linear(
+            "grid update",
+            5.0 * n as f64,
+            OpKind::Flop,
+        ))
+        .with_comm(CommPhase::constant(
+            "border exchange",
+            Topology::TwoD,
+            bytes,
+        ))
+}
+
+/// Split `n` into `parts` contiguous spans, remainder to the front.
+fn spans(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+struct Block {
+    /// Global row range.
+    r0: usize,
+    r1: usize,
+    /// Global column range.
+    c0: usize,
+    c1: usize,
+    /// Owned block values, row-major `(r1-r0) × (c1-c0)`.
+    cur: Vec<f32>,
+    next: Vec<f32>,
+    /// Halos: north/south rows (block width), west/east columns (height).
+    halo_n: Vec<f32>,
+    halo_s: Vec<f32>,
+    halo_w: Vec<f32>,
+    halo_e: Vec<f32>,
+}
+
+impl Block {
+    fn width(&self) -> usize {
+        self.c1 - self.c0
+    }
+    fn height(&self) -> usize {
+        self.r1 - self.r0
+    }
+}
+
+/// The 2-D block-decomposed stencil application.
+pub struct Stencil2DApp {
+    n: usize,
+    iters: u64,
+    p: usize,
+    mesh: (u32, u32),
+    blocks: Vec<Block>,
+}
+
+impl Stencil2DApp {
+    /// An N×N stencil over `p` tasks arranged in the near-square mesh
+    /// `Topology::mesh_dims(p)`.
+    pub fn new(n: usize, iters: u64, p: usize) -> Stencil2DApp {
+        assert!(n >= 2);
+        assert!(p >= 1);
+        Stencil2DApp {
+            n,
+            iters,
+            p,
+            mesh: Topology::mesh_dims(p as u32),
+            blocks: Vec::with_capacity(p),
+        }
+    }
+
+    fn mesh_pos(&self, rank: usize) -> (usize, usize) {
+        let cols = self.mesh.1 as usize;
+        (rank / cols, rank % cols)
+    }
+
+    fn neighbors(&self, rank: usize) -> Vec<usize> {
+        Topology::TwoD
+            .neighbors(rank as u32, self.p as u32)
+            .into_iter()
+            .map(|r| r as usize)
+            .collect()
+    }
+
+    /// Reassemble the full grid.
+    pub fn gather(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut g = vec![0.0f32; n * n];
+        for b in &self.blocks {
+            for (li, gr) in (b.r0..b.r1).enumerate() {
+                let w = b.width();
+                g[gr * n + b.c0..gr * n + b.c1].copy_from_slice(&b.cur[li * w..(li + 1) * w]);
+            }
+        }
+        g
+    }
+}
+
+impl SpmdApp for Stencil2DApp {
+    fn setup(&mut self, rank: usize, vector: &PartitionVector) {
+        if rank == 0 {
+            self.blocks.clear();
+            // 2-D blocks need equal assignments: verify the vector is the
+            // equal split (heterogeneous 2-D cuts are out of model scope).
+            let counts = vector.counts();
+            let max = counts.iter().max().copied().unwrap_or(0);
+            let min = counts.iter().min().copied().unwrap_or(0);
+            assert!(
+                max - min <= 1,
+                "2-D decomposition requires an (almost) equal partition vector, got {counts:?}"
+            );
+        }
+        let (rows, cols) = (self.mesh.0 as usize, self.mesh.1 as usize);
+        let (mr, mc) = self.mesh_pos(rank);
+        let rspan = spans(self.n, rows)[mr];
+        let cspan = spans(self.n, cols)[mc];
+        let grid = initial_grid(self.n);
+        let (h, w) = (rspan.1 - rspan.0, cspan.1 - cspan.0);
+        let mut cur = Vec::with_capacity(h * w);
+        for gr in rspan.0..rspan.1 {
+            cur.extend_from_slice(&grid[gr * self.n + cspan.0..gr * self.n + cspan.1]);
+        }
+        self.blocks.push(Block {
+            r0: rspan.0,
+            r1: rspan.1,
+            c0: cspan.0,
+            c1: cspan.1,
+            next: vec![0.0; h * w],
+            cur,
+            halo_n: vec![0.0; w],
+            halo_s: vec![0.0; w],
+            halo_w: vec![0.0; h],
+            halo_e: vec![0.0; h],
+        });
+    }
+
+    fn num_cycles(&self) -> u64 {
+        self.iters
+    }
+
+    fn script(&self, rank: usize, _cycle: u64) -> Vec<Step> {
+        let nb = self.neighbors(rank);
+        if nb.is_empty() {
+            return vec![Step::Compute { part: 0 }];
+        }
+        vec![
+            Step::Send { to: nb.clone() },
+            Step::Recv { from: nb },
+            Step::Compute { part: 0 },
+        ]
+    }
+
+    fn produce(&mut self, rank: usize, _cycle: u64, to: usize) -> Bytes {
+        let (mr, mc) = self.mesh_pos(rank);
+        let (tr, tc) = self.mesh_pos(to);
+        let b = &self.blocks[rank];
+        let w = b.width();
+        let h = b.height();
+        let values: Vec<f32> = if tr < mr {
+            b.cur[0..w].to_vec() // my north row
+        } else if tr > mr {
+            b.cur[(h - 1) * w..h * w].to_vec() // my south row
+        } else if tc < mc {
+            (0..h).map(|r| b.cur[r * w]).collect() // my west column
+        } else {
+            (0..h).map(|r| b.cur[r * w + w - 1]).collect() // my east column
+        };
+        let mut buf = Vec::with_capacity(4 * values.len());
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Bytes::from(buf)
+    }
+
+    fn consume(&mut self, rank: usize, _cycle: u64, from: usize, payload: &[u8]) {
+        let (mr, mc) = self.mesh_pos(rank);
+        let (fr, fc) = self.mesh_pos(from);
+        let b = &mut self.blocks[rank];
+        let target: &mut Vec<f32> = if fr < mr {
+            &mut b.halo_n
+        } else if fr > mr {
+            &mut b.halo_s
+        } else if fc < mc {
+            &mut b.halo_w
+        } else {
+            &mut b.halo_e
+        };
+        assert_eq!(payload.len(), 4 * target.len(), "halo size mismatch");
+        for (i, chunk) in payload.chunks_exact(4).enumerate() {
+            target[i] = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+    }
+
+    fn compute(&mut self, rank: usize, _cycle: u64, _part: u32) -> (f64, OpKind) {
+        let n = self.n;
+        let b = &mut self.blocks[rank];
+        let (w, h) = (b.width(), b.height());
+        let mut points = 0u64;
+        for li in 0..h {
+            let gr = b.r0 + li;
+            for lj in 0..w {
+                let gc = b.c0 + lj;
+                if gr == 0 || gr == n - 1 || gc == 0 || gc == n - 1 {
+                    b.next[li * w + lj] = b.cur[li * w + lj];
+                    continue;
+                }
+                points += 1;
+                let north = if li > 0 {
+                    b.cur[(li - 1) * w + lj]
+                } else {
+                    b.halo_n[lj]
+                };
+                let south = if li + 1 < h {
+                    b.cur[(li + 1) * w + lj]
+                } else {
+                    b.halo_s[lj]
+                };
+                let west = if lj > 0 {
+                    b.cur[li * w + lj - 1]
+                } else {
+                    b.halo_w[li]
+                };
+                let east = if lj + 1 < w {
+                    b.cur[li * w + lj + 1]
+                } else {
+                    b.halo_e[li]
+                };
+                b.next[li * w + lj] = (north + south + west + east) / 4.0;
+            }
+        }
+        std::mem::swap(&mut b.cur, &mut b.next);
+        (5.0 * points as f64, OpKind::Flop)
+    }
+
+    fn distribution_bytes(&self, rank: usize) -> u64 {
+        let b = &self.blocks[rank];
+        (b.width() * b.height() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::sequential_reference;
+
+    #[test]
+    fn spans_tile_exactly() {
+        assert_eq!(spans(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(
+            spans(6, 6),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+        );
+        assert_eq!(spans(5, 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn single_rank_matches_reference() {
+        let n = 10;
+        let mut app = Stencil2DApp::new(n, 0, 1);
+        app.setup(0, &PartitionVector::equal(n as u64, 1));
+        for _ in 0..4 {
+            app.compute(0, 0, 0);
+        }
+        assert_eq!(app.gather(), sequential_reference(n, 4));
+    }
+
+    #[test]
+    fn model_reflects_mesh_factorization() {
+        // p=6 → 2×3 mesh of a 600 grid → blocks 300×200; worst border is
+        // the 300-row column → 1200 bytes.
+        let m = stencil2d_model(600, 6);
+        assert_eq!(m.dominant_comm().topology, Topology::TwoD);
+        assert_eq!(m.dominant_comm().bytes(1.0), 1200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal partition vector")]
+    fn unequal_vector_is_rejected() {
+        let mut app = Stencil2DApp::new(12, 1, 2);
+        app.setup(0, &PartitionVector::from_counts(vec![10, 2]));
+    }
+}

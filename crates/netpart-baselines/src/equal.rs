@@ -1,0 +1,83 @@
+//! Naïve partitioning baselines.
+//!
+//! * [`equal_partition`] — the comparison the paper makes at N=1200: use a
+//!   given processor set but split the data domain evenly, ignoring
+//!   processor speeds ("This clearly leads to a load imbalance and
+//!   indicates the benefit of a heterogeneous data decomposition").
+//! * [`all_processors`] — throw every available processor at the problem
+//!   (speed-weighted split, no granularity reasoning). Good for large
+//!   problems, wasteful for small ones — the behaviour Fig. 3's region B
+//!   warns about.
+
+use netpart_core::{Estimator, Partition};
+use netpart_model::PartitionVector;
+
+/// Equal decomposition over a fixed configuration: every processor gets
+/// the same PDU count regardless of its speed.
+pub fn equal_partition(est: &Estimator<'_>, config: &[u32]) -> Partition {
+    let order = est.system().speed_order(est.app().dominant_comp().op_kind);
+    let total: u32 = config.iter().sum();
+    let vector = PartitionVector::equal(est.app().num_pdus(), total as usize);
+    let breakdown = est.breakdown(config);
+    Partition {
+        config: config.to_vec(),
+        order,
+        vector,
+        breakdown,
+        evaluations: 0,
+    }
+}
+
+/// Use every available processor with a speed-weighted decomposition.
+pub fn all_processors(est: &Estimator<'_>) -> Partition {
+    let sys = est.system();
+    let order = sys.speed_order(est.app().dominant_comp().op_kind);
+    let config: Vec<u32> = sys.clusters.iter().map(|c| c.available).collect();
+    let breakdown = est.breakdown(&config);
+    let vector = est.partition_vector(&config, &order);
+    Partition {
+        config,
+        order,
+        vector,
+        breakdown,
+        evaluations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_calibrate::{PaperCostModel, Testbed};
+    use netpart_core::SystemModel;
+    use netpart_model::{AppModel, CommPhase, CompPhase, OpKind};
+    use netpart_topology::Topology;
+
+    fn stencil(n: u64) -> AppModel {
+        AppModel::new("stencil", "row", n)
+            .with_comp(CompPhase::linear("u", 5.0 * n as f64, OpKind::Flop))
+            .with_comm(CommPhase::constant("b", Topology::OneD, 4.0 * n as f64))
+    }
+
+    #[test]
+    fn equal_partition_splits_evenly() {
+        let sys = SystemModel::from_testbed(&Testbed::paper());
+        let cost = PaperCostModel;
+        let app = stencil(1200);
+        let est = Estimator::new(&sys, &cost, &app);
+        let p = equal_partition(&est, &[6, 6]);
+        assert_eq!(p.vector.counts(), &[100u64; 12][..]);
+    }
+
+    #[test]
+    fn all_processors_uses_everything_weighted() {
+        let sys = SystemModel::from_testbed(&Testbed::paper());
+        let cost = PaperCostModel;
+        let app = stencil(1200);
+        let est = Estimator::new(&sys, &cost, &app);
+        let p = all_processors(&est);
+        assert_eq!(p.config, vec![6, 6]);
+        assert_eq!(p.vector.total(), 1200);
+        // Speed-weighted: Sparc2 ranks hold ~2× IPC ranks.
+        assert!(p.vector.count(0) > p.vector.count(11));
+    }
+}

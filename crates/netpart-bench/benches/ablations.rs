@@ -1,0 +1,62 @@
+//! Criterion bench driving the A1–A6 ablations: each prints its findings
+//! (the artifact) and the cheap ones are timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netpart_bench::{
+    ablation_dynamic, ablation_ordering, ablation_placement, ablation_search, ablation_sensitivity,
+    metasystem_experiment, paper_calibration,
+};
+
+fn bench_ablations(c: &mut Criterion) {
+    let model = paper_calibration();
+
+    for r in ablation_ordering(&model, &[600], 10) {
+        println!(
+            "\nA1 N={}: fastest {:?} {:.1} ms | slowest {:?} {:.1} ms",
+            r.n, r.fastest.0, r.fastest.1, r.slowest.0, r.slowest.1
+        );
+    }
+    for r in ablation_placement(&[600], 10) {
+        println!(
+            "A2 N={}: contiguous {:.1} ms | round-robin {:.1} ms",
+            r.n, r.contiguous_ms, r.round_robin_ms
+        );
+    }
+    for s in ablation_search(&model, &[600]) {
+        for (name, config, tc, evals) in &s.rows {
+            println!("A3 N={}: {name} {:?} Tc={tc:.2} evals={evals}", s.n, config);
+        }
+    }
+    let s = ablation_sensitivity(&model, &[300, 600], 10, 0.15);
+    println!(
+        "A5 ±15%: stable {:.0}%, worst regression {:.1}%",
+        s.stable_fraction * 100.0,
+        s.worst_regression * 100.0
+    );
+    for r in ablation_dynamic(300, 20, &[0.6]) {
+        println!(
+            "A4 load {:.0}%: static {:.1} ms | dynamic {:.1} ms",
+            r.load * 100.0,
+            r.static_ms,
+            r.dynamic_ms
+        );
+    }
+    for r in metasystem_experiment(&[300], 10) {
+        println!(
+            "A6 N={}: {:?} measured {:.1} ms (best probe {:.1} ms)",
+            r.n, r.config, r.measured_ms, r.best_probe_ms
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("search_strategies_n600", |b| {
+        b.iter(|| black_box(ablation_search(&model, &[600])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

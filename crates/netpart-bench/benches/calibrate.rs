@@ -1,0 +1,48 @@
+//! Criterion bench for the offline calibration procedure (§3): one
+//! cluster × topology sweep-and-fit, and the least-squares kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netpart_calibrate::{calibrate_cluster, least_squares, CalibrationConfig, Testbed};
+use netpart_topology::Topology;
+
+fn bench_calibrate(c: &mut Criterion) {
+    let tb = Testbed::paper();
+    let quick = CalibrationConfig {
+        b_values: vec![256, 2048, 8192],
+        cycles: 8,
+        warmup: 2,
+    };
+    let fit = calibrate_cluster(&tb, 0, Topology::OneD, &quick);
+    println!(
+        "\nSparc2 1-D fit: c1={:.4} c2={:.4} c3={:.6} c4={:.6} R²={:.4}\n",
+        fit.c1, fit.c2, fit.c3, fit.c4, fit.r_squared
+    );
+
+    let mut group = c.benchmark_group("calibrate");
+    group.sample_size(10);
+    group.bench_function("cluster_sweep_1d", |b| {
+        b.iter(|| black_box(calibrate_cluster(&tb, 0, Topology::OneD, &quick)))
+    });
+    group.finish();
+
+    // The fitting kernel alone.
+    let rows: Vec<Vec<f64>> = (0..30)
+        .map(|i| {
+            let p = (i % 5 + 2) as f64;
+            let bb = [64.0, 1024.0, 8192.0][i % 3];
+            vec![1.0, p, bb, p * bb]
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 1.0 + r[1] + 0.001 * r[2] + 0.0005 * r[3])
+        .collect();
+    c.bench_function("calibrate/least_squares_30x4", |b| {
+        b.iter(|| black_box(least_squares(&rows, &y).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_calibrate);
+criterion_main!(benches);

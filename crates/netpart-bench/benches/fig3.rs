@@ -1,0 +1,38 @@
+//! Criterion bench for the Fig. 3 curve: the estimator sweep is timed
+//! (it is the partitioner's hot inner loop), and the measured curve is
+//! printed for the record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netpart_apps::stencil::{stencil_model, StencilVariant};
+use netpart_bench::{fig3, format_fig3, paper_calibration, PAPER_ITERS};
+use netpart_calibrate::Testbed;
+use netpart_core::{Estimator, SystemModel};
+
+fn bench_fig3(c: &mut Criterion) {
+    let model = paper_calibration();
+    for (n, variant) in [(60u64, StencilVariant::Sten1), (600, StencilVariant::Sten2)] {
+        let points = fig3(&model, n, variant, PAPER_ITERS);
+        println!("\nN={n}:\n{}", format_fig3(&points));
+    }
+
+    let sys = SystemModel::from_testbed(&Testbed::paper());
+    let app = stencil_model(600, StencilVariant::Sten1);
+    c.bench_function("fig3/tc_sweep_12_configs", |b| {
+        b.iter(|| {
+            let est = Estimator::new(&sys, &model, &app);
+            let mut acc = 0.0;
+            for p1 in 1..=6u32 {
+                acc += est.t_c_ms(&[p1, 0]);
+            }
+            for p2 in 1..=6u32 {
+                acc += est.t_c_ms(&[6, p2]);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the Gaussian elimination experiment (§6's
+//! non-uniform application): distributed solve throughput plus the
+//! experiment's printed summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netpart_apps::gauss::{make_system, GaussApp};
+use netpart_bench::{gauss_experiment, paper_calibration};
+use netpart_calibrate::Testbed;
+use netpart_model::PartitionVector;
+use netpart_spmd::Executor;
+use netpart_topology::PlacementStrategy;
+
+fn bench_gauss(c: &mut Criterion) {
+    let model = paper_calibration();
+    for row in gauss_experiment(&model, &[64, 128]) {
+        println!(
+            "\nGE N={}: predicted {:?} → {:.1} ms (residual {:.1e})",
+            row.n, row.predicted_config, row.predicted_ms, row.residual
+        );
+    }
+
+    let tb = Testbed::paper();
+    let n = 64usize;
+    let (a, b_rhs, _) = make_system(n, 7);
+    let mut group = c.benchmark_group("gauss");
+    group.sample_size(10);
+    group.bench_function("distributed_solve_n64_p4", |b| {
+        b.iter(|| {
+            let (mmps, nodes) = tb.build(&[4, 0], PlacementStrategy::ClusterContiguous);
+            let mut app = GaussApp::new(n, a.clone(), b_rhs.clone(), 4);
+            let mut exec = Executor::new(mmps, nodes);
+            exec.run(&mut app, &PartitionVector::equal(n as u64, 4), false)
+                .unwrap();
+            black_box(app.solve())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gauss);
+criterion_main!(benches);

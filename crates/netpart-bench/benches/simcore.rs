@@ -1,0 +1,69 @@
+//! Microbenchmarks of the substrate itself: raw event throughput of the
+//! discrete-event core and the message layer — the figures that bound how
+//! big a testbed the harness can sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bytes::Bytes;
+use netpart_mmps::{Mmps, MmpsEvent};
+use netpart_sim::{NetworkBuilder, ProcType, SegmentSpec, SimEvent};
+
+fn bench_simcore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simcore");
+
+    // Raw datagram pipeline: N sends fully drained.
+    const DGRAMS: u64 = 1000;
+    group.throughput(Throughput::Elements(DGRAMS));
+    group.bench_function("datagrams_1000_drained", |b| {
+        b.iter(|| {
+            let mut nb = NetworkBuilder::new(1);
+            let pt = nb.add_proc_type(ProcType::sparcstation_2());
+            let seg = nb.add_segment(SegmentSpec::ethernet_10mbps());
+            let nodes: Vec<_> = (0..8).map(|_| nb.add_node(pt, seg)).collect();
+            let mut net = nb.build().unwrap();
+            for i in 0..DGRAMS {
+                let s = (i % 7) as usize;
+                net.send_datagram(nodes[s], nodes[7], i, Bytes::from_static(b"x"))
+                    .unwrap();
+            }
+            let mut delivered = 0u64;
+            while let Some(evt) = net.next_event() {
+                if matches!(evt, SimEvent::DatagramDelivered { .. }) {
+                    delivered += 1;
+                }
+            }
+            black_box(delivered)
+        })
+    });
+
+    // Message layer: fragmented sends with acks, drained.
+    const MSGS: u64 = 100;
+    group.throughput(Throughput::Elements(MSGS));
+    group.bench_function("mmps_100_x_8kb", |b| {
+        let payload = Bytes::from(vec![0u8; 8192]);
+        b.iter(|| {
+            let mut nb = NetworkBuilder::new(1);
+            let pt = nb.add_proc_type(ProcType::sparcstation_2());
+            let seg = nb.add_segment(SegmentSpec::ethernet_10mbps());
+            let a = nb.add_node(pt, seg);
+            let d = nb.add_node(pt, seg);
+            let mut mmps = Mmps::with_defaults(nb.build().unwrap());
+            for i in 0..MSGS {
+                mmps.send_message(a, d, i, payload.clone()).unwrap();
+            }
+            let mut done = 0u64;
+            while let Some(evt) = mmps.next_event() {
+                if matches!(evt, MmpsEvent::MessageDelivered { .. }) {
+                    done += 1;
+                }
+            }
+            black_box(done)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simcore);
+criterion_main!(benches);

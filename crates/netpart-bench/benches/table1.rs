@@ -1,0 +1,39 @@
+//! Criterion bench for the Table 1 reproduction: how fast the partitioner
+//! makes its decisions under the paper's published cost model, and the
+//! full-table regeneration. The printed rows land in the bench log so a
+//! `cargo bench` run reproduces the paper artifact as a side effect.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netpart_apps::stencil::{stencil_model, StencilVariant};
+use netpart_bench::{format_table1, table1};
+use netpart_calibrate::{PaperCostModel, Testbed};
+use netpart_core::{partition, Estimator, PartitionOptions, SystemModel};
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate and print the table once per bench invocation.
+    println!("\n{}", format_table1(&table1()));
+
+    let sys = SystemModel::from_testbed(&Testbed::paper());
+    let cost = PaperCostModel;
+    let mut group = c.benchmark_group("table1");
+    for n in [60u64, 300, 600, 1200] {
+        for (variant, name) in [
+            (StencilVariant::Sten1, "sten1"),
+            (StencilVariant::Sten2, "sten2"),
+        ] {
+            let app = stencil_model(n, variant);
+            group.bench_function(format!("partition/{name}/n{n}"), |b| {
+                b.iter(|| {
+                    let est = Estimator::new(&sys, &cost, &app);
+                    black_box(partition(&est, &PartitionOptions::default()).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the Table 2 reproduction: simulated stencil runs
+//! across the measured configurations. The full table (all sizes) prints
+//! once; the timed benches exercise representative cells so regressions
+//! in simulator throughput are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netpart_apps::stencil::StencilVariant;
+use netpart_bench::{
+    balanced_vector, format_table2, paper_calibration, run_stencil_config, table2, PAPER_ITERS,
+    PAPER_SIZES,
+};
+
+fn bench_table2(c: &mut Criterion) {
+    let model = paper_calibration();
+    let rows = table2(&model, &PAPER_SIZES, PAPER_ITERS);
+    println!("\n{}", format_table2(&rows));
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (config, label) in [([6u32, 0u32], "6s"), ([6, 6], "6s6i")] {
+        for n in [300u64, 1200] {
+            let vector = balanced_vector(n, &config);
+            group.bench_function(format!("sten1/{label}/n{n}"), |b| {
+                b.iter(|| {
+                    black_box(run_stencil_config(
+                        &config,
+                        &vector,
+                        StencilVariant::Sten1,
+                        n as usize,
+                        PAPER_ITERS,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,512 @@
+//! Ablations of the design choices DESIGN.md calls out (A1–A6).
+
+use netpart_apps::stencil::{stencil_model, StencilApp, StencilVariant};
+use netpart_baselines::{run_dynamic_stencil, DynamicConfig};
+use netpart_calibrate::{
+    calibrate_testbed, CalibratedCostModel, CalibrationConfig, FittedCost, Testbed,
+};
+use netpart_core::{
+    partition, ClusterOrder, Estimator, PartitionOptions, SearchStrategy, SystemModel,
+};
+use netpart_model::PartitionVector;
+use netpart_spmd::Executor;
+use netpart_topology::{PlacementStrategy, Topology};
+
+use crate::experiments::run_stencil_config;
+
+/// A1 — cluster consideration order.
+#[derive(Debug, Clone)]
+pub struct OrderingAblation {
+    /// Problem size.
+    pub n: u64,
+    /// Config and simulated ms with the paper's fastest-first rule.
+    pub fastest: (Vec<u32>, f64),
+    /// Config and simulated ms with the slowest-first rule.
+    pub slowest: (Vec<u32>, f64),
+}
+
+/// Compare fastest-first against slowest-first cluster ordering.
+pub fn ablation_ordering(
+    model: &CalibratedCostModel,
+    sizes: &[u64],
+    iters: u64,
+) -> Vec<OrderingAblation> {
+    let sys = SystemModel::from_testbed(&Testbed::paper());
+    sizes
+        .iter()
+        .map(|&n| {
+            let app = stencil_model(n, StencilVariant::Sten1);
+            let est = Estimator::new(&sys, model, &app);
+            let run_with = |order: ClusterOrder| {
+                let p = partition(
+                    &est,
+                    &PartitionOptions {
+                        order,
+                        ..Default::default()
+                    },
+                )
+                .expect("partition");
+                // Build ranks in the consideration order the partitioner
+                // chose, so the vector's ranks land on the right clusters.
+                let ms = run_ordered(&p.config, &p.order, &p.vector, n as usize, iters);
+                (p.config.clone(), ms)
+            };
+            OrderingAblation {
+                n,
+                fastest: run_with(ClusterOrder::FastestFirst),
+                slowest: run_with(ClusterOrder::SlowestFirst),
+            }
+        })
+        .collect()
+}
+
+/// Run a stencil with ranks laid out cluster-contiguously in an explicit
+/// cluster order (the partitioner's consideration order).
+fn run_ordered(
+    config: &[u32],
+    order: &[usize],
+    vector: &PartitionVector,
+    n: usize,
+    iters: u64,
+) -> f64 {
+    let tb = Testbed::paper();
+    // Assignment in consideration order.
+    let mut assignment = Vec::new();
+    for &k in order {
+        assignment.extend(std::iter::repeat_n(k as u32, config[k] as usize));
+    }
+    let (mmps, nodes) = build_assignment(&tb, &assignment);
+    let p: u32 = config.iter().sum();
+    let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, p as usize);
+    let mut exec = Executor::new(mmps, nodes);
+    exec.run(&mut app, vector, false)
+        .expect("run")
+        .elapsed
+        .as_millis_f64()
+}
+
+/// Build a testbed network with an explicit rank→cluster assignment.
+fn build_assignment(
+    tb: &Testbed,
+    assignment: &[u32],
+) -> (netpart_mmps::Mmps, Vec<netpart_sim::NodeId>) {
+    // Count per cluster, build contiguously, then reorder node handles to
+    // match the assignment sequence.
+    let mut per_cluster = vec![0u32; tb.num_clusters()];
+    for &c in assignment {
+        per_cluster[c as usize] += 1;
+    }
+    let (mmps, nodes) = tb.build(&per_cluster, PlacementStrategy::ClusterContiguous);
+    // nodes are contiguous by cluster index; walk the assignment and pull
+    // from each cluster's pool in order.
+    let mut pools: Vec<Vec<netpart_sim::NodeId>> = vec![Vec::new(); tb.num_clusters()];
+    let mut idx = 0usize;
+    for (k, &cnt) in per_cluster.iter().enumerate() {
+        for _ in 0..cnt {
+            pools[k].push(nodes[idx]);
+            idx += 1;
+        }
+        pools[k].reverse(); // pop from the front via pop()
+    }
+    let ordered: Vec<netpart_sim::NodeId> = assignment
+        .iter()
+        .map(|&c| pools[c as usize].pop().expect("pool sized by assignment"))
+        .collect();
+    (mmps, ordered)
+}
+
+/// A2 — task placement across the router.
+#[derive(Debug, Clone)]
+pub struct PlacementAblation {
+    /// Problem size.
+    pub n: u64,
+    /// Simulated ms with the paper's contiguous placement (1 crossing).
+    pub contiguous_ms: f64,
+    /// Simulated ms with round-robin placement (11 crossings).
+    pub round_robin_ms: f64,
+}
+
+/// Compare contiguous and round-robin placements of the full (6,6)
+/// configuration — the paper's §6 point that "task placement is
+/// important ... since router costs may be large".
+pub fn ablation_placement(sizes: &[u64], iters: u64) -> Vec<PlacementAblation> {
+    let tb = Testbed::paper();
+    sizes
+        .iter()
+        .map(|&n| {
+            let run_with = |placement: PlacementStrategy| -> f64 {
+                let (mmps, nodes) = tb.build(&[6, 6], placement);
+                // Vector shares must follow the placement's rank→cluster map.
+                let assignment = placement.assign(&[6, 6]);
+                let shares: Vec<f64> = assignment
+                    .iter()
+                    .map(|&c| if c == 0 { 2.0 } else { 1.0 })
+                    .collect();
+                let vector = PartitionVector::from_real_shares(&shares, n);
+                let mut app = StencilApp::new(n as usize, iters, StencilVariant::Sten1, 12);
+                let mut exec = Executor::new(mmps, nodes);
+                exec.run(&mut app, &vector, false)
+                    .expect("run")
+                    .elapsed
+                    .as_millis_f64()
+            };
+            PlacementAblation {
+                n,
+                contiguous_ms: run_with(PlacementStrategy::ClusterContiguous),
+                round_robin_ms: run_with(PlacementStrategy::RoundRobin),
+            }
+        })
+        .collect()
+}
+
+/// A3 — search strategy cost/quality.
+#[derive(Debug, Clone)]
+pub struct SearchAblation {
+    /// Problem size.
+    pub n: u64,
+    /// (strategy name, chosen config, predicted T_c ms, evaluations).
+    pub rows: Vec<(&'static str, Vec<u32>, f64, u64)>,
+}
+
+/// Compare the binary search against exhaustive and golden-section within
+/// the heuristic.
+pub fn ablation_search(model: &CalibratedCostModel, sizes: &[u64]) -> Vec<SearchAblation> {
+    let sys = SystemModel::from_testbed(&Testbed::paper());
+    sizes
+        .iter()
+        .map(|&n| {
+            let app = stencil_model(n, StencilVariant::Sten1);
+            let est = Estimator::new(&sys, model, &app);
+            let rows = [
+                ("binary", SearchStrategy::Binary),
+                ("exhaustive", SearchStrategy::Exhaustive),
+                ("golden", SearchStrategy::GoldenSection),
+            ]
+            .into_iter()
+            .map(|(name, strategy)| {
+                let p = partition(
+                    &est,
+                    &PartitionOptions {
+                        strategy,
+                        ..Default::default()
+                    },
+                )
+                .expect("partition");
+                (name, p.config.clone(), p.predicted_tc_ms(), p.evaluations)
+            })
+            .collect();
+            SearchAblation { n, rows }
+        })
+        .collect()
+}
+
+/// A5 — sensitivity of the decision to mis-calibrated constants.
+#[derive(Debug, Clone)]
+pub struct SensitivityAblation {
+    /// Relative perturbation applied to every cost constant.
+    pub perturbation: f64,
+    /// Fraction of (size, variant, direction) cases whose configuration
+    /// decision stayed identical to the unperturbed one.
+    pub stable_fraction: f64,
+    /// Worst relative simulated-time regression among changed decisions.
+    pub worst_regression: f64,
+}
+
+/// Perturb the calibrated constants by ±`eps` and measure how often the
+/// partitioning decision survives, and how costly the changes are.
+pub fn ablation_sensitivity(
+    model: &CalibratedCostModel,
+    sizes: &[u64],
+    iters: u64,
+    eps: f64,
+) -> SensitivityAblation {
+    let sys = SystemModel::from_testbed(&Testbed::paper());
+    let mut total = 0u32;
+    let mut stable = 0u32;
+    let mut worst_regression: f64 = 0.0;
+    for &dir in &[1.0 + eps, 1.0 - eps] {
+        let mut perturbed = model.clone();
+        for fit in perturbed.intra.values_mut() {
+            *fit = FittedCost {
+                c1: fit.c1 * dir,
+                c2: fit.c2 * dir,
+                c3: fit.c3 * dir,
+                c4: fit.c4 * dir,
+                ..*fit
+            };
+        }
+        for &n in sizes {
+            for variant in [StencilVariant::Sten1, StencilVariant::Sten2] {
+                let app = stencil_model(n, variant);
+                let base_est = Estimator::new(&sys, model, &app);
+                let pert_est = Estimator::new(&sys, &perturbed, &app);
+                let base = partition(&base_est, &PartitionOptions::default()).expect("base");
+                let pert = partition(&pert_est, &PartitionOptions::default()).expect("pert");
+                total += 1;
+                if base.config == pert.config {
+                    stable += 1;
+                } else {
+                    let base_ms =
+                        run_stencil_config(&base.config, &base.vector, variant, n as usize, iters);
+                    let pert_ms =
+                        run_stencil_config(&pert.config, &pert.vector, variant, n as usize, iters);
+                    worst_regression = worst_regression.max((pert_ms - base_ms) / base_ms);
+                }
+            }
+        }
+    }
+    SensitivityAblation {
+        perturbation: eps,
+        stable_fraction: stable as f64 / total as f64,
+        worst_regression,
+    }
+}
+
+/// A4 — dynamic repartitioning under induced imbalance.
+#[derive(Debug, Clone)]
+pub struct DynamicAblation {
+    /// External load injected on one Sparc2 node.
+    pub load: f64,
+    /// Static speed-balanced run, ms.
+    pub static_ms: f64,
+    /// Dynamic rebalancing run, ms (including redistribution).
+    pub dynamic_ms: f64,
+    /// Rebalance events performed.
+    pub rebalances: u32,
+}
+
+/// Compare the static partition against chunked dynamic rebalancing when
+/// one node loses most of its CPU to another user mid-run.
+pub fn ablation_dynamic(n: u64, iters: u64, loads: &[f64]) -> Vec<DynamicAblation> {
+    let tb = Testbed::paper();
+    loads
+        .iter()
+        .map(|&load| {
+            let mut node_loads = vec![0.0; 6];
+            node_loads[2] = load;
+            let static_run = run_dynamic_stencil(
+                &tb,
+                &[6, 0],
+                n as usize,
+                iters,
+                StencilVariant::Sten1,
+                PartitionVector::equal(n, 6),
+                &node_loads,
+                &DynamicConfig {
+                    chunk: iters,
+                    trigger: 0.05,
+                },
+            )
+            .expect("static run");
+            let dynamic_run = run_dynamic_stencil(
+                &tb,
+                &[6, 0],
+                n as usize,
+                iters,
+                StencilVariant::Sten1,
+                PartitionVector::equal(n, 6),
+                &node_loads,
+                &DynamicConfig::default(),
+            )
+            .expect("dynamic run");
+            DynamicAblation {
+                load,
+                static_ms: static_run.elapsed.as_millis_f64(),
+                dynamic_ms: dynamic_run.elapsed.as_millis_f64(),
+                rebalances: dynamic_run.rebalances,
+            }
+        })
+        .collect()
+}
+
+/// A6 — the three-cluster metasystem (paper §7 future work).
+#[derive(Debug, Clone)]
+pub struct MetasystemResult {
+    /// Problem size.
+    pub n: u64,
+    /// The partitioner's configuration over (RS6000, HP, Sparc2).
+    pub config: Vec<u32>,
+    /// Predicted `T_c` (ms).
+    pub predicted_tc_ms: f64,
+    /// Simulated elapsed ms of the chosen configuration.
+    pub measured_ms: f64,
+    /// Simulated elapsed ms of the best configuration among a probe sweep.
+    pub best_probe_ms: f64,
+}
+
+/// Partition and run the stencil on a three-cluster metasystem with
+/// cross-format coercion in play.
+pub fn metasystem_experiment(sizes: &[u64], iters: u64) -> Vec<MetasystemResult> {
+    let tb = Testbed::metasystem();
+    let model = calibrate_testbed(&tb, &[Topology::OneD], &CalibrationConfig::default());
+    let sys = SystemModel::from_testbed(&tb);
+    sizes
+        .iter()
+        .map(|&n| {
+            let app = stencil_model(n, StencilVariant::Sten1);
+            let est = Estimator::new(&sys, &model, &app);
+            let part = partition(&est, &PartitionOptions::default()).expect("partition");
+
+            let run = |config: &[u32], order: &[usize], vector: &PartitionVector| -> f64 {
+                let mut assignment = Vec::new();
+                for &k in order {
+                    assignment.extend(std::iter::repeat_n(k as u32, config[k] as usize));
+                }
+                let (mmps, nodes) = build_assignment(&tb, &assignment);
+                let p: u32 = config.iter().sum();
+                let mut app = StencilApp::new(n as usize, iters, StencilVariant::Sten1, p as usize);
+                let mut exec = Executor::new(mmps, nodes);
+                exec.run(&mut app, vector, false)
+                    .expect("run")
+                    .elapsed
+                    .as_millis_f64()
+            };
+            let measured_ms = run(&part.config, &part.order, &part.vector);
+
+            // Probe sweep: single clusters and the full machine.
+            let mut best_probe_ms = f64::MAX;
+            for config in [
+                vec![4u32, 0, 0],
+                vec![0, 4, 0],
+                vec![0, 0, 6],
+                vec![4, 4, 0],
+                vec![4, 4, 6],
+            ] {
+                let order = vec![0usize, 1, 2];
+                let e2 = Estimator::new(&sys, &model, &app);
+                let vector = e2.partition_vector(&config, &order);
+                if vector.counts().contains(&0) && config.iter().sum::<u32>() > 1 {
+                    continue; // stencil ranks need at least one row
+                }
+                let ms = run(&config, &order, &vector);
+                best_probe_ms = best_probe_ms.min(ms);
+            }
+            MetasystemResult {
+                n,
+                config: part.config.clone(),
+                predicted_tc_ms: part.predicted_tc_ms(),
+                measured_ms,
+                best_probe_ms,
+            }
+        })
+        .collect()
+}
+
+/// A7 — 1-D row decomposition vs 2-D block decomposition.
+#[derive(Debug, Clone)]
+pub struct DecompositionAblation {
+    /// Problem size.
+    pub n: u64,
+    /// Processors (homogeneous Sparc2 mesh).
+    pub p: u32,
+    /// 1-D chain, simulated ms.
+    pub one_d_ms: f64,
+    /// 2-D mesh, simulated ms.
+    pub two_d_ms: f64,
+    /// Border bytes shipped per run, 1-D.
+    pub one_d_bytes: u64,
+    /// Border bytes shipped per run, 2-D.
+    pub two_d_bytes: u64,
+}
+
+/// Compare the paper's 1-D block-row decomposition with a 2-D block
+/// decomposition on the homogeneous Sparc2 cluster: 2-D ships less border
+/// data but pays more per-message latency (four smaller messages).
+pub fn ablation_decomposition(sizes: &[u64], p: u32, iters: u64) -> Vec<DecompositionAblation> {
+    use netpart_apps::stencil2d::Stencil2DApp;
+    let tb = Testbed::paper();
+    sizes
+        .iter()
+        .map(|&n| {
+            let run = |two_d: bool| -> (f64, u64) {
+                let (mmps, nodes) = tb.build(&[p, 0], PlacementStrategy::ClusterContiguous);
+                let mut exec = Executor::new(mmps, nodes);
+                let vector = PartitionVector::equal(n, p as usize);
+                let elapsed = if two_d {
+                    let mut app = Stencil2DApp::new(n as usize, iters, p as usize);
+                    exec.run(&mut app, &vector, false).expect("2-D run").elapsed
+                } else {
+                    let mut app =
+                        StencilApp::new(n as usize, iters, StencilVariant::Sten1, p as usize);
+                    exec.run(&mut app, &vector, false).expect("1-D run").elapsed
+                };
+                let bytes = exec
+                    .mmps()
+                    .net_ref()
+                    .segment_stats(netpart_sim::SegmentId(0))
+                    .bytes_sent;
+                (elapsed.as_millis_f64(), bytes)
+            };
+            let (one_d_ms, one_d_bytes) = run(false);
+            let (two_d_ms, two_d_bytes) = run(true);
+            DecompositionAblation {
+                n,
+                p,
+                one_d_ms,
+                two_d_ms,
+                one_d_bytes,
+                two_d_bytes,
+            }
+        })
+        .collect()
+}
+
+/// A8 — sensitivity to background cross-traffic.
+#[derive(Debug, Clone)]
+pub struct CrossTrafficAblation {
+    /// Offered background load as a fraction of the 10 Mbit/s channel.
+    pub offered_load: f64,
+    /// Simulated stencil ms under that load.
+    pub elapsed_ms: f64,
+    /// Slowdown relative to the quiet channel.
+    pub slowdown: f64,
+}
+
+/// The paper calibrates "when the network and processors were lightly
+/// loaded". This ablation violates that: two idle Sparc2s exchange
+/// periodic 1400-byte datagrams while a (4,0) stencil runs, at increasing
+/// offered loads, quantifying how far quiet-network calibration can be
+/// trusted.
+pub fn ablation_cross_traffic(n: u64, iters: u64, loads: &[f64]) -> Vec<CrossTrafficAblation> {
+    use netpart_sim::BackgroundFlow;
+    let tb = Testbed::paper();
+    let wire_ns_per_frame = (1400.0 + 54.0) * 8.0 / 10.0e6 * 1e9; // ≈1.16 ms
+    let mut quiet_ms = None;
+    loads
+        .iter()
+        .map(|&load| {
+            let (mut mmps, nodes) = tb.build(&[4, 0], PlacementStrategy::ClusterContiguous);
+            if load > 0.0 {
+                // Period so that frame_time / period = offered load.
+                let period_ns = (wire_ns_per_frame / load) as u64;
+                let idle: Vec<netpart_sim::NodeId> = mmps
+                    .net_ref()
+                    .nodes_on_segment(netpart_sim::SegmentId(0))
+                    .into_iter()
+                    .filter(|n| !nodes.contains(n))
+                    .collect();
+                mmps.net().add_background_flow(BackgroundFlow {
+                    src: idle[0],
+                    dst: idle[1],
+                    bytes: 1400,
+                    period: netpart_sim::SimDur::from_nanos(period_ns),
+                });
+            }
+            let mut app = StencilApp::new(n as usize, iters, StencilVariant::Sten1, 4);
+            let mut exec = Executor::new(mmps, nodes);
+            let elapsed_ms = exec
+                .run(&mut app, &PartitionVector::equal(n, 4), false)
+                .expect("run")
+                .elapsed
+                .as_millis_f64();
+            if load == 0.0 {
+                quiet_ms = Some(elapsed_ms);
+            }
+            CrossTrafficAblation {
+                offered_load: load,
+                elapsed_ms,
+                slowdown: elapsed_ms / quiet_ms.unwrap_or(elapsed_ms),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,27 @@
+//! # netpart-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6) plus
+//! the ablations DESIGN.md calls out. The heavy lifting lives here so the
+//! `experiments` binary, the criterion benches, and the workspace
+//! integration tests all share one implementation.
+//!
+//! | paper artifact | function |
+//! |---|---|
+//! | §3 cost-function fits | [`calibration_report`] |
+//! | Table 1 (partitioning decisions) | [`table1`] |
+//! | Table 2 (measured elapsed times) | [`table2`] |
+//! | Fig. 3 (canonical `T_c` curve) | [`fig3`] |
+//! | Fig. 2 (partition vector example) | [`fig2_example`] |
+//! | §5/§6 overhead claims | [`overhead_report`] |
+//! | §6 Gaussian elimination claim | [`gauss_experiment`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod report;
+
+pub use ablations::*;
+pub use experiments::*;
+pub use report::*;

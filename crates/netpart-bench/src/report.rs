@@ -1,0 +1,204 @@
+//! Table formatting for the `experiments` binary.
+
+use netpart_apps::stencil::StencilVariant;
+
+use crate::experiments::{Table1Row, Table2Row, TABLE2_CONFIGS};
+
+/// Human label of a variant.
+pub fn variant_name(v: StencilVariant) -> &'static str {
+    match v {
+        StencilVariant::Sten1 => "STEN-1",
+        StencilVariant::Sten2 => "STEN-2",
+    }
+}
+
+/// Render the Table 1 reproduction.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1 — partitioning decisions under the paper's printed cost model\n");
+    out.push_str(
+        "variant   N     paper(P1,P2) paper(A1,A2) | ours(P1,P2) ours Tc[ms] | paper-cfg Tc[ms] | exhaustive\n",
+    );
+    for r in rows {
+        let a = &r.predicted.vector;
+        let a1 = a.count(0);
+        let a2 = if r.predicted.config.get(1).copied().unwrap_or(0) > 0 {
+            a.count(a.num_ranks() - 1)
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{:<8} {:>5}  ({:>2},{:>2})      ({:>3},{:>3})   |  ({:>2},{:>2}) A=({:>3},{:>3}) {:>9.2} | {:>13.2} | {:?}\n",
+            variant_name(r.variant),
+            r.n,
+            r.paper_config[0],
+            r.paper_config[1],
+            r.paper_a[0],
+            r.paper_a[1],
+            r.predicted.config[0],
+            r.predicted.config.get(1).copied().unwrap_or(0),
+            a1,
+            a2,
+            r.predicted.predicted_tc_ms(),
+            r.paper_tc_ms,
+            r.exhaustive.config,
+        ));
+    }
+    out
+}
+
+/// Render the Table 2 reproduction.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2 — simulated elapsed times (ms), 10 iterations; * = measured minimum\n");
+    out.push_str("variant   N    ");
+    for c in TABLE2_CONFIGS {
+        out.push_str(&format!("{:>12}", format!("{}S+{}I", c[0], c[1])));
+    }
+    out.push_str("   predicted      pred ms   equal(6,6)\n");
+    for r in rows {
+        out.push_str(&format!("{:<8} {:>5} ", variant_name(r.variant), r.n));
+        for (i, ms) in r.measured_ms.iter().enumerate() {
+            let star = if i == r.measured_min { "*" } else { " " };
+            out.push_str(&format!("{:>11.1}{star}", ms));
+        }
+        out.push_str(&format!(
+            "  ({},{})    {:>9.1}",
+            r.predicted_config[0],
+            r.predicted_config.get(1).copied().unwrap_or(0),
+            r.predicted_ms,
+        ));
+        if let Some(eq) = r.equal_decomposition_ms {
+            out.push_str(&format!("   {:>9.1}", eq));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Simple ASCII plot of the Fig. 3 curve.
+pub fn format_fig3(points: &[crate::experiments::Fig3Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 3 — T_c vs processors (estimated | measured), ms/cycle\n");
+    let max = points
+        .iter()
+        .map(|p| p.measured_tc_ms.max(p.estimated_tc_ms))
+        .fold(0.0f64, f64::max);
+    for p in points {
+        let bar = |v: f64| "#".repeat(((v / max) * 40.0).round() as usize);
+        out.push_str(&format!(
+            "P={:>2} ({},{})  est {:>9.2} {:<40}  meas {:>9.2} {:<40}\n",
+            p.total_p,
+            p.config[0],
+            p.config[1],
+            p.estimated_tc_ms,
+            bar(p.estimated_tc_ms),
+            p.measured_tc_ms,
+            bar(p.measured_tc_ms),
+        ));
+    }
+    out
+}
+
+/// Write the core experiment results as CSV files under `dir`, for
+/// plotting outside this repository. Returns the files written.
+pub fn export_csv(
+    dir: &std::path::Path,
+    table1: &[Table1Row],
+    table2: &[Table2Row],
+    fig3_curves: &[(String, Vec<crate::experiments::Fig3Point>)],
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+
+    let t1 = dir.join("table1.csv");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&t1)?);
+        writeln!(
+            f,
+            "variant,n,paper_p1,paper_p2,ours_p1,ours_p2,ours_tc_ms,paper_cfg_tc_ms,exhaustive_p1,exhaustive_p2"
+        )?;
+        for r in table1 {
+            writeln!(
+                f,
+                "{},{},{},{},{},{},{:.6},{:.6},{},{}",
+                variant_name(r.variant),
+                r.n,
+                r.paper_config[0],
+                r.paper_config[1],
+                r.predicted.config[0],
+                r.predicted.config.get(1).copied().unwrap_or(0),
+                r.predicted.predicted_tc_ms(),
+                r.paper_tc_ms,
+                r.exhaustive.config[0],
+                r.exhaustive.config.get(1).copied().unwrap_or(0),
+            )?;
+        }
+        f.flush()?;
+    }
+    written.push(t1);
+
+    let t2 = dir.join("table2.csv");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&t2)?);
+        write!(f, "variant,n")?;
+        for c in TABLE2_CONFIGS {
+            write!(f, ",ms_{}s_{}i", c[0], c[1])?;
+        }
+        writeln!(
+            f,
+            ",min_config,predicted_p1,predicted_p2,predicted_ms,equal_ms"
+        )?;
+        for r in table2 {
+            write!(f, "{},{}", variant_name(r.variant), r.n)?;
+            for ms in &r.measured_ms {
+                write!(f, ",{ms:.3}")?;
+            }
+            let min = TABLE2_CONFIGS[r.measured_min];
+            writeln!(
+                f,
+                ",{}s+{}i,{},{},{:.3},{}",
+                min[0],
+                min[1],
+                r.predicted_config[0],
+                r.predicted_config.get(1).copied().unwrap_or(0),
+                r.predicted_ms,
+                r.equal_decomposition_ms
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_default(),
+            )?;
+        }
+        f.flush()?;
+    }
+    written.push(t2);
+
+    let f3 = dir.join("fig3.csv");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&f3)?);
+        writeln!(f, "curve,total_p,p1,p2,estimated_tc_ms,measured_tc_ms")?;
+        for (label, points) in fig3_curves {
+            for p in points {
+                writeln!(
+                    f,
+                    "{label},{},{},{},{:.6},{:.6}",
+                    p.total_p, p.config[0], p.config[1], p.estimated_tc_ms, p.measured_tc_ms
+                )?;
+            }
+        }
+        f.flush()?;
+    }
+    written.push(f3);
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(variant_name(StencilVariant::Sten1), "STEN-1");
+        assert_eq!(variant_name(StencilVariant::Sten2), "STEN-2");
+    }
+}

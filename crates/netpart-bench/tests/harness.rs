@@ -1,0 +1,119 @@
+//! Smoke tests of the experiment harness itself on downsized problems, so
+//! regressions in the table/figure generators are caught by `cargo test`
+//! without the full release-mode sweep.
+
+use std::sync::OnceLock;
+
+use netpart_apps::stencil::StencilVariant;
+use netpart_bench::*;
+use netpart_calibrate::CalibratedCostModel;
+
+fn model() -> &'static CalibratedCostModel {
+    static MODEL: OnceLock<CalibratedCostModel> = OnceLock::new();
+    MODEL.get_or_init(paper_calibration)
+}
+
+#[test]
+fn table1_has_all_sixteen_decisions() {
+    let rows = table1();
+    assert_eq!(rows.len(), 8);
+    for r in &rows {
+        // The partitioner never scores worse than the paper's printed
+        // configuration under the printed cost model.
+        assert!(
+            r.predicted.predicted_tc_ms() <= r.paper_tc_ms + 1e-9,
+            "{:?} N={}",
+            r.variant,
+            r.n
+        );
+        // And never better than the exhaustive optimum.
+        assert!(r.predicted.predicted_tc_ms() >= r.exhaustive.predicted_tc_ms() - 1e-9);
+        assert_eq!(r.predicted.vector.total(), r.n);
+    }
+}
+
+#[test]
+fn table2_small_sizes_star_the_predicted_config() {
+    let rows = table2(model(), &[60, 150], 6);
+    assert_eq!(rows.len(), 4);
+    for r in &rows {
+        let best = r.measured_ms[r.measured_min];
+        // N=150 sits right at the comm/comp crossover where model error
+        // peaks; allow a slightly wider band there than the end-to-end
+        // test's 5% (which checks the paper's own sizes).
+        assert!(
+            r.predicted_ms <= best * 1.12,
+            "{:?} N={}: predicted {:.1} vs best {:.1}",
+            r.variant,
+            r.n,
+            r.predicted_ms,
+            best
+        );
+        // Equal decomposition on the full machine never beats the
+        // measured minimum.
+        if let Some(eq) = r.equal_decomposition_ms {
+            assert!(eq >= best - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fig3_curve_is_u_shaped_at_small_n() {
+    let points = fig3(model(), 60, StencilVariant::Sten1, 6);
+    assert_eq!(points.len(), 12);
+    let min_idx = points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.measured_tc_ms.partial_cmp(&b.1.measured_tc_ms).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    // Interior minimum: region A to its left, region B to its right.
+    assert!(min_idx > 0 && min_idx < points.len() - 1, "min at {min_idx}");
+    assert!(points[0].measured_tc_ms > points[min_idx].measured_tc_ms);
+    assert!(points.last().unwrap().measured_tc_ms > points[min_idx].measured_tc_ms);
+}
+
+#[test]
+fn overhead_numbers_within_bounds() {
+    let o = overhead_report(model());
+    assert!(o.evaluations <= o.bound);
+    assert!(o.availability_ms > 0.0 && o.availability_ms < 100.0);
+    assert_eq!(o.availability_messages, 20);
+}
+
+#[test]
+fn scalability_evaluations_track_k() {
+    let rows = scalability(&[2, 4, 8], 8, 1200);
+    for w in rows.windows(2) {
+        // Doubling K doubles the evaluation count (linear growth).
+        assert_eq!(w[1].evaluations, 2 * w[0].evaluations);
+        assert!(w[1].evaluations <= w[1].bound);
+    }
+}
+
+#[test]
+fn csv_export_round_trips() {
+    let dir = std::env::temp_dir().join("netpart-csv-test");
+    let t1 = table1();
+    let t2 = table2(model(), &[60], 4);
+    let curves = vec![(
+        "sten1_n60".to_owned(),
+        fig3(model(), 60, StencilVariant::Sten1, 4),
+    )];
+    let files = export_csv(&dir, &t1, &t2, &curves).expect("export");
+    assert_eq!(files.len(), 3);
+    for f in files {
+        let body = std::fs::read_to_string(&f).expect("readable");
+        assert!(body.lines().count() > 1, "{} is empty", f.display());
+        let header_cols = body.lines().next().unwrap().split(',').count();
+        for line in body.lines().skip(1) {
+            assert_eq!(
+                line.split(',').count(),
+                header_cols,
+                "ragged row in {}",
+                f.display()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,93 @@
+//! The communication-only benchmark application used for calibration.
+//!
+//! This mirrors the paper's "topology-specific communication programs":
+//! a set of communicating tasks mapped over the processors that execute
+//! pure communication cycles (asynchronous sends to all neighbors, then
+//! blocking receives) with a fixed message size, so the mean cycle time
+//! can be measured for each `(p, b)` grid point.
+
+use bytes::Bytes;
+use netpart_model::{OpKind, PartitionVector};
+use netpart_spmd::{SpmdApp, Step};
+use netpart_topology::{CycleSchedule, Topology};
+
+/// Pure communication-cycle program over a topology.
+pub struct CommBench {
+    schedule: CycleSchedule,
+    payload: Bytes,
+    cycles: u64,
+}
+
+impl CommBench {
+    /// A benchmark of `cycles` cycles over `topology` with `p` tasks
+    /// exchanging `bytes`-byte messages.
+    pub fn new(topology: Topology, p: u32, bytes: u32, cycles: u64) -> CommBench {
+        CommBench {
+            schedule: CycleSchedule::new(topology, p),
+            payload: Bytes::from(vec![0u8; bytes as usize]),
+            cycles,
+        }
+    }
+
+    /// Message size in bytes.
+    pub fn bytes(&self) -> u32 {
+        self.payload.len() as u32
+    }
+}
+
+impl SpmdApp for CommBench {
+    fn setup(&mut self, _rank: usize, _vector: &PartitionVector) {}
+
+    fn num_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn script(&self, rank: usize, _cycle: u64) -> Vec<Step> {
+        let peers: Vec<usize> = self
+            .schedule
+            .sends_of(rank as u32)
+            .iter()
+            .map(|&r| r as usize)
+            .collect();
+        if peers.is_empty() {
+            return Vec::new();
+        }
+        vec![Step::Send { to: peers.clone() }, Step::Recv { from: peers }]
+    }
+
+    fn produce(&mut self, _rank: usize, _cycle: u64, _to: usize) -> Bytes {
+        self.payload.clone() // zero-copy: Bytes clones share the buffer
+    }
+
+    fn consume(&mut self, _rank: usize, _cycle: u64, _from: usize, _payload: &[u8]) {}
+
+    fn compute(&mut self, _rank: usize, _cycle: u64, _part: u32) -> (f64, OpKind) {
+        (0.0, OpKind::Flop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_match_topology() {
+        let b = CommBench::new(Topology::OneD, 4, 128, 3);
+        assert_eq!(b.num_cycles(), 3);
+        assert_eq!(b.bytes(), 128);
+        let s = b.script(1, 0);
+        assert_eq!(
+            s,
+            vec![
+                Step::Send { to: vec![0, 2] },
+                Step::Recv { from: vec![0, 2] }
+            ]
+        );
+    }
+
+    #[test]
+    fn lone_rank_has_empty_script() {
+        let b = CommBench::new(Topology::OneD, 1, 128, 3);
+        assert!(b.script(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Small dense linear least squares, used to fit communication cost
+//! function constants from benchmark observations.
+//!
+//! The systems are tiny (4 unknowns for `c1 + c2·p + c3·b + c4·p·b`,
+//! 2 for the per-byte router/coercion penalties), so the normal equations
+//! solved by Gaussian elimination with partial pivoting are perfectly
+//! adequate numerically.
+
+/// Result of a least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Coefficients in design-column order.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training observations.
+    pub r_squared: f64,
+    /// Residual standard error.
+    pub rse: f64,
+}
+
+/// Fit `y ≈ X·β` by ordinary least squares. `rows[i]` is the i-th design
+/// row. Returns `None` when the system is under-determined or singular.
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Option<FitResult> {
+    let n = rows.len();
+    if n == 0 || n != y.len() {
+        return None;
+    }
+    let k = rows[0].len();
+    if k == 0 || n < k || rows.iter().any(|r| r.len() != k) {
+        return None;
+    }
+
+    // Normal equations: (XᵀX) β = Xᵀy.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (row, &yi) in rows.iter().zip(y) {
+        for i in 0..k {
+            aty[i] += row[i] * yi;
+            for j in 0..k {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    let beta = solve(&mut ata, &mut aty)?;
+
+    // Goodness of fit.
+    let mean_y: f64 = y.iter().sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (row, &yi) in rows.iter().zip(y) {
+        let pred: f64 = row.iter().zip(&beta).map(|(x, b)| x * b).sum();
+        ss_res += (yi - pred) * (yi - pred);
+        ss_tot += (yi - mean_y) * (yi - mean_y);
+    }
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    let dof = (n - k).max(1) as f64;
+    Some(FitResult {
+        coefficients: beta,
+        r_squared,
+        rse: (ss_res / dof).sqrt(),
+    })
+}
+
+/// Solve the square system `a·x = b` in place by Gaussian elimination with
+/// partial pivoting. Returns `None` when singular.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, tail) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (c, cell) in tail[0].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot_row[c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_model() {
+        // y = 2 + 3p + 0.5b + 0.25pb over a grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for p in [2.0, 4.0, 6.0, 8.0] {
+            for b in [64.0, 512.0, 4096.0] {
+                rows.push(vec![1.0, p, b, p * b]);
+                y.push(2.0 + 3.0 * p + 0.5 * b + 0.25 * p * b);
+            }
+        }
+        let fit = least_squares(&rows, &y).unwrap();
+        let expect = [2.0, 3.0, 0.5, 0.25];
+        for (got, want) in fit.coefficients.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn handles_noise_gracefully() {
+        // y = 10 + 2x with deterministic pseudo-noise.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| 10.0 + 2.0 * i as f64 + ((i * 37 % 11) as f64 - 5.0) * 0.1)
+            .collect();
+        let fit = least_squares(&rows, &y).unwrap();
+        assert!((fit.coefficients[0] - 10.0).abs() < 0.5);
+        assert!((fit.coefficients[1] - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn rejects_underdetermined_and_singular() {
+        assert!(least_squares(&[vec![1.0, 2.0]], &[3.0]).is_none());
+        // Two identical columns → singular.
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        assert!(least_squares(&rows, &[1.0, 2.0, 3.0]).is_none());
+        assert!(least_squares(&[], &[]).is_none());
+        assert!(least_squares(&[vec![1.0]], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn perfect_constant_fit_has_r2_one() {
+        let rows = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let fit = least_squares(&rows, &[5.0, 5.0, 5.0]).unwrap();
+        assert!((fit.coefficients[0] - 5.0).abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

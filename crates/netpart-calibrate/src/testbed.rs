@@ -1,0 +1,333 @@
+//! Testbed descriptions: reusable recipes for building simulated networks
+//! shaped like the paper's (clusters of homogeneous machines, one cluster
+//! per ethernet segment, one router joining every segment).
+
+use netpart_mmps::{Mmps, MmpsConfig};
+use netpart_sim::{NetworkBuilder, NodeId, ProcType, RouterSpec, SegmentSpec};
+use netpart_topology::PlacementStrategy;
+
+/// One homogeneous cluster: a machine class and how many of them exist.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The machine class of every node in the cluster.
+    pub proc_type: ProcType,
+    /// Total workstations in the cluster.
+    pub nodes: u32,
+}
+
+/// A whole testbed: clusters (one per segment) joined by a single router,
+/// as in the paper's Fig. 1.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The clusters, in cluster-index order.
+    pub clusters: Vec<ClusterSpec>,
+    /// Segment recipe shared by all segments (the paper assumes equal
+    /// communication bandwidth per segment).
+    pub segment: SegmentSpec,
+    /// Router recipe (segments filled in at build time).
+    pub router: RouterSpec,
+    /// Message layer configuration.
+    pub mmps: MmpsConfig,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Router wiring: `false` (default) instantiates one router joining
+    /// every segment, as in the paper's Fig. 1; `true` instantiates a
+    /// dedicated router per segment *pair* — the literal reading of the
+    /// paper's assumption 3 ("every pair of segments is connected by a
+    /// single router"), which removes forwarding-engine sharing between
+    /// unrelated cluster pairs.
+    pub pairwise_routers: bool,
+}
+
+impl Testbed {
+    /// The paper's §6 testbed: 6 SPARCstation 2s and 6 Sun4 IPCs on two
+    /// ethernet segments joined by a router.
+    pub fn paper() -> Testbed {
+        Testbed {
+            clusters: vec![
+                ClusterSpec {
+                    proc_type: ProcType::sparcstation_2(),
+                    nodes: 6,
+                },
+                ClusterSpec {
+                    proc_type: ProcType::sun4_ipc(),
+                    nodes: 6,
+                },
+            ],
+            segment: SegmentSpec::ethernet_10mbps(),
+            router: RouterSpec::paper_router(Vec::new()),
+            mmps: MmpsConfig::default(),
+            seed: 1994,
+            pairwise_routers: false,
+        }
+    }
+
+    /// A three-cluster metasystem (paper §7's future-work scenario):
+    /// RS/6000s, HP 9000s and Sparc2s, with differing data formats so
+    /// coercion costs apply.
+    pub fn metasystem() -> Testbed {
+        Testbed {
+            clusters: vec![
+                ClusterSpec {
+                    proc_type: ProcType::rs6000(),
+                    nodes: 4,
+                },
+                ClusterSpec {
+                    proc_type: ProcType::hp9000(),
+                    nodes: 4,
+                },
+                ClusterSpec {
+                    proc_type: ProcType::sparcstation_2(),
+                    nodes: 6,
+                },
+            ],
+            segment: SegmentSpec::ethernet_10mbps(),
+            router: RouterSpec::paper_router(Vec::new()),
+            mmps: MmpsConfig::default(),
+            seed: 1994,
+            pairwise_routers: false,
+        }
+    }
+
+    /// A synthetic testbed of `k` clusters with `nodes_per` machines
+    /// each, speeds spread geometrically from the Sparc2 baseline (each
+    /// cluster `spread`× slower than the previous). Used by the
+    /// scalability experiment to exercise the partitioner on systems far
+    /// larger than the paper's K=2, P=12.
+    pub fn synthetic(k: usize, nodes_per: u32, spread: f64) -> Testbed {
+        assert!(k >= 1);
+        let clusters = (0..k)
+            .map(|i| {
+                let mut pt = ProcType::sparcstation_2();
+                let factor = spread.powi(i as i32);
+                pt.name = format!("C{i}");
+                pt.sec_per_flop *= factor;
+                pt.sec_per_intop *= factor;
+                ClusterSpec {
+                    proc_type: pt,
+                    nodes: nodes_per,
+                }
+            })
+            .collect();
+        Testbed {
+            clusters,
+            segment: SegmentSpec::ethernet_10mbps(),
+            router: RouterSpec::paper_router(Vec::new()),
+            mmps: MmpsConfig::default(),
+            seed: 1994,
+            pairwise_routers: false,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Available node counts per cluster.
+    pub fn capacities(&self) -> Vec<u32> {
+        self.clusters.iter().map(|c| c.nodes).collect()
+    }
+
+    /// Seconds-per-flop of each cluster's machine class (`S_i`).
+    pub fn flop_secs(&self) -> Vec<f64> {
+        self.clusters
+            .iter()
+            .map(|c| c.proc_type.sec_per_flop)
+            .collect()
+    }
+
+    /// Build a network using `per_cluster[k]` nodes from cluster `k` and
+    /// return the message layer plus the task placement (rank → node).
+    ///
+    /// Every cluster's full node population is instantiated (idle nodes
+    /// still exist physically); only the selected ones receive tasks. The
+    /// router joins all segments, so any pair of clusters is one hop
+    /// apart, as the paper's network model assumes.
+    ///
+    /// # Panics
+    /// If `per_cluster` is longer than the cluster list or requests more
+    /// nodes than a cluster has.
+    pub fn build(&self, per_cluster: &[u32], placement: PlacementStrategy) -> (Mmps, Vec<NodeId>) {
+        assert!(per_cluster.len() <= self.clusters.len());
+        let mut b = NetworkBuilder::new(self.seed);
+        let mut cluster_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(self.clusters.len());
+        let mut segments = Vec::with_capacity(self.clusters.len());
+        for spec in &self.clusters {
+            let pt = b.add_proc_type(spec.proc_type.clone());
+            let seg = b.add_segment(self.segment.clone());
+            segments.push(seg);
+            cluster_nodes.push((0..spec.nodes).map(|_| b.add_node(pt, seg)).collect());
+        }
+        if segments.len() > 1 {
+            if self.pairwise_routers {
+                for i in 0..segments.len() {
+                    for j in i + 1..segments.len() {
+                        let mut spec = self.router.clone();
+                        spec.segments = vec![segments[i], segments[j]];
+                        b.add_router(spec);
+                    }
+                }
+            } else {
+                let mut spec = self.router.clone();
+                spec.segments = segments;
+                b.add_router(spec);
+            }
+        }
+        let net = b.build().expect("testbed network is well-formed");
+
+        // Rank → node mapping per the placement strategy.
+        let assignment = placement.assign(per_cluster);
+        let mut next_in_cluster = vec![0usize; self.clusters.len()];
+        let mut nodes = Vec::with_capacity(assignment.len());
+        for &cluster in &assignment {
+            let k = cluster as usize;
+            let idx = next_in_cluster[k];
+            assert!(
+                idx < cluster_nodes[k].len(),
+                "cluster {k} has only {} nodes, asked for more",
+                cluster_nodes[k].len()
+            );
+            nodes.push(cluster_nodes[k][idx]);
+            next_in_cluster[k] = idx + 1;
+        }
+        (Mmps::new(net, self.mmps.clone()), nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = Testbed::paper();
+        assert_eq!(t.num_clusters(), 2);
+        assert_eq!(t.capacities(), vec![6, 6]);
+        let s = t.flop_secs();
+        assert!((s[1] / s[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_places_contiguously() {
+        let t = Testbed::paper();
+        let (mmps, nodes) = t.build(&[3, 2], PlacementStrategy::ClusterContiguous);
+        assert_eq!(nodes.len(), 5);
+        // First three ranks on segment 0, last two on segment 1.
+        let net = mmps.net_ref();
+        for (rank, &n) in nodes.iter().enumerate() {
+            let seg = net.node(n).segment;
+            assert_eq!(seg.0, u16::from(rank >= 3), "rank {rank}");
+        }
+        // All 12 physical nodes exist even though only 5 are used.
+        assert_eq!(net.num_nodes(), 12);
+    }
+
+    #[test]
+    fn build_round_robin_alternates_segments() {
+        let t = Testbed::paper();
+        let (mmps, nodes) = t.build(&[2, 2], PlacementStrategy::RoundRobin);
+        let net = mmps.net_ref();
+        let segs: Vec<u16> = nodes.iter().map(|&n| net.node(n).segment.0).collect();
+        assert_eq!(segs, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has only")]
+    fn overcommitting_a_cluster_panics() {
+        let t = Testbed::paper();
+        let _ = t.build(&[7, 0], PlacementStrategy::ClusterContiguous);
+    }
+
+    #[test]
+    fn pairwise_routers_route_every_pair() {
+        let mut t = Testbed::metasystem();
+        t.pairwise_routers = true;
+        let (mmps, _) = t.build(&[1, 1, 1], PlacementStrategy::ClusterContiguous);
+        let net = mmps.net_ref();
+        // One node per segment: every pair must be mutually reachable.
+        let picks: Vec<_> = (0..3u16)
+            .map(|s| net.nodes_on_segment(netpart_sim::SegmentId(s))[0])
+            .collect();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(net.route_exists(picks[i], picks[j]), "{i}→{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_routers_do_not_share_a_forwarding_engine() {
+        // Under the shared router, simultaneous (0→1) and (2→1) traffic
+        // serializes in one forwarding engine; pairwise routers forward
+        // independently. Make forwarding the bottleneck (slow per-byte
+        // engine) so the difference is unambiguous.
+        use bytes::Bytes;
+        use netpart_sim::SimEvent;
+        let run = |pairwise: bool| -> u64 {
+            let mut t = Testbed::metasystem();
+            t.pairwise_routers = pairwise;
+            t.router.per_byte_sec = 5.0e-6;
+            let (mut mmps, _) = t.build(&[0, 0, 0], PlacementStrategy::ClusterContiguous);
+            let net = mmps.net();
+            let n0 = net.nodes_on_segment(netpart_sim::SegmentId(0))[0];
+            let n1 = net.nodes_on_segment(netpart_sim::SegmentId(1))[0];
+            let n2 = net.nodes_on_segment(netpart_sim::SegmentId(2))[0];
+            for k in 0..10u64 {
+                net.send_datagram(n0, n1, k, Bytes::from(vec![0u8; 1400]))
+                    .unwrap();
+                net.send_datagram(n2, n1, 100 + k, Bytes::from(vec![0u8; 1400]))
+                    .unwrap();
+            }
+            let mut last = 0;
+            while let Some(evt) = net.next_event() {
+                if let SimEvent::DatagramDelivered { at, .. } = evt {
+                    last = at.as_nanos();
+                }
+            }
+            last
+        };
+        let shared = run(false);
+        let pairwise = run(true);
+        assert!(
+            pairwise * 10 < shared * 7,
+            "pairwise {pairwise} should clearly beat shared {shared}"
+        );
+    }
+
+    #[test]
+    fn metasystem_has_three_formats() {
+        let t = Testbed::metasystem();
+        let formats: std::collections::HashSet<u16> =
+            t.clusters.iter().map(|c| c.proc_type.data_format).collect();
+        assert_eq!(formats.len(), 3, "coercion must apply between all pairs");
+    }
+}
+#[cfg(test)]
+mod synthetic_tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_spreads_speeds_geometrically() {
+        let t = Testbed::synthetic(4, 8, 1.5);
+        assert_eq!(t.num_clusters(), 4);
+        assert_eq!(t.capacities(), vec![8, 8, 8, 8]);
+        let s = t.flop_secs();
+        for i in 1..4 {
+            assert!((s[i] / s[i - 1] - 1.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn synthetic_builds_and_routes() {
+        let t = Testbed::synthetic(5, 2, 2.0);
+        let (mmps, nodes) = t.build(&[1, 1, 1, 1, 1], PlacementStrategy::ClusterContiguous);
+        assert_eq!(nodes.len(), 5);
+        let net = mmps.net_ref();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!(net.route_exists(nodes[i], nodes[j]));
+            }
+        }
+    }
+}

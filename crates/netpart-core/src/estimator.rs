@@ -1,0 +1,409 @@
+//! The per-cycle elapsed-time estimator: Equations 3–6 of the paper.
+//!
+//! For a candidate processor configuration `P = (P_1 … P_K)`:
+//!
+//! * **Eq. 3** computes the load-balanced PDU share `A_i` of each
+//!   processor in cluster `i`. For linear computational complexity the
+//!   closed form is `A_i = num_PDUs / (S_i · Σ_j P_j / S_j)` — the
+//!   derivation of the paper's (garbled as printed) equation that
+//!   reproduces its own worked example `A[Sparc2] = 2N/(2P_1 + P_2)`.
+//!   Non-linear complexity is balanced numerically by bisection (the
+//!   generalization the paper defers to \[6\]).
+//! * **Eq. 4** `T_comp[p_i] = S_i × complexity × A_i` — per-cycle compute
+//!   time (identical across clusters once balanced, up to rounding).
+//! * **Eq. 5** `T_comm` — the topology's cost function evaluated for the
+//!   configuration (Eq. 1/Eq. 2 via [`CommCostModel`]).
+//! * **Eq. 6** `T_c = T_comp + T_comm − T_overlap`, with
+//!   `T_overlap = min(T_comp, T_comm)` when the implementation overlaps
+//!   the dominant phases (STEN-2) and 0 otherwise (STEN-1).
+//!
+//! Every call to [`Estimator::t_c_ms`] is counted, so the `O(K·log₂P)`
+//! overhead claim of §5 can be verified empirically.
+
+use std::cell::Cell;
+
+use netpart_calibrate::CommCostModel;
+use netpart_model::{AppModel, PartitionVector};
+
+use crate::system::SystemModel;
+
+/// Detailed estimate for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcBreakdown {
+    /// Per-cluster PDU share of one processor (real-valued Eq. 3 result).
+    pub shares: Vec<f64>,
+    /// Per-cluster `T_comp` in ms (equal across clusters when balanced).
+    pub t_comp_ms: Vec<f64>,
+    /// `T_comm` in ms (Eq. 5 / Eq. 2).
+    pub t_comm_ms: f64,
+    /// `T_overlap` in ms.
+    pub t_overlap_ms: f64,
+    /// `T_c` in ms (Eq. 6).
+    pub t_c_ms: f64,
+}
+
+/// Evaluates Equations 3–6 for candidate configurations.
+pub struct Estimator<'a> {
+    system: &'a SystemModel,
+    cost: &'a dyn CommCostModel,
+    app: &'a AppModel,
+    evaluations: Cell<u64>,
+}
+
+impl<'a> Estimator<'a> {
+    /// Bind an estimator to a system, a cost model, and an application.
+    pub fn new(
+        system: &'a SystemModel,
+        cost: &'a dyn CommCostModel,
+        app: &'a AppModel,
+    ) -> Estimator<'a> {
+        Estimator {
+            system,
+            cost,
+            app,
+            evaluations: Cell::new(0),
+        }
+    }
+
+    /// The system model in use.
+    pub fn system(&self) -> &SystemModel {
+        self.system
+    }
+
+    /// The application model in use.
+    pub fn app(&self) -> &AppModel {
+        self.app
+    }
+
+    /// How many times `T_c` has been evaluated (the §5 overhead metric).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.get()
+    }
+
+    /// Reset the evaluation counter.
+    pub fn reset_evaluations(&self) {
+        self.evaluations.set(0);
+    }
+
+    /// Eq. 3: the real-valued per-processor PDU share of each cluster.
+    /// Clusters with `config[k] == 0` get share 0.
+    pub fn shares(&self, config: &[u32]) -> Vec<f64> {
+        let comp = self.app.dominant_comp();
+        let kind = comp.op_kind;
+        let num_pdus = self.app.num_pdus() as f64;
+        if comp.linear {
+            // Closed form: A_i = num_PDUs / (S_i · Σ_j P_j / S_j).
+            let denom: f64 = config
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| p as f64 / self.system.clusters[j].sec_per_op(kind))
+                .sum();
+            if denom <= 0.0 {
+                return vec![0.0; config.len()];
+            }
+            config
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    if p == 0 {
+                        0.0
+                    } else {
+                        num_pdus / (self.system.clusters[i].sec_per_op(kind) * denom)
+                    }
+                })
+                .collect()
+        } else {
+            self.balance_nonlinear(config)
+        }
+    }
+
+    /// Numerical load balance for non-linear complexity: find per-cluster
+    /// shares `a_i` with `Σ P_i·a_i = num_PDUs` and equal per-processor
+    /// compute times `S_i · ops(a_i)`. Outer bisection on the common time
+    /// `t`, inner bisection inverting the (monotone) `ops` callback.
+    fn balance_nonlinear(&self, config: &[u32]) -> Vec<f64> {
+        let comp = self.app.dominant_comp();
+        let kind = comp.op_kind;
+        let num_pdus = self.app.num_pdus() as f64;
+        let total_p: u32 = config.iter().sum();
+        if total_p == 0 {
+            return vec![0.0; config.len()];
+        }
+        // a_i(t): the share that makes cluster i's compute time equal t.
+        let share_for_time = |i: usize, t: f64| -> f64 {
+            let s = self.system.clusters[i].sec_per_op(kind);
+            let target_ops = t / s;
+            // Invert ops(a) = target_ops on [0, num_pdus] by bisection
+            // (ops is assumed monotone non-decreasing in a).
+            let (mut lo, mut hi) = (0.0f64, num_pdus);
+            if comp.ops(hi) <= target_ops {
+                return hi;
+            }
+            for _ in 0..64 {
+                let mid = 0.5 * (lo + hi);
+                if comp.ops(mid) <= target_ops {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+        let assigned = |t: f64| -> f64 {
+            config
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| p as f64 * share_for_time(i, t))
+                .sum()
+        };
+        // Outer bisection on t: assigned(t) is monotone increasing.
+        let s_max = config
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0)
+            .map(|(i, _)| self.system.clusters[i].sec_per_op(kind))
+            .fold(0.0f64, f64::max);
+        let (mut lo, mut hi) = (0.0f64, s_max * comp.ops(num_pdus) + 1e-12);
+        for _ in 0..96 {
+            let mid = 0.5 * (lo + hi);
+            if assigned(mid) < num_pdus {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = 0.5 * (lo + hi);
+        config
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if p == 0 { 0.0 } else { share_for_time(i, t) })
+            .collect()
+    }
+
+    /// Eqs. 3–6 for one configuration, fully broken down.
+    pub fn breakdown(&self, config: &[u32]) -> TcBreakdown {
+        self.evaluations.set(self.evaluations.get() + 1);
+        let comp = self.app.dominant_comp();
+        let comm = self.app.dominant_comm();
+        let kind = comp.op_kind;
+
+        let shares = self.shares(config);
+        // Eq. 4 per cluster (ms): S_i [ms/op] × ops(A_i).
+        let t_comp_ms: Vec<f64> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                if config[i] == 0 {
+                    0.0
+                } else {
+                    self.system.clusters[i].sec_per_op(kind) * 1.0e3 * comp.ops(a)
+                }
+            })
+            .collect();
+        let worst_comp = t_comp_ms.iter().copied().fold(0.0f64, f64::max);
+
+        // Eq. 5: message size may depend on the PDU share; conservatively
+        // use the largest active share (constant for the stencil's 4N).
+        let max_share = shares
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| config[*i] > 0)
+            .map(|(_, &a)| a)
+            .fold(0.0f64, f64::max);
+        let bytes = comm.bytes(max_share).max(0.0);
+        let t_comm_ms = self.cost.total_ms(config, comm.topology, bytes);
+
+        // Eq. 6.
+        let t_overlap_ms = if self.app.dominant_phases_overlap() {
+            worst_comp.min(t_comm_ms)
+        } else {
+            0.0
+        };
+        TcBreakdown {
+            shares,
+            t_comp_ms,
+            t_comm_ms,
+            t_overlap_ms,
+            t_c_ms: worst_comp + t_comm_ms - t_overlap_ms,
+        }
+    }
+
+    /// Eq. 6: the per-cycle elapsed-time estimate `T_c` in ms.
+    pub fn t_c_ms(&self, config: &[u32]) -> f64 {
+        self.breakdown(config).t_c_ms
+    }
+
+    /// The integral partition vector for a configuration: ranks laid out
+    /// cluster-contiguously in `order` (the cluster consideration order),
+    /// shares rounded by largest remainder so `Σ A_i = num_PDUs`.
+    pub fn partition_vector(&self, config: &[u32], order: &[usize]) -> PartitionVector {
+        let shares = self.shares(config);
+        let mut per_rank = Vec::new();
+        for &k in order {
+            for _ in 0..config[k] {
+                per_rank.push(shares[k]);
+            }
+        }
+        PartitionVector::from_real_shares(&per_rank, self.app.num_pdus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_calibrate::{PaperCostModel, Testbed};
+    use netpart_model::{CommPhase, CompPhase, OpKind};
+    use netpart_topology::Topology;
+
+    fn paper_system() -> SystemModel {
+        SystemModel::from_testbed(&Testbed::paper())
+    }
+
+    fn stencil(n: u64, overlap: bool) -> AppModel {
+        let comm = CommPhase::constant("border", Topology::OneD, 4.0 * n as f64);
+        let comm = if overlap {
+            comm.overlapping("update")
+        } else {
+            comm
+        };
+        AppModel::new("stencil", "row", n)
+            .with_comp(CompPhase::linear("update", 5.0 * n as f64, OpKind::Flop))
+            .with_comm(comm)
+    }
+
+    #[test]
+    fn eq3_matches_paper_worked_example() {
+        // §6: A[Sparc2] = 2N/(2P1+P2), A[IPC] = N/(2P1+P2).
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        for n in [300u64, 600, 1200] {
+            let app = stencil(n, false);
+            let est = Estimator::new(&sys, &cost, &app);
+            for (p1, p2) in [(6u32, 2u32), (6, 4), (6, 6), (4, 0)] {
+                let shares = est.shares(&[p1, p2]);
+                let denom = (2 * p1 + p2) as f64;
+                assert!(
+                    (shares[0] - 2.0 * n as f64 / denom).abs() < 1e-9,
+                    "Sparc2 share N={n} ({p1},{p2})"
+                );
+                if p2 > 0 {
+                    assert!((shares[1] - n as f64 / denom).abs() < 1e-9, "IPC share");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_a_values_for_n300_config_6_2() {
+        // Table 1, STEN-2, N=300, (P1,P2)=(6,2): A1=43, A2=21 after
+        // rounding (600/14 = 42.86, 300/14 = 21.43).
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app = stencil(300, true);
+        let est = Estimator::new(&sys, &cost, &app);
+        let v = est.partition_vector(&[6, 2], &[0, 1]);
+        assert_eq!(v.total(), 300);
+        for r in 0..6 {
+            assert!(
+                (42..=43).contains(&v.count(r)),
+                "Sparc2 rank {r}: {}",
+                v.count(r)
+            );
+        }
+        for r in 6..8 {
+            assert!(
+                (21..=22).contains(&v.count(r)),
+                "IPC rank {r}: {}",
+                v.count(r)
+            );
+        }
+    }
+
+    #[test]
+    fn eq4_compute_times_balance_across_clusters() {
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app = stencil(600, false);
+        let est = Estimator::new(&sys, &cost, &app);
+        let b = est.breakdown(&[6, 4]);
+        // §6: T_comp = 0.0003·(5·600)·(1200/16) = 67.5 ms on both clusters.
+        assert!((b.t_comp_ms[0] - 67.5).abs() < 1e-9, "{}", b.t_comp_ms[0]);
+        assert!((b.t_comp_ms[1] - 67.5).abs() < 1e-9, "{}", b.t_comp_ms[1]);
+    }
+
+    #[test]
+    fn eq6_sten1_vs_sten2() {
+        // STEN-1 adds comm; STEN-2 hides the smaller of the two.
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app1 = stencil(600, false);
+        let app2 = stencil(600, true);
+        let est1 = Estimator::new(&sys, &cost, &app1);
+        let est2 = Estimator::new(&sys, &cost, &app2);
+        let b1 = est1.breakdown(&[6, 0]);
+        let b2 = est2.breakdown(&[6, 0]);
+        assert_eq!(b1.t_overlap_ms, 0.0);
+        assert!((b1.t_c_ms - (90.0 + b1.t_comm_ms)).abs() < 1e-9);
+        assert!((b2.t_c_ms - 90.0f64.max(b2.t_comm_ms)).abs() < 1e-9);
+        assert!(b2.t_c_ms < b1.t_c_ms);
+    }
+
+    #[test]
+    fn single_processor_has_no_comm() {
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app = stencil(60, false);
+        let est = Estimator::new(&sys, &cost, &app);
+        let b = est.breakdown(&[1, 0]);
+        assert_eq!(b.t_comm_ms, 0.0);
+        // 0.0003 ms/op × 300 ops/row × 60 rows = 5.4 ms.
+        assert!((b.t_c_ms - 5.4).abs() < 1e-9, "{}", b.t_c_ms);
+    }
+
+    #[test]
+    fn evaluation_counter_counts() {
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app = stencil(300, false);
+        let est = Estimator::new(&sys, &cost, &app);
+        assert_eq!(est.evaluations(), 0);
+        let _ = est.t_c_ms(&[2, 0]);
+        let _ = est.t_c_ms(&[4, 0]);
+        assert_eq!(est.evaluations(), 2);
+        est.reset_evaluations();
+        assert_eq!(est.evaluations(), 0);
+    }
+
+    #[test]
+    fn nonlinear_balance_equalizes_times() {
+        // Quadratic complexity: slower cluster must get a smaller share
+        // than the linear rule would give.
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app = AppModel::new("quad", "row", 1000)
+            .with_comp(CompPhase::with_ops("q", OpKind::Flop, |a| a * a))
+            .with_comm(CommPhase::constant("c", Topology::OneD, 1000.0));
+        let est = Estimator::new(&sys, &cost, &app);
+        let config = [3u32, 3];
+        let shares = est.shares(&config);
+        // Conservation: Σ P_i a_i = num_PDUs.
+        let total = 3.0 * shares[0] + 3.0 * shares[1];
+        assert!((total - 1000.0).abs() < 0.01, "total {total}");
+        // Equal times: S1·a1² = S2·a2² → a1/a2 = sqrt(S2/S1) = sqrt(2).
+        let ratio = shares[0] / shares[1];
+        assert!((ratio - 2.0f64.sqrt()).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn partition_vector_respects_order() {
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app = stencil(300, false);
+        let est = Estimator::new(&sys, &cost, &app);
+        // Reversed consideration order puts IPC ranks first.
+        let v = est.partition_vector(&[6, 2], &[1, 0]);
+        assert_eq!(v.num_ranks(), 8);
+        assert!(v.count(0) < v.count(7), "IPC ranks lead and hold less");
+        assert_eq!(v.total(), 300);
+    }
+}

@@ -1,0 +1,181 @@
+//! Cluster managers and the available-processor protocol.
+//!
+//! Paper §3/§5: each cluster has a *cluster manager* that "monitors the
+//! load status of its processors and uses a simple threshold policy to
+//! determine if a processor is available"; before partitioning, "a
+//! cooperative algorithm is run by each cluster manager that determines
+//! the available processors".
+//!
+//! The protocol implemented here runs over the simulated network so its
+//! cost is measurable (the paper asserts it is "small relative to elapsed
+//! time"): each manager sends a probe datagram to every member; members
+//! answer with their current load; the manager counts members at or below
+//! the threshold. Managers run concurrently, one per cluster.
+
+use bytes::Bytes;
+
+use netpart_mmps::{Mmps, MmpsEvent};
+use netpart_sim::{NodeId, SimDur};
+
+/// The availability policy: a node whose external load is at or below the
+/// threshold counts as available (and, per the paper's simplification, as
+/// a full-speed processor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityPolicy {
+    /// Maximum external load for a node to be considered available.
+    pub threshold: f64,
+}
+
+impl Default for AvailabilityPolicy {
+    fn default() -> Self {
+        AvailabilityPolicy { threshold: 0.10 }
+    }
+}
+
+/// Result of one availability round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityReport {
+    /// Available processors per cluster (manager included).
+    pub available: Vec<u32>,
+    /// Which nodes were deemed available, per cluster.
+    pub nodes: Vec<Vec<NodeId>>,
+    /// Simulated time the cooperative protocol took.
+    pub protocol_time: SimDur,
+    /// Probe/reply messages exchanged.
+    pub messages: u64,
+}
+
+const PROBE_TAG: u64 = 1 << 40;
+const REPLY_TAG: u64 = 1 << 41;
+
+/// Run one round of the cooperative availability protocol.
+///
+/// `clusters[k]` lists cluster `k`'s nodes; the first node of each cluster
+/// acts as its manager (the shaded nodes of the paper's Fig. 1). Returns
+/// per-cluster available counts, measured on the simulated clock.
+pub fn determine_available(
+    mmps: &mut Mmps,
+    clusters: &[Vec<NodeId>],
+    policy: AvailabilityPolicy,
+) -> AvailabilityReport {
+    let start = mmps.now();
+    let mut available: Vec<Vec<NodeId>> = vec![Vec::new(); clusters.len()];
+    let mut outstanding = 0u64;
+    let mut messages = 0u64;
+
+    // Managers probe their members (themselves included, locally).
+    for (k, members) in clusters.iter().enumerate() {
+        let Some(&manager) = members.first() else {
+            continue;
+        };
+        let mgr_load = mmps.net_ref().node(manager).external_load;
+        if mgr_load <= policy.threshold {
+            available[k].push(manager);
+        }
+        for &member in &members[1..] {
+            mmps.send_message(manager, member, PROBE_TAG | k as u64, Bytes::new())
+                .expect("probe route");
+            outstanding += 1;
+            messages += 1;
+        }
+    }
+
+    // Pump: members answer probes with their load; managers tally replies.
+    while outstanding > 0 {
+        let Some(evt) = mmps.next_event() else {
+            break; // lost probes on a lossy net: count what we have
+        };
+        if let MmpsEvent::MessageDelivered { src, dst, tag, .. } = evt {
+            if tag & PROBE_TAG != 0 {
+                let k = tag & 0xFFFF_FFFF;
+                let load = mmps.net_ref().node(dst).external_load;
+                let quantized = (load * 255.0).round().clamp(0.0, 255.0) as u8;
+                mmps.send_message(dst, src, REPLY_TAG | (u64::from(quantized) << 16) | k, {
+                    Bytes::from(vec![quantized])
+                })
+                .expect("reply route");
+                messages += 1;
+            } else if tag & REPLY_TAG != 0 {
+                let k = (tag & 0xFFFF) as usize;
+                let quantized = ((tag >> 16) & 0xFF) as u8;
+                let load = quantized as f64 / 255.0;
+                if load <= policy.threshold + 0.5 / 255.0 {
+                    available[k].push(src);
+                }
+                outstanding -= 1;
+            }
+        }
+    }
+
+    AvailabilityReport {
+        available: available.iter().map(|v| v.len() as u32).collect(),
+        nodes: available,
+        protocol_time: mmps.now().since(start),
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_calibrate::Testbed;
+    use netpart_topology::PlacementStrategy;
+
+    fn full_testbed() -> (Mmps, Vec<Vec<NodeId>>) {
+        let tb = Testbed::paper();
+        let (mmps, _) = tb.build(&[0, 0], PlacementStrategy::ClusterContiguous);
+        // Collect physical cluster membership from the network itself.
+        let clusters = (0..2u16)
+            .map(|s| mmps.net_ref().nodes_on_segment(netpart_sim::SegmentId(s)))
+            .collect();
+        (mmps, clusters)
+    }
+
+    #[test]
+    fn all_idle_nodes_are_available() {
+        let (mut mmps, clusters) = full_testbed();
+        let r = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
+        assert_eq!(r.available, vec![6, 6]);
+        assert!(r.protocol_time.as_millis_f64() > 0.0);
+        // 5 probes + 5 replies per cluster.
+        assert_eq!(r.messages, 20);
+    }
+
+    #[test]
+    fn loaded_nodes_are_excluded() {
+        let (mut mmps, clusters) = full_testbed();
+        // Load two Sparc2 members and one IPC member above threshold.
+        let busy = [clusters[0][2], clusters[0][4], clusters[1][1]];
+        for &n in &busy {
+            mmps.net().set_external_load(n, 0.6);
+        }
+        // Load one node below threshold: still available.
+        mmps.net().set_external_load(clusters[1][2], 0.05);
+        let r = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
+        assert_eq!(r.available, vec![4, 5]);
+        for &n in &busy {
+            assert!(!r.nodes[0].contains(&n) && !r.nodes[1].contains(&n));
+        }
+    }
+
+    #[test]
+    fn busy_manager_counts_itself_out() {
+        let (mut mmps, clusters) = full_testbed();
+        mmps.net().set_external_load(clusters[0][0], 0.9);
+        let r = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
+        assert_eq!(r.available, vec![5, 6]);
+    }
+
+    #[test]
+    fn protocol_overhead_is_small() {
+        // §6: the availability overhead must be small relative to stencil
+        // elapsed times (hundreds to thousands of ms).
+        let (mut mmps, clusters) = full_testbed();
+        let r = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
+        assert!(
+            r.protocol_time.as_millis_f64() < 50.0,
+            "protocol took {} ms",
+            r.protocol_time.as_millis_f64()
+        );
+    }
+}

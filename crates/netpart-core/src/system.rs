@@ -1,0 +1,137 @@
+//! The partitioner's view of the heterogeneous network: clusters with
+//! instruction speeds and available processor counts.
+//!
+//! Mirrors the paper's cluster-manager state (§3): each cluster knows its
+//! *bandwidth*, its *processor nodes (total, available)*, and its
+//! *instruction speed (integer, floating point)*.
+
+use netpart_calibrate::Testbed;
+use netpart_model::OpKind;
+
+/// What the partitioner knows about one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInfo {
+    /// Human-readable cluster name ("Sparc2", "IPC").
+    pub name: String,
+    /// Seconds per floating point operation (`S_i`).
+    pub sec_per_flop: f64,
+    /// Seconds per integer operation.
+    pub sec_per_intop: f64,
+    /// Total processors in the cluster.
+    pub total: u32,
+    /// Processors currently below the availability threshold.
+    pub available: u32,
+}
+
+impl ClusterInfo {
+    /// `S_i` for the given instruction class, in seconds per operation.
+    pub fn sec_per_op(&self, kind: OpKind) -> f64 {
+        match kind {
+            OpKind::Flop => self.sec_per_flop,
+            OpKind::IntOp => self.sec_per_intop,
+        }
+    }
+}
+
+/// The hierarchical system model: one entry per cluster, in the same
+/// cluster-index order the cost model uses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SystemModel {
+    /// Clusters in index order.
+    pub clusters: Vec<ClusterInfo>,
+}
+
+impl SystemModel {
+    /// Build from a testbed description with every node available.
+    pub fn from_testbed(testbed: &Testbed) -> SystemModel {
+        SystemModel {
+            clusters: testbed
+                .clusters
+                .iter()
+                .map(|c| ClusterInfo {
+                    name: c.proc_type.name.clone(),
+                    sec_per_flop: c.proc_type.sec_per_flop,
+                    sec_per_intop: c.proc_type.sec_per_intop,
+                    total: c.nodes,
+                    available: c.nodes,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of clusters (`K`).
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total available processors (`P`).
+    pub fn total_available(&self) -> u32 {
+        self.clusters.iter().map(|c| c.available).sum()
+    }
+
+    /// Cluster indices ordered fastest-first by instruction rate for the
+    /// given class — the paper's cluster consideration order ("clusters
+    /// are considered in this order with more powerful clusters chosen
+    /// first").
+    pub fn speed_order(&self, kind: OpKind) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.clusters.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.clusters[a]
+                .sec_per_op(kind)
+                .partial_cmp(&self.clusters[b].sec_per_op(kind))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+
+    /// Restrict availability (e.g. after the cluster managers report).
+    pub fn with_available(mut self, available: &[u32]) -> SystemModel {
+        for (c, &a) in self.clusters.iter_mut().zip(available) {
+            c.available = a.min(c.total);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_system() -> SystemModel {
+        SystemModel::from_testbed(&Testbed::paper())
+    }
+
+    #[test]
+    fn testbed_conversion_carries_speeds() {
+        let s = paper_system();
+        assert_eq!(s.num_clusters(), 2);
+        assert_eq!(s.clusters[0].name, "Sparc2");
+        assert!((s.clusters[0].sec_per_flop - 0.3e-6).abs() < 1e-15);
+        assert!((s.clusters[1].sec_per_flop - 0.6e-6).abs() < 1e-15);
+        assert_eq!(s.total_available(), 12);
+    }
+
+    #[test]
+    fn speed_order_puts_sparc2_first() {
+        let s = paper_system();
+        assert_eq!(s.speed_order(OpKind::Flop), vec![0, 1]);
+        // Reversed system: order must follow speed, not index.
+        let mut rev = s.clone();
+        rev.clusters.swap(0, 1);
+        assert_eq!(rev.speed_order(OpKind::Flop), vec![1, 0]);
+    }
+
+    #[test]
+    fn with_available_clamps_to_total() {
+        let s = paper_system().with_available(&[3, 99]);
+        assert_eq!(s.clusters[0].available, 3);
+        assert_eq!(s.clusters[1].available, 6);
+        assert_eq!(s.total_available(), 9);
+    }
+
+    #[test]
+    fn metasystem_order_is_rs6000_hp_sparc() {
+        let s = SystemModel::from_testbed(&Testbed::metasystem());
+        assert_eq!(s.speed_order(OpKind::Flop), vec![0, 1, 2]);
+    }
+}

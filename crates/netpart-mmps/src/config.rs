@@ -1,0 +1,86 @@
+//! MMPS configuration knobs.
+
+use netpart_sim::SimDur;
+
+/// Tuning parameters of the reliable messaging layer.
+#[derive(Debug, Clone)]
+pub struct MmpsConfig {
+    /// Bytes of MMPS header prepended to every fragment on the wire
+    /// (message id, fragment index/count, user tag, total length).
+    pub header_bytes: u32,
+    /// Wire size of an acknowledgement datagram.
+    pub ack_bytes: u32,
+    /// Base retransmission timeout.
+    pub base_rto: SimDur,
+    /// Additional RTO per message byte (large messages take longer to
+    /// drain through a contended channel, so their timeout scales).
+    pub rto_per_byte: SimDur,
+    /// Give up after this many retransmissions and surface
+    /// [`MmpsEvent::MessageFailed`](crate::MmpsEvent::MessageFailed).
+    pub max_retries: u32,
+    /// Receiver-side data coercion cost per byte when the sender's and
+    /// receiver's data formats differ (paper `T_coerce`, a per-byte
+    /// penalty).
+    pub coerce_per_byte: SimDur,
+    /// Fixed per-message coercion cost when formats differ.
+    pub coerce_per_msg: SimDur,
+    /// Adapt the retransmission timeout to observed round-trip times
+    /// (Jacobson/Karels); the static size-scaled RTO remains the ceiling.
+    pub adaptive_rto: bool,
+    /// Floor for the adaptive RTO.
+    pub min_rto: SimDur,
+    /// Base spacing between fragments of a *retransmitted* message. The
+    /// original transmission bursts (that is what the paper's cost
+    /// functions measure), but retransmissions pace out — doubling with
+    /// each retry — so a congested or slow hop (e.g. an overflowing
+    /// router buffer) eventually sees fragments it can keep.
+    pub retx_fragment_spacing: SimDur,
+}
+
+impl Default for MmpsConfig {
+    fn default() -> Self {
+        MmpsConfig {
+            header_bytes: 32,
+            ack_bytes: 32,
+            base_rto: SimDur::from_millis(100),
+            rto_per_byte: SimDur::from_nanos(60_000), // 60 µs per byte
+            max_retries: 10,
+            coerce_per_byte: SimDur::from_nanos(250), // 0.25 µs per byte
+            coerce_per_msg: SimDur::from_micros(150),
+            adaptive_rto: true,
+            min_rto: SimDur::from_millis(5),
+            retx_fragment_spacing: SimDur::from_millis(2),
+        }
+    }
+}
+
+impl MmpsConfig {
+    /// Retransmission timeout for a message of `bytes` payload bytes.
+    pub fn rto_for(&self, bytes: u32) -> SimDur {
+        self.base_rto + SimDur::from_nanos(self.rto_per_byte.as_nanos() * bytes as u64)
+    }
+
+    /// RTO after `retries` unsuccessful attempts: exponential backoff,
+    /// capped at 64× the base value. Without backoff, a temporarily
+    /// congested channel turns spurious timeouts into a retransmission
+    /// spiral (every duplicate adds load, delaying acks further).
+    pub fn rto_backoff(&self, bytes: u32, retries: u32) -> SimDur {
+        let base = self.rto_for(bytes);
+        base.saturating_mul(1u64 << retries.min(6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rto_scales_with_size() {
+        let cfg = MmpsConfig::default();
+        let small = cfg.rto_for(100);
+        let big = cfg.rto_for(10_000);
+        assert!(big > small);
+        // 10 kB at 60 µs/byte adds 600 ms on top of the base.
+        assert_eq!(big.as_nanos() - cfg.base_rto.as_nanos(), 10_000 * 60_000);
+    }
+}

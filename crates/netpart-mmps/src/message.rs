@@ -1,0 +1,141 @@
+//! Message identities and fragmentation math.
+
+use netpart_sim::MAX_DATAGRAM_PAYLOAD;
+
+/// Identifier of an MMPS message, unique per service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub u64);
+
+/// Kinds of datagram the service puts on the wire, encoded in the upper
+/// bits of the simulator's datagram tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WireKind {
+    Data,
+    Ack,
+}
+
+const KIND_SHIFT: u32 = 62;
+const MSG_SHIFT: u32 = 20;
+const FRAG_MASK: u64 = (1 << MSG_SHIFT) - 1;
+const MSG_MASK: u64 = (1 << (KIND_SHIFT - MSG_SHIFT)) - 1;
+
+/// Pack (kind, message id, fragment index) into a datagram tag.
+pub(crate) fn pack_tag(kind: WireKind, msg: MsgId, frag: u32) -> u64 {
+    let k = match kind {
+        WireKind::Data => 1u64,
+        WireKind::Ack => 2u64,
+    };
+    debug_assert!(frag as u64 <= FRAG_MASK, "fragment index overflow");
+    (k << KIND_SHIFT) | ((msg.0 & MSG_MASK) << MSG_SHIFT) | (frag as u64 & FRAG_MASK)
+}
+
+/// Unpack a datagram tag.
+pub(crate) fn unpack_tag(tag: u64) -> Option<(WireKind, u64, u32)> {
+    let kind = match tag >> KIND_SHIFT {
+        1 => WireKind::Data,
+        2 => WireKind::Ack,
+        _ => return None,
+    };
+    Some((
+        kind,
+        (tag >> MSG_SHIFT) & MSG_MASK,
+        (tag & FRAG_MASK) as u32,
+    ))
+}
+
+/// Fragmentation plan for a message of `len` payload bytes with
+/// `header_bytes` of MMPS header per fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragPlan {
+    /// Payload bytes carried per full fragment.
+    pub per_frag: u32,
+    /// Number of fragments (≥ 1 even for empty messages).
+    pub n_frags: u32,
+    /// Total message payload bytes.
+    pub total: u32,
+}
+
+impl FragPlan {
+    /// Compute the plan.
+    pub fn new(len: u32, header_bytes: u32) -> FragPlan {
+        let per_frag = (MAX_DATAGRAM_PAYLOAD as u32)
+            .saturating_sub(header_bytes)
+            .max(1);
+        let n_frags = if len == 0 { 1 } else { len.div_ceil(per_frag) };
+        FragPlan {
+            per_frag,
+            n_frags,
+            total: len,
+        }
+    }
+
+    /// Payload byte range `[start, end)` of fragment `idx`.
+    pub fn range(&self, idx: u32) -> (u32, u32) {
+        let start = idx * self.per_frag;
+        let end = (start + self.per_frag).min(self.total);
+        (start.min(self.total), end)
+    }
+
+    /// Payload bytes in fragment `idx`.
+    pub fn frag_len(&self, idx: u32) -> u32 {
+        let (s, e) = self.range(idx);
+        e - s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trips() {
+        for (kind, msg, frag) in [
+            (WireKind::Data, 0u64, 0u32),
+            (WireKind::Ack, 12345, 0),
+            (WireKind::Data, (1 << 42) - 1, 1_000_000),
+        ] {
+            let tag = pack_tag(kind, MsgId(msg), frag);
+            let (k2, m2, f2) = unpack_tag(tag).unwrap();
+            assert_eq!(k2, kind);
+            assert_eq!(m2, msg & MSG_MASK);
+            assert_eq!(f2, frag);
+        }
+        assert_eq!(unpack_tag(0), None);
+        assert_eq!(unpack_tag(3 << KIND_SHIFT), None);
+    }
+
+    #[test]
+    fn frag_plan_covers_message_exactly() {
+        let plan = FragPlan::new(10_000, 32);
+        assert_eq!(plan.per_frag, 1440);
+        assert_eq!(plan.n_frags, 7);
+        let mut covered = 0;
+        for i in 0..plan.n_frags {
+            covered += plan.frag_len(i);
+        }
+        assert_eq!(covered, 10_000);
+        // last fragment is the remainder
+        assert_eq!(plan.frag_len(6), 10_000 - 6 * 1440);
+    }
+
+    #[test]
+    fn empty_message_is_one_fragment() {
+        let plan = FragPlan::new(0, 32);
+        assert_eq!(plan.n_frags, 1);
+        assert_eq!(plan.frag_len(0), 0);
+    }
+
+    #[test]
+    fn single_byte_message() {
+        let plan = FragPlan::new(1, 32);
+        assert_eq!(plan.n_frags, 1);
+        assert_eq!(plan.frag_len(0), 1);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_empty_tail() {
+        let plan = FragPlan::new(1440 * 3, 32);
+        assert_eq!(plan.n_frags, 3);
+        assert_eq!(plan.frag_len(2), 1440);
+    }
+}

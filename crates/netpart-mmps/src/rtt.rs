@@ -1,0 +1,128 @@
+//! Adaptive retransmission timeout (Jacobson/Karels).
+//!
+//! The static size-scaled RTO in [`MmpsConfig`](crate::MmpsConfig) is a
+//! safe ceiling, but under sustained contention the queueing delay can be
+//! far below (or occasionally above) it. This estimator tracks the
+//! smoothed round-trip time and its variation per destination and yields
+//! `srtt + 4·rttvar`, clamped between the configured floor and ceiling —
+//! the classic TCP formula, which both cuts recovery latency after real
+//! loss and avoids the spurious-retransmission spiral on a loaded channel.
+//!
+//! Karn's rule applies: samples from retransmitted messages are discarded
+//! (the ack cannot be attributed to a specific transmission).
+
+use netpart_sim::SimDur;
+
+const ALPHA: f64 = 1.0 / 8.0; // srtt gain
+const BETA: f64 = 1.0 / 4.0; // rttvar gain
+
+/// Per-destination RTT estimator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RttEstimator {
+    /// Smoothed RTT in seconds (0 = no sample yet).
+    srtt: f64,
+    /// RTT variation in seconds.
+    rttvar: f64,
+    /// Samples folded in.
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// Fold in one round-trip sample (send → ack).
+    pub fn observe(&mut self, rtt: SimDur) {
+        let r = rtt.as_secs_f64();
+        if self.samples == 0 {
+            self.srtt = r;
+            self.rttvar = r / 2.0;
+        } else {
+            self.rttvar = (1.0 - BETA) * self.rttvar + BETA * (self.srtt - r).abs();
+            self.srtt = (1.0 - ALPHA) * self.srtt + ALPHA * r;
+        }
+        self.samples += 1;
+    }
+
+    /// Number of samples folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Current smoothed RTT, if any samples exist.
+    pub fn srtt(&self) -> Option<SimDur> {
+        (self.samples > 0).then(|| SimDur::from_secs_f64(self.srtt))
+    }
+
+    /// The adaptive timeout `srtt + 4·rttvar`, clamped to
+    /// `[floor, ceiling]`; `ceiling` when no samples exist yet.
+    pub fn rto(&self, floor: SimDur, ceiling: SimDur) -> SimDur {
+        if self.samples == 0 {
+            return ceiling;
+        }
+        let raw = SimDur::from_secs_f64(self.srtt + 4.0 * self.rttvar);
+        raw.max(floor).min(ceiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.srtt(), None);
+        e.observe(SimDur::from_millis(10));
+        assert_eq!(e.samples(), 1);
+        let srtt = e.srtt().unwrap();
+        assert_eq!(srtt, SimDur::from_millis(10));
+        // rto = 10 + 4·5 = 30 ms
+        let rto = e.rto(SimDur::from_millis(1), SimDur::from_millis(1000));
+        assert_eq!(rto, SimDur::from_millis(30));
+    }
+
+    #[test]
+    fn converges_on_stable_rtt() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.observe(SimDur::from_millis(20));
+        }
+        let srtt = e.srtt().unwrap().as_millis_f64();
+        assert!((srtt - 20.0).abs() < 0.01);
+        // Variation decays toward zero, so rto approaches srtt + floor.
+        let rto = e.rto(SimDur::from_millis(1), SimDur::from_millis(1000));
+        assert!(rto.as_millis_f64() < 25.0, "{rto}");
+    }
+
+    #[test]
+    fn spikes_raise_variation() {
+        let mut e = RttEstimator::default();
+        for _ in 0..20 {
+            e.observe(SimDur::from_millis(10));
+        }
+        let calm = e.rto(SimDur::from_millis(1), SimDur::from_millis(10_000));
+        e.observe(SimDur::from_millis(200));
+        let spiked = e.rto(SimDur::from_millis(1), SimDur::from_millis(10_000));
+        assert!(spiked > calm, "{spiked} vs {calm}");
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        let mut e = RttEstimator::default();
+        e.observe(SimDur::from_micros(1));
+        assert_eq!(
+            e.rto(SimDur::from_millis(5), SimDur::from_millis(100)),
+            SimDur::from_millis(5)
+        );
+        let mut e = RttEstimator::default();
+        e.observe(SimDur::from_millis(5_000));
+        assert_eq!(
+            e.rto(SimDur::from_millis(5), SimDur::from_millis(100)),
+            SimDur::from_millis(100)
+        );
+        // No samples → ceiling.
+        let e = RttEstimator::default();
+        assert_eq!(
+            e.rto(SimDur::from_millis(5), SimDur::from_millis(100)),
+            SimDur::from_millis(100)
+        );
+    }
+}

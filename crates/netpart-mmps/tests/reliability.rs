@@ -1,0 +1,314 @@
+//! Reliability tests: fragmentation round-trips, loss recovery, coercion,
+//! and give-up behaviour.
+
+use bytes::Bytes;
+use netpart_mmps::{Mmps, MmpsConfig, MmpsEvent};
+use netpart_sim::{NetworkBuilder, NodeId, ProcType, SegmentSpec, SimDur};
+
+fn pair_net(loss: f64, seed: u64) -> (Mmps, NodeId, NodeId) {
+    let mut b = NetworkBuilder::new(seed);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec {
+        loss_probability: loss,
+        ..SegmentSpec::ethernet_10mbps()
+    });
+    let a = b.add_node(pt, seg);
+    let c = b.add_node(pt, seg);
+    (Mmps::with_defaults(b.build().unwrap()), a, c)
+}
+
+fn drain_until_delivery(mmps: &mut Mmps) -> Option<(u64, Bytes, u32)> {
+    while let Some(evt) = mmps.next_event() {
+        if let MmpsEvent::MessageDelivered {
+            tag, payload, len, ..
+        } = evt
+        {
+            return Some((tag, payload, len));
+        }
+    }
+    None
+}
+
+#[test]
+fn large_message_round_trips_intact() {
+    let (mut mmps, a, c) = pair_net(0.0, 1);
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i * 31 % 251) as u8).collect();
+    mmps.send_message(a, c, 5, Bytes::from(data.clone()))
+        .unwrap();
+    let (tag, payload, len) = drain_until_delivery(&mut mmps).expect("delivered");
+    assert_eq!(tag, 5);
+    assert_eq!(len, 20_000);
+    assert_eq!(&payload[..], &data[..]);
+    // 20 kB / 1440 B per fragment = 14 fragments.
+    assert!(mmps.net_ref().datagrams_delivered() >= 14);
+}
+
+#[test]
+fn sender_learns_of_ack() {
+    let (mut mmps, a, c) = pair_net(0.0, 1);
+    let msg = mmps
+        .send_message(a, c, 9, Bytes::from_static(b"hi"))
+        .unwrap();
+    let mut acked = false;
+    let mut delivered = false;
+    while let Some(evt) = mmps.next_event() {
+        match evt {
+            MmpsEvent::MessageAcked { msg: m, src, .. } => {
+                assert_eq!(m, msg);
+                assert_eq!(src, a);
+                acked = true;
+            }
+            MmpsEvent::MessageDelivered { .. } => delivered = true,
+            _ => {}
+        }
+    }
+    assert!(acked && delivered);
+    let st = mmps.stats();
+    assert_eq!(st.messages_sent, 1);
+    assert_eq!(st.messages_delivered, 1);
+    assert_eq!(st.messages_acked, 1);
+    assert_eq!(st.retransmissions, 0);
+}
+
+#[test]
+fn loss_is_recovered_by_retransmission() {
+    // 20% frame loss: most multi-fragment messages lose something, yet all
+    // 30 messages must arrive intact.
+    let (mut mmps, a, c) = pair_net(0.20, 17);
+    let data: Vec<u8> = (0..6000u32).map(|i| (i % 256) as u8).collect();
+    for k in 0..30u64 {
+        mmps.send_message(a, c, k, Bytes::from(data.clone()))
+            .unwrap();
+    }
+    let mut tags = Vec::new();
+    while let Some(evt) = mmps.next_event() {
+        if let MmpsEvent::MessageDelivered { tag, payload, .. } = evt {
+            assert_eq!(&payload[..], &data[..], "payload corrupted for tag {tag}");
+            tags.push(tag);
+        }
+    }
+    tags.sort();
+    assert_eq!(
+        tags,
+        (0..30).collect::<Vec<_>>(),
+        "all messages must arrive"
+    );
+    let st = mmps.stats();
+    assert!(st.retransmissions > 0, "20% loss must trigger retransmits");
+    assert_eq!(st.messages_failed, 0);
+}
+
+#[test]
+fn hopeless_link_eventually_fails() {
+    let cfg = MmpsConfig {
+        max_retries: 3,
+        base_rto: SimDur::from_millis(10),
+        ..MmpsConfig::default()
+    };
+    let mut b = NetworkBuilder::new(23);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec {
+        loss_probability: 0.999,
+        ..SegmentSpec::ethernet_10mbps()
+    });
+    let a = b.add_node(pt, seg);
+    let c = b.add_node(pt, seg);
+    let mut mmps = Mmps::new(b.build().unwrap(), cfg);
+    mmps.send_message(a, c, 0, Bytes::from(vec![0u8; 4000]))
+        .unwrap();
+    let mut failed = false;
+    while let Some(evt) = mmps.next_event() {
+        if let MmpsEvent::MessageFailed { src, dst, .. } = evt {
+            assert_eq!((src, dst), (a, c));
+            failed = true;
+        }
+    }
+    assert!(failed, "a 99.9% lossy link must exhaust retries");
+    assert_eq!(mmps.stats().messages_failed, 1);
+}
+
+#[test]
+fn coercion_delays_cross_format_delivery() {
+    // Same payload to a same-format peer and a different-format peer; the
+    // cross-format one must arrive later by at least the per-byte cost.
+    let build = |with_coercion: bool| -> f64 {
+        let mut b = NetworkBuilder::new(5);
+        let sparc = b.add_proc_type(ProcType::sparcstation_2());
+        let mut other = ProcType::sparcstation_2();
+        if with_coercion {
+            other.data_format = 9; // different wire format
+        }
+        let other = b.add_proc_type(other);
+        let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
+        let a = b.add_node(sparc, seg);
+        let c = b.add_node(other, seg);
+        let mut mmps = Mmps::with_defaults(b.build().unwrap());
+        mmps.send_message(a, c, 0, Bytes::from(vec![1u8; 8000]))
+            .unwrap();
+        let mut at_ms = 0.0;
+        while let Some(evt) = mmps.next_event() {
+            if let MmpsEvent::MessageDelivered { at, .. } = evt {
+                at_ms = at.as_millis_f64();
+            }
+        }
+        at_ms
+    };
+    let plain = build(false);
+    let coerced = build(true);
+    // 8000 bytes at 0.25 µs/byte = 2 ms plus the per-message constant.
+    assert!(
+        coerced - plain > 2.0,
+        "coercion should add > 2 ms: {coerced} vs {plain}"
+    );
+}
+
+#[test]
+fn dummy_messages_time_like_real_ones() {
+    let delivery_ms = |mmps: &mut Mmps| -> f64 {
+        while let Some(evt) = mmps.next_event() {
+            if let MmpsEvent::MessageDelivered { at, .. } = evt {
+                return at.as_millis_f64();
+            }
+        }
+        panic!("no delivery");
+    };
+
+    let (mut mmps, a, c) = pair_net(0.0, 1);
+    mmps.send_message_dummy(a, c, 1, 10_000).unwrap();
+    let t_dummy = delivery_ms(&mut mmps);
+
+    let (mut mmps2, a2, c2) = pair_net(0.0, 1);
+    mmps2
+        .send_message(a2, c2, 1, Bytes::from(vec![0u8; 10_000]))
+        .unwrap();
+    let t_real = delivery_ms(&mut mmps2);
+    assert!(
+        (t_dummy - t_real).abs() < t_real * 0.01 + 0.01,
+        "dummy {t_dummy} ms vs real {t_real} ms"
+    );
+}
+
+#[test]
+fn loopback_send_delivers_locally() {
+    let (mut mmps, a, _c) = pair_net(0.0, 1);
+    mmps.send_message(a, a, 77, Bytes::from_static(b"self"))
+        .unwrap();
+    let (tag, payload, _) = drain_until_delivery(&mut mmps).expect("delivered");
+    assert_eq!(tag, 77);
+    assert_eq!(&payload[..], b"self");
+    // No frames should have touched the wire.
+    assert_eq!(mmps.net_ref().datagrams_delivered(), 0);
+}
+
+#[test]
+fn interleaved_messages_do_not_cross_payloads() {
+    let (mut mmps, a, c) = pair_net(0.0, 1);
+    // Two senders' worth of traffic interleaved from both directions.
+    let d1: Vec<u8> = vec![0xAA; 7000];
+    let d2: Vec<u8> = vec![0xBB; 7000];
+    mmps.send_message(a, c, 1, Bytes::from(d1.clone())).unwrap();
+    mmps.send_message(c, a, 2, Bytes::from(d2.clone())).unwrap();
+    let mut seen = 0;
+    while let Some(evt) = mmps.next_event() {
+        if let MmpsEvent::MessageDelivered { tag, payload, .. } = evt {
+            match tag {
+                1 => assert_eq!(&payload[..], &d1[..]),
+                2 => assert_eq!(&payload[..], &d2[..]),
+                _ => panic!("unknown tag"),
+            }
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 2);
+}
+
+#[test]
+fn adaptive_rto_learns_the_round_trip() {
+    // After a few exchanges the sender's smoothed RTT reflects the actual
+    // delivery+ack latency, and recovery from a loss is much faster than
+    // the static ceiling would allow.
+    let (mut mmps, a, c) = pair_net(0.0, 3);
+    for k in 0..5u64 {
+        mmps.send_message(a, c, k, Bytes::from(vec![0u8; 2000]))
+            .unwrap();
+        while let Some(evt) = mmps.next_event() {
+            if matches!(evt, MmpsEvent::MessageAcked { .. }) {
+                break;
+            }
+        }
+    }
+    let srtt = mmps.smoothed_rtt(a, c).expect("samples exist");
+    // A 2 kB message on an idle 10 Mbit/s segment: a few ms round trip.
+    assert!(
+        srtt.as_millis_f64() > 0.5 && srtt.as_millis_f64() < 20.0,
+        "srtt {srtt}"
+    );
+
+    // Now lose everything once: with the learned RTO the retransmission
+    // fires well before the static ceiling (100 ms + 60 µs/B ≈ 220 ms).
+    mmps.net()
+        .set_loss_probability(netpart_sim::SegmentId(0), 0.999);
+    let sent_at = mmps.now();
+    mmps.send_message(a, c, 99, Bytes::from(vec![0u8; 2000]))
+        .unwrap();
+    // Heal the link after 30 ms via a user timer (loss drops surface no
+    // events, so healing must ride the event loop itself).
+    mmps.set_timer(SimDur::from_millis(30), 7, 0);
+    let mut delivered_at = None;
+    while let Some(evt) = mmps.next_event() {
+        match evt {
+            MmpsEvent::TimerFired { owner: 7, .. } => {
+                mmps.net()
+                    .set_loss_probability(netpart_sim::SegmentId(0), 0.0);
+            }
+            MmpsEvent::MessageDelivered { at, tag: 99, .. } => {
+                delivered_at = Some(at);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let at = delivered_at.expect("recovered after healing");
+    let recovery = at.since(sent_at).as_millis_f64();
+    assert!(
+        recovery < 150.0,
+        "adaptive RTO should recover in tens of ms, took {recovery}"
+    );
+    assert!(mmps.stats().retransmissions > 0);
+}
+
+#[test]
+fn router_overflow_is_recovered_by_retransmission() {
+    // A router with a tiny buffer drops burst traffic; the reliability
+    // layer must still complete every message.
+    let mut b = NetworkBuilder::new(41);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let s1 = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let s2 = b.add_segment(SegmentSpec::ethernet_10mbps());
+    b.add_router(netpart_sim::RouterSpec {
+        segments: vec![s1, s2],
+        per_frame: SimDur::from_micros(120),
+        per_byte_sec: 5.0e-6, // slower than the ingress wire: queue builds
+        buffer_frames: 2,     // absurdly small: bursts overflow
+    });
+    let a = b.add_node(pt, s1);
+    let c = b.add_node(pt, s2);
+    let mut mmps = Mmps::with_defaults(b.build().unwrap());
+    let data: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+    for k in 0..6u64 {
+        mmps.send_message(a, c, k, Bytes::from(data.clone()))
+            .unwrap();
+    }
+    let mut delivered = std::collections::HashSet::new();
+    while let Some(evt) = mmps.next_event() {
+        if let MmpsEvent::MessageDelivered { tag, payload, .. } = evt {
+            assert_eq!(&payload[..], &data[..]);
+            delivered.insert(tag);
+        }
+    }
+    assert_eq!(delivered.len(), 6, "all messages must survive the overflow");
+    assert!(
+        mmps.stats().datagrams_dropped > 0,
+        "the tiny buffer must actually have dropped frames"
+    );
+}

@@ -1,0 +1,222 @@
+//! Deriving annotations from a structured kernel description.
+//!
+//! The paper's annotations are hand-written callbacks, with §7 noting "we
+//! are exploring the possibility of compiler-generated callbacks". This
+//! module is that possibility, realized for the class of kernels the
+//! partitioning model covers: a compiler front-end (or a careful human)
+//! describes the per-iteration structure of an SPMD kernel as a
+//! [`KernelSpec`] — per-PDU work statements and communication statements
+//! — and [`derive_model`] lowers it to the [`AppModel`] the partitioner
+//! consumes, selecting the dominant phases exactly as §4 prescribes.
+//!
+//! The point is discipline, not magic: everything a compiler can know
+//! statically (loop bounds per PDU, border widths, reduction widths) maps
+//! mechanically; anything data-dependent must be summarized as an average,
+//! which is precisely the accuracy limit the Gaussian elimination
+//! experiment exhibits.
+
+use netpart_topology::Topology;
+
+use crate::model::AppModel;
+use crate::phase::{CommPhase, CompPhase, OpKind};
+
+/// Message-size expression a compiler can emit: either a constant or
+/// proportional to the task's PDU count (e.g. column-block borders).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BytesExpr {
+    /// A fixed number of bytes per message (the stencil's `4N`).
+    Const(f64),
+    /// `k` bytes per held PDU (e.g. 8 bytes per owned row).
+    PerPdu(f64),
+}
+
+impl BytesExpr {
+    fn lower(self) -> impl Fn(f64) -> f64 + Send + Sync + 'static {
+        move |a: f64| match self {
+            BytesExpr::Const(b) => b,
+            BytesExpr::PerPdu(k) => k * a,
+        }
+    }
+}
+
+/// One statement of the kernel's per-iteration body.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A loop over owned PDUs performing `ops_per_pdu` operations each —
+    /// lowered to a linear computation phase.
+    ForEachPdu {
+        /// Phase name.
+        name: String,
+        /// Operations per PDU per iteration.
+        ops_per_pdu: f64,
+        /// Instruction class.
+        kind: OpKind,
+    },
+    /// A neighbor exchange over a topology — lowered to a communication
+    /// phase, optionally overlapped with a named computation statement.
+    Exchange {
+        /// Phase name.
+        name: String,
+        /// Communication pattern.
+        topology: Topology,
+        /// Bytes per message.
+        bytes: BytesExpr,
+        /// Name of the `ForEachPdu` statement this overlaps with.
+        overlap_with: Option<String>,
+    },
+    /// A global reduction (tree pattern) of `bytes` per hop.
+    Reduce {
+        /// Phase name.
+        name: String,
+        /// Bytes per reduction message.
+        bytes: f64,
+    },
+    /// A one-to-all broadcast of `bytes` per message.
+    Broadcast {
+        /// Phase name.
+        name: String,
+        /// Bytes per broadcast message.
+        bytes: BytesExpr,
+    },
+}
+
+/// A whole kernel: what a compiler front-end would emit for one
+/// data-parallel loop nest.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Kernel name.
+    pub name: String,
+    /// What one PDU is, for humans.
+    pub pdu_kind: String,
+    /// Total PDUs (`num_PDUs`).
+    pub num_pdus: u64,
+    /// Per-iteration body in program order.
+    pub body: Vec<Stmt>,
+}
+
+impl KernelSpec {
+    /// Start a kernel description.
+    pub fn new(name: &str, pdu_kind: &str, num_pdus: u64) -> KernelSpec {
+        KernelSpec {
+            name: name.to_owned(),
+            pdu_kind: pdu_kind.to_owned(),
+            num_pdus,
+            body: Vec::new(),
+        }
+    }
+
+    /// Append a statement.
+    pub fn stmt(mut self, s: Stmt) -> KernelSpec {
+        self.body.push(s);
+        self
+    }
+}
+
+/// Lower a kernel description to the partitioner's application model —
+/// the "compiler-generated callbacks" of §7.
+pub fn derive_model(spec: &KernelSpec) -> AppModel {
+    let mut model = AppModel::new(&spec.name, &spec.pdu_kind, spec.num_pdus);
+    for stmt in &spec.body {
+        match stmt {
+            Stmt::ForEachPdu {
+                name,
+                ops_per_pdu,
+                kind,
+            } => {
+                model = model.with_comp(CompPhase::linear(name, *ops_per_pdu, *kind));
+            }
+            Stmt::Exchange {
+                name,
+                topology,
+                bytes,
+                overlap_with,
+            } => {
+                let mut phase = CommPhase::with_bytes(name, *topology, bytes.lower());
+                if let Some(target) = overlap_with {
+                    phase = phase.overlapping(target);
+                }
+                model = model.with_comm(phase);
+            }
+            Stmt::Reduce { name, bytes } => {
+                model = model.with_comm(CommPhase::constant(name, Topology::Tree, *bytes));
+            }
+            Stmt::Broadcast { name, bytes } => {
+                model = model.with_comm(CommPhase::with_bytes(
+                    name,
+                    Topology::Broadcast,
+                    bytes.lower(),
+                ));
+            }
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §4 stencil annotations, derived instead of hand-written.
+    fn stencil_spec(n: u64, overlap: bool) -> KernelSpec {
+        KernelSpec::new("five-point stencil", "grid row", n)
+            .stmt(Stmt::Exchange {
+                name: "border exchange".into(),
+                topology: Topology::OneD,
+                bytes: BytesExpr::Const(4.0 * n as f64),
+                overlap_with: overlap.then(|| "grid update".to_owned()),
+            })
+            .stmt(Stmt::ForEachPdu {
+                name: "grid update".into(),
+                ops_per_pdu: 5.0 * n as f64,
+                kind: OpKind::Flop,
+            })
+    }
+
+    #[test]
+    fn derives_the_paper_stencil_annotations() {
+        let m = derive_model(&stencil_spec(600, false));
+        assert_eq!(m.num_pdus(), 600);
+        assert_eq!(m.dominant_comp().name, "grid update");
+        assert_eq!(m.dominant_comp().ops(1.0), 3000.0);
+        assert_eq!(m.dominant_comm().topology, Topology::OneD);
+        assert_eq!(m.dominant_comm().bytes(75.0), 2400.0);
+        assert!(!m.dominant_phases_overlap());
+        assert!(derive_model(&stencil_spec(600, true)).dominant_phases_overlap());
+    }
+
+    #[test]
+    fn derives_gauss_like_kernel() {
+        let n = 256u64;
+        let spec = KernelSpec::new("gaussian elimination", "matrix row", n)
+            .stmt(Stmt::ForEachPdu {
+                name: "eliminate".into(),
+                ops_per_pdu: n as f64, // average over steps
+                kind: OpKind::Flop,
+            })
+            .stmt(Stmt::Reduce {
+                name: "pivot select".into(),
+                bytes: 16.0,
+            })
+            .stmt(Stmt::Broadcast {
+                name: "pivot row".into(),
+                bytes: BytesExpr::Const(4.0 * (n as f64 + 2.0)),
+            });
+        let m = derive_model(&spec);
+        assert_eq!(m.dominant_comm().name, "pivot row");
+        assert_eq!(m.dominant_comm().topology, Topology::Broadcast);
+        assert_eq!(m.comm_phases().len(), 2);
+    }
+
+    #[test]
+    fn per_pdu_bytes_lower_correctly() {
+        let spec = KernelSpec::new("columns", "column", 100).stmt(Stmt::Exchange {
+            name: "col borders".into(),
+            topology: Topology::Ring,
+            bytes: BytesExpr::PerPdu(8.0),
+            overlap_with: None,
+        });
+        let m = derive_model(&spec).with_comp(CompPhase::linear("w", 1.0, OpKind::Flop));
+        assert_eq!(m.dominant_comm().bytes(25.0), 200.0);
+        assert_eq!(m.dominant_comm().bytes(50.0), 400.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The application model: phases plus global annotations.
+
+use std::fmt;
+
+use crate::phase::{CommPhase, CompPhase};
+
+/// Everything the partitioning algorithm knows about an application: its
+/// PDU decomposition and its annotated phases. Built by the application
+/// author (or, in the paper's future work, a compiler).
+#[derive(Clone)]
+pub struct AppModel {
+    name: String,
+    pdu_kind: String,
+    num_pdus: u64,
+    comp_phases: Vec<CompPhase>,
+    comm_phases: Vec<CommPhase>,
+}
+
+impl AppModel {
+    /// Start a model: `pdu_kind` documents what one PDU is ("grid row",
+    /// "matrix row", "particle cell"), `num_pdus` is the `num_PDUs`
+    /// annotation.
+    pub fn new(name: &str, pdu_kind: &str, num_pdus: u64) -> AppModel {
+        AppModel {
+            name: name.to_owned(),
+            pdu_kind: pdu_kind.to_owned(),
+            num_pdus,
+            comp_phases: Vec::new(),
+            comm_phases: Vec::new(),
+        }
+    }
+
+    /// Add a computation phase.
+    pub fn with_comp(mut self, phase: CompPhase) -> AppModel {
+        self.comp_phases.push(phase);
+        self
+    }
+
+    /// Add a communication phase.
+    pub fn with_comm(mut self, phase: CommPhase) -> AppModel {
+        self.comm_phases.push(phase);
+        self
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What one PDU is, for humans.
+    pub fn pdu_kind(&self) -> &str {
+        &self.pdu_kind
+    }
+
+    /// The `num_PDUs` annotation.
+    pub fn num_pdus(&self) -> u64 {
+        self.num_pdus
+    }
+
+    /// All computation phases in program order.
+    pub fn comp_phases(&self) -> &[CompPhase] {
+        &self.comp_phases
+    }
+
+    /// All communication phases in program order.
+    pub fn comm_phases(&self) -> &[CommPhase] {
+        &self.comm_phases
+    }
+
+    /// The *dominant* computation phase: largest computational complexity,
+    /// evaluated at the full problem (`a_i = num_PDUs`). Panics if the
+    /// model has no computation phases — the partitioner requires one.
+    pub fn dominant_comp(&self) -> &CompPhase {
+        let a = self.num_pdus as f64;
+        self.comp_phases
+            .iter()
+            .max_by(|x, y| {
+                x.ops(a)
+                    .partial_cmp(&y.ops(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("model has no computation phases")
+    }
+
+    /// The *dominant* communication phase: largest communication
+    /// complexity at the full problem. Panics if there is none.
+    pub fn dominant_comm(&self) -> &CommPhase {
+        let a = self.num_pdus as f64;
+        self.comm_phases
+            .iter()
+            .max_by(|x, y| {
+                x.bytes(a)
+                    .partial_cmp(&y.bytes(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("model has no communication phases")
+    }
+
+    /// Whether the dominant communication phase overlaps the dominant
+    /// computation phase (STEN-2's structure). The estimator then uses
+    /// `T_overlap = min(T_comp, T_comm)`.
+    pub fn dominant_phases_overlap(&self) -> bool {
+        match (&self.dominant_comm().overlap, self.comp_phases.is_empty()) {
+            (Some(target), false) => target == &self.dominant_comp().name,
+            _ => false,
+        }
+    }
+
+    /// Look up a computation phase by name.
+    pub fn comp_phase(&self, name: &str) -> Option<&CompPhase> {
+        self.comp_phases.iter().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Debug for AppModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppModel")
+            .field("name", &self.name)
+            .field("pdu_kind", &self.pdu_kind)
+            .field("num_pdus", &self.num_pdus)
+            .field("comp_phases", &self.comp_phases)
+            .field("comm_phases", &self.comm_phases)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::OpKind;
+    use netpart_topology::Topology;
+
+    fn sten(n: u64, overlapped: bool) -> AppModel {
+        let comm = CommPhase::constant("border", Topology::OneD, 4.0 * n as f64);
+        let comm = if overlapped {
+            comm.overlapping("update")
+        } else {
+            comm
+        };
+        AppModel::new("stencil", "row", n)
+            .with_comp(CompPhase::linear("update", 5.0 * n as f64, OpKind::Flop))
+            .with_comm(comm)
+    }
+
+    #[test]
+    fn dominant_selection_picks_largest() {
+        let m = sten(100, false)
+            .with_comp(CompPhase::linear("bookkeeping", 2.0, OpKind::IntOp))
+            .with_comm(CommPhase::constant("tiny sync", Topology::Tree, 8.0));
+        assert_eq!(m.dominant_comp().name, "update");
+        assert_eq!(m.dominant_comm().name, "border");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        assert!(!sten(100, false).dominant_phases_overlap());
+        assert!(sten(100, true).dominant_phases_overlap());
+    }
+
+    #[test]
+    fn overlap_with_non_dominant_comp_does_not_count() {
+        let m = AppModel::new("x", "row", 10)
+            .with_comp(CompPhase::linear("big", 1000.0, OpKind::Flop))
+            .with_comp(CompPhase::linear("small", 1.0, OpKind::Flop))
+            .with_comm(CommPhase::constant("c", Topology::OneD, 64.0).overlapping("small"));
+        assert!(!m.dominant_phases_overlap());
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let m = sten(50, false);
+        assert!(m.comp_phase("update").is_some());
+        assert!(m.comp_phase("nope").is_none());
+        assert_eq!(m.num_pdus(), 50);
+        assert_eq!(m.pdu_kind(), "row");
+        assert_eq!(m.name(), "stencil");
+    }
+
+    #[test]
+    #[should_panic(expected = "no computation phases")]
+    fn dominant_comp_panics_on_empty() {
+        let m = AppModel::new("empty", "row", 1);
+        let _ = m.dominant_comp();
+    }
+}

@@ -1,0 +1,193 @@
+//! Computation and communication phases with their callback annotations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use netpart_topology::Topology;
+
+/// Instruction class of a computation phase. Clusters advertise separate
+/// integer and floating point instruction speeds, so the estimator needs
+/// to know which one a phase exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OpKind {
+    /// Floating point work (the stencil's averaging, elimination updates).
+    #[default]
+    Flop,
+    /// Integer / memory-bound work.
+    IntOp,
+}
+
+/// A computation phase annotation.
+///
+/// The *computational complexity* callback gives the total number of
+/// instructions a task executes in one cycle of this phase when it holds
+/// `a_i` PDUs. For the common linear case (`ops = complexity · a_i`) use
+/// [`CompPhase::linear`]; the general non-linear form the paper defers to
+/// \[6\] is supported by [`CompPhase::with_ops`].
+#[derive(Clone)]
+pub struct CompPhase {
+    /// Phase name; referenced by communication phases' `overlap`.
+    pub name: String,
+    /// Total instructions for a task holding `a_i` PDUs in one cycle.
+    pub ops_total: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+    /// Whether the complexity is linear in `a_i` (enables the closed-form
+    /// Eq. 3 load balance; otherwise the partitioner bisects).
+    pub linear: bool,
+    /// Instruction class.
+    pub op_kind: OpKind,
+}
+
+impl CompPhase {
+    /// The common case: `ops_per_pdu` instructions for each held PDU.
+    /// The stencil's annotation is `linear("update", 5N, Flop)`.
+    pub fn linear(name: &str, ops_per_pdu: f64, op_kind: OpKind) -> CompPhase {
+        CompPhase {
+            name: name.to_owned(),
+            ops_total: Arc::new(move |a| ops_per_pdu * a),
+            linear: true,
+            op_kind,
+        }
+    }
+
+    /// General form: an arbitrary callback from held-PDU count to total
+    /// instructions per cycle.
+    pub fn with_ops(
+        name: &str,
+        op_kind: OpKind,
+        ops_total: impl Fn(f64) -> f64 + Send + Sync + 'static,
+    ) -> CompPhase {
+        CompPhase {
+            name: name.to_owned(),
+            ops_total: Arc::new(ops_total),
+            linear: false,
+            op_kind,
+        }
+    }
+
+    /// Evaluate the complexity callback.
+    #[inline]
+    pub fn ops(&self, a_i: f64) -> f64 {
+        (self.ops_total)(a_i)
+    }
+}
+
+impl fmt::Debug for CompPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompPhase")
+            .field("name", &self.name)
+            .field("linear", &self.linear)
+            .field("op_kind", &self.op_kind)
+            .field("ops(1)", &self.ops(1.0))
+            .finish()
+    }
+}
+
+/// A communication phase annotation.
+///
+/// The *communication complexity* callback gives the number of bytes a
+/// task transmits **per message** in one cycle of this phase (each task
+/// sends one message to each topology neighbor per cycle). It may depend
+/// on the task's PDU count `a_i` — e.g. a column-block decomposition
+/// sends `a_i`-proportional borders — though the stencil's `4N` does not.
+#[derive(Clone)]
+pub struct CommPhase {
+    /// Phase name.
+    pub name: String,
+    /// Communication topology of this phase.
+    pub topology: Topology,
+    /// Bytes per message for a task holding `a_i` PDUs.
+    pub bytes_per_msg: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+    /// Name of the computation phase this phase overlaps with, if the
+    /// implementation overlaps communication and computation (STEN-2).
+    pub overlap: Option<String>,
+}
+
+impl CommPhase {
+    /// A phase with a PDU-independent message size (the stencil's `4N`).
+    pub fn constant(name: &str, topology: Topology, bytes: f64) -> CommPhase {
+        CommPhase {
+            name: name.to_owned(),
+            topology,
+            bytes_per_msg: Arc::new(move |_| bytes),
+            overlap: None,
+        }
+    }
+
+    /// A phase whose message size depends on the local PDU count.
+    pub fn with_bytes(
+        name: &str,
+        topology: Topology,
+        bytes_per_msg: impl Fn(f64) -> f64 + Send + Sync + 'static,
+    ) -> CommPhase {
+        CommPhase {
+            name: name.to_owned(),
+            topology,
+            bytes_per_msg: Arc::new(bytes_per_msg),
+            overlap: None,
+        }
+    }
+
+    /// Mark this phase as overlapped with the named computation phase.
+    pub fn overlapping(mut self, comp_phase: &str) -> CommPhase {
+        self.overlap = Some(comp_phase.to_owned());
+        self
+    }
+
+    /// Evaluate the complexity callback.
+    #[inline]
+    pub fn bytes(&self, a_i: f64) -> f64 {
+        (self.bytes_per_msg)(a_i)
+    }
+}
+
+impl fmt::Debug for CommPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommPhase")
+            .field("name", &self.name)
+            .field("topology", &self.topology)
+            .field("overlap", &self.overlap)
+            .field("bytes(1)", &self.bytes(1.0))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_phase_scales_with_pdus() {
+        let p = CompPhase::linear("update", 3000.0, OpKind::Flop);
+        assert!(p.linear);
+        assert_eq!(p.ops(0.0), 0.0);
+        assert_eq!(p.ops(10.0), 30_000.0);
+    }
+
+    #[test]
+    fn nonlinear_phase_uses_callback() {
+        // Gaussian elimination-ish: quadratic in held rows.
+        let p = CompPhase::with_ops("eliminate", OpKind::Flop, |a| a * a * 2.0);
+        assert!(!p.linear);
+        assert_eq!(p.ops(4.0), 32.0);
+    }
+
+    #[test]
+    fn comm_phase_constant_and_dependent() {
+        let c = CommPhase::constant("border", Topology::OneD, 2400.0);
+        assert_eq!(c.bytes(1.0), 2400.0);
+        assert_eq!(c.bytes(100.0), 2400.0);
+        assert!(c.overlap.is_none());
+
+        let c = CommPhase::with_bytes("cols", Topology::Ring, |a| 8.0 * a).overlapping("update");
+        assert_eq!(c.bytes(50.0), 400.0);
+        assert_eq!(c.overlap.as_deref(), Some("update"));
+    }
+
+    #[test]
+    fn debug_impls_do_not_panic() {
+        let p = CompPhase::linear("x", 1.0, OpKind::IntOp);
+        let c = CommPhase::constant("y", Topology::Broadcast, 4.0);
+        assert!(format!("{p:?}").contains("x"));
+        assert!(format!("{c:?}").contains("Broadcast"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for network construction and operation.
+
+use std::fmt;
+
+use crate::ids::{NodeId, SegmentId};
+
+/// Errors from building or driving the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A datagram exceeded the maximum payload; callers must fragment
+    /// (that is the MMPS layer's job).
+    DatagramTooLarge {
+        /// Offending payload length.
+        len: usize,
+        /// Maximum allowed payload.
+        max: usize,
+    },
+    /// Referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// Referenced a segment that does not exist.
+    UnknownSegment(SegmentId),
+    /// No router joins the source and destination segments; the paper's
+    /// model allows at most one hop.
+    NoRoute {
+        /// Source segment.
+        from: SegmentId,
+        /// Destination segment.
+        to: SegmentId,
+    },
+    /// The network was built with no nodes or no segments.
+    EmptyNetwork,
+    /// A builder parameter was out of range (e.g. non-positive bandwidth).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DatagramTooLarge { len, max } => {
+                write!(f, "datagram payload {len} exceeds maximum {max}")
+            }
+            SimError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SimError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
+            SimError::NoRoute { from, to } => {
+                write!(f, "no router joins segments {from} and {to}")
+            }
+            SimError::EmptyNetwork => write!(f, "network has no nodes or segments"),
+            SimError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::DatagramTooLarge {
+            len: 2000,
+            max: 1472,
+        };
+        assert!(e.to_string().contains("2000"));
+        let e = SimError::NoRoute {
+            from: SegmentId(0),
+            to: SegmentId(3),
+        };
+        assert!(e.to_string().contains("seg3"));
+    }
+}

@@ -1,0 +1,234 @@
+//! The discrete-event core: event kinds and the time-ordered event queue.
+//!
+//! The queue is a classic calendar: a binary heap ordered by `(time, seq)`
+//! where `seq` is a monotonically increasing tie-breaker. Ties broken by
+//! insertion order make every run of the simulator fully deterministic for
+//! a given seed, which the test suite relies on heavily.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::datagram::Datagram;
+use crate::ids::{DgramId, NodeId, RouterId, SegmentId, TimerId};
+use crate::time::SimTime;
+
+/// Events visible to the layers above the raw network (MMPS, the SPMD
+/// runtime, the calibration driver). Internal plumbing such as frame
+/// transmission boundaries never escapes
+/// [`Network::next_event`](crate::network::Network::next_event).
+#[derive(Debug)]
+pub enum SimEvent {
+    /// A datagram survived the trip and finished receive-side host
+    /// processing at its destination.
+    DatagramDelivered {
+        /// Delivery time.
+        at: SimTime,
+        /// The delivered packet.
+        dgram: Datagram,
+    },
+    /// A datagram was dropped in flight (channel loss or router queue
+    /// overflow). Real UDP gives the sender no such notification; this
+    /// event exists for statistics and tests, and reliability layers must
+    /// not act on it.
+    DatagramDropped {
+        /// Drop time.
+        at: SimTime,
+        /// Id of the lost packet.
+        id: DgramId,
+        /// Original sender.
+        src: NodeId,
+        /// Intended destination.
+        dst: NodeId,
+        /// What killed it.
+        reason: DropReason,
+    },
+    /// A unit of computation previously started with
+    /// [`Network::start_compute`](crate::network::Network::start_compute)
+    /// finished.
+    ComputeDone {
+        /// Completion time.
+        at: SimTime,
+        /// Node the block ran on.
+        node: NodeId,
+        /// Caller's token from `start_compute`.
+        token: u64,
+    },
+    /// A timer set with
+    /// [`Network::set_timer`](crate::network::Network::set_timer) fired
+    /// (and was not cancelled).
+    TimerFired {
+        /// Fire time.
+        at: SimTime,
+        /// The timer's id.
+        id: TimerId,
+        /// Caller's owner word.
+        owner: u64,
+        /// Caller's token word.
+        token: u64,
+    },
+}
+
+impl SimEvent {
+    /// The instant the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            SimEvent::DatagramDelivered { at, .. }
+            | SimEvent::DatagramDropped { at, .. }
+            | SimEvent::ComputeDone { at, .. }
+            | SimEvent::TimerFired { at, .. } => *at,
+        }
+    }
+}
+
+/// Why a datagram was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss on the shared channel (collision residue, noise).
+    ChannelLoss,
+    /// The router's store-and-forward buffer was full.
+    RouterOverflow,
+}
+
+/// Internal scheduler work items. These drive the frame pipeline and are
+/// consumed inside the network; only the `Deliver*`, `ComputeDone` and
+/// `Timer` items surface as [`SimEvent`]s.
+#[derive(Debug)]
+pub(crate) enum Work {
+    /// Sender-side host processing finished; frame joins its segment queue.
+    FrameReady { dgram: Datagram },
+    /// A frame finished transmitting on `segment`.
+    TxEnd { segment: SegmentId },
+    /// The router finished store-and-forward processing of a frame and the
+    /// frame now joins the queue of the next-hop segment.
+    RouterForwarded { router: RouterId, dgram: Datagram },
+    /// Receive-side host processing finished; surface the delivery.
+    Deliver { dgram: Datagram },
+    /// A compute block finished on `node`.
+    ComputeDone { node: NodeId, token: u64 },
+    /// A timer matured.
+    Timer { id: TimerId, owner: u64, token: u64 },
+    /// A background cross-traffic flow fires its next datagram.
+    BackgroundSend { flow: usize },
+}
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    work: Work,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the BinaryHeap is a max-heap and we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered queue of internal work items.
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `work` at `at`. Items scheduled for the same instant are
+    /// processed in insertion order.
+    pub(crate) fn push(&mut self, at: SimTime, work: Work) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, work });
+    }
+
+    /// Remove and return the earliest item.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Work)> {
+        self.heap.pop().map(|e| (e.at, e.work))
+    }
+
+    /// The time of the earliest pending item, if any.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(token: u64) -> Work {
+        Work::Timer {
+            id: TimerId(token),
+            owner: 0,
+            token,
+        }
+    }
+
+    fn token_of(w: &Work) -> u64 {
+        match w {
+            Work::Timer { token, .. } => *token,
+            _ => panic!("not a timer"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), timer(3));
+        q.push(SimTime(10), timer(1));
+        q.push(SimTime(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, w)| token_of(&w))).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for k in 0..100 {
+            q.push(SimTime(5), timer(k));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, w)| token_of(&w))).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(42), timer(0));
+        q.push(SimTime(7), timer(1));
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

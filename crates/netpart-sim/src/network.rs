@@ -1,0 +1,601 @@
+//! The simulated network: construction, datagram transport, computation,
+//! timers, and the event loop.
+//!
+//! [`Network`] is a pump: layers above submit work
+//! ([`send_datagram`](Network::send_datagram),
+//! [`start_compute`](Network::start_compute),
+//! [`set_timer`](Network::set_timer)) and then repeatedly call
+//! [`next_event`](Network::next_event), which advances the simulated clock
+//! and returns the next externally visible [`SimEvent`]. All internal
+//! plumbing (frame queuing, channel contention, router store-and-forward)
+//! happens between calls.
+//!
+//! # Datagram pipeline
+//!
+//! ```text
+//! send_datagram ──► sender host processing (serialized per node)
+//!                 ──► ingress segment FIFO ──► wire transmission
+//!                 ──► [router store-and-forward ──► egress segment FIFO
+//!                      ──► wire transmission]           (cross-segment only)
+//!                 ──► receiver host processing ──► DatagramDelivered
+//! ```
+//!
+//! Loss can occur on either wire hop or at a full router buffer; real UDP
+//! gives senders no notification, so reliability lives in `netpart-mmps`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use bytes::Bytes;
+
+use crate::datagram::{Datagram, MAX_DATAGRAM_PAYLOAD};
+use crate::error::SimError;
+use crate::event::{DropReason, EventQueue, SimEvent, Work};
+use crate::ids::{DgramId, NodeId, ProcTypeId, RouterId, SegmentId, TimerId};
+use crate::node::{Node, OpClass, ProcType};
+use crate::router::{Router, RouterSpec, RouterStats};
+use crate::segment::{Segment, SegmentSpec, SegmentStats};
+use crate::time::{SimDur, SimTime};
+
+/// Builder for a [`Network`].
+///
+/// ```
+/// use netpart_sim::{NetworkBuilder, ProcType, SegmentSpec, RouterSpec};
+///
+/// let mut b = NetworkBuilder::new(42);
+/// let sparc2 = b.add_proc_type(ProcType::sparcstation_2());
+/// let ipc = b.add_proc_type(ProcType::sun4_ipc());
+/// let seg1 = b.add_segment(SegmentSpec::ethernet_10mbps());
+/// let seg2 = b.add_segment(SegmentSpec::ethernet_10mbps());
+/// b.add_router(RouterSpec::paper_router(vec![seg1, seg2]));
+/// for _ in 0..6 { b.add_node(sparc2, seg1); }
+/// for _ in 0..6 { b.add_node(ipc, seg2); }
+/// let net = b.build().unwrap();
+/// assert_eq!(net.num_nodes(), 12);
+/// ```
+pub struct NetworkBuilder {
+    proc_types: Vec<ProcType>,
+    segments: Vec<SegmentSpec>,
+    nodes: Vec<(ProcTypeId, SegmentId)>,
+    routers: Vec<RouterSpec>,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Start building a network. `seed` drives the loss model (and nothing
+    /// else); two networks built with the same description and seed evolve
+    /// identically.
+    pub fn new(seed: u64) -> NetworkBuilder {
+        NetworkBuilder {
+            proc_types: Vec::new(),
+            segments: Vec::new(),
+            nodes: Vec::new(),
+            routers: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Register a processor type.
+    pub fn add_proc_type(&mut self, pt: ProcType) -> ProcTypeId {
+        self.proc_types.push(pt);
+        ProcTypeId((self.proc_types.len() - 1) as u16)
+    }
+
+    /// Add a network segment.
+    pub fn add_segment(&mut self, spec: SegmentSpec) -> SegmentId {
+        self.segments.push(spec);
+        SegmentId((self.segments.len() - 1) as u16)
+    }
+
+    /// Add a workstation of type `pt` on `segment`.
+    pub fn add_node(&mut self, pt: ProcTypeId, segment: SegmentId) -> NodeId {
+        self.nodes.push((pt, segment));
+        NodeId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Add a router joining two or more segments.
+    pub fn add_router(&mut self, spec: RouterSpec) -> RouterId {
+        self.routers.push(spec);
+        RouterId((self.routers.len() - 1) as u16)
+    }
+
+    /// Validate and build the runtime network.
+    pub fn build(self) -> Result<Network, SimError> {
+        if self.nodes.is_empty() || self.segments.is_empty() {
+            return Err(SimError::EmptyNetwork);
+        }
+        for spec in &self.segments {
+            if spec.bandwidth_bps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(SimError::InvalidParameter(
+                    "segment bandwidth must be positive",
+                ));
+            }
+            if !(0.0..1.0).contains(&spec.loss_probability) {
+                return Err(SimError::InvalidParameter(
+                    "loss probability must be in [0,1)",
+                ));
+            }
+        }
+        for (pt, seg) in &self.nodes {
+            if pt.index() >= self.proc_types.len() {
+                return Err(SimError::InvalidParameter(
+                    "node references unknown proc type",
+                ));
+            }
+            if seg.index() >= self.segments.len() {
+                return Err(SimError::UnknownSegment(*seg));
+            }
+        }
+        for r in &self.routers {
+            if r.segments.len() < 2 {
+                return Err(SimError::InvalidParameter(
+                    "router must join at least two segments",
+                ));
+            }
+            for s in &r.segments {
+                if s.index() >= self.segments.len() {
+                    return Err(SimError::UnknownSegment(*s));
+                }
+            }
+        }
+        let num_segments = self.segments.len();
+        Ok(Network {
+            proc_types: self.proc_types,
+            segments: self.segments.into_iter().map(Segment::new).collect(),
+            in_flight: (0..num_segments).map(|_| None).collect(),
+            nodes: self
+                .nodes
+                .into_iter()
+                .map(|(pt, seg)| Node::new(pt, seg))
+                .collect(),
+            routers: self.routers.into_iter().map(Router::new).collect(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            next_dgram: 0,
+            next_timer: 0,
+            cancelled_timers: HashSet::new(),
+            rng: SmallRng::seed_from_u64(self.seed),
+            delivered: 0,
+            dropped: 0,
+            background: Vec::new(),
+        })
+    }
+}
+
+/// A background cross-traffic flow: periodic datagrams between two nodes
+/// that contend for the shared channels exactly like application traffic.
+/// The paper benchmarks "when the network and processors were lightly
+/// loaded"; flows let experiments violate that assumption on purpose.
+#[derive(Debug, Clone)]
+pub struct BackgroundFlow {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload bytes per datagram (≤ MTU).
+    pub bytes: u32,
+    /// Interval between datagrams.
+    pub period: SimDur,
+}
+
+/// The runtime network. See the [module docs](self) for the transport
+/// pipeline and the crate docs for how the layers stack.
+pub struct Network {
+    proc_types: Vec<ProcType>,
+    segments: Vec<Segment>,
+    /// The frame currently on the wire of each segment (at most one).
+    in_flight: Vec<Option<Datagram>>,
+    nodes: Vec<Node>,
+    routers: Vec<Router>,
+    queue: EventQueue,
+    now: SimTime,
+    next_dgram: u64,
+    next_timer: u64,
+    cancelled_timers: HashSet<TimerId>,
+    rng: SmallRng,
+    delivered: u64,
+    dropped: u64,
+    background: Vec<(BackgroundFlow, bool)>,
+}
+
+impl Network {
+    // ---- introspection ---------------------------------------------------
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The node's descriptor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The processor type of a node.
+    pub fn proc_type_of(&self, id: NodeId) -> &ProcType {
+        &self.proc_types[self.nodes[id.index()].proc_type.index()]
+    }
+
+    /// The processor type by id.
+    pub fn proc_type(&self, id: ProcTypeId) -> &ProcType {
+        &self.proc_types[id.index()]
+    }
+
+    /// All nodes attached to `segment`.
+    pub fn nodes_on_segment(&self, segment: SegmentId) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].segment == segment)
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Set the externally-imposed CPU load of a node (for availability and
+    /// dynamic-rebalance experiments). Affects compute blocks started after
+    /// this call.
+    pub fn set_external_load(&mut self, node: NodeId, load: f64) {
+        self.nodes[node.index()].external_load = load.clamp(0.0, 0.99);
+    }
+
+    /// Change the loss probability of a segment mid-run (failure injection).
+    pub fn set_loss_probability(&mut self, segment: SegmentId, p: f64) {
+        self.segments[segment.index()].spec.loss_probability = p.clamp(0.0, 0.999);
+    }
+
+    /// Utilization statistics for a segment.
+    pub fn segment_stats(&self, segment: SegmentId) -> SegmentStats {
+        self.segments[segment.index()].stats(self.now)
+    }
+
+    /// Statistics for a router.
+    pub fn router_stats(&self, router: RouterId) -> RouterStats {
+        let r = &self.routers[router.index()];
+        RouterStats {
+            frames_forwarded: r.frames_forwarded,
+            frames_dropped: r.frames_dropped,
+        }
+    }
+
+    /// Total datagrams delivered since the start of the run.
+    pub fn datagrams_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total datagrams dropped since the start of the run.
+    pub fn datagrams_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether a route exists between two nodes (same segment, or a router
+    /// joins their segments).
+    pub fn route_exists(&self, a: NodeId, b: NodeId) -> bool {
+        let sa = self.nodes[a.index()].segment;
+        let sb = self.nodes[b.index()].segment;
+        sa == sb || self.find_router(sa, sb).is_some()
+    }
+
+    fn find_router(&self, a: SegmentId, b: SegmentId) -> Option<RouterId> {
+        self.routers
+            .iter()
+            .position(|r| r.spec.joins(a, b))
+            .map(|i| RouterId(i as u16))
+    }
+
+    // ---- submitting work -------------------------------------------------
+
+    /// Send one datagram from `src` to `dst`. The payload must fit in a
+    /// single MTU ([`MAX_DATAGRAM_PAYLOAD`]); larger messages must be
+    /// fragmented by the caller (that is the MMPS layer's job).
+    ///
+    /// Timing charged: sender host processing (serialized per node), channel
+    /// access + transmission on the ingress segment, optional router
+    /// store-and-forward plus egress segment transit, receiver host
+    /// processing. Returns the datagram id.
+    pub fn send_datagram(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tag: u64,
+        payload: Bytes,
+    ) -> Result<DgramId, SimError> {
+        let wire_len = payload.len() as u32;
+        self.send_datagram_sized(src, dst, tag, payload, wire_len)
+    }
+
+    /// Like [`send_datagram`](Network::send_datagram) but with an explicit
+    /// wire length, so calibration programs can time b-byte packets without
+    /// materializing b bytes.
+    pub fn send_datagram_sized(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tag: u64,
+        payload: Bytes,
+        wire_len: u32,
+    ) -> Result<DgramId, SimError> {
+        if src.index() >= self.nodes.len() {
+            return Err(SimError::UnknownNode(src));
+        }
+        if dst.index() >= self.nodes.len() {
+            return Err(SimError::UnknownNode(dst));
+        }
+        if wire_len as usize > MAX_DATAGRAM_PAYLOAD {
+            return Err(SimError::DatagramTooLarge {
+                len: wire_len as usize,
+                max: MAX_DATAGRAM_PAYLOAD,
+            });
+        }
+        let src_seg = self.nodes[src.index()].segment;
+        let dst_seg = self.nodes[dst.index()].segment;
+        if src_seg != dst_seg && self.find_router(src_seg, dst_seg).is_none() {
+            return Err(SimError::NoRoute {
+                from: src_seg,
+                to: dst_seg,
+            });
+        }
+
+        let id = DgramId(self.next_dgram);
+        self.next_dgram += 1;
+        let dgram = Datagram {
+            id,
+            src,
+            dst,
+            tag,
+            payload,
+            wire_len,
+        };
+
+        // Sender host processing: serialized on the node's protocol stack.
+        let pt = &self.proc_types[self.nodes[src.index()].proc_type.index()];
+        let host = pt.send_overhead + SimDur::from_secs_f64(wire_len as f64 * pt.send_sec_per_byte);
+        let start = self.now.max(self.nodes[src.index()].net_free_at);
+        let done = start + host;
+        self.nodes[src.index()].net_free_at = done;
+        self.queue.push(done, Work::FrameReady { dgram });
+        Ok(id)
+    }
+
+    /// Start a compute block of `ops` operations of class `class` on
+    /// `node`. Completion surfaces as [`SimEvent::ComputeDone`] with the
+    /// given `token`. Concurrent compute blocks on the same node do not
+    /// serialize — the SPMD runtime issues one per node at a time.
+    pub fn start_compute(&mut self, node: NodeId, ops: f64, class: OpClass, token: u64) {
+        let n = &self.nodes[node.index()];
+        let pt = &self.proc_types[n.proc_type.index()];
+        let dur = SimDur::from_secs_f64(ops.max(0.0) * pt.sec_per_op(class) * n.slowdown());
+        self.queue
+            .push(self.now + dur, Work::ComputeDone { node, token });
+    }
+
+    /// Register a background cross-traffic flow and start it immediately.
+    /// Its datagrams carry tag 0 (which reliability layers ignore) and
+    /// contend for channels, routers, and host stacks like any other
+    /// traffic. Returns a handle for [`stop_background_flow`].
+    ///
+    /// While any flow runs, the event queue never drains, so
+    /// [`next_event`](Network::next_event) never returns `None` — drive
+    /// the simulation by your own completion condition, not by queue
+    /// exhaustion.
+    ///
+    /// [`stop_background_flow`]: Network::stop_background_flow
+    pub fn add_background_flow(&mut self, flow: BackgroundFlow) -> usize {
+        let idx = self.background.len();
+        self.background.push((flow, true));
+        self.queue
+            .push(self.now, Work::BackgroundSend { flow: idx });
+        idx
+    }
+
+    /// Stop a background flow; in-flight datagrams still complete.
+    pub fn stop_background_flow(&mut self, handle: usize) {
+        if let Some(entry) = self.background.get_mut(handle) {
+            entry.1 = false;
+        }
+    }
+
+    /// Set a timer that fires after `delay`. `owner` and `token` are
+    /// returned in the [`SimEvent::TimerFired`] event.
+    pub fn set_timer(&mut self, delay: SimDur, owner: u64, token: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.queue
+            .push(self.now + delay, Work::Timer { id, owner, token });
+        id
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled_timers.insert(id);
+    }
+
+    // ---- the event loop --------------------------------------------------
+
+    /// Advance the clock to the next externally visible event and return
+    /// it, or `None` when the network is quiescent.
+    pub fn next_event(&mut self) -> Option<SimEvent> {
+        while let Some((at, work)) = self.queue.pop() {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            if let Some(evt) = self.process(work) {
+                return Some(evt);
+            }
+        }
+        None
+    }
+
+    /// Whether any work (internal or external) is still pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of pending internal work items (diagnostics).
+    pub fn pending_work(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn process(&mut self, work: Work) -> Option<SimEvent> {
+        match work {
+            Work::FrameReady { dgram } => {
+                let seg = self.nodes[dgram.src.index()].segment;
+                self.enqueue_frame(seg, dgram);
+                None
+            }
+            Work::TxEnd { segment } => self.tx_end(segment),
+            Work::RouterForwarded { router, dgram } => {
+                let r = &mut self.routers[router.index()];
+                r.in_flight -= 1;
+                r.frames_forwarded += 1;
+                let egress = self.nodes[dgram.dst.index()].segment;
+                self.enqueue_frame(egress, dgram);
+                None
+            }
+            Work::Deliver { dgram } => {
+                self.delivered += 1;
+                Some(SimEvent::DatagramDelivered {
+                    at: self.now,
+                    dgram,
+                })
+            }
+            Work::ComputeDone { node, token } => Some(SimEvent::ComputeDone {
+                at: self.now,
+                node,
+                token,
+            }),
+            Work::Timer { id, owner, token } => {
+                if self.cancelled_timers.remove(&id) {
+                    None
+                } else {
+                    Some(SimEvent::TimerFired {
+                        at: self.now,
+                        id,
+                        owner,
+                        token,
+                    })
+                }
+            }
+            Work::BackgroundSend { flow } => {
+                let (f, enabled) = self.background.get(flow)?;
+                if !*enabled {
+                    return None;
+                }
+                let (src, dst, bytes, period) = (f.src, f.dst, f.bytes, f.period);
+                // Best effort: background traffic never fails the run.
+                let _ = self.send_datagram_sized(src, dst, 0, Bytes::new(), bytes);
+                self.queue
+                    .push(self.now + period, Work::BackgroundSend { flow });
+                None
+            }
+        }
+    }
+
+    /// A frame wants the channel on `segment`: queue it, and start
+    /// transmitting if the channel is idle.
+    fn enqueue_frame(&mut self, segment: SegmentId, dgram: Datagram) {
+        let seg = &mut self.segments[segment.index()];
+        seg.queue.push_back(dgram);
+        if !seg.busy {
+            self.start_next_tx(segment);
+        }
+    }
+
+    /// Pop the next frame off `segment`'s queue and put it on the wire.
+    fn start_next_tx(&mut self, segment: SegmentId) {
+        let seg = &mut self.segments[segment.index()];
+        let Some(dgram) = seg.queue.pop_front() else {
+            seg.busy = false;
+            return;
+        };
+        // Access delay: inter-frame gap plus contention that grows with the
+        // number of stations still waiting — the linear-in-p load the
+        // paper's cost model assumes.
+        let access = seg.access_delay();
+        let tx = seg.spec.tx_time(dgram.frame_bytes());
+        seg.busy = true;
+        seg.busy_time += tx;
+        seg.frames_sent += 1;
+        seg.bytes_sent += dgram.frame_bytes() as u64;
+        let end = self.now + access + tx;
+        // Stash the in-flight frame at the queue's front marker by pushing a
+        // dedicated TxEnd carrying the segment; the frame rides in a side
+        // slot to keep the queue strictly FIFO.
+        self.in_flight_frame(segment, dgram);
+        self.queue.push(end, Work::TxEnd { segment });
+    }
+
+    fn in_flight_frame(&mut self, segment: SegmentId, dgram: Datagram) {
+        // One frame per segment can be on the wire at a time.
+        debug_assert!(self.in_flight[segment.index()].is_none());
+        self.in_flight[segment.index()] = Some(dgram);
+    }
+
+    fn tx_end(&mut self, segment: SegmentId) -> Option<SimEvent> {
+        let dgram = self.in_flight[segment.index()]
+            .take()
+            .expect("TxEnd without in-flight frame");
+        // Kick the next queued frame first so channel work continues
+        // regardless of what happens to this frame.
+        self.start_next_tx(segment);
+
+        // Channel loss?
+        let loss_p = self.segments[segment.index()].spec.loss_probability;
+        if loss_p > 0.0 && self.rng.random::<f64>() < loss_p {
+            self.dropped += 1;
+            return Some(SimEvent::DatagramDropped {
+                at: self.now,
+                id: dgram.id,
+                src: dgram.src,
+                dst: dgram.dst,
+                reason: DropReason::ChannelLoss,
+            });
+        }
+
+        let dst_seg = self.nodes[dgram.dst.index()].segment;
+        if dst_seg == segment {
+            // Final hop: receiver host processing, then delivery.
+            let pt = &self.proc_types[self.nodes[dgram.dst.index()].proc_type.index()];
+            let host = pt.recv_overhead
+                + SimDur::from_secs_f64(dgram.wire_len as f64 * pt.recv_sec_per_byte);
+            let start = self.now.max(self.nodes[dgram.dst.index()].net_free_at);
+            let done = start + host;
+            self.nodes[dgram.dst.index()].net_free_at = done;
+            self.queue.push(done, Work::Deliver { dgram });
+            None
+        } else {
+            // Cross-segment: hand to the router.
+            let router = self
+                .find_router(segment, dst_seg)
+                .expect("route validated at send time");
+            let r = &mut self.routers[router.index()];
+            if r.in_flight >= r.spec.buffer_frames {
+                r.frames_dropped += 1;
+                self.dropped += 1;
+                return Some(SimEvent::DatagramDropped {
+                    at: self.now,
+                    id: dgram.id,
+                    src: dgram.src,
+                    dst: dgram.dst,
+                    reason: DropReason::RouterOverflow,
+                });
+            }
+            let fwd = r.spec.forward_time(dgram.wire_len);
+            let start = self.now.max(r.free_at);
+            let done = start + fwd;
+            r.free_at = done;
+            r.in_flight += 1;
+            self.queue
+                .push(done, Work::RouterForwarded { router, dgram });
+            None
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared-medium network segments (ethernet channels).
+//!
+//! The essential property of a segment in the paper's model is *private
+//! bandwidth*: every frame sent by any station on the segment serializes
+//! through one shared channel. That serialization is what makes the offered
+//! load — and hence the measured per-cycle communication cost — linear in
+//! the number of communicating processors `p`, which is exactly the shape
+//! the paper's cost functions `c1 + c2·p + b·(c3 + c4·p)` assume.
+//!
+//! The model here is a FIFO channel with:
+//! * transmission time = frame bytes × 8 / bandwidth,
+//! * a fixed inter-frame gap (9.6 µs at 10 Mbit/s),
+//! * a contention penalty per frame that grows with the number of frames
+//!   already queued, standing in for CSMA/CD backoff, and
+//! * optional random frame loss.
+
+use std::collections::VecDeque;
+
+use crate::datagram::Datagram;
+use crate::time::{SimDur, SimTime};
+
+/// Static description of a segment.
+#[derive(Debug, Clone)]
+pub struct SegmentSpec {
+    /// Channel bandwidth in bits per second (classic ethernet: 1.0e7).
+    pub bandwidth_bps: f64,
+    /// Idle time enforced between consecutive frames.
+    pub inter_frame_gap: SimDur,
+    /// Extra access delay charged per frame per already-queued frame,
+    /// modelling expected CSMA/CD backoff under contention.
+    pub contention_per_queued: SimDur,
+    /// Probability that a frame is silently lost on this channel.
+    pub loss_probability: f64,
+}
+
+impl SegmentSpec {
+    /// A lightly-loaded 10 Mbit/s ethernet, the paper's testbed medium.
+    pub fn ethernet_10mbps() -> SegmentSpec {
+        SegmentSpec {
+            bandwidth_bps: 10.0e6,
+            inter_frame_gap: SimDur::from_nanos(9_600),
+            contention_per_queued: SimDur::from_micros(5),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A 100 Mbit/s FDDI ring — the paper's other example medium ("all
+    /// segments are ethernet-connected or FDDI-connected"). Token-ring
+    /// access has no collisions, so the contention penalty is zero and
+    /// the inter-frame gap is the token rotation slice.
+    pub fn fddi_100mbps() -> SegmentSpec {
+        SegmentSpec {
+            bandwidth_bps: 100.0e6,
+            inter_frame_gap: SimDur::from_nanos(2_000),
+            contention_per_queued: SimDur::ZERO,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Time to clock `bytes` onto the wire.
+    #[inline]
+    pub fn tx_time(&self, bytes: u32) -> SimDur {
+        SimDur::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+}
+
+/// Runtime state of one segment.
+#[derive(Debug)]
+pub(crate) struct Segment {
+    pub(crate) spec: SegmentSpec,
+    /// Frames waiting for the channel, FIFO.
+    pub(crate) queue: VecDeque<Datagram>,
+    /// Whether a frame is currently on the wire.
+    pub(crate) busy: bool,
+    /// Cumulative time the channel has spent transmitting (for utilization
+    /// statistics).
+    pub(crate) busy_time: SimDur,
+    /// Frames fully transmitted on this segment.
+    pub(crate) frames_sent: u64,
+    /// Payload+overhead bytes transmitted.
+    pub(crate) bytes_sent: u64,
+}
+
+impl Segment {
+    pub(crate) fn new(spec: SegmentSpec) -> Segment {
+        Segment {
+            spec,
+            queue: VecDeque::new(),
+            busy: false,
+            busy_time: SimDur::ZERO,
+            frames_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Access delay the next frame must pay before its transmission starts,
+    /// given the current queue depth (the frame itself is already popped).
+    pub(crate) fn access_delay(&self) -> SimDur {
+        self.spec
+            .inter_frame_gap
+            .saturating_mul(1)
+            .max(SimDur::ZERO)
+            + SimDur::from_nanos(
+                self.spec.contention_per_queued.as_nanos() * self.queue.len() as u64,
+            )
+    }
+}
+
+/// Utilization snapshot of a segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentStats {
+    /// Fraction of elapsed time the channel was transmitting.
+    pub utilization: f64,
+    /// Frames fully transmitted.
+    pub frames_sent: u64,
+    /// Bytes (incl. frame overhead) transmitted.
+    pub bytes_sent: u64,
+}
+
+impl Segment {
+    pub(crate) fn stats(&self, now: SimTime) -> SegmentStats {
+        let elapsed = now.as_secs_f64();
+        SegmentStats {
+            utilization: if elapsed > 0.0 {
+                self.busy_time.as_secs_f64() / elapsed
+            } else {
+                0.0
+            },
+            frames_sent: self.frames_sent,
+            bytes_sent: self.bytes_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_matches_bandwidth() {
+        let spec = SegmentSpec::ethernet_10mbps();
+        // 1250 bytes at 10 Mbit/s = 1 ms.
+        assert_eq!(spec.tx_time(1250), SimDur::from_millis(1));
+        assert_eq!(spec.tx_time(0), SimDur::ZERO);
+    }
+
+    #[test]
+    fn fddi_is_ten_times_faster() {
+        let eth = SegmentSpec::ethernet_10mbps();
+        let fddi = SegmentSpec::fddi_100mbps();
+        assert_eq!(
+            eth.tx_time(5000).as_nanos(),
+            fddi.tx_time(5000).as_nanos() * 10
+        );
+        assert_eq!(fddi.contention_per_queued, SimDur::ZERO);
+    }
+
+    #[test]
+    fn access_delay_grows_with_queue() {
+        let mut seg = Segment::new(SegmentSpec::ethernet_10mbps());
+        let idle = seg.access_delay();
+        for _ in 0..4 {
+            seg.queue.push_back(crate::datagram::Datagram {
+                id: crate::ids::DgramId(0),
+                src: crate::ids::NodeId(0),
+                dst: crate::ids::NodeId(1),
+                tag: 0,
+                payload: bytes::Bytes::new(),
+                wire_len: 10,
+            });
+        }
+        assert!(seg.access_delay() > idle);
+    }
+
+    #[test]
+    fn stats_report_utilization() {
+        let mut seg = Segment::new(SegmentSpec::ethernet_10mbps());
+        seg.busy_time = SimDur::from_millis(5);
+        seg.frames_sent = 3;
+        seg.bytes_sent = 4500;
+        let s = seg.stats(SimTime(10_000_000)); // 10 ms elapsed
+        assert!((s.utilization - 0.5).abs() < 1e-9);
+        assert_eq!(s.frames_sent, 3);
+        assert_eq!(s.bytes_sent, 4500);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the simulator: determinism, conservation, and
+//! timing monotonicity under arbitrary traffic patterns.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use netpart_sim::{NetworkBuilder, NodeId, ProcType, SegmentSpec, SimEvent};
+
+fn build(p: usize, loss: f64, seed: u64) -> (netpart_sim::Network, Vec<NodeId>) {
+    let mut b = NetworkBuilder::new(seed);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec {
+        loss_probability: loss,
+        ..SegmentSpec::ethernet_10mbps()
+    });
+    let nodes: Vec<_> = (0..p).map(|_| b.add_node(pt, seg)).collect();
+    (b.build().unwrap(), nodes)
+}
+
+/// Run a traffic pattern and collect the (kind, time) event trace.
+fn trace(pattern: &[(usize, usize, u16)], p: usize, loss: f64, seed: u64) -> Vec<(u8, u64)> {
+    let (mut net, nodes) = build(p, loss, seed);
+    for &(src, dst, len) in pattern {
+        let (s, d) = (src % p, dst % p);
+        if s == d {
+            continue;
+        }
+        net.send_datagram(
+            nodes[s],
+            nodes[d],
+            0,
+            Bytes::from(vec![0u8; len as usize % 1400]),
+        )
+        .unwrap();
+    }
+    let mut out = Vec::new();
+    while let Some(evt) = net.next_event() {
+        let kind = match evt {
+            SimEvent::DatagramDelivered { .. } => 0u8,
+            SimEvent::DatagramDropped { .. } => 1,
+            SimEvent::ComputeDone { .. } => 2,
+            SimEvent::TimerFired { .. } => 3,
+        };
+        out.push((kind, evt.at().as_nanos()));
+    }
+    out
+}
+
+proptest! {
+    /// Identical seeds and traffic produce identical event traces — the
+    /// determinism every regression test in this workspace leans on.
+    #[test]
+    fn same_seed_same_trace(
+        pattern in prop::collection::vec((0usize..6, 0usize..6, 0u16..1400), 1..40),
+        loss in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let a = trace(&pattern, 6, loss, seed);
+        let b = trace(&pattern, 6, loss, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every datagram is either delivered or dropped — never both, never
+    /// neither — and time never goes backwards.
+    #[test]
+    fn datagrams_are_conserved(
+        pattern in prop::collection::vec((0usize..5, 0usize..5, 1u16..1400), 1..60),
+        loss in 0.0f64..0.6,
+    ) {
+        let distinct: usize = pattern
+            .iter()
+            .filter(|&&(s, d, _)| s % 5 != d % 5)
+            .count();
+        let events = trace(&pattern, 5, loss, 7);
+        let delivered = events.iter().filter(|(k, _)| *k == 0).count();
+        let dropped = events.iter().filter(|(k, _)| *k == 1).count();
+        prop_assert_eq!(delivered + dropped, distinct);
+        let mut last = 0u64;
+        for &(_, t) in &events {
+            prop_assert!(t >= last, "time went backwards");
+            last = t;
+        }
+    }
+
+    /// With zero loss everything is delivered.
+    #[test]
+    fn lossless_delivers_everything(
+        pattern in prop::collection::vec((0usize..4, 0usize..4, 1u16..1400), 1..40),
+    ) {
+        let distinct: usize = pattern
+            .iter()
+            .filter(|&&(s, d, _)| s % 4 != d % 4)
+            .count();
+        let events = trace(&pattern, 4, 0.0, 3);
+        prop_assert_eq!(events.len(), distinct);
+        prop_assert!(events.iter().all(|(k, _)| *k == 0));
+    }
+
+    /// Compute duration scales exactly linearly with the op count.
+    #[test]
+    fn compute_is_linear_in_ops(ops in 1.0f64..1e9) {
+        let (mut net, nodes) = build(1, 0.0, 1);
+        net.start_compute(nodes[0], ops, netpart_sim::OpClass::Flop, 0);
+        let t1 = match net.next_event().unwrap() {
+            SimEvent::ComputeDone { at, .. } => at.as_nanos(),
+            other => panic!("{other:?}"),
+        };
+        let (mut net2, nodes2) = build(1, 0.0, 1);
+        net2.start_compute(nodes2[0], ops * 2.0, netpart_sim::OpClass::Flop, 0);
+        let t2 = match net2.next_event().unwrap() {
+            SimEvent::ComputeDone { at, .. } => at.as_nanos(),
+            other => panic!("{other:?}"),
+        };
+        // Within rounding of the f64→ns conversion.
+        prop_assert!((t2 as i128 - 2 * t1 as i128).abs() <= 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # netpart-spmd — the SPMD cycle runtime
+//!
+//! Executes data-parallel applications over the simulated heterogeneous
+//! network following the paper's SPMD model: "a set of identical tasks are
+//! instantiated across some number of processors with a single task placed
+//! on each processor", each computing on its region of the data domain and
+//! alternating computation and communication phases.
+//!
+//! Applications implement [`SpmdApp`]; the [`Executor`] runs them with a
+//! given [`PartitionVector`](netpart_model::PartitionVector) and placement,
+//! returning an [`SpmdReport`] with the measured simulated elapsed time —
+//! the quantity the partitioning algorithm's `T_c` estimate predicts.
+//!
+//! The applications do their *real* computation (actual floating point
+//! math on actual arrays) inside [`SpmdApp::compute`]; only time is
+//! simulated. Tests exploit this: the distributed stencil must produce
+//! bit-identical grids to a sequential reference, regardless of how the
+//! partitioner sliced the domain.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod runtime;
+pub mod task;
+
+pub use report::{SpmdError, SpmdReport};
+pub use runtime::Executor;
+pub use task::{Rank, SpmdApp, Step};

@@ -1,0 +1,144 @@
+//! Execution reports produced by the runtime.
+
+use netpart_mmps::MmpsStats;
+use netpart_sim::{SimDur, SimTime};
+
+/// What one SPMD execution measured.
+#[derive(Debug, Clone)]
+pub struct SpmdReport {
+    /// Simulated time spent in the iterative part (excludes startup
+    /// distribution, matching the paper's Table 2 timings).
+    pub elapsed: SimDur,
+    /// Simulated time of the initial data distribution (zero when
+    /// distribution was disabled).
+    pub startup: SimDur,
+    /// Per-cycle elapsed times: `per_cycle[c]` is the span between the
+    /// completion of cycle `c-1` (or startup) and of cycle `c`, taken over
+    /// the *last* rank to finish — the synchronous completion the paper's
+    /// `T_c` estimates.
+    pub per_cycle: Vec<SimDur>,
+    /// When each rank finished its final cycle.
+    pub rank_finish: Vec<SimTime>,
+    /// Simulated time each rank spent inside `Compute` steps — the
+    /// per-processor computation rate signal a dynamic load balancer
+    /// (the dataparallel-C style baseline) feeds on.
+    pub compute_time: Vec<SimDur>,
+    /// Simulated time each rank spent blocked in `Recv` steps waiting for
+    /// messages — the communication share of the cycle, which together
+    /// with `compute_time` explains where Fig. 3's regions come from.
+    pub wait_time: Vec<SimDur>,
+    /// Message-layer counters accumulated during the run.
+    pub mmps: MmpsStats,
+}
+
+impl SpmdReport {
+    /// Mean per-cycle time, the quantity the partitioner's `T_c` predicts.
+    pub fn mean_cycle(&self) -> SimDur {
+        if self.per_cycle.is_empty() {
+            return SimDur::ZERO;
+        }
+        let total: u64 = self.per_cycle.iter().map(|d| d.as_nanos()).sum();
+        SimDur::from_nanos(total / self.per_cycle.len() as u64)
+    }
+
+    /// Total simulated time including startup.
+    pub fn total(&self) -> SimDur {
+        self.startup + self.elapsed
+    }
+}
+
+/// Errors from an SPMD run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpmdError {
+    /// A message exhausted retransmissions; the computation cannot finish.
+    MessageLost {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+    },
+    /// The simulation went quiescent with ranks still blocked — a script
+    /// bug (e.g. a `Recv` with no matching `Send`).
+    Deadlock {
+        /// Ranks still blocked, with a description of what they wait on.
+        blocked: Vec<(usize, String)>,
+    },
+    /// The partition vector's rank count does not match the node list.
+    RankMismatch {
+        /// Ranks in the vector.
+        vector: usize,
+        /// Nodes provided.
+        nodes: usize,
+    },
+    /// An underlying network error (e.g. no route between task nodes).
+    Network(String),
+}
+
+impl std::fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpmdError::MessageLost { from, to } => {
+                write!(
+                    f,
+                    "message from rank {from} to rank {to} was lost permanently"
+                )
+            }
+            SpmdError::Deadlock { blocked } => {
+                write!(f, "deadlock; blocked ranks: {blocked:?}")
+            }
+            SpmdError::RankMismatch { vector, nodes } => {
+                write!(
+                    f,
+                    "partition vector has {vector} ranks but {nodes} nodes given"
+                )
+            }
+            SpmdError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_cycle_averages() {
+        let r = SpmdReport {
+            elapsed: SimDur::from_millis(30),
+            startup: SimDur::from_millis(5),
+            per_cycle: vec![
+                SimDur::from_millis(10),
+                SimDur::from_millis(20),
+                SimDur::from_millis(30),
+            ],
+            rank_finish: vec![],
+            compute_time: vec![],
+            wait_time: vec![],
+            mmps: Default::default(),
+        };
+        assert_eq!(r.mean_cycle(), SimDur::from_millis(20));
+        assert_eq!(r.total(), SimDur::from_millis(35));
+    }
+
+    #[test]
+    fn empty_report_mean_is_zero() {
+        let r = SpmdReport {
+            elapsed: SimDur::ZERO,
+            startup: SimDur::ZERO,
+            per_cycle: vec![],
+            rank_finish: vec![],
+            compute_time: vec![],
+            wait_time: vec![],
+            mmps: Default::default(),
+        };
+        assert_eq!(r.mean_cycle(), SimDur::ZERO);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SpmdError::MessageLost { from: 1, to: 2 };
+        assert!(e.to_string().contains("rank 1"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Engine tests with a toy halo-exchange application: data integrity,
+//! overlap benefit, load-balance behaviour, distribution accounting, and
+//! failure paths.
+
+use bytes::Bytes;
+use netpart_mmps::Mmps;
+use netpart_model::{OpKind, PartitionVector};
+use netpart_sim::{NetworkBuilder, NodeId, ProcType, SegmentSpec};
+use netpart_spmd::{Executor, SpmdApp, SpmdError, Step};
+use netpart_topology::Topology;
+
+/// A toy 1-D app: each rank holds a vector of f64 "rows"; every cycle it
+/// sends its edge values to chain neighbors, receives theirs, and adds
+/// them in. Compute cost is `ops_per_pdu` per held row.
+struct HaloApp {
+    cycles: u64,
+    ops_per_pdu: f64,
+    overlap: bool,
+    /// per-rank data: (held rows, received sum accumulator)
+    data: Vec<Vec<f64>>,
+    consumed: Vec<Vec<(u64, usize, f64)>>,
+    p: usize,
+    dist_bytes: u64,
+    msg_bytes: usize,
+}
+
+impl HaloApp {
+    fn new(p: usize, cycles: u64, ops_per_pdu: f64, overlap: bool) -> HaloApp {
+        HaloApp {
+            cycles,
+            ops_per_pdu,
+            overlap,
+            data: vec![Vec::new(); p],
+            consumed: vec![Vec::new(); p],
+            p,
+            dist_bytes: 0,
+            msg_bytes: 8,
+        }
+    }
+
+    fn neighbors(&self, rank: usize) -> Vec<usize> {
+        Topology::OneD
+            .neighbors(rank as u32, self.p as u32)
+            .into_iter()
+            .map(|r| r as usize)
+            .collect()
+    }
+}
+
+impl SpmdApp for HaloApp {
+    fn setup(&mut self, rank: usize, vector: &PartitionVector) {
+        self.data[rank] = vec![rank as f64 + 1.0; vector.count(rank) as usize];
+    }
+
+    fn num_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn script(&self, rank: usize, _cycle: u64) -> Vec<Step> {
+        let n = self.neighbors(rank);
+        if self.overlap {
+            vec![
+                Step::Send { to: n.clone() },
+                Step::Compute { part: 0 },
+                Step::Recv { from: n },
+            ]
+        } else {
+            vec![
+                Step::Send { to: n.clone() },
+                Step::Recv { from: n },
+                Step::Compute { part: 0 },
+            ]
+        }
+    }
+
+    fn produce(&mut self, rank: usize, cycle: u64, _to: usize) -> Bytes {
+        let edge = *self.data[rank].first().unwrap_or(&0.0) + cycle as f64;
+        let mut buf = vec![0u8; self.msg_bytes.max(8)];
+        buf[..8].copy_from_slice(&edge.to_le_bytes());
+        Bytes::from(buf)
+    }
+
+    fn consume(&mut self, rank: usize, cycle: u64, from: usize, payload: &[u8]) {
+        let v = f64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        self.consumed[rank].push((cycle, from, v));
+    }
+
+    fn compute(&mut self, rank: usize, _cycle: u64, _part: u32) -> (f64, OpKind) {
+        let held = self.data[rank].len() as f64;
+        for x in &mut self.data[rank] {
+            *x += 0.5;
+        }
+        (held * self.ops_per_pdu, OpKind::Flop)
+    }
+
+    fn distribution_bytes(&self, _rank: usize) -> u64 {
+        self.dist_bytes
+    }
+}
+
+fn homogeneous_cluster(p: usize) -> (Mmps, Vec<NodeId>) {
+    let mut b = NetworkBuilder::new(11);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let nodes: Vec<_> = (0..p).map(|_| b.add_node(pt, seg)).collect();
+    (Mmps::with_defaults(b.build().unwrap()), nodes)
+}
+
+#[test]
+fn exchange_delivers_expected_values() {
+    let (mmps, nodes) = homogeneous_cluster(4);
+    let mut app = HaloApp::new(4, 3, 1000.0, false);
+    let mut exec = Executor::new(mmps, nodes);
+    let report = exec
+        .run(&mut app, &PartitionVector::equal(40, 4), false)
+        .expect("run");
+    assert_eq!(report.per_cycle.len(), 3);
+    assert!(report.elapsed.as_millis_f64() > 0.0);
+
+    // Every rank consumed one value per neighbor per cycle, in cycle order,
+    // carrying the sender's edge value.
+    for rank in 0..4usize {
+        let nb = app.neighbors(rank);
+        assert_eq!(app.consumed[rank].len(), 3 * nb.len());
+        for &(cycle, from, v) in &app.consumed[rank] {
+            assert!(nb.contains(&from));
+            // sender's edge at that cycle: (from+1) + 0.5*completed_computes + cycle
+            // Compute runs after recv in the non-overlap script, so the
+            // edge sent at cycle c reflects c completed computes.
+            let expected = (from as f64 + 1.0) + 0.5 * cycle as f64 + cycle as f64;
+            assert!(
+                (v - expected).abs() < 1e-12,
+                "rank {rank} cycle {cycle} from {from}: {v} vs {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlap_is_faster_when_compute_covers_comm() {
+    // Enough compute per cycle that comm fully hides under it.
+    let run = |overlap: bool| -> f64 {
+        let (mmps, nodes) = homogeneous_cluster(6);
+        // ~65 ms of compute per cycle against ~10 messages of 8 kB, so the
+        // two are comparable and overlap has something to hide.
+        let mut app = HaloApp::new(6, 5, 2200.0, overlap);
+        app.msg_bytes = 8000;
+        let mut exec = Executor::new(mmps, nodes);
+        exec.run(&mut app, &PartitionVector::equal(600, 6), false)
+            .expect("run")
+            .elapsed
+            .as_millis_f64()
+    };
+    let t_sync = run(false);
+    let t_overlap = run(true);
+    assert!(
+        t_overlap < t_sync * 0.95,
+        "overlap {t_overlap} ms should beat non-overlap {t_sync} ms"
+    );
+}
+
+#[test]
+fn heterogeneous_vector_balances_finish_times() {
+    // 2 fast + 2 slow processors. A speed-proportional vector should let
+    // everyone finish closer together than an equal split.
+    let build = || {
+        let mut b = NetworkBuilder::new(13);
+        let fast = b.add_proc_type(ProcType::sparcstation_2());
+        let slow = b.add_proc_type(ProcType::sun4_ipc());
+        let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
+        let nodes = vec![
+            b.add_node(fast, seg),
+            b.add_node(fast, seg),
+            b.add_node(slow, seg),
+            b.add_node(slow, seg),
+        ];
+        (Mmps::with_defaults(b.build().unwrap()), nodes)
+    };
+    let elapsed = |vector: PartitionVector| -> f64 {
+        let (mmps, nodes) = build();
+        let mut app = HaloApp::new(4, 4, 100_000.0, false);
+        let mut exec = Executor::new(mmps, nodes);
+        exec.run(&mut app, &vector, false)
+            .expect("run")
+            .elapsed
+            .as_millis_f64()
+    };
+    // Speed-balanced: fast gets 2 shares, slow 1 share.
+    let balanced = elapsed(PartitionVector::from_real_shares(
+        &[2.0, 2.0, 1.0, 1.0],
+        600,
+    ));
+    let equal = elapsed(PartitionVector::equal(600, 4));
+    assert!(
+        balanced < equal * 0.85,
+        "balanced {balanced} ms should clearly beat equal {equal} ms"
+    );
+}
+
+#[test]
+fn startup_distribution_is_measured_separately() {
+    let (mmps, nodes) = homogeneous_cluster(4);
+    let mut app = HaloApp::new(4, 2, 1000.0, false);
+    app.dist_bytes = 100_000; // 100 kB per rank
+    let mut exec = Executor::new(mmps, nodes);
+    let with_dist = exec
+        .run(&mut app, &PartitionVector::equal(40, 4), true)
+        .expect("run");
+    assert!(
+        with_dist.startup.as_millis_f64() > 10.0,
+        "3×100 kB over 10 Mbit/s must take tens of ms, got {}",
+        with_dist.startup.as_millis_f64()
+    );
+    // total = startup + elapsed
+    assert_eq!(
+        with_dist.total().as_nanos(),
+        with_dist.startup.as_nanos() + with_dist.elapsed.as_nanos()
+    );
+}
+
+#[test]
+fn rank_mismatch_is_rejected() {
+    let (mmps, nodes) = homogeneous_cluster(4);
+    let mut app = HaloApp::new(4, 1, 1.0, false);
+    let mut exec = Executor::new(mmps, nodes);
+    let err = exec
+        .run(&mut app, &PartitionVector::equal(40, 3), false)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SpmdError::RankMismatch {
+            vector: 3,
+            nodes: 4
+        }
+    ));
+}
+
+#[test]
+fn zero_cycles_finishes_instantly() {
+    let (mmps, nodes) = homogeneous_cluster(2);
+    let mut app = HaloApp::new(2, 0, 1.0, false);
+    let mut exec = Executor::new(mmps, nodes);
+    let report = exec
+        .run(&mut app, &PartitionVector::equal(10, 2), false)
+        .expect("run");
+    assert_eq!(report.elapsed.as_nanos(), 0);
+    assert!(report.per_cycle.is_empty());
+}
+
+#[test]
+fn single_rank_runs_without_communication() {
+    let (mmps, nodes) = homogeneous_cluster(1);
+    let mut app = HaloApp::new(1, 5, 10_000.0, false);
+    let mut exec = Executor::new(mmps, nodes);
+    let report = exec
+        .run(&mut app, &PartitionVector::equal(100, 1), false)
+        .expect("run");
+    // 5 cycles × 100 PDUs × 10000 flops × 0.3 µs = 1500 ms.
+    assert!((report.elapsed.as_millis_f64() - 1500.0).abs() < 1.0);
+    assert_eq!(exec.mmps().stats().messages_sent, 0);
+}
+
+/// An app whose script waits for a message nobody sends.
+struct DeadlockApp;
+impl SpmdApp for DeadlockApp {
+    fn setup(&mut self, _: usize, _: &PartitionVector) {}
+    fn num_cycles(&self) -> u64 {
+        1
+    }
+    fn script(&self, _rank: usize, _cycle: u64) -> Vec<Step> {
+        vec![Step::Recv { from: vec![1] }]
+    }
+    fn produce(&mut self, _: usize, _: u64, _: usize) -> Bytes {
+        Bytes::new()
+    }
+    fn consume(&mut self, _: usize, _: u64, _: usize, _: &[u8]) {}
+    fn compute(&mut self, _: usize, _: u64, _: u32) -> (f64, OpKind) {
+        (0.0, OpKind::Flop)
+    }
+}
+
+#[test]
+fn script_bug_surfaces_as_deadlock() {
+    let (mmps, nodes) = homogeneous_cluster(2);
+    let mut exec = Executor::new(mmps, nodes);
+    let err = exec
+        .run(&mut DeadlockApp, &PartitionVector::equal(2, 2), false)
+        .unwrap_err();
+    match err {
+        SpmdError::Deadlock { blocked } => assert_eq!(blocked.len(), 2),
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn lossy_network_still_completes_exactly() {
+    // 15% loss: retransmissions must make the run complete with identical
+    // consumed values (content is never corrupted, only delayed).
+    let mut b = NetworkBuilder::new(31);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec {
+        loss_probability: 0.15,
+        ..SegmentSpec::ethernet_10mbps()
+    });
+    let nodes: Vec<_> = (0..4).map(|_| b.add_node(pt, seg)).collect();
+    let mmps = Mmps::with_defaults(b.build().unwrap());
+    let mut app = HaloApp::new(4, 4, 1000.0, false);
+    let mut exec = Executor::new(mmps, nodes);
+    exec.run(&mut app, &PartitionVector::equal(40, 4), false)
+        .expect("lossy run must still complete");
+    let stats = exec.mmps().stats();
+    assert!(
+        stats.retransmissions > 0,
+        "loss must have forced retransmits"
+    );
+    for rank in 0..4usize {
+        assert_eq!(app.consumed[rank].len(), 4 * app.neighbors(rank).len());
+    }
+}
+
+#[test]
+fn wait_time_is_tracked_per_rank() {
+    // A compute-imbalanced pair: rank 0 computes 10× longer, so rank 1
+    // spends most of its run blocked on rank 0's border messages.
+    let (mmps, nodes) = homogeneous_cluster(2);
+    let mut app = HaloApp::new(2, 5, 1000.0, false);
+    let mut exec = Executor::new(mmps, nodes);
+    let vector = PartitionVector::from_counts(vec![100, 10]);
+    let report = exec.run(&mut app, &vector, false).expect("run");
+    assert_eq!(report.wait_time.len(), 2);
+    let w0 = report.wait_time[0].as_millis_f64();
+    let w1 = report.wait_time[1].as_millis_f64();
+    assert!(
+        w1 > w0 * 3.0,
+        "light rank must wait much longer: {w1} vs {w0}"
+    );
+    // Compute + wait roughly fills the light rank's elapsed time.
+    let c1 = report.compute_time[1].as_millis_f64();
+    let elapsed = report.elapsed.as_millis_f64();
+    assert!(
+        (c1 + w1) > elapsed * 0.8,
+        "breakdown should cover the run: {c1} + {w1} vs {elapsed}"
+    );
+}

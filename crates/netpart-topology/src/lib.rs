@@ -1,0 +1,33 @@
+//! # netpart-topology — synchronous communication topologies
+//!
+//! The partitioning method restricts applications to "a common set of
+//! communication topologies": regular synchronous patterns such as **1-D**,
+//! **2-D**, **tree**, **ring**, and **broadcast** (paper §3/§4). All
+//! processors participate in a communication *cycle* at the same logical
+//! time: each task does an asynchronous send to each neighboring task
+//! followed by a blocking receive from each neighbor. The per-cycle cost is
+//! therefore determined by the processor experiencing the greatest cost,
+//! which is what lets the paper use one cost function per (cluster,
+//! topology) pair.
+//!
+//! This crate answers three questions for the rest of the system:
+//!
+//! 1. **Who talks to whom?** — [`Topology::neighbors`] and
+//!    [`CycleSchedule`] enumerate the per-cycle send/receive pattern.
+//! 2. **Where do tasks go?** — [`placement`] maps task ranks onto
+//!    processors; the paper's 1-D placement fills clusters contiguously so
+//!    only one task pair per cluster boundary crosses the router.
+//! 3. **What limits the pattern?** — [`Topology::is_bandwidth_limited`]
+//!    distinguishes patterns that can exploit per-segment bandwidth (1-D)
+//!    from those that cannot (broadcast), driving Eq. 2 of the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod placement;
+pub mod schedule;
+pub mod topology;
+
+pub use placement::{crossings, PlacementStrategy};
+pub use schedule::CycleSchedule;
+pub use topology::{Rank, Topology};

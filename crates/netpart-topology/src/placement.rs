@@ -1,0 +1,143 @@
+//! Task placement: mapping topology ranks onto processors.
+//!
+//! "Task placement is important in the event that both clusters are used
+//! since router costs may be large. For the 1-D topology placement is
+//! simple: tasks are assigned to the processors in the Sparc2 cluster
+//! followed by processors in the IPC cluster. In this way, only a single
+//! processor in each cluster needs to communicate across the router."
+//! (paper §6). This module implements that contiguous strategy plus
+//! alternatives used by the placement ablation.
+
+use crate::topology::{Rank, Topology};
+
+/// How ranks are laid out over the processors contributed by each cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacementStrategy {
+    /// Fill cluster 0's processors with ranks `0..P_0`, then cluster 1's
+    /// with `P_0..P_0+P_1`, and so on. For a 1-D topology exactly one task
+    /// pair per adjacent cluster pair crosses the router. This is the
+    /// paper's strategy and the default.
+    #[default]
+    ClusterContiguous,
+    /// Deal ranks round-robin across clusters. Maximizes router crossings;
+    /// exists to quantify how much placement matters (ablation A2).
+    RoundRobin,
+    /// Reverse contiguous: clusters filled in reverse order. Used to check
+    /// that crossing counts, not cluster identity, drive the cost.
+    ReverseContiguous,
+}
+
+impl PlacementStrategy {
+    /// Compute the placement: `result[rank] = cluster index` for a
+    /// configuration contributing `per_cluster[k]` processors from cluster
+    /// `k`. The total rank count is `per_cluster.sum()`.
+    pub fn assign(self, per_cluster: &[u32]) -> Vec<u32> {
+        let total: u32 = per_cluster.iter().sum();
+        match self {
+            PlacementStrategy::ClusterContiguous => {
+                let mut out = Vec::with_capacity(total as usize);
+                for (k, &n) in per_cluster.iter().enumerate() {
+                    out.extend(std::iter::repeat_n(k as u32, n as usize));
+                }
+                out
+            }
+            PlacementStrategy::ReverseContiguous => {
+                let mut out = Vec::with_capacity(total as usize);
+                for (k, &n) in per_cluster.iter().enumerate().rev() {
+                    out.extend(std::iter::repeat_n(k as u32, n as usize));
+                }
+                out
+            }
+            PlacementStrategy::RoundRobin => {
+                let mut remaining: Vec<u32> = per_cluster.to_vec();
+                let mut out = Vec::with_capacity(total as usize);
+                while out.len() < total as usize {
+                    for (k, r) in remaining.iter_mut().enumerate() {
+                        if *r > 0 {
+                            *r -= 1;
+                            out.push(k as u32);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Count neighbor pairs whose tasks sit in different clusters — each such
+/// pair crosses a router every cycle. `placement[rank]` is the cluster of
+/// `rank`. Undirected edges are counted once.
+pub fn crossings(topology: Topology, placement: &[u32]) -> u32 {
+    let p = placement.len() as u32;
+    let mut count = 0;
+    for r in 0..p {
+        for n in topology.neighbors(r as Rank, p) {
+            if n > r && placement[r as usize] != placement[n as usize] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_placement_fills_in_order() {
+        let p = PlacementStrategy::ClusterContiguous.assign(&[3, 2]);
+        assert_eq!(p, vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn reverse_contiguous_flips_order() {
+        let p = PlacementStrategy::ReverseContiguous.assign(&[3, 2]);
+        assert_eq!(p, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let p = PlacementStrategy::RoundRobin.assign(&[3, 2]);
+        assert_eq!(p, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn round_robin_handles_uneven_clusters() {
+        let p = PlacementStrategy::RoundRobin.assign(&[1, 4]);
+        assert_eq!(p, vec![0, 1, 1, 1, 1]);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn contiguous_one_d_crosses_once_per_boundary() {
+        // Paper §6: 6 Sparc2s + 6 IPCs in a 1-D chain → exactly one
+        // crossing when placed contiguously.
+        let contiguous = PlacementStrategy::ClusterContiguous.assign(&[6, 6]);
+        assert_eq!(crossings(Topology::OneD, &contiguous), 1);
+        let rr = PlacementStrategy::RoundRobin.assign(&[6, 6]);
+        assert_eq!(crossings(Topology::OneD, &rr), 11);
+    }
+
+    #[test]
+    fn crossings_zero_for_single_cluster() {
+        let p = PlacementStrategy::ClusterContiguous.assign(&[8]);
+        for topo in crate::topology::ALL_TOPOLOGIES {
+            assert_eq!(crossings(topo, &p), 0, "{topo}");
+        }
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        let p = PlacementStrategy::ClusterContiguous.assign(&[0, 3, 0, 2]);
+        assert_eq!(p, vec![1, 1, 1, 3, 3]);
+        assert_eq!(crossings(Topology::OneD, &p), 1);
+    }
+
+    #[test]
+    fn three_cluster_contiguous_crossings() {
+        let p = PlacementStrategy::ClusterContiguous.assign(&[4, 4, 4]);
+        assert_eq!(crossings(Topology::OneD, &p), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Gaussian elimination with partial pivoting — the paper's non-uniform
+//! complexity application — partitioned and executed on the simulated
+//! heterogeneous testbed, then verified against the known solution.
+//!
+//! ```text
+//! cargo run --release --example gaussian_elimination
+//! ```
+
+use netpart::apps::gauss::{gauss_model, make_system, GaussApp};
+use netpart::calibrate::Testbed;
+use netpart::core::{partition, Estimator, PartitionOptions, SystemModel};
+use netpart::spmd::Executor;
+use netpart::topology::PlacementStrategy;
+use netpart_bench::paper_calibration;
+
+fn main() {
+    eprintln!("calibrating (one-off offline step)...");
+    let cost_model = paper_calibration();
+    let testbed = Testbed::paper();
+    let system = SystemModel::from_testbed(&testbed);
+
+    for n in [64usize, 128, 256] {
+        let (a, b, x_true) = make_system(n, 2024);
+
+        // Partition using the broadcast/tree cost functions: the dominant
+        // communication is the per-step pivot-row broadcast.
+        let model = gauss_model(n as u64);
+        let est = Estimator::new(&system, &cost_model, &model);
+        let plan = partition(&est, &PartitionOptions::default()).expect("partition");
+
+        let (mmps, nodes) = testbed.build(&plan.config, PlacementStrategy::ClusterContiguous);
+        let p = nodes.len();
+        let mut app = GaussApp::new(n, a.clone(), b.clone(), p);
+        let mut exec = Executor::new(mmps, nodes);
+        let report = exec.run(&mut app, &plan.vector, false).expect("solve");
+
+        let x = app.solve();
+        let err = x
+            .iter()
+            .zip(&x_true)
+            .map(|(g, e)| (g - e).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "N={n:>4}: ({},{}) processors, {:>8.1} ms simulated, max |x - x*| = {err:.2e}",
+            plan.config[0],
+            plan.config.get(1).copied().unwrap_or(0),
+            report.elapsed.as_millis_f64(),
+        );
+        assert!(err < 1e-8, "solution drifted");
+
+        // The first few pivots, to show partial pivoting at work.
+        let pivots: Vec<usize> = app.pivots().iter().take(6).copied().collect();
+        println!("        pivot rows (first 6 steps): {pivots:?}");
+    }
+    println!("\nBroadcast is bandwidth-limited (§3): unlike the stencil's 1-D");
+    println!("exchange, extra clusters add no broadcast bandwidth, so the");
+    println!("partitioner is much more conservative with processors here.");
+}

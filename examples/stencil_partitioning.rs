@@ -1,0 +1,64 @@
+//! The paper's §6 evaluation in miniature: sweep problem sizes, let the
+//! partitioner decide for STEN-1 and STEN-2, and show where the IPCs
+//! start earning their keep.
+//!
+//! ```text
+//! cargo run --release --example stencil_partitioning
+//! ```
+
+use netpart::apps::stencil::{stencil_model, StencilVariant};
+use netpart::calibrate::Testbed;
+use netpart::core::{partition, Estimator, PartitionOptions, SystemModel};
+use netpart_bench::{balanced_vector, paper_calibration, run_stencil_config, TABLE2_CONFIGS};
+
+fn main() {
+    eprintln!("calibrating (one-off offline step)...");
+    let cost_model = paper_calibration();
+    let system = SystemModel::from_testbed(&Testbed::paper());
+    let iters = 10;
+
+    for variant in [StencilVariant::Sten1, StencilVariant::Sten2] {
+        let name = match variant {
+            StencilVariant::Sten1 => "STEN-1 (no overlap)",
+            StencilVariant::Sten2 => "STEN-2 (overlapped)",
+        };
+        println!("\n=== {name} ===");
+        println!(
+            "{:>6} {:>12} {:>14} {:>14} {:>14}",
+            "N", "chosen", "predicted ms", "simulated ms", "best sweep ms"
+        );
+        for n in [60u64, 300, 600, 1200] {
+            let app = stencil_model(n, variant);
+            let est = Estimator::new(&system, &cost_model, &app);
+            let plan = partition(&est, &PartitionOptions::default()).expect("partition");
+            let simulated =
+                run_stencil_config(&plan.config, &plan.vector, variant, n as usize, iters);
+            // Sweep the paper's measured configurations for reference.
+            let best = TABLE2_CONFIGS
+                .iter()
+                .map(|config| {
+                    run_stencil_config(
+                        config,
+                        &balanced_vector(n, config),
+                        variant,
+                        n as usize,
+                        iters,
+                    )
+                })
+                .fold(f64::MAX, f64::min);
+            println!(
+                "{:>6} {:>12} {:>14.1} {:>14.1} {:>14.1}",
+                n,
+                format!("({},{})", plan.config[0], plan.config[1]),
+                plan.predicted_tc_ms() * iters as f64,
+                simulated,
+                best
+            );
+        }
+    }
+    println!(
+        "\nNote how small problems stay on few fast processors (granularity, \
+         Fig. 3 region B) and the slow cluster is only recruited once the \
+         problem is large enough to amortize the router."
+    );
+}

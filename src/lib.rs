@@ -1,0 +1,43 @@
+//! # netpart — runtime network partitioning of data parallel computations
+//!
+//! Facade crate re-exporting the whole workspace: a full Rust reproduction
+//! of *Weissman & Grimshaw, "Network Partitioning of Data Parallel
+//! Computations" (HPDC 1994)*.
+//!
+//! The paper's problem: given a data-parallel (SPMD) computation and a
+//! network of heterogeneous, shared workstations organized into homogeneous
+//! *clusters* on router-joined ethernet segments, choose — at runtime —
+//! **how many processors of each type** to use and **how to decompose the
+//! data domain** across them so that completion time is minimized.
+//!
+//! The layers, bottom up:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`sim`] | discrete-event network/processor simulator (the testbed substitute) |
+//! | [`mmps`] | reliable UDP-based message passing (fragmentation, acks, coercion) |
+//! | [`topology`] | synchronous communication topologies and task placement |
+//! | [`model`] | PDUs, phases, callback annotations, partition vectors |
+//! | [`calibrate`] | offline benchmarking + least-squares cost-function fitting |
+//! | [`core`] | the partitioning method itself (cluster ordering, `T_c` estimator, configuration search) |
+//! | [`spmd`] | SPMD cycle runtime executing tasks over the simulated network |
+//! | [`apps`] | stencil (STEN-1/STEN-2), Gaussian elimination, particle simulation |
+//! | [`baselines`] | equal decomposition, all-processors, dynamic balancing comparators |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow: build a network,
+//! calibrate cost functions, describe an application through callbacks,
+//! partition, and execute.
+
+#![forbid(unsafe_code)]
+
+pub use netpart_apps as apps;
+pub use netpart_baselines as baselines;
+pub use netpart_calibrate as calibrate;
+pub use netpart_core as core;
+pub use netpart_mmps as mmps;
+pub use netpart_model as model;
+pub use netpart_sim as sim;
+pub use netpart_spmd as spmd;
+pub use netpart_topology as topology;

@@ -1,0 +1,175 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates through the `netpart` facade.
+
+use proptest::prelude::*;
+
+use netpart::calibrate::{CommCostModel, FittedCost, PaperCostModel};
+use netpart::core::SearchStrategy;
+use netpart::model::PartitionVector;
+use netpart::topology::{crossings, PlacementStrategy, Topology};
+
+proptest! {
+    /// Largest-remainder rounding always conserves the PDU count and stays
+    /// within one PDU of the ideal share.
+    #[test]
+    fn partition_vector_conserves_pdus(
+        shares in prop::collection::vec(0.01f64..100.0, 1..40),
+        num_pdus in 1u64..100_000,
+    ) {
+        let v = PartitionVector::from_real_shares(&shares, num_pdus);
+        prop_assert_eq!(v.total(), num_pdus);
+        let total: f64 = shares.iter().sum();
+        for (i, &s) in shares.iter().enumerate() {
+            let ideal = s / total * num_pdus as f64;
+            prop_assert!(
+                (v.count(i) as f64 - ideal).abs() <= 1.0,
+                "rank {} got {} vs ideal {}", i, v.count(i), ideal
+            );
+        }
+    }
+
+    /// Ranges tile the PDU space exactly: consecutive, disjoint, complete.
+    #[test]
+    fn partition_ranges_tile_the_domain(
+        counts in prop::collection::vec(0u64..500, 1..30),
+    ) {
+        let v = PartitionVector::from_counts(counts.clone());
+        let ranges = v.ranges();
+        let mut expected_start = 0;
+        for (i, r) in ranges.iter().enumerate() {
+            prop_assert_eq!(r.start, expected_start);
+            prop_assert_eq!(r.end - r.start, counts[i]);
+            expected_start = r.end;
+        }
+        prop_assert_eq!(expected_start, v.total());
+    }
+
+    /// Every PDU has exactly one owner.
+    #[test]
+    fn owner_of_is_a_function(
+        counts in prop::collection::vec(0u64..50, 1..20),
+    ) {
+        let v = PartitionVector::from_counts(counts);
+        for pdu in 0..v.total() {
+            let owner = v.owner_of(pdu).expect("every PDU is owned");
+            let r = &v.ranges()[owner];
+            prop_assert!(r.contains(&pdu));
+        }
+        prop_assert_eq!(v.owner_of(v.total()), None);
+    }
+
+    /// Binary search finds the exact minimum of any unimodal discrete
+    /// function (the Fig. 3 assumption), at logarithmic cost.
+    #[test]
+    fn binary_search_exact_on_unimodal(
+        valley in 0u32..200,
+        hi in 1u32..200,
+        scale in 0.01f64..100.0,
+    ) {
+        let hi = hi.max(1);
+        let valley = valley.min(hi);
+        let f = |p: u32| scale * (p as f64 - valley as f64).abs();
+        let b = SearchStrategy::Binary.minimize(0, hi, f);
+        let e = SearchStrategy::Exhaustive.minimize(0, hi, f);
+        prop_assert_eq!(b.argmin, e.argmin);
+        prop_assert_eq!(b.min, e.min);
+        // ~2 log2 evaluations.
+        let bound = 2 * (32 - u32::leading_zeros(hi.max(2))) + 2;
+        prop_assert!(b.evaluations <= bound,
+            "{} evaluations for range {} (bound {})", b.evaluations, hi, bound);
+    }
+
+    /// Golden-section never reports a value worse than exhaustive on
+    /// unimodal inputs.
+    #[test]
+    fn golden_section_optimal_on_unimodal(
+        valley in 0u32..100,
+        hi in 1u32..100,
+    ) {
+        let valley = valley.min(hi);
+        let f = |p: u32| (p as f64 - valley as f64).powi(2);
+        let g = SearchStrategy::GoldenSection.minimize(0, hi, f);
+        prop_assert_eq!(g.min, 0.0);
+    }
+
+    /// Topology neighbor relations are symmetric and irreflexive for every
+    /// pattern and size.
+    #[test]
+    fn topology_neighbors_symmetric(p in 1u32..64) {
+        for topo in [Topology::OneD, Topology::Ring, Topology::TwoD, Topology::Tree, Topology::Broadcast] {
+            for r in 0..p {
+                let n = topo.neighbors(r, p);
+                prop_assert!(!n.contains(&r), "{topo} p={p}: self-loop at {r}");
+                for peer in n {
+                    prop_assert!(topo.neighbors(peer, p).contains(&r),
+                        "{topo} p={p}: {r}->{peer} asymmetric");
+                }
+            }
+        }
+    }
+
+    /// Contiguous placement of a 1-D chain crosses clusters exactly
+    /// (#non-empty clusters − 1) times — the property the paper's
+    /// placement strategy exists to guarantee.
+    #[test]
+    fn contiguous_placement_minimizes_crossings(
+        per_cluster in prop::collection::vec(0u32..8, 1..6),
+    ) {
+        let assignment = PlacementStrategy::ClusterContiguous.assign(&per_cluster);
+        let total: u32 = per_cluster.iter().sum();
+        prop_assume!(total >= 2);
+        let nonempty = per_cluster.iter().filter(|&&c| c > 0).count() as u32;
+        prop_assert_eq!(
+            crossings(Topology::OneD, &assignment),
+            nonempty - 1
+        );
+        // Round-robin can only be worse or equal.
+        let rr = PlacementStrategy::RoundRobin.assign(&per_cluster);
+        prop_assert!(crossings(Topology::OneD, &rr) >= nonempty - 1);
+    }
+
+    /// Eq. 1 cost functions are monotone in bytes for non-negative
+    /// bandwidth coefficients, and `max(0, ·)` keeps them sane otherwise.
+    #[test]
+    fn fitted_cost_nonnegative(
+        c1 in -5.0f64..5.0,
+        c2 in -1.0f64..1.0,
+        c3 in -0.01f64..0.01,
+        c4 in 0.0f64..0.01,
+        bytes in 0.0f64..10_000.0,
+        p in 1u32..32,
+    ) {
+        let f = FittedCost { c1, c2, c3, c4, r_squared: 1.0, abs_fix: false };
+        prop_assert!(f.eval_ms(bytes, p) >= 0.0);
+        let g = FittedCost { abs_fix: true, ..f };
+        prop_assert!(g.eval_ms(bytes, p) >= 0.0);
+    }
+
+    /// Eq. 2 composition: the total cost of a multi-cluster configuration
+    /// is at least the worst single cluster's cost evaluated at its own
+    /// count (router penalties only add).
+    #[test]
+    fn cross_cluster_cost_dominates_intra(
+        p1 in 2u32..7,
+        p2 in 2u32..7,
+        bytes in 1.0f64..10_000.0,
+    ) {
+        let m = PaperCostModel;
+        let total = m.total_ms(&[p1, p2], Topology::OneD, bytes);
+        let intra1 = m.intra_ms(0, Topology::OneD, bytes, p1);
+        let intra2 = m.intra_ms(1, Topology::OneD, bytes, p2);
+        prop_assert!(total >= intra1.max(intra2) - 1e-9,
+            "total {} vs intra ({}, {})", total, intra1, intra2);
+    }
+
+    /// Equal decomposition differs from any rank's ideal by at most one.
+    #[test]
+    fn equal_split_is_balanced(num in 1u64..10_000, p in 1usize..64) {
+        let v = PartitionVector::equal(num, p);
+        prop_assert_eq!(v.total(), num);
+        let lo = num / p as u64;
+        for r in 0..p {
+            prop_assert!(v.count(r) == lo || v.count(r) == lo + 1);
+        }
+    }
+}
