@@ -318,7 +318,10 @@ fn gauss_survives_lossy_network() {
     for (g, w) in x.iter().zip(&x_true) {
         assert!((g - w).abs() < 1e-8, "{g} vs {w}");
     }
-    assert!(exec.mmps().stats().datagrams_dropped > 0, "loss must have occurred");
+    assert!(
+        exec.mmps().stats().datagrams_dropped > 0,
+        "loss must have occurred"
+    );
 }
 
 #[test]
@@ -336,7 +339,11 @@ fn sten2_rank_drift_is_bounded_by_neighbor_dependencies() {
     let report = exec
         .run(&mut app, &PartitionVector::equal(n as u64, 6), false)
         .expect("run");
-    let finishes: Vec<f64> = report.rank_finish.iter().map(|t| t.as_millis_f64()).collect();
+    let finishes: Vec<f64> = report
+        .rank_finish
+        .iter()
+        .map(|t| t.as_millis_f64())
+        .collect();
     let spread = finishes.iter().cloned().fold(f64::MIN, f64::max)
         - finishes.iter().cloned().fold(f64::MAX, f64::min);
     let cycle = report.mean_cycle().as_millis_f64();

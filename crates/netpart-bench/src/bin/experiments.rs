@@ -20,7 +20,7 @@ use netpart_calibrate::CalibratedCostModel;
 fn model() -> &'static CalibratedCostModel {
     static MODEL: OnceLock<CalibratedCostModel> = OnceLock::new();
     MODEL.get_or_init(|| {
-        eprintln!("[calibrating the simulated testbed — offline §3 step]");
+        eprintln!("[calibration — offline §3 step, cached under target/netpart-calib]");
         paper_calibration()
     })
 }

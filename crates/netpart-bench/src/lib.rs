@@ -21,6 +21,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use ablations::*;
 pub use experiments::*;

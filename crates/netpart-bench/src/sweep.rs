@@ -1,0 +1,15 @@
+//! The harness's view of the workspace sweep executor.
+//!
+//! Every experiment and ablation in this crate is a grid of independent,
+//! single-threaded simulations; [`sweep`] fans those cells across cores
+//! and returns results in cell order, so parallel tables are byte-
+//! identical to sequential ones. The executor itself lives in
+//! `netpart-sweep` (so `netpart-calibrate` can parallelize the
+//! calibration grid without depending on this crate); this module
+//! re-exports it and is the only path the experiment drivers use.
+//!
+//! Control the worker count with `NETPART_SWEEP_THREADS` (the
+//! determinism regression tests pin it to 1 to reproduce the sequential
+//! path) or programmatically with [`set_threads`].
+
+pub use netpart_sweep::{set_threads, sweep, sweep_indexed, threads};

@@ -68,7 +68,10 @@ fn fig3_curve_is_u_shaped_at_small_n() {
         .map(|(i, _)| i)
         .unwrap();
     // Interior minimum: region A to its left, region B to its right.
-    assert!(min_idx > 0 && min_idx < points.len() - 1, "min at {min_idx}");
+    assert!(
+        min_idx > 0 && min_idx < points.len() - 1,
+        "min at {min_idx}"
+    );
     assert!(points[0].measured_tc_ms > points[min_idx].measured_tc_ms);
     assert!(points.last().unwrap().measured_tc_ms > points[min_idx].measured_tc_ms);
 }

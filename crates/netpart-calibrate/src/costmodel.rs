@@ -24,11 +24,10 @@
 use std::collections::HashMap;
 
 use netpart_topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// A fitted Eq. 1 instance: `ms(b, p) = c1 + c2·p + b·(c3 + c4·p)`,
 /// milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FittedCost {
     /// Latency constant (ms).
     pub c1: f64,
@@ -62,7 +61,7 @@ impl FittedCost {
 
 /// A linear-in-bytes penalty: `ms(b) = a + k·b` (router forwarding,
 /// format coercion).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LinearCost {
     /// Constant term (ms).
     pub a: f64,

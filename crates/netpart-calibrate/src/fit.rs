@@ -82,16 +82,22 @@ pub fn calibrate_cluster(
 ) -> FittedCost {
     let capacity = testbed.clusters[cluster].nodes;
     assert!(capacity >= 2, "need at least two nodes to communicate");
-    let mut rows = Vec::new();
-    let mut y = Vec::new();
-    for p in 2..=capacity {
+    // Each (p, b) grid point is an independent simulation; the sweep
+    // returns them in grid order, so the least-squares system is built
+    // exactly as the sequential loop built it.
+    let grid: Vec<(u32, u32)> = (2..=capacity)
+        .flat_map(|p| cfg.b_values.iter().map(move |&b| (p, b)))
+        .collect();
+    let times = netpart_sweep::sweep(grid.clone(), |(p, b)| {
         let mut config = vec![0u32; testbed.num_clusters()];
         config[cluster] = p;
-        for &b in &cfg.b_values {
-            let t = measure_cycle_ms(testbed, &config, topo, b, cfg);
-            rows.push(vec![1.0, p as f64, b as f64, p as f64 * b as f64]);
-            y.push(t);
-        }
+        measure_cycle_ms(testbed, &config, topo, b, cfg)
+    });
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for (&(p, b), &t) in grid.iter().zip(times.iter()) {
+        rows.push(vec![1.0, p as f64, b as f64, p as f64 * b as f64]);
+        y.push(t);
     }
     let fit = least_squares(&rows, &y).expect("calibration sweep must be well-posed");
     FittedCost {
@@ -122,9 +128,7 @@ pub fn calibrate_router(
     let mut tb = testbed.clone();
     tb.clusters[cb].proc_type = tb.clusters[ca].proc_type.clone();
 
-    let mut rows = Vec::new();
-    let mut y = Vec::new();
-    for &b in &cfg.b_values {
+    let excesses = netpart_sweep::sweep(cfg.b_values.clone(), |b| {
         let mut cross_cfg = vec![0u32; tb.num_clusters()];
         cross_cfg[ca] = 1;
         cross_cfg[cb] = 1;
@@ -132,10 +136,10 @@ pub fn calibrate_router(
         let mut intra_cfg = vec![0u32; tb.num_clusters()];
         intra_cfg[ca] = 2;
         let base = measure_cycle_ms(&tb, &intra_cfg, Topology::OneD, b, cfg);
-        rows.push(vec![1.0, b as f64]);
-        y.push((cross - base).max(0.0));
-    }
-    let fit = least_squares(&rows, &y).expect("router sweep must be well-posed");
+        (cross - base).max(0.0)
+    });
+    let rows: Vec<Vec<f64>> = cfg.b_values.iter().map(|&b| vec![1.0, b as f64]).collect();
+    let fit = least_squares(&rows, &excesses).expect("router sweep must be well-posed");
     LinearCost {
         a: fit.coefficients[0].max(0.0),
         k: fit.coefficients[1].max(0.0),
@@ -157,18 +161,16 @@ pub fn calibrate_coerce(
     let mut unified = testbed.clone();
     unified.clusters[cb].proc_type.data_format = unified.clusters[ca].proc_type.data_format;
 
-    let mut rows = Vec::new();
-    let mut y = Vec::new();
-    for &b in &cfg.b_values {
+    let excesses = netpart_sweep::sweep(cfg.b_values.clone(), |b| {
         let mut cc = vec![0u32; testbed.num_clusters()];
         cc[ca] = 1;
         cc[cb] = 1;
         let with = measure_cycle_ms(testbed, &cc, Topology::OneD, b, cfg);
         let without = measure_cycle_ms(&unified, &cc, Topology::OneD, b, cfg);
-        rows.push(vec![1.0, b as f64]);
-        y.push((with - without).max(0.0));
-    }
-    let fit = least_squares(&rows, &y).expect("coercion sweep must be well-posed");
+        (with - without).max(0.0)
+    });
+    let rows: Vec<Vec<f64>> = cfg.b_values.iter().map(|&b| vec![1.0, b as f64]).collect();
+    let fit = least_squares(&rows, &excesses).expect("coercion sweep must be well-posed");
     LinearCost {
         a: fit.coefficients[0].max(0.0),
         k: fit.coefficients[1].max(0.0),

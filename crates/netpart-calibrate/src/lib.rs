@@ -23,12 +23,16 @@
 #![forbid(unsafe_code)]
 
 pub mod bench_app;
+pub mod cache;
 pub mod costmodel;
 pub mod fit;
 pub mod linreg;
 pub mod testbed;
 
 pub use bench_app::CommBench;
+pub use cache::{
+    calibrate_testbed_cached, calibrate_testbed_cached_status, calibration_fingerprint, CacheStatus,
+};
 pub use costmodel::{
     CalibratedCostModel, CommCostModel, CrossClusterMode, FittedCost, LinearCost, PaperCostModel,
 };

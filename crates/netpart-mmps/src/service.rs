@@ -19,11 +19,9 @@
 //! handed over zero-copy once the last fragment arrives. Loss and
 //! retransmission therefore affect timing and statistics, never content.
 
-use std::collections::HashMap;
-
 use bytes::Bytes;
 
-use netpart_sim::{Network, NodeId, SimDur, SimError, SimEvent, SimTime, TimerId};
+use netpart_sim::{FastMap, Network, NodeId, SimDur, SimError, SimEvent, SimTime, TimerId};
 
 use crate::config::MmpsConfig;
 use crate::message::{pack_tag, unpack_tag, FragPlan, MsgId, WireKind};
@@ -148,14 +146,14 @@ pub struct Mmps {
     net: Network,
     cfg: MmpsConfig,
     next_msg: u64,
-    outgoing: HashMap<u64, OutMsg>,
-    incoming: HashMap<u64, InMsg>,
+    outgoing: FastMap<u64, OutMsg>,
+    incoming: FastMap<u64, InMsg>,
     /// Completed message ids → original sender, kept to re-ack duplicates.
-    completed: HashMap<u64, NodeId>,
+    completed: FastMap<u64, NodeId>,
     /// Deliveries delayed by coercion: msg id → ready event.
-    pending_delivery: HashMap<u64, (NodeId, NodeId, u64, Bytes, u32)>,
+    pending_delivery: FastMap<u64, (NodeId, NodeId, u64, Bytes, u32)>,
     /// Per-(sender, receiver) round-trip estimators for adaptive RTO.
-    rtt: HashMap<(NodeId, NodeId), RttEstimator>,
+    rtt: FastMap<(NodeId, NodeId), RttEstimator>,
     stats: MmpsStats,
 }
 
@@ -166,11 +164,11 @@ impl Mmps {
             net,
             cfg,
             next_msg: 0,
-            outgoing: HashMap::new(),
-            incoming: HashMap::new(),
-            completed: HashMap::new(),
-            pending_delivery: HashMap::new(),
-            rtt: HashMap::new(),
+            outgoing: FastMap::default(),
+            incoming: FastMap::default(),
+            completed: FastMap::default(),
+            pending_delivery: FastMap::default(),
+            rtt: FastMap::default(),
             stats: MmpsStats::default(),
         }
     }
@@ -402,10 +400,17 @@ impl Mmps {
                     return None;
                 }
                 // Complete: ack, then deliver (possibly after coercion).
+                // The payload is *moved* out of the sender's record rather
+                // than cloned: the receiver has the only remaining use for
+                // its content. A later retransmission (lost ack) finds an
+                // empty buffer and falls into the dummy-payload path, which
+                // keeps wire timing exact — and content no longer matters,
+                // since duplicates of a completed message are re-acked
+                // without being delivered.
                 self.incoming.remove(&msg);
-                let out = &self.outgoing[&msg];
-                let (src, dst, tag, payload, len) =
-                    (out.src, out.dst, out.user_tag, out.payload.clone(), out.len);
+                let out = self.outgoing.get_mut(&msg).expect("checked above");
+                let payload = std::mem::take(&mut out.payload);
+                let (src, dst, tag, len) = (out.src, out.dst, out.user_tag, out.len);
                 self.completed.insert(msg, src);
                 let _ = self.net.send_datagram_sized(
                     dst,

@@ -96,8 +96,10 @@ pub enum DropReason {
 pub(crate) enum Work {
     /// Sender-side host processing finished; frame joins its segment queue.
     FrameReady { dgram: Datagram },
-    /// A frame finished transmitting on `segment`.
-    TxEnd { segment: SegmentId },
+    /// A frame finished transmitting on `segment`. The frame rides in the
+    /// work item itself — a segment's wire holds at most one frame, and
+    /// carrying it here avoids a per-frame side-slot store and take.
+    TxEnd { segment: SegmentId, dgram: Datagram },
     /// The router finished store-and-forward processing of a frame and the
     /// frame now joins the queue of the next-hop segment.
     RouterForwarded { router: RouterId, dgram: Datagram },
@@ -166,7 +168,6 @@ impl EventQueue {
     }
 
     /// The time of the earliest pending item, if any.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
     }

@@ -25,13 +25,13 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
 
 use bytes::Bytes;
 
 use crate::datagram::{Datagram, MAX_DATAGRAM_PAYLOAD};
 use crate::error::SimError;
 use crate::event::{DropReason, EventQueue, SimEvent, Work};
+use crate::fasthash::FastSet;
 use crate::ids::{DgramId, NodeId, ProcTypeId, RouterId, SegmentId, TimerId};
 use crate::node::{Node, OpClass, ProcType};
 use crate::router::{Router, RouterSpec, RouterStats};
@@ -139,11 +139,9 @@ impl NetworkBuilder {
                 }
             }
         }
-        let num_segments = self.segments.len();
         Ok(Network {
             proc_types: self.proc_types,
             segments: self.segments.into_iter().map(Segment::new).collect(),
-            in_flight: (0..num_segments).map(|_| None).collect(),
             nodes: self
                 .nodes
                 .into_iter()
@@ -154,7 +152,7 @@ impl NetworkBuilder {
             now: SimTime::ZERO,
             next_dgram: 0,
             next_timer: 0,
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: FastSet::default(),
             rng: SmallRng::seed_from_u64(self.seed),
             delivered: 0,
             dropped: 0,
@@ -184,15 +182,13 @@ pub struct BackgroundFlow {
 pub struct Network {
     proc_types: Vec<ProcType>,
     segments: Vec<Segment>,
-    /// The frame currently on the wire of each segment (at most one).
-    in_flight: Vec<Option<Datagram>>,
     nodes: Vec<Node>,
     routers: Vec<Router>,
     queue: EventQueue,
     now: SimTime,
     next_dgram: u64,
     next_timer: u64,
-    cancelled_timers: HashSet<TimerId>,
+    cancelled_timers: FastSet<TimerId>,
     rng: SmallRng,
     delivered: u64,
     dropped: u64,
@@ -430,6 +426,17 @@ impl Network {
             if let Some(evt) = self.process(work) {
                 return Some(evt);
             }
+            // Drain the rest of this instant's batch without touching the
+            // clock. Same-timestamp bursts are the common case here —
+            // fragment trains queued behind one frame, simultaneous timer
+            // matures — and processing them in place skips the redundant
+            // per-item clock bookkeeping.
+            while self.queue.peek_time() == Some(self.now) {
+                let (_, work) = self.queue.pop().expect("peeked non-empty");
+                if let Some(evt) = self.process(work) {
+                    return Some(evt);
+                }
+            }
         }
         None
     }
@@ -451,7 +458,7 @@ impl Network {
                 self.enqueue_frame(seg, dgram);
                 None
             }
-            Work::TxEnd { segment } => self.tx_end(segment),
+            Work::TxEnd { segment, dgram } => self.tx_end(segment, dgram),
             Work::RouterForwarded { router, dgram } => {
                 let r = &mut self.routers[router.index()];
                 r.in_flight -= 1;
@@ -526,23 +533,13 @@ impl Network {
         seg.frames_sent += 1;
         seg.bytes_sent += dgram.frame_bytes() as u64;
         let end = self.now + access + tx;
-        // Stash the in-flight frame at the queue's front marker by pushing a
-        // dedicated TxEnd carrying the segment; the frame rides in a side
-        // slot to keep the queue strictly FIFO.
-        self.in_flight_frame(segment, dgram);
-        self.queue.push(end, Work::TxEnd { segment });
+        // The frame rides inside the TxEnd item itself: a segment's wire
+        // holds at most one frame at a time, so no side slot is needed and
+        // the datagram moves straight from queue to work item to handler.
+        self.queue.push(end, Work::TxEnd { segment, dgram });
     }
 
-    fn in_flight_frame(&mut self, segment: SegmentId, dgram: Datagram) {
-        // One frame per segment can be on the wire at a time.
-        debug_assert!(self.in_flight[segment.index()].is_none());
-        self.in_flight[segment.index()] = Some(dgram);
-    }
-
-    fn tx_end(&mut self, segment: SegmentId) -> Option<SimEvent> {
-        let dgram = self.in_flight[segment.index()]
-            .take()
-            .expect("TxEnd without in-flight frame");
+    fn tx_end(&mut self, segment: SegmentId, dgram: Datagram) -> Option<SimEvent> {
         // Kick the next queued frame first so channel work continues
         // regardless of what happens to this frame.
         self.start_next_tx(segment);

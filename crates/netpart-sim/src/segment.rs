@@ -85,7 +85,9 @@ impl Segment {
     pub(crate) fn new(spec: SegmentSpec) -> Segment {
         Segment {
             spec,
-            queue: VecDeque::new(),
+            // Pre-size for a typical fragment train so steady-state traffic
+            // never grows the ring buffer (it is recycled, never shrunk).
+            queue: VecDeque::with_capacity(32),
             busy: false,
             busy_time: SimDur::ZERO,
             frames_sent: 0,

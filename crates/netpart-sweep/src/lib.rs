@@ -1,0 +1,148 @@
+//! Parallel sweep executor for independent simulation cells.
+//!
+//! Every paper artifact this workspace regenerates — Table 2's config ×
+//! size grid, Fig. 3's P-sweep, the calibration (p, b) grid, the A1–A8
+//! ablations — is a set of *independent, single-threaded* discrete-event
+//! simulations. [`sweep`] fans such cells across cores with a
+//! self-scheduling shared queue (each idle worker steals the next
+//! unclaimed cell) and collects results **by cell index**, not completion
+//! order. Because each cell owns its inputs — including its own seeded
+//! RNG inside the simulated network — parallel output is byte-identical
+//! to the sequential path, which the determinism regression tests assert.
+//!
+//! Thread count: `NETPART_SWEEP_THREADS` env var, else a programmatic
+//! [`set_threads`] override, else [`std::thread::available_parallelism`].
+//! A count of 1 (or a single cell) degrades to a plain sequential loop on
+//! the calling thread with zero spawn overhead.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Programmatic thread-count override; 0 means "auto".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the worker count for subsequent [`sweep`] calls (0 restores
+/// auto-detection). Results are byte-identical for any count, so racing
+/// callers can only affect speed, never output — tests use this to compare
+/// the sequential and parallel paths directly.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count [`sweep`] will use right now.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("NETPART_SWEEP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Run `run_cell` over every cell, in parallel, returning results in cell
+/// order. Panics in a cell propagate to the caller after the scope joins.
+pub fn sweep<T, R, F>(cells: Vec<T>, run_cell: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = cells.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return cells.into_iter().map(run_cell).collect();
+    }
+    let queue = Mutex::new(cells.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Hold the queue lock only for the pop, not the cell run.
+                let next = queue.lock().expect("sweep queue poisoned").next();
+                match next {
+                    Some((i, cell)) => {
+                        *slots[i].lock().expect("sweep slot poisoned") = Some(run_cell(cell));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .unwrap_or_else(|| panic!("sweep cell {i} produced no result"))
+        })
+        .collect()
+}
+
+/// [`sweep`] over `0..n`, for grids that are cheaper to index than to
+/// materialize.
+pub fn sweep_indexed<R, F>(n: usize, run_cell: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    sweep((0..n).collect(), run_cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered() {
+        let out = sweep((0..100u64).collect(), |i| i * i);
+        assert_eq!(out, (0..100u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cells: Vec<u64> = (0..64).collect();
+        set_threads(1);
+        let seq = sweep(cells.clone(), |i| i.wrapping_mul(0x9E37).rotate_left(7));
+        set_threads(8);
+        let par = sweep(cells, |i| i.wrapping_mul(0x9E37).rotate_left(7));
+        set_threads(0);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_cell() {
+        assert_eq!(sweep(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(sweep(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn indexed_variant() {
+        assert_eq!(sweep_indexed(5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn large_fanout_with_uneven_cost() {
+        set_threads(8);
+        let out = sweep((0..200usize).collect(), |i| {
+            // Uneven per-cell cost exercises the self-scheduling queue.
+            let mut acc = 0usize;
+            for k in 0..(i % 17) * 1000 {
+                acc = acc.wrapping_add(k ^ i);
+            }
+            (i, acc)
+        });
+        set_threads(0);
+        for (i, row) in out.iter().enumerate() {
+            assert_eq!(row.0, i);
+        }
+    }
+}

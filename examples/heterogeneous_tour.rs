@@ -8,7 +8,7 @@
 //! ```
 
 use netpart::apps::stencil::{stencil_model, StencilVariant};
-use netpart::calibrate::{calibrate_testbed, CalibrationConfig, Testbed};
+use netpart::calibrate::{calibrate_testbed_cached, CalibrationConfig, Testbed};
 use netpart::core::{
     determine_available, partition, AvailabilityPolicy, Estimator, PartitionOptions, SystemModel,
 };
@@ -30,8 +30,9 @@ fn main() {
         );
     }
 
-    eprintln!("calibrating (router + coercion fits included)...");
-    let cost_model = calibrate_testbed(&testbed, &[Topology::OneD], &CalibrationConfig::default());
+    eprintln!("calibrating (router + coercion fits included; cached after the first run)...");
+    let cost_model =
+        calibrate_testbed_cached(&testbed, &[Topology::OneD], &CalibrationConfig::default());
     for a in 0..testbed.num_clusters() {
         for b in a + 1..testbed.num_clusters() {
             let r = cost_model.router.get(&(a, b)).copied().unwrap_or_default();

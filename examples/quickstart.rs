@@ -15,7 +15,7 @@
 //! ```
 
 use netpart::apps::stencil::{stencil_model, StencilApp, StencilVariant};
-use netpart::calibrate::{calibrate_testbed, CalibrationConfig, Testbed};
+use netpart::calibrate::{calibrate_testbed_cached, CalibrationConfig, Testbed};
 use netpart::core::{partition, Estimator, PartitionOptions, SystemModel};
 use netpart::spmd::Executor;
 use netpart::topology::{PlacementStrategy, Topology};
@@ -30,8 +30,11 @@ fn main() {
     );
 
     // 2. Offline calibration of T_comm[C, τ](b, p) = c1 + c2·p + b(c3 + c4·p).
+    //    Cached under target/netpart-calib/ — only the first run on a
+    //    machine pays for the benchmark sweeps.
     println!("calibrating 1-D communication cost functions...");
-    let cost_model = calibrate_testbed(&testbed, &[Topology::OneD], &CalibrationConfig::default());
+    let cost_model =
+        calibrate_testbed_cached(&testbed, &[Topology::OneD], &CalibrationConfig::default());
     for (k, name) in ["Sparc2", "IPC"].iter().enumerate() {
         let fit = cost_model.intra[&(k, Topology::OneD)];
         println!(

@@ -1,0 +1,172 @@
+//! Determinism regression tests for the parallel sweep engine and the
+//! persistent calibration cache.
+//!
+//! Two properties are load-bearing for every table this repository
+//! regenerates:
+//!
+//! 1. **Thread-count invariance** — fanning sweep cells across workers
+//!    must produce byte-identical artifacts to the sequential path, for
+//!    any worker count, because each cell owns its inputs (including the
+//!    simulated network's seeded RNG) and results are collected by cell
+//!    index, never completion order.
+//! 2. **Cache exactness** — a calibration served from the in-process
+//!    memo or the on-disk store must reproduce the fitted constants
+//!    bit-for-bit, so cached and freshly-calibrated runs print the same
+//!    tables.
+
+use netpart::apps::stencil::StencilVariant;
+use netpart::calibrate::{
+    calibrate_testbed_cached_status, CacheStatus, CalibratedCostModel, CalibrationConfig, Testbed,
+};
+use netpart::topology::Topology;
+use netpart_bench::sweep::{set_threads, sweep};
+use netpart_bench::{balanced_vector, format_table2, run_stencil_config, table2, TABLE2_CONFIGS};
+
+/// Canonical text rendering of a calibrated model: every table sorted by
+/// key, floats printed with `{:?}` (shortest round-trip), so two models
+/// render identically iff their constants are bit-identical (modulo NaN,
+/// which calibration never produces).
+fn canon(model: &CalibratedCostModel) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut intra: Vec<_> = model.intra.iter().collect();
+    intra.sort_by_key(|((cluster, topo), _)| (*cluster, format!("{topo:?}")));
+    for ((cluster, topo), fit) in intra {
+        lines.push(format!("intra {cluster} {topo:?} {fit:?}"));
+    }
+    for section in ["router", "coerce"] {
+        let table = if section == "router" {
+            &model.router
+        } else {
+            &model.coerce
+        };
+        let mut rows: Vec<_> = table.iter().collect();
+        rows.sort_by_key(|(k, _)| **k);
+        for ((a, b), cost) in rows {
+            lines.push(format!("{section} {a} {b} {cost:?}"));
+        }
+    }
+    lines
+}
+
+/// Raw sweep cells (full stencil simulations) return bit-identical
+/// elapsed times for 1 worker and many workers.
+#[test]
+fn parallel_sweep_cells_match_sequential_bit_exact() {
+    let jobs: Vec<([u32; 2], u64)> = TABLE2_CONFIGS
+        .iter()
+        .flat_map(|&c| [60u64, 300].map(|n| (c, n)))
+        .collect();
+    let run = |(config, n): ([u32; 2], u64)| {
+        let vector = balanced_vector(n, &config);
+        run_stencil_config(&config, &vector, StencilVariant::Sten1, n as usize, 5)
+    };
+    set_threads(1);
+    let sequential = sweep(jobs.clone(), run);
+    set_threads(4);
+    let parallel = sweep(jobs, run);
+    set_threads(0);
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            p.to_bits(),
+            "cell {i}: sequential {s:?} != parallel {p:?}"
+        );
+    }
+}
+
+/// A full rendered experiment table — partition decision, simulations,
+/// formatting — is byte-identical between the sequential and parallel
+/// sweep paths.
+#[test]
+fn table2_rendering_is_identical_across_thread_counts() {
+    let (model, _) = calibrate_testbed_cached_status(
+        &Testbed::paper(),
+        &[Topology::OneD],
+        &CalibrationConfig::default(),
+    );
+    set_threads(1);
+    let sequential = format_table2(&table2(&model, &[60], 5));
+    set_threads(4);
+    let parallel = format_table2(&table2(&model, &[60], 5));
+    set_threads(0);
+    assert_eq!(sequential, parallel);
+}
+
+/// Within one process, the second cached-calibration request is a memo
+/// hit and returns the exact same constants.
+#[test]
+fn calibration_memo_hit_reproduces_exact_constants() {
+    let tb = Testbed::paper();
+    let topos = [Topology::OneD];
+    let cfg = CalibrationConfig::default();
+    let (first, _) = calibrate_testbed_cached_status(&tb, &topos, &cfg);
+    let (second, status) = calibrate_testbed_cached_status(&tb, &topos, &cfg);
+    assert_eq!(status, CacheStatus::MemoHit);
+    assert_eq!(canon(&first), canon(&second));
+}
+
+/// Across processes, the on-disk store satisfies the second process
+/// (logged as a cache reuse) with bit-identical fitted constants — the
+/// "computed at most once per machine" guarantee.
+#[test]
+fn calibration_disk_cache_survives_process_restart() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir().join(format!("netpart-calib-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        std::process::Command::new(&exe)
+            .args([
+                "child_print_calibration",
+                "--exact",
+                "--ignored",
+                "--nocapture",
+            ])
+            .env("NETPART_CALIB_DIR", &dir)
+            .output()
+            .expect("spawn child test process")
+    };
+    let first = run();
+    let second = run();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(first.status.success(), "first child failed: {first:?}");
+    assert!(second.status.success(), "second child failed: {second:?}");
+
+    let constants = |out: &std::process::Output| -> Vec<String> {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("CANON "))
+            .map(str::to_owned)
+            .collect()
+    };
+    let (c1, c2) = (constants(&first), constants(&second));
+    assert!(!c1.is_empty(), "child printed no constants");
+    assert_eq!(c1, c2, "disk hit must reproduce fitted constants exactly");
+
+    let err1 = String::from_utf8_lossy(&first.stderr);
+    let err2 = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        err1.contains("cache miss, running full calibration"),
+        "first process should calibrate: {err1}"
+    );
+    assert!(
+        err2.contains("reusing cached calibration"),
+        "second process should hit the disk cache: {err2}"
+    );
+}
+
+/// Helper for [`calibration_disk_cache_survives_process_restart`]: runs
+/// one cached calibration in a child process and prints the canonical
+/// constants. Never selected by a normal `cargo test` run.
+#[test]
+#[ignore = "child process helper, spawned by calibration_disk_cache_survives_process_restart"]
+fn child_print_calibration() {
+    let (model, _) = calibrate_testbed_cached_status(
+        &Testbed::paper(),
+        &[Topology::OneD],
+        &CalibrationConfig::default(),
+    );
+    for line in canon(&model) {
+        println!("CANON {line}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment is fully offline, so the workspace vendors the
+//! subset of criterion the benches use: `Criterion::benchmark_group` /
+//! `bench_function`, `BenchmarkGroup::{sample_size, throughput,
+//! bench_function, finish}`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model, deliberately simple: one warm-up call, then
+//! `sample_size` timed calls; the report prints min / mean / max
+//! wall-clock per call and, when a throughput is set, the implied
+//! elements-or-bytes per second of the mean. Passing `--test` (as
+//! `cargo test --benches` does) runs each benchmark exactly once so CI
+//! stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Units for the optional throughput line of a group's report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Harness entry point; one per benchmark binary.
+pub struct Criterion {
+    /// `--test` mode: single iteration, no statistics.
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// A one-off benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_sample_size;
+        let test_mode = self.test_mode;
+        run_one(&id.into(), samples, test_mode, None, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix, sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's minimum is 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report throughput along with raw timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(
+            &full,
+            self.sample_size,
+            self.criterion.test_mode,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// End the group. (The vendored shim prints per-benchmark lines as it
+    /// goes; `finish` exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `inner` once per sample, after one untimed warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        std::hint::black_box(inner());
+        self.durations.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(inner());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let samples = if test_mode { 1 } else { sample_size };
+    let mut bencher = Bencher {
+        samples,
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.durations.is_empty() {
+        println!("{id:<50} (no measurements)");
+        return;
+    }
+    let total: Duration = bencher.durations.iter().sum();
+    let mean = total / bencher.durations.len() as u32;
+    let min = *bencher.durations.iter().min().expect("non-empty");
+    let max = *bencher.durations.iter().max().expect("non-empty");
+    let mut line = format!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_dur(min),
+        fmt_dur(mean),
+        fmt_dur(max)
+    );
+    if let Some(t) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            line.push_str(&format!("  thrpt: {:.3e} {unit}", n as f64 / secs));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — a function running each target
+/// against a fresh default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_sample_size: 3,
+        };
+        let mut hits = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Elements(5));
+            g.bench_function("count", |b| b.iter(|| hits += 1));
+            g.finish();
+        }
+        // 1 warm-up + 1 sample in test mode.
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_dur(Duration::from_micros(34)).ends_with("µs"));
+        assert!(fmt_dur(Duration::from_millis(56)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(7)).ends_with('s'));
+    }
+}

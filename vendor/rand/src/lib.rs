@@ -1,0 +1,140 @@
+//! Vendored minimal stand-in for the `rand` crate.
+//!
+//! The build environment is fully offline, so the workspace vendors only
+//! the API surface it uses: `rngs::SmallRng`, `SeedableRng::seed_from_u64`
+//! and `Rng::random` for a handful of primitive types. `SmallRng` is
+//! xoshiro256++ (the same family the real crate's `small_rng` feature
+//! uses), seeded through SplitMix64 exactly as `seed_from_u64` specifies,
+//! so streams are deterministic for a given seed across platforms.
+
+/// Types that can be sampled uniformly from an RNG's raw 64-bit output.
+/// Stand-in for the real crate's `StandardUniform` distribution.
+pub trait StandardSample {
+    fn sample(next_u64: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(next_u64: &mut dyn FnMut() -> u64) -> f64 {
+        (next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample(next_u64: &mut dyn FnMut() -> u64) -> f32 {
+        (next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample(next_u64: &mut dyn FnMut() -> u64) -> u64 {
+        next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample(next_u64: &mut dyn FnMut() -> u64) -> u32 {
+        (next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample(next_u64: &mut dyn FnMut() -> u64) -> bool {
+        next_u64() & 1 == 1
+    }
+}
+
+/// Seeding interface; only the `u64` convenience constructor is vendored.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface over an RNG.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(&mut || self.next_u64())
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, non-cryptographic.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(1994);
+        let mut b = SmallRng::seed_from_u64(1994);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}
