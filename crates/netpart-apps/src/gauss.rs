@@ -88,7 +88,7 @@ pub fn sequential_solve(n: usize, a_in: &[f64], b_in: &[f64]) -> Vec<f64> {
     for k in 0..n {
         let pivot = (0..n)
             .filter(|&i| !used[i])
-            .max_by(|&i, &j| a[i * n + k].abs().partial_cmp(&a[j * n + k].abs()).unwrap())
+            .max_by(|&i, &j| a[i * n + k].abs().total_cmp(&a[j * n + k].abs()))
             .expect("rows remain");
         used[pivot] = true;
         pivots.push(pivot);

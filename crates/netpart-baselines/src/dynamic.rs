@@ -13,12 +13,84 @@
 //! paper describes when arguing static partitioning suffices once
 //! availability is filtered by the cluster managers.
 
+use bytes::Bytes;
 use netpart_apps::stencil::{StencilApp, StencilVariant};
 use netpart_calibrate::Testbed;
-use netpart_model::PartitionVector;
-use netpart_sim::SimDur;
-use netpart_spmd::{Executor, SpmdError};
+use netpart_model::{OpKind, PartitionVector};
+use netpart_sim::{SimDur, SimTime};
+use netpart_spmd::{Executor, Phase, Probe, Rank, SpmdApp, SpmdError, Step};
 use netpart_topology::PlacementStrategy;
+
+/// Probe that accumulates each rank's busy compute time over a chunk —
+/// the observation signal the rebalancing policy feeds on. This is the
+/// engine's instrumentation seam at work: the policy watches execution
+/// without the engine knowing it exists.
+struct RateProbe {
+    busy: Vec<SimDur>,
+}
+
+impl RateProbe {
+    fn new(ranks: usize) -> RateProbe {
+        RateProbe {
+            busy: vec![SimDur::ZERO; ranks],
+        }
+    }
+}
+
+impl Probe for RateProbe {
+    fn on_phase(
+        &mut self,
+        rank: Rank,
+        _cycle: u64,
+        phase: Phase,
+        started: SimTime,
+        ended: SimTime,
+    ) {
+        if phase == Phase::Compute {
+            self.busy[rank] += ended.since(started);
+        }
+    }
+}
+
+/// The redistribution traffic between chunks, expressed as a one-cycle
+/// synthetic [`SpmdApp`] so the cycle engine is the only thing that ever
+/// touches the simulator: each rank whose share changed streams the moved
+/// rows from its lower neighbor.
+struct RedistributeApp {
+    /// `inbound[r]` = bytes rank `r-1` streams to rank `r`.
+    inbound: Vec<u32>,
+}
+
+impl SpmdApp for RedistributeApp {
+    fn setup(&mut self, _rank: usize, _vector: &PartitionVector) {}
+
+    fn num_cycles(&self) -> u64 {
+        1
+    }
+
+    fn script(&self, rank: usize, _cycle: u64) -> Vec<Step> {
+        let mut s = Vec::new();
+        if rank + 1 < self.inbound.len() && self.inbound[rank + 1] > 0 {
+            s.push(Step::Send { to: vec![rank + 1] });
+        }
+        if rank > 0 && self.inbound[rank] > 0 {
+            s.push(Step::Recv {
+                from: vec![rank - 1],
+            });
+        }
+        s
+    }
+
+    fn produce(&mut self, _rank: usize, _cycle: u64, to: usize) -> Bytes {
+        Bytes::from(vec![0u8; self.inbound[to] as usize])
+    }
+
+    fn consume(&mut self, _rank: usize, _cycle: u64, _from: usize, _payload: &[u8]) {}
+
+    fn compute(&mut self, _rank: usize, _cycle: u64, _part: u32) -> (f64, OpKind) {
+        (0.0, OpKind::Flop)
+    }
+}
 
 /// Outcome of a dynamic-balancing run.
 #[derive(Debug, Clone)]
@@ -84,7 +156,8 @@ pub fn run_dynamic_stencil(
     while remaining > 0 {
         let chunk = cfg.chunk.min(remaining);
         let mut app = StencilApp::from_grid(grid, n, chunk, variant, p as usize);
-        let report = exec.run(&mut app, &vector, false)?;
+        let mut rate_probe = RateProbe::new(p as usize);
+        let report = exec.run_probed(&mut app, &vector, false, &mut rate_probe)?;
         elapsed += report.elapsed;
         grid = app.gather();
         remaining -= chunk;
@@ -93,11 +166,12 @@ pub fn run_dynamic_stencil(
         }
 
         // Observed per-rank computation rates: rows per second of busy
-        // compute time. A loaded node shows a depressed rate.
+        // compute time (accumulated by the probe over this chunk). A
+        // loaded node shows a depressed rate.
         let rates: Vec<f64> = (0..p as usize)
             .map(|r| {
                 let rows = vector.count(r) as f64;
-                let busy = report.compute_time[r].as_secs_f64();
+                let busy = rate_probe.busy[r].as_secs_f64();
                 if busy > 0.0 {
                     rows / busy
                 } else {
@@ -125,31 +199,26 @@ pub fn run_dynamic_stencil(
             .sum::<u64>()
             / 2;
         // Approximate redistribution cost: rows stream between neighbors
-        // at the segment's effective bandwidth via the message layer's own
-        // accounting — charge a synthetic transfer of 4N bytes per row.
+        // at the segment's effective bandwidth — charge a synthetic
+        // transfer of 4N bytes per row, executed as a one-cycle app on
+        // the same engine that runs everything else.
         let before = exec.mmps().now();
         if moved_rows > 0 {
-            let nodes: Vec<_> = exec.nodes().to_vec();
             let bytes_per_row = 4 * n as u32;
-            let mut outstanding = 0u64;
-            for r in 1..p as usize {
+            let mut inbound = vec![0u32; p as usize];
+            for (r, slot) in inbound.iter_mut().enumerate().skip(1) {
                 let delta = new_vector.count(r).abs_diff(vector.count(r)) as u32;
                 if delta > 0 {
                     // Model the reshuffle as transfers with the neighbor.
-                    let total = (delta * bytes_per_row).min(64 * 1024 * 1024);
-                    exec.mmps()
-                        .send_message_dummy(nodes[r - 1], nodes[r], u64::MAX >> 2, total)
-                        .map_err(|e| SpmdError::Network(e.to_string()))?;
-                    outstanding += 1;
+                    *slot = (delta * bytes_per_row).min(64 * 1024 * 1024);
                 }
             }
-            while outstanding > 0 {
-                match exec.mmps().next_event() {
-                    Some(netpart_mmps::MmpsEvent::MessageDelivered { .. }) => outstanding -= 1,
-                    Some(_) => {}
-                    None => break,
-                }
-            }
+            let mut shuffle = RedistributeApp { inbound };
+            exec.run(
+                &mut shuffle,
+                &PartitionVector::equal(p as u64, p as usize),
+                false,
+            )?;
             rebalances += 1;
         }
         let cost = exec.mmps().now().since(before);

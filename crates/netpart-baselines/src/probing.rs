@@ -55,7 +55,7 @@ pub fn select_by_probing<A: SpmdApp>(
         let cycle_ms = report.mean_cycle().as_millis_f64();
         probe_cost += report.elapsed;
         measured.push(cycle_ms);
-        if best.is_none() || cycle_ms < best.unwrap().1 {
+        if best.is_none_or(|(_, b)| cycle_ms < b) {
             best = Some((i, cycle_ms));
         }
     }

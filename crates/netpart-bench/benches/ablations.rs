@@ -10,32 +10,32 @@ use netpart_bench::{
 };
 
 fn bench_ablations(c: &mut Criterion) {
-    let model = paper_calibration();
+    let model = paper_calibration().expect("calibration");
 
-    for r in ablation_ordering(&model, &[600], 10) {
+    for r in ablation_ordering(&model, &[600], 10).expect("A1") {
         println!(
             "\nA1 N={}: fastest {:?} {:.1} ms | slowest {:?} {:.1} ms",
             r.n, r.fastest.0, r.fastest.1, r.slowest.0, r.slowest.1
         );
     }
-    for r in ablation_placement(&[600], 10) {
+    for r in ablation_placement(&[600], 10).expect("A2") {
         println!(
             "A2 N={}: contiguous {:.1} ms | round-robin {:.1} ms",
             r.n, r.contiguous_ms, r.round_robin_ms
         );
     }
-    for s in ablation_search(&model, &[600]) {
+    for s in ablation_search(&model, &[600]).expect("A3") {
         for (name, config, tc, evals) in &s.rows {
             println!("A3 N={}: {name} {:?} Tc={tc:.2} evals={evals}", s.n, config);
         }
     }
-    let s = ablation_sensitivity(&model, &[300, 600], 10, 0.15);
+    let s = ablation_sensitivity(&model, &[300, 600], 10, 0.15).expect("A5");
     println!(
         "A5 ±15%: stable {:.0}%, worst regression {:.1}%",
         s.stable_fraction * 100.0,
         s.worst_regression * 100.0
     );
-    for r in ablation_dynamic(300, 20, &[0.6]) {
+    for r in ablation_dynamic(300, 20, &[0.6]).expect("A4") {
         println!(
             "A4 load {:.0}%: static {:.1} ms | dynamic {:.1} ms",
             r.load * 100.0,
@@ -43,7 +43,7 @@ fn bench_ablations(c: &mut Criterion) {
             r.dynamic_ms
         );
     }
-    for r in metasystem_experiment(&[300], 10) {
+    for r in metasystem_experiment(&[300], 10).expect("A6") {
         println!(
             "A6 N={}: {:?} measured {:.1} ms (best probe {:.1} ms)",
             r.n, r.config, r.measured_ms, r.best_probe_ms

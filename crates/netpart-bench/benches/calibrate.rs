@@ -14,7 +14,7 @@ fn bench_calibrate(c: &mut Criterion) {
         cycles: 8,
         warmup: 2,
     };
-    let fit = calibrate_cluster(&tb, 0, Topology::OneD, &quick);
+    let fit = calibrate_cluster(&tb, 0, Topology::OneD, &quick).expect("fit");
     println!(
         "\nSparc2 1-D fit: c1={:.4} c2={:.4} c3={:.6} c4={:.6} R²={:.4}\n",
         fit.c1, fit.c2, fit.c3, fit.c4, fit.r_squared
@@ -23,7 +23,7 @@ fn bench_calibrate(c: &mut Criterion) {
     let mut group = c.benchmark_group("calibrate");
     group.sample_size(10);
     group.bench_function("cluster_sweep_1d", |b| {
-        b.iter(|| black_box(calibrate_cluster(&tb, 0, Topology::OneD, &quick)))
+        b.iter(|| black_box(calibrate_cluster(&tb, 0, Topology::OneD, &quick).expect("fit")))
     });
     group.finish();
 
@@ -40,7 +40,7 @@ fn bench_calibrate(c: &mut Criterion) {
         .map(|r| 1.0 + r[1] + 0.001 * r[2] + 0.0005 * r[3])
         .collect();
     c.bench_function("calibrate/least_squares_30x4", |b| {
-        b.iter(|| black_box(least_squares(&rows, &y).unwrap()))
+        b.iter(|| black_box(least_squares(&rows, &y).expect("fit")))
     });
 }
 

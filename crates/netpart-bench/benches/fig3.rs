@@ -11,9 +11,9 @@ use netpart_calibrate::Testbed;
 use netpart_core::{Estimator, SystemModel};
 
 fn bench_fig3(c: &mut Criterion) {
-    let model = paper_calibration();
+    let model = paper_calibration().expect("calibration");
     for (n, variant) in [(60u64, StencilVariant::Sten1), (600, StencilVariant::Sten2)] {
-        let points = fig3(&model, n, variant, PAPER_ITERS);
+        let points = fig3(&model, n, variant, PAPER_ITERS).expect("fig3");
         println!("\nN={n}:\n{}", format_fig3(&points));
     }
 

@@ -13,8 +13,8 @@ use netpart_spmd::Executor;
 use netpart_topology::PlacementStrategy;
 
 fn bench_gauss(c: &mut Criterion) {
-    let model = paper_calibration();
-    for row in gauss_experiment(&model, &[64, 128]) {
+    let model = paper_calibration().expect("calibration");
+    for row in gauss_experiment(&model, &[64, 128]).expect("gauss") {
         println!(
             "\nGE N={}: predicted {:?} → {:.1} ms (residual {:.1e})",
             row.n, row.predicted_config, row.predicted_ms, row.residual
@@ -28,11 +28,13 @@ fn bench_gauss(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("distributed_solve_n64_p4", |b| {
         b.iter(|| {
-            let (mmps, nodes) = tb.build(&[4, 0], PlacementStrategy::ClusterContiguous);
+            let (mmps, nodes) = tb
+                .try_build(&[4, 0], PlacementStrategy::ClusterContiguous)
+                .expect("build");
             let mut app = GaussApp::new(n, a.clone(), b_rhs.clone(), 4);
             let mut exec = Executor::new(mmps, nodes);
             exec.run(&mut app, &PartitionVector::equal(n as u64, 4), false)
-                .unwrap();
+                .expect("run");
             black_box(app.solve())
         })
     });

@@ -11,8 +11,8 @@ use netpart_calibrate::Testbed;
 use netpart_core::{partition, Estimator, PartitionOptions, SystemModel};
 
 fn bench_overhead(c: &mut Criterion) {
-    let model = paper_calibration();
-    let o = overhead_report(&model);
+    let model = paper_calibration().expect("calibration");
+    let o = overhead_report(&model).expect("overhead");
     println!(
         "\noverhead: {} evaluations (bound {}), {} µs wall, availability {:.2} ms / {} msgs\n",
         o.evaluations, o.bound, o.wall_micros, o.availability_ms, o.availability_messages
@@ -23,7 +23,7 @@ fn bench_overhead(c: &mut Criterion) {
     c.bench_function("overhead/partition_call", |b| {
         b.iter(|| {
             let est = Estimator::new(&sys, &model, &app);
-            black_box(partition(&est, &PartitionOptions::default()).unwrap())
+            black_box(partition(&est, &PartitionOptions::default()).expect("ok"))
         })
     });
 }

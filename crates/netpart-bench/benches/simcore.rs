@@ -21,11 +21,11 @@ fn bench_simcore(c: &mut Criterion) {
             let pt = nb.add_proc_type(ProcType::sparcstation_2());
             let seg = nb.add_segment(SegmentSpec::ethernet_10mbps());
             let nodes: Vec<_> = (0..8).map(|_| nb.add_node(pt, seg)).collect();
-            let mut net = nb.build().unwrap();
+            let mut net = nb.build().expect("ok");
             for i in 0..DGRAMS {
                 let s = (i % 7) as usize;
                 net.send_datagram(nodes[s], nodes[7], i, Bytes::from_static(b"x"))
-                    .unwrap();
+                    .expect("ok");
             }
             let mut delivered = 0u64;
             while let Some(evt) = net.next_event() {
@@ -48,9 +48,9 @@ fn bench_simcore(c: &mut Criterion) {
             let seg = nb.add_segment(SegmentSpec::ethernet_10mbps());
             let a = nb.add_node(pt, seg);
             let d = nb.add_node(pt, seg);
-            let mut mmps = Mmps::with_defaults(nb.build().unwrap());
+            let mut mmps = Mmps::with_defaults(nb.build().expect("build"));
             for i in 0..MSGS {
-                mmps.send_message(a, d, i, payload.clone()).unwrap();
+                mmps.send_message(a, d, i, payload.clone()).expect("ok");
             }
             let mut done = 0u64;
             while let Some(evt) = mmps.next_event() {

@@ -13,7 +13,7 @@ use netpart_core::{partition, Estimator, PartitionOptions, SystemModel};
 
 fn bench_table1(c: &mut Criterion) {
     // Regenerate and print the table once per bench invocation.
-    println!("\n{}", format_table1(&table1()));
+    println!("\n{}", format_table1(&table1().expect("table1")));
 
     let sys = SystemModel::from_testbed(&Testbed::paper());
     let cost = PaperCostModel;
@@ -27,7 +27,7 @@ fn bench_table1(c: &mut Criterion) {
             group.bench_function(format!("partition/{name}/n{n}"), |b| {
                 b.iter(|| {
                     let est = Estimator::new(&sys, &cost, &app);
-                    black_box(partition(&est, &PartitionOptions::default()).unwrap())
+                    black_box(partition(&est, &PartitionOptions::default()).expect("ok"))
                 })
             });
         }

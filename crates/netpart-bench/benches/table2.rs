@@ -13,8 +13,8 @@ use netpart_bench::{
 };
 
 fn bench_table2(c: &mut Criterion) {
-    let model = paper_calibration();
-    let rows = table2(&model, &PAPER_SIZES, PAPER_ITERS);
+    let model = paper_calibration().expect("calibration");
+    let rows = table2(&model, &PAPER_SIZES, PAPER_ITERS).expect("table2");
     println!("\n{}", format_table2(&rows));
 
     let mut group = c.benchmark_group("table2");
@@ -24,13 +24,16 @@ fn bench_table2(c: &mut Criterion) {
             let vector = balanced_vector(n, &config);
             group.bench_function(format!("sten1/{label}/n{n}"), |b| {
                 b.iter(|| {
-                    black_box(run_stencil_config(
-                        &config,
-                        &vector,
-                        StencilVariant::Sten1,
-                        n as usize,
-                        PAPER_ITERS,
-                    ))
+                    black_box(
+                        run_stencil_config(
+                            &config,
+                            &vector,
+                            StencilVariant::Sten1,
+                            n as usize,
+                            PAPER_ITERS,
+                        )
+                        .expect("run"),
+                    )
                 })
             });
         }

@@ -8,7 +8,7 @@ use netpart_calibrate::{
 use netpart_core::{
     partition, ClusterOrder, Estimator, PartitionOptions, SearchStrategy, SystemModel,
 };
-use netpart_model::PartitionVector;
+use netpart_model::{NetpartError, PartitionVector};
 use netpart_spmd::Executor;
 use netpart_topology::{PlacementStrategy, Topology};
 
@@ -30,7 +30,7 @@ pub fn ablation_ordering(
     model: &CalibratedCostModel,
     sizes: &[u64],
     iters: u64,
-) -> Vec<OrderingAblation> {
+) -> Result<Vec<OrderingAblation>, NetpartError> {
     let sys = SystemModel::from_testbed(&Testbed::paper());
     // Plan phase: one partitioner decision per (size, order).
     let plans: Vec<(u64, netpart_core::Partition)> = sizes
@@ -49,19 +49,20 @@ pub fn ablation_ordering(
                     order,
                     ..Default::default()
                 },
-            )
-            .expect("partition");
-            (n, p)
+            )?;
+            Ok((n, p))
         })
-        .collect();
+        .collect::<Result<_, NetpartError>>()?;
     // Simulation phase: every (size, order) run is an independent cell.
     // Ranks are built in the consideration order the partitioner chose,
     // so the vector's ranks land on the right clusters.
-    let timings = crate::sweep::sweep_indexed(plans.len(), |i| {
+    let timings: Vec<f64> = crate::sweep::sweep_indexed(plans.len(), |i| {
         let (n, p) = &plans[i];
         run_ordered(&p.config, &p.order, &p.vector, *n as usize, iters)
-    });
-    plans
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    Ok(plans
         .chunks(2)
         .zip(timings.chunks(2))
         .map(|(pair, ms)| OrderingAblation {
@@ -69,7 +70,7 @@ pub fn ablation_ordering(
             fastest: (pair[0].1.config.clone(), ms[0]),
             slowest: (pair[1].1.config.clone(), ms[1]),
         })
-        .collect()
+        .collect())
 }
 
 /// Run a stencil with ranks laid out cluster-contiguously in an explicit
@@ -80,35 +81,32 @@ fn run_ordered(
     vector: &PartitionVector,
     n: usize,
     iters: u64,
-) -> f64 {
+) -> Result<f64, NetpartError> {
     let tb = Testbed::paper();
     // Assignment in consideration order.
     let mut assignment = Vec::new();
     for &k in order {
         assignment.extend(std::iter::repeat_n(k as u32, config[k] as usize));
     }
-    let (mmps, nodes) = build_assignment(&tb, &assignment);
+    let (mmps, nodes) = build_assignment(&tb, &assignment)?;
     let p: u32 = config.iter().sum();
     let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, p as usize);
     let mut exec = Executor::new(mmps, nodes);
-    exec.run(&mut app, vector, false)
-        .expect("run")
-        .elapsed
-        .as_millis_f64()
+    Ok(exec.run(&mut app, vector, false)?.elapsed.as_millis_f64())
 }
 
 /// Build a testbed network with an explicit rank→cluster assignment.
 fn build_assignment(
     tb: &Testbed,
     assignment: &[u32],
-) -> (netpart_mmps::Mmps, Vec<netpart_sim::NodeId>) {
+) -> Result<(netpart_mmps::Mmps, Vec<netpart_sim::NodeId>), NetpartError> {
     // Count per cluster, build contiguously, then reorder node handles to
     // match the assignment sequence.
     let mut per_cluster = vec![0u32; tb.num_clusters()];
     for &c in assignment {
         per_cluster[c as usize] += 1;
     }
-    let (mmps, nodes) = tb.build(&per_cluster, PlacementStrategy::ClusterContiguous);
+    let (mmps, nodes) = tb.try_build(&per_cluster, PlacementStrategy::ClusterContiguous)?;
     // nodes are contiguous by cluster index; walk the assignment and pull
     // from each cluster's pool in order.
     let mut pools: Vec<Vec<netpart_sim::NodeId>> = vec![Vec::new(); tb.num_clusters()];
@@ -124,7 +122,7 @@ fn build_assignment(
         .iter()
         .map(|&c| pools[c as usize].pop().expect("pool sized by assignment"))
         .collect();
-    (mmps, ordered)
+    Ok((mmps, ordered))
 }
 
 /// A2 — task placement across the router.
@@ -141,7 +139,10 @@ pub struct PlacementAblation {
 /// Compare contiguous and round-robin placements of the full (6,6)
 /// configuration — the paper's §6 point that "task placement is
 /// important ... since router costs may be large".
-pub fn ablation_placement(sizes: &[u64], iters: u64) -> Vec<PlacementAblation> {
+pub fn ablation_placement(
+    sizes: &[u64],
+    iters: u64,
+) -> Result<Vec<PlacementAblation>, NetpartError> {
     let tb = Testbed::paper();
     let cells: Vec<(u64, PlacementStrategy)> = sizes
         .iter()
@@ -154,8 +155,8 @@ pub fn ablation_placement(sizes: &[u64], iters: u64) -> Vec<PlacementAblation> {
             .map(move |p| (n, p))
         })
         .collect();
-    let timings = crate::sweep::sweep(cells, |(n, placement)| {
-        let (mmps, nodes) = tb.build(&[6, 6], placement);
+    let timings: Vec<f64> = crate::sweep::sweep(cells, |(n, placement)| {
+        let (mmps, nodes) = tb.try_build(&[6, 6], placement)?;
         // Vector shares must follow the placement's rank→cluster map.
         let assignment = placement.assign(&[6, 6]);
         let shares: Vec<f64> = assignment
@@ -165,12 +166,11 @@ pub fn ablation_placement(sizes: &[u64], iters: u64) -> Vec<PlacementAblation> {
         let vector = PartitionVector::from_real_shares(&shares, n);
         let mut app = StencilApp::new(n as usize, iters, StencilVariant::Sten1, 12);
         let mut exec = Executor::new(mmps, nodes);
-        exec.run(&mut app, &vector, false)
-            .expect("run")
-            .elapsed
-            .as_millis_f64()
-    });
-    sizes
+        Ok(exec.run(&mut app, &vector, false)?.elapsed.as_millis_f64())
+    })
+    .into_iter()
+    .collect::<Result<_, NetpartError>>()?;
+    Ok(sizes
         .iter()
         .zip(timings.chunks(2))
         .map(|(&n, ms)| PlacementAblation {
@@ -178,7 +178,7 @@ pub fn ablation_placement(sizes: &[u64], iters: u64) -> Vec<PlacementAblation> {
             contiguous_ms: ms[0],
             round_robin_ms: ms[1],
         })
-        .collect()
+        .collect())
 }
 
 /// A3 — search strategy cost/quality.
@@ -192,7 +192,10 @@ pub struct SearchAblation {
 
 /// Compare the binary search against exhaustive and golden-section within
 /// the heuristic.
-pub fn ablation_search(model: &CalibratedCostModel, sizes: &[u64]) -> Vec<SearchAblation> {
+pub fn ablation_search(
+    model: &CalibratedCostModel,
+    sizes: &[u64],
+) -> Result<Vec<SearchAblation>, NetpartError> {
     let sys = SystemModel::from_testbed(&Testbed::paper());
     // No simulations here, but exhaustive search over many sizes still
     // adds up; each size is independent (the estimator is rebuilt per
@@ -213,13 +216,14 @@ pub fn ablation_search(model: &CalibratedCostModel, sizes: &[u64]) -> Vec<Search
                     strategy,
                     ..Default::default()
                 },
-            )
-            .expect("partition");
-            (name, p.config.clone(), p.predicted_tc_ms(), p.evaluations)
+            )?;
+            Ok((name, p.config.clone(), p.predicted_tc_ms(), p.evaluations))
         })
-        .collect();
-        SearchAblation { n, rows }
+        .collect::<Result<_, NetpartError>>()?;
+        Ok(SearchAblation { n, rows })
     })
+    .into_iter()
+    .collect()
 }
 
 /// A5 — sensitivity of the decision to mis-calibrated constants.
@@ -241,7 +245,7 @@ pub fn ablation_sensitivity(
     sizes: &[u64],
     iters: u64,
     eps: f64,
-) -> SensitivityAblation {
+) -> Result<SensitivityAblation, NetpartError> {
     let sys = SystemModel::from_testbed(&Testbed::paper());
     // Every (direction, size, variant) case is independent: it perturbs
     // its own copy of the model, partitions twice, and (only when the
@@ -258,7 +262,7 @@ pub fn ablation_sensitivity(
             })
         })
         .collect();
-    let outcomes = crate::sweep::sweep(cells, |(dir, n, variant)| {
+    let outcomes: Vec<Option<f64>> = crate::sweep::sweep(cells, |(dir, n, variant)| {
         let mut perturbed = model.clone();
         for fit in perturbed.intra.values_mut() {
             *fit = FittedCost {
@@ -272,26 +276,28 @@ pub fn ablation_sensitivity(
         let app = stencil_model(n, variant);
         let base_est = Estimator::new(&sys, model, &app);
         let pert_est = Estimator::new(&sys, &perturbed, &app);
-        let base = partition(&base_est, &PartitionOptions::default()).expect("base");
-        let pert = partition(&pert_est, &PartitionOptions::default()).expect("pert");
+        let base = partition(&base_est, &PartitionOptions::default())?;
+        let pert = partition(&pert_est, &PartitionOptions::default())?;
         if base.config == pert.config {
-            None
+            Ok(None)
         } else {
             let base_ms =
-                run_stencil_config(&base.config, &base.vector, variant, n as usize, iters);
+                run_stencil_config(&base.config, &base.vector, variant, n as usize, iters)?;
             let pert_ms =
-                run_stencil_config(&pert.config, &pert.vector, variant, n as usize, iters);
-            Some((pert_ms - base_ms) / base_ms)
+                run_stencil_config(&pert.config, &pert.vector, variant, n as usize, iters)?;
+            Ok(Some((pert_ms - base_ms) / base_ms))
         }
-    });
+    })
+    .into_iter()
+    .collect::<Result<_, NetpartError>>()?;
     let total = outcomes.len() as u32;
     let stable = outcomes.iter().filter(|o| o.is_none()).count() as u32;
     let worst_regression = outcomes.into_iter().flatten().fold(0.0f64, f64::max);
-    SensitivityAblation {
+    Ok(SensitivityAblation {
         perturbation: eps,
         stable_fraction: stable as f64 / total as f64,
         worst_regression,
-    }
+    })
 }
 
 /// A4 — dynamic repartitioning under induced imbalance.
@@ -309,7 +315,11 @@ pub struct DynamicAblation {
 
 /// Compare the static partition against chunked dynamic rebalancing when
 /// one node loses most of its CPU to another user mid-run.
-pub fn ablation_dynamic(n: u64, iters: u64, loads: &[f64]) -> Vec<DynamicAblation> {
+pub fn ablation_dynamic(
+    n: u64,
+    iters: u64,
+    loads: &[f64],
+) -> Result<Vec<DynamicAblation>, NetpartError> {
     let tb = Testbed::paper();
     // Each load level is an independent pair of simulations.
     crate::sweep::sweep(loads.to_vec(), |load| {
@@ -327,8 +337,7 @@ pub fn ablation_dynamic(n: u64, iters: u64, loads: &[f64]) -> Vec<DynamicAblatio
                 chunk: iters,
                 trigger: 0.05,
             },
-        )
-        .expect("static run");
+        )?;
         let dynamic_run = run_dynamic_stencil(
             &tb,
             &[6, 0],
@@ -338,15 +347,16 @@ pub fn ablation_dynamic(n: u64, iters: u64, loads: &[f64]) -> Vec<DynamicAblatio
             PartitionVector::equal(n, 6),
             &node_loads,
             &DynamicConfig::default(),
-        )
-        .expect("dynamic run");
-        DynamicAblation {
+        )?;
+        Ok(DynamicAblation {
             load,
             static_ms: static_run.elapsed.as_millis_f64(),
             dynamic_ms: dynamic_run.elapsed.as_millis_f64(),
             rebalances: dynamic_run.rebalances,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// A6 — the three-cluster metasystem (paper §7 future work).
@@ -366,9 +376,12 @@ pub struct MetasystemResult {
 
 /// Partition and run the stencil on a three-cluster metasystem with
 /// cross-format coercion in play.
-pub fn metasystem_experiment(sizes: &[u64], iters: u64) -> Vec<MetasystemResult> {
+pub fn metasystem_experiment(
+    sizes: &[u64],
+    iters: u64,
+) -> Result<Vec<MetasystemResult>, NetpartError> {
     let tb = Testbed::metasystem();
-    let model = calibrate_testbed_cached(&tb, &[Topology::OneD], &CalibrationConfig::default());
+    let model = calibrate_testbed_cached(&tb, &[Topology::OneD], &CalibrationConfig::default())?;
     let sys = SystemModel::from_testbed(&tb);
 
     // Plan phase (sequential): the partitioner and the probe vectors both
@@ -386,7 +399,7 @@ pub fn metasystem_experiment(sizes: &[u64], iters: u64) -> Vec<MetasystemResult>
         .map(|&n| {
             let app = stencil_model(n, StencilVariant::Sten1);
             let est = Estimator::new(&sys, &model, &app);
-            let part = partition(&est, &PartitionOptions::default()).expect("partition");
+            let part = partition(&est, &PartitionOptions::default())?;
             let mut jobs = vec![(part.config.clone(), part.order.clone(), part.vector.clone())];
             // Probe sweep: single clusters and the full machine.
             for config in [
@@ -403,14 +416,14 @@ pub fn metasystem_experiment(sizes: &[u64], iters: u64) -> Vec<MetasystemResult>
                 }
                 jobs.push((config, order, vector));
             }
-            SizePlan {
+            Ok(SizePlan {
                 n,
                 config: part.config.clone(),
                 predicted_tc_ms: part.predicted_tc_ms(),
                 jobs,
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, NetpartError>>()?;
 
     // Simulation phase: flatten to (size index, job index) and sweep.
     let flat: Vec<(usize, usize)> = plans
@@ -418,22 +431,21 @@ pub fn metasystem_experiment(sizes: &[u64], iters: u64) -> Vec<MetasystemResult>
         .enumerate()
         .flat_map(|(si, plan)| (0..plan.jobs.len()).map(move |ji| (si, ji)))
         .collect();
-    let timings = crate::sweep::sweep(flat.clone(), |(si, ji)| {
+    let timings: Vec<f64> = crate::sweep::sweep(flat.clone(), |(si, ji)| {
         let plan = &plans[si];
         let (config, order, vector) = &plan.jobs[ji];
         let mut assignment = Vec::new();
         for &k in order {
             assignment.extend(std::iter::repeat_n(k as u32, config[k] as usize));
         }
-        let (mmps, nodes) = build_assignment(&tb, &assignment);
+        let (mmps, nodes) = build_assignment(&tb, &assignment)?;
         let p: u32 = config.iter().sum();
         let mut app = StencilApp::new(plan.n as usize, iters, StencilVariant::Sten1, p as usize);
         let mut exec = Executor::new(mmps, nodes);
-        exec.run(&mut app, vector, false)
-            .expect("run")
-            .elapsed
-            .as_millis_f64()
-    });
+        Ok(exec.run(&mut app, vector, false)?.elapsed.as_millis_f64())
+    })
+    .into_iter()
+    .collect::<Result<_, NetpartError>>()?;
     let mut ms_by_size: Vec<Vec<f64>> = plans
         .iter()
         .map(|p| Vec::with_capacity(p.jobs.len()))
@@ -441,7 +453,7 @@ pub fn metasystem_experiment(sizes: &[u64], iters: u64) -> Vec<MetasystemResult>
     for (&(si, _), &ms) in flat.iter().zip(timings.iter()) {
         ms_by_size[si].push(ms);
     }
-    plans
+    Ok(plans
         .into_iter()
         .zip(ms_by_size)
         .map(|(plan, ms)| MetasystemResult {
@@ -451,7 +463,7 @@ pub fn metasystem_experiment(sizes: &[u64], iters: u64) -> Vec<MetasystemResult>
             measured_ms: ms[0],
             best_probe_ms: ms[1..].iter().copied().fold(f64::MAX, f64::min),
         })
-        .collect()
+        .collect())
 }
 
 /// A7 — 1-D row decomposition vs 2-D block decomposition.
@@ -474,7 +486,11 @@ pub struct DecompositionAblation {
 /// Compare the paper's 1-D block-row decomposition with a 2-D block
 /// decomposition on the homogeneous Sparc2 cluster: 2-D ships less border
 /// data but pays more per-message latency (four smaller messages).
-pub fn ablation_decomposition(sizes: &[u64], p: u32, iters: u64) -> Vec<DecompositionAblation> {
+pub fn ablation_decomposition(
+    sizes: &[u64],
+    p: u32,
+    iters: u64,
+) -> Result<Vec<DecompositionAblation>, NetpartError> {
     use netpart_apps::stencil2d::Stencil2DApp;
     let tb = Testbed::paper();
     // Flatten to (size, decomposition) cells — every simulation is
@@ -483,25 +499,27 @@ pub fn ablation_decomposition(sizes: &[u64], p: u32, iters: u64) -> Vec<Decompos
         .iter()
         .flat_map(|&n| [(n, false), (n, true)])
         .collect();
-    let runs = crate::sweep::sweep(cells, |(n, two_d)| {
-        let (mmps, nodes) = tb.build(&[p, 0], PlacementStrategy::ClusterContiguous);
+    let runs: Vec<(f64, u64)> = crate::sweep::sweep(cells, |(n, two_d)| {
+        let (mmps, nodes) = tb.try_build(&[p, 0], PlacementStrategy::ClusterContiguous)?;
         let mut exec = Executor::new(mmps, nodes);
         let vector = PartitionVector::equal(n, p as usize);
         let elapsed = if two_d {
             let mut app = Stencil2DApp::new(n as usize, iters, p as usize);
-            exec.run(&mut app, &vector, false).expect("2-D run").elapsed
+            exec.run(&mut app, &vector, false)?.elapsed
         } else {
             let mut app = StencilApp::new(n as usize, iters, StencilVariant::Sten1, p as usize);
-            exec.run(&mut app, &vector, false).expect("1-D run").elapsed
+            exec.run(&mut app, &vector, false)?.elapsed
         };
         let bytes = exec
             .mmps()
             .net_ref()
             .segment_stats(netpart_sim::SegmentId(0))
             .bytes_sent;
-        (elapsed.as_millis_f64(), bytes)
-    });
-    sizes
+        Ok((elapsed.as_millis_f64(), bytes))
+    })
+    .into_iter()
+    .collect::<Result<_, NetpartError>>()?;
+    Ok(sizes
         .iter()
         .zip(runs.chunks(2))
         .map(|(&n, pair)| DecompositionAblation {
@@ -512,7 +530,7 @@ pub fn ablation_decomposition(sizes: &[u64], p: u32, iters: u64) -> Vec<Decompos
             one_d_bytes: pair[0].1,
             two_d_bytes: pair[1].1,
         })
-        .collect()
+        .collect())
 }
 
 /// A8 — sensitivity to background cross-traffic.
@@ -531,15 +549,19 @@ pub struct CrossTrafficAblation {
 /// periodic 1400-byte datagrams while a (4,0) stencil runs, at increasing
 /// offered loads, quantifying how far quiet-network calibration can be
 /// trusted.
-pub fn ablation_cross_traffic(n: u64, iters: u64, loads: &[f64]) -> Vec<CrossTrafficAblation> {
+pub fn ablation_cross_traffic(
+    n: u64,
+    iters: u64,
+    loads: &[f64],
+) -> Result<Vec<CrossTrafficAblation>, NetpartError> {
     use netpart_sim::BackgroundFlow;
     let tb = Testbed::paper();
     let wire_ns_per_frame = (1400.0 + 54.0) * 8.0 / 10.0e6 * 1e9; // ≈1.16 ms
                                                                   // Simulations fan out; the quiet-baseline normalisation is a post-pass
                                                                   // that walks results in input order, exactly like the sequential loop
                                                                   // did (loads before the first 0.0 entry normalise to themselves).
-    let timings = crate::sweep::sweep(loads.to_vec(), |load| {
-        let (mut mmps, nodes) = tb.build(&[4, 0], PlacementStrategy::ClusterContiguous);
+    let timings: Vec<f64> = crate::sweep::sweep(loads.to_vec(), |load| {
+        let (mut mmps, nodes) = tb.try_build(&[4, 0], PlacementStrategy::ClusterContiguous)?;
         if load > 0.0 {
             // Period so that frame_time / period = offered load.
             let period_ns = (wire_ns_per_frame / load) as u64;
@@ -558,13 +580,15 @@ pub fn ablation_cross_traffic(n: u64, iters: u64, loads: &[f64]) -> Vec<CrossTra
         }
         let mut app = StencilApp::new(n as usize, iters, StencilVariant::Sten1, 4);
         let mut exec = Executor::new(mmps, nodes);
-        exec.run(&mut app, &PartitionVector::equal(n, 4), false)
-            .expect("run")
+        Ok(exec
+            .run(&mut app, &PartitionVector::equal(n, 4), false)?
             .elapsed
-            .as_millis_f64()
-    });
+            .as_millis_f64())
+    })
+    .into_iter()
+    .collect::<Result<_, NetpartError>>()?;
     let mut quiet_ms = None;
-    loads
+    Ok(loads
         .iter()
         .zip(timings)
         .map(|(&load, elapsed_ms)| {
@@ -577,5 +601,5 @@ pub fn ablation_cross_traffic(n: u64, iters: u64, loads: &[f64]) -> Vec<CrossTra
                 slowdown: elapsed_ms / quiet_ms.unwrap_or(elapsed_ms),
             }
         })
-        .collect()
+        .collect())
 }

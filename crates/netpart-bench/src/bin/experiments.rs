@@ -16,12 +16,22 @@ use std::sync::OnceLock;
 use netpart_apps::stencil::StencilVariant;
 use netpart_bench::*;
 use netpart_calibrate::CalibratedCostModel;
+use netpart_model::NetpartError;
+
+/// Unwrap an experiment result or exit with the error on stderr; the
+/// library layer is fallible, the CLI boundary decides to die.
+fn ok<T>(r: Result<T, NetpartError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("experiments: {e}");
+        std::process::exit(2);
+    })
+}
 
 fn model() -> &'static CalibratedCostModel {
     static MODEL: OnceLock<CalibratedCostModel> = OnceLock::new();
     MODEL.get_or_init(|| {
         eprintln!("[calibration — offline §3 step, cached under target/netpart-calib]");
-        paper_calibration()
+        ok(paper_calibration())
     })
 }
 
@@ -57,13 +67,12 @@ fn cmd_calibrate() {
 }
 
 fn cmd_table1() {
-    println!("{}", format_table1(&table1()));
-    println!("(see EXPERIMENTS.md for the per-cell agreement analysis)");
+    print!("{}", render_table1(&ok(table1())));
 }
 
 fn cmd_table2() {
-    let rows = table2(model(), &PAPER_SIZES, PAPER_ITERS);
-    println!("{}", format_table2(&rows));
+    let rows = ok(table2(model(), &PAPER_SIZES, PAPER_ITERS));
+    print!("{}", render_table2(&rows));
 }
 
 fn cmd_fig2() {
@@ -86,17 +95,8 @@ fn cmd_fig3() {
         (600, StencilVariant::Sten1),
         (600, StencilVariant::Sten2),
     ] {
-        println!("— {} N={n} —", variant_name(variant));
-        let points = fig3(model(), n, variant, PAPER_ITERS);
-        println!("{}", format_fig3(&points));
-        let min = points
-            .iter()
-            .min_by(|a, b| a.measured_tc_ms.partial_cmp(&b.measured_tc_ms).unwrap())
-            .unwrap();
-        println!(
-            "p_ideal (measured) = {} at ({},{})\n",
-            min.total_p, min.config[0], min.config[1]
-        );
+        let points = ok(fig3(model(), n, variant, PAPER_ITERS));
+        print!("{}", render_fig3(n, variant, &points));
     }
 }
 
@@ -109,7 +109,7 @@ fn cmd_breakdown() {
             "  {:>7} {:>12} {:>10} {:>10} {:>8}",
             "config", "elapsed ms", "compute", "wait", "wait %"
         );
-        for r in cycle_breakdown(n, StencilVariant::Sten1, PAPER_ITERS) {
+        for r in ok(cycle_breakdown(n, StencilVariant::Sten1, PAPER_ITERS)) {
             let busy = r.compute_ms + r.wait_ms;
             println!(
                 "  ({},{})   {:>12.1} {:>10.1} {:>10.1} {:>7.0}%",
@@ -130,7 +130,7 @@ fn cmd_breakdown() {
 }
 
 fn cmd_overhead() {
-    let o = overhead_report(model());
+    let o = ok(overhead_report(model()));
     println!("§5/§6 — partitioning overhead (K=2, P=12, N=1200):");
     println!(
         "  T_c evaluations : {} (bound 2·K·(log₂P+1) = {})",
@@ -146,7 +146,7 @@ fn cmd_overhead() {
 
 fn cmd_gauss() {
     println!("§6 — Gaussian elimination with partial pivoting:");
-    for row in gauss_experiment(model(), &[64, 128, 256]) {
+    for row in ok(gauss_experiment(model(), &[64, 128, 256])) {
         println!(
             "N={:>4}: predicted ({},{}) → {:.1} ms (residual {:.2e})",
             row.n,
@@ -168,7 +168,7 @@ fn cmd_gauss() {
 
 fn cmd_ablation_ordering() {
     println!("A1 — cluster consideration order (STEN-1, 10 iters):");
-    for r in ablation_ordering(model(), &[300, 600, 1200], PAPER_ITERS) {
+    for r in ok(ablation_ordering(model(), &[300, 600, 1200], PAPER_ITERS)) {
         println!(
             "N={:>5}: fastest-first {:?} → {:.1} ms | slowest-first {:?} → {:.1} ms",
             r.n, r.fastest.0, r.fastest.1, r.slowest.0, r.slowest.1
@@ -178,7 +178,7 @@ fn cmd_ablation_ordering() {
 
 fn cmd_ablation_placement() {
     println!("A2 — task placement across the router ((6,6), STEN-1):");
-    for r in ablation_placement(&[300, 600, 1200], PAPER_ITERS) {
+    for r in ok(ablation_placement(&[300, 600, 1200], PAPER_ITERS)) {
         println!(
             "N={:>5}: contiguous {:.1} ms (1 crossing) | round-robin {:.1} ms (11 crossings) → {:.1}% penalty",
             r.n,
@@ -191,7 +191,7 @@ fn cmd_ablation_placement() {
 
 fn cmd_ablation_search() {
     println!("A3 — search strategies:");
-    for s in ablation_search(model(), &[60, 300, 600, 1200]) {
+    for s in ok(ablation_search(model(), &[60, 300, 600, 1200])) {
         println!("N={}:", s.n);
         for (name, config, tc, evals) in &s.rows {
             println!(
@@ -205,7 +205,12 @@ fn cmd_ablation_search() {
 fn cmd_sensitivity() {
     println!("A5 — cost-constant sensitivity:");
     for eps in [0.05, 0.15, 0.30] {
-        let s = ablation_sensitivity(model(), &[60, 300, 600, 1200], PAPER_ITERS, eps);
+        let s = ok(ablation_sensitivity(
+            model(),
+            &[60, 300, 600, 1200],
+            PAPER_ITERS,
+            eps,
+        ));
         println!(
             "±{:>4.0}%: decisions stable {:.0}% of cases, worst regression {:.1}%",
             eps * 100.0,
@@ -217,7 +222,7 @@ fn cmd_sensitivity() {
 
 fn cmd_dynamic() {
     println!("A4 — dynamic repartitioning under one loaded node (N=300, 30 iters):");
-    for r in ablation_dynamic(300, 30, &[0.0, 0.3, 0.6, 0.8]) {
+    for r in ok(ablation_dynamic(300, 30, &[0.0, 0.3, 0.6, 0.8])) {
         println!(
             "load {:>3.0}%: static {:.1} ms | dynamic {:.1} ms ({} rebalances) → {:+.1}%",
             r.load * 100.0,
@@ -231,7 +236,7 @@ fn cmd_dynamic() {
 
 fn cmd_ablation_decomposition() {
     println!("A7 — 1-D rows vs 2-D blocks (6 Sparc2s, STEN-1 style):");
-    for r in ablation_decomposition(&[300, 600, 1200], 6, PAPER_ITERS) {
+    for r in ok(ablation_decomposition(&[300, 600, 1200], 6, PAPER_ITERS)) {
         println!(
             "N={:>5}: 1-D {:.1} ms ({:.1} kB borders) | 2-D {:.1} ms ({:.1} kB borders) → {:+.1}%",
             r.n,
@@ -251,7 +256,11 @@ fn cmd_cross_traffic() {
         (60, "N=60 (comm-dominated)"),
     ] {
         println!("  {label}:");
-        for r in ablation_cross_traffic(n, PAPER_ITERS, &[0.0, 0.1, 0.3, 0.5, 0.7]) {
+        for r in ok(ablation_cross_traffic(
+            n,
+            PAPER_ITERS,
+            &[0.0, 0.1, 0.3, 0.5, 0.7],
+        )) {
             println!(
                 "    offered {:>3.0}%: {:>7.1} ms ({:.2}× the quiet channel)",
                 r.offered_load * 100.0,
@@ -269,7 +278,7 @@ fn cmd_scalability() {
         "{:>4} {:>8} {:>13} {:>8} {:>10} {:>16}",
         "K", "P", "evaluations", "bound", "wall µs", "exhaustive space"
     );
-    for r in scalability(&[2, 4, 8, 16, 32], 8, 4800) {
+    for r in ok(scalability(&[2, 4, 8, 16, 32], 8, 4800)) {
         println!(
             "{:>4} {:>8} {:>13} {:>8} {:>10} {:>16.1e}",
             r.k, r.total_p, r.evaluations, r.bound, r.wall_micros, r.exhaustive_space
@@ -280,7 +289,7 @@ fn cmd_scalability() {
 
 fn cmd_metasystem() {
     println!("A6 — three-cluster metasystem (RS6000 + HP + Sparc2, coercion active):");
-    for r in metasystem_experiment(&[300, 900], PAPER_ITERS) {
+    for r in ok(metasystem_experiment(&[300, 900], PAPER_ITERS)) {
         println!(
             "N={:>4}: chose {:?}, predicted Tc {:.1} ms, measured {:.1} ms, best probe {:.1} ms",
             r.n, r.config, r.predicted_tc_ms, r.measured_ms, r.best_probe_ms
@@ -291,20 +300,20 @@ fn cmd_metasystem() {
 fn cmd_export(dir: &str) {
     use netpart_apps::stencil::StencilVariant;
     let dir = std::path::Path::new(dir);
-    let t1 = table1();
-    let t2 = table2(model(), &PAPER_SIZES, PAPER_ITERS);
+    let t1 = ok(table1());
+    let t2 = ok(table2(model(), &PAPER_SIZES, PAPER_ITERS));
     let curves = vec![
         (
             "sten1_n60".to_owned(),
-            fig3(model(), 60, StencilVariant::Sten1, PAPER_ITERS),
+            ok(fig3(model(), 60, StencilVariant::Sten1, PAPER_ITERS)),
         ),
         (
             "sten1_n600".to_owned(),
-            fig3(model(), 600, StencilVariant::Sten1, PAPER_ITERS),
+            ok(fig3(model(), 600, StencilVariant::Sten1, PAPER_ITERS)),
         ),
         (
             "sten2_n600".to_owned(),
-            fig3(model(), 600, StencilVariant::Sten2, PAPER_ITERS),
+            ok(fig3(model(), 600, StencilVariant::Sten2, PAPER_ITERS)),
         ),
     ];
     match export_csv(dir, &t1, &t2, &curves) {

@@ -1,6 +1,13 @@
 //! The paper's §6 experiments: calibration, Table 1, Table 2, Fig. 2,
 //! Fig. 3, the overhead claims, and the Gaussian elimination claim.
+//!
+//! Every experiment is a thin consumer of the facade's typed pipeline:
+//! a [`Scenario`] describes what to run, [`Scenario::plan`] (or
+//! [`Scenario::plan_pinned`] for the measured sweeps) makes the
+//! partitioning decision, and [`netpart::Plan::run`] executes it on the
+//! one cycle engine. Every fallible step returns [`NetpartError`].
 
+use netpart::pipeline::{CostSource, Scenario};
 use netpart_apps::gauss::{make_system, GaussApp};
 use netpart_apps::stencil::{stencil_model, StencilApp, StencilVariant};
 use netpart_calibrate::{
@@ -11,8 +18,7 @@ use netpart_core::{
     determine_available, measure_overhead, partition, partition_exhaustive, AvailabilityPolicy,
     Estimator, Partition, PartitionOptions, SystemModel,
 };
-use netpart_model::PartitionVector;
-use netpart_spmd::Executor;
+use netpart_model::{NetpartError, PartitionVector};
 use netpart_topology::{PlacementStrategy, Topology};
 
 /// The problem sizes of §6.
@@ -24,23 +30,29 @@ pub const PAPER_ITERS: u64 = 10;
 /// The seven measured configurations of Table 2 (Sparc2s, IPCs).
 pub const TABLE2_CONFIGS: [[u32; 2]; 7] = [[1, 0], [2, 0], [4, 0], [6, 0], [6, 2], [6, 4], [6, 6]];
 
+/// Every topology the paper's applications exercise.
+pub const PAPER_TOPOLOGIES: [Topology; 4] = [
+    Topology::OneD,
+    Topology::Ring,
+    Topology::Tree,
+    Topology::Broadcast,
+];
+
 /// Calibrate the paper testbed for every topology the applications use.
 /// This is the offline step of §3 run against the simulator; the result is
 /// memoized in-process and persisted under `target/netpart-calib/`, so it
 /// is computed at most once per machine and every bench, test, and example
 /// afterwards starts from the cached constants.
-pub fn paper_calibration() -> CalibratedCostModel {
+pub fn paper_calibration() -> Result<CalibratedCostModel, NetpartError> {
     let tb = Testbed::paper();
-    calibrate_testbed_cached(
-        &tb,
-        &[
-            Topology::OneD,
-            Topology::Ring,
-            Topology::Tree,
-            Topology::Broadcast,
-        ],
-        &CalibrationConfig::default(),
-    )
+    calibrate_testbed_cached(&tb, &PAPER_TOPOLOGIES, &CalibrationConfig::default())
+}
+
+/// The scenario every stencil experiment starts from: the paper testbed,
+/// the given stencil model, and the supplied (already fitted) cost model.
+fn stencil_scenario(n: u64, variant: StencilVariant, model: &CalibratedCostModel) -> Scenario {
+    Scenario::new(Testbed::paper(), stencil_model(n, variant))
+        .with_cost(CostSource::Fixed(model.clone()))
 }
 
 /// One fitted-constant row of the calibration report.
@@ -60,12 +72,7 @@ pub fn calibration_report(model: &CalibratedCostModel) -> Vec<CalibrationRow> {
     let tb = Testbed::paper();
     let mut rows = Vec::new();
     for (k, spec) in tb.clusters.iter().enumerate() {
-        for topo in [
-            Topology::OneD,
-            Topology::Ring,
-            Topology::Tree,
-            Topology::Broadcast,
-        ] {
+        for topo in PAPER_TOPOLOGIES {
             if let Some(fit) = model.intra.get(&(k, topo)) {
                 rows.push(CalibrationRow {
                     cluster: spec.proc_type.name.clone(),
@@ -80,22 +87,19 @@ pub fn calibration_report(model: &CalibratedCostModel) -> Vec<CalibrationRow> {
 
 /// Execute one stencil run on the paper testbed and return the elapsed
 /// simulated milliseconds (startup distribution excluded, as in §6).
+/// A pinned measurement-only plan: no cost model is consulted.
 pub fn run_stencil_config(
     per_cluster: &[u32],
     vector: &PartitionVector,
     variant: StencilVariant,
     n: usize,
     iters: u64,
-) -> f64 {
-    let tb = Testbed::paper();
-    let (mmps, nodes) = tb.build(per_cluster, PlacementStrategy::ClusterContiguous);
-    let p: u32 = per_cluster.iter().sum();
-    let mut app = StencilApp::new(n, iters, variant, p as usize);
-    let mut exec = Executor::new(mmps, nodes);
-    exec.run(&mut app, vector, false)
-        .expect("stencil run")
-        .elapsed
-        .as_millis_f64()
+) -> Result<f64, NetpartError> {
+    let scenario = Scenario::new(Testbed::paper(), stencil_model(n as u64, variant))
+        .with_cost(CostSource::Measured);
+    let plan = scenario.plan_pinned(per_cluster, vector.clone())?;
+    let mut app = StencilApp::new(n, iters, variant, plan.ranks());
+    Ok(plan.run(&mut app)?.elapsed_ms)
 }
 
 /// The speed-balanced partition vector for a (P1, P2) stencil
@@ -146,19 +150,27 @@ pub fn paper_table1(variant: StencilVariant) -> Vec<(u64, [u32; 2], [u64; 2])> {
     }
 }
 
-/// Reproduce Table 1: run the partitioner for every (size, variant) under
-/// the paper's published cost model.
-pub fn table1() -> Vec<Table1Row> {
+/// Reproduce Table 1: plan every (size, variant) scenario under the
+/// paper's published cost model, with the exhaustive optimum as the
+/// reference.
+pub fn table1() -> Result<Vec<Table1Row>, NetpartError> {
     let sys = SystemModel::from_testbed(&Testbed::paper());
     let cost = PaperCostModel;
     let mut rows = Vec::new();
     for variant in [StencilVariant::Sten1, StencilVariant::Sten2] {
         for (n, paper_config, paper_a) in paper_table1(variant) {
+            let scenario = Scenario::new(Testbed::paper(), stencil_model(n, variant))
+                .with_cost(CostSource::Paper);
+            let plan = scenario.plan()?;
+            let predicted = plan
+                .partition
+                .ok_or_else(|| NetpartError::InvalidScenario("plan carries no partition".into()))?;
+            // Planning-layer references: the exhaustive optimum and the
+            // model's price for the paper's printed configuration.
             let app = stencil_model(n, variant);
             let est = Estimator::new(&sys, &cost, &app);
-            let predicted = partition(&est, &PartitionOptions::default()).expect("partition");
-            let exhaustive = partition_exhaustive(&est).expect("exhaustive");
-            let paper_tc_ms = est.t_c_ms(paper_config.map(|x| x).as_ref());
+            let exhaustive = partition_exhaustive(&est)?;
+            let paper_tc_ms = est.t_c_ms(paper_config.as_ref());
             rows.push(Table1Row {
                 n,
                 variant,
@@ -170,7 +182,7 @@ pub fn table1() -> Vec<Table1Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One Table 2 cell group: measured times for every configuration at one
@@ -206,21 +218,22 @@ pub struct Table2Row {
 /// is an independent cell fanned across cores by [`crate::sweep::sweep`];
 /// results are assembled by index so the rows are byte-identical to a
 /// sequential run.
-pub fn table2(model: &CalibratedCostModel, sizes: &[u64], iters: u64) -> Vec<Table2Row> {
-    let sys = SystemModel::from_testbed(&Testbed::paper());
-    // Plan phase (cheap, sequential): one partitioner decision per
+pub fn table2(
+    model: &CalibratedCostModel,
+    sizes: &[u64],
+    iters: u64,
+) -> Result<Vec<Table2Row>, NetpartError> {
+    // Plan phase (cheap, sequential): one pipeline plan per
     // (variant, size) cell group.
-    let plans: Vec<(StencilVariant, u64, Partition)> =
+    let plans: Vec<(StencilVariant, u64, netpart::Plan)> =
         [StencilVariant::Sten1, StencilVariant::Sten2]
             .into_iter()
             .flat_map(|variant| sizes.iter().map(move |&n| (variant, n)))
             .map(|(variant, n)| {
-                let app = stencil_model(n, variant);
-                let est = Estimator::new(&sys, model, &app);
-                let part = partition(&est, &PartitionOptions::default()).expect("partition");
-                (variant, n, part)
+                let plan = stencil_scenario(n, variant, model).plan()?;
+                Ok((variant, n, plan))
             })
-            .collect();
+            .collect::<Result<_, NetpartError>>()?;
 
     // Simulation phase (parallel): flatten every run into one job list.
     enum Job {
@@ -237,8 +250,8 @@ pub fn table2(model: &CalibratedCostModel, sizes: &[u64], iters: u64) -> Vec<Tab
                 .chain([(pi, Job::Predicted), (pi, Job::Equal)])
         })
         .collect();
-    let timings = crate::sweep::sweep(jobs, |(pi, job)| {
-        let (variant, n, part) = &plans[pi];
+    let timings: Vec<f64> = crate::sweep::sweep(jobs, |(pi, job)| {
+        let (variant, n, plan) = &plans[pi];
         match job {
             Job::Measured(ci) => {
                 let config = &TABLE2_CONFIGS[ci];
@@ -246,7 +259,7 @@ pub fn table2(model: &CalibratedCostModel, sizes: &[u64], iters: u64) -> Vec<Tab
                 run_stencil_config(config, &vector, *variant, *n as usize, iters)
             }
             Job::Predicted => {
-                run_stencil_config(&part.config, &part.vector, *variant, *n as usize, iters)
+                run_stencil_config(&plan.config, &plan.vector, *variant, *n as usize, iters)
             }
             Job::Equal => run_stencil_config(
                 &[6, 6],
@@ -256,7 +269,9 @@ pub fn table2(model: &CalibratedCostModel, sizes: &[u64], iters: u64) -> Vec<Tab
                 iters,
             ),
         }
-    });
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
     // Assembly (sequential, index-ordered): each plan owns a contiguous
     // run of `TABLE2_CONFIGS.len() + 2` timings.
@@ -264,25 +279,28 @@ pub fn table2(model: &CalibratedCostModel, sizes: &[u64], iters: u64) -> Vec<Tab
     plans
         .into_iter()
         .enumerate()
-        .map(|(pi, (variant, n, part))| {
+        .map(|(pi, (variant, n, plan))| {
             let base = pi * stride;
             let measured: Vec<f64> = timings[base..base + TABLE2_CONFIGS.len()].to_vec();
             let measured_min = measured
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
-                .expect("non-empty");
-            Table2Row {
+                .ok_or_else(|| NetpartError::InvalidScenario("no measured cells".into()))?;
+            let predicted_tc_ms = plan.predicted_tc_ms.ok_or_else(|| {
+                NetpartError::InvalidScenario("plan carries no prediction".into())
+            })?;
+            Ok(Table2Row {
                 n,
                 variant,
                 measured_ms: measured,
                 measured_min,
-                predicted_config: part.config.clone(),
+                predicted_config: plan.config.clone(),
                 predicted_ms: timings[base + TABLE2_CONFIGS.len()],
-                predicted_estimate_ms: part.predicted_tc_ms() * iters as f64,
+                predicted_estimate_ms: predicted_tc_ms * iters as f64,
                 equal_decomposition_ms: Some(timings[base + TABLE2_CONFIGS.len() + 1]),
-            }
+            })
         })
         .collect()
 }
@@ -302,35 +320,41 @@ pub struct Fig3Point {
 
 /// Reproduce the canonical Fig. 3 curve: `T_c` against processor count
 /// along the heuristic's fill order (Sparc2s 1..6, then IPCs on top),
-/// both estimated and measured.
+/// both estimated and measured. Each point is a pinned pipeline plan.
 pub fn fig3(
     model: &CalibratedCostModel,
     n: u64,
     variant: StencilVariant,
     iters: u64,
-) -> Vec<Fig3Point> {
-    let sys = SystemModel::from_testbed(&Testbed::paper());
-    let app = stencil_model(n, variant);
-    let est = Estimator::new(&sys, model, &app);
+) -> Result<Vec<Fig3Point>, NetpartError> {
+    let scenario = stencil_scenario(n, variant, model);
     let mut configs: Vec<[u32; 2]> = (1..=6).map(|p| [p, 0]).collect();
     configs.extend((1..=6).map(|p| [6, p]));
-    // Estimation is cheap and the estimator is single-threaded (interior
-    // evaluation counter); run it in the plan phase. The simulations are
-    // the heavy part — each P-sweep point is an independent cell.
+    // Estimation is cheap; pin each configuration in the plan phase. The
+    // simulations are the heavy part — each P-sweep point is an
+    // independent cell.
     let plans: Vec<([u32; 2], f64)> = configs
         .into_iter()
-        .map(|config| (config, est.t_c_ms(config.as_ref())))
-        .collect();
+        .map(|config| {
+            let plan = scenario.plan_pinned(&config, balanced_vector(n, &config))?;
+            let estimated = plan.predicted_tc_ms.ok_or_else(|| {
+                NetpartError::InvalidScenario("pinned plan carries no prediction".into())
+            })?;
+            Ok((config, estimated))
+        })
+        .collect::<Result<_, NetpartError>>()?;
     crate::sweep::sweep(plans, |(config, estimated)| {
         let vector = balanced_vector(n, &config);
-        let elapsed = run_stencil_config(&config, &vector, variant, n as usize, iters);
-        Fig3Point {
+        let elapsed = run_stencil_config(&config, &vector, variant, n as usize, iters)?;
+        Ok(Fig3Point {
             total_p: config[0] + config[1],
             config,
             estimated_tc_ms: estimated,
             measured_tc_ms: elapsed / iters as f64,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Fig. 2's worked example: a 20-row grid over four processors.
@@ -356,25 +380,25 @@ pub struct OverheadNumbers {
 }
 
 /// Measure the §5/§6 overhead claims.
-pub fn overhead_report(model: &CalibratedCostModel) -> OverheadNumbers {
+pub fn overhead_report(model: &CalibratedCostModel) -> Result<OverheadNumbers, NetpartError> {
     let sys = SystemModel::from_testbed(&Testbed::paper());
     let app = stencil_model(1200, StencilVariant::Sten1);
     let est = Estimator::new(&sys, model, &app);
-    let oh = measure_overhead(&est, &PartitionOptions::default()).expect("overhead");
+    let oh = measure_overhead(&est, &PartitionOptions::default())?;
 
     let tb = Testbed::paper();
-    let (mut mmps, _) = tb.build(&[0, 0], PlacementStrategy::ClusterContiguous);
+    let (mut mmps, _) = tb.try_build(&[0, 0], PlacementStrategy::ClusterContiguous)?;
     let clusters: Vec<Vec<netpart_sim::NodeId>> = (0..2u16)
         .map(|s| mmps.net_ref().nodes_on_segment(netpart_sim::SegmentId(s)))
         .collect();
     let avail = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
-    OverheadNumbers {
+    Ok(OverheadNumbers {
         evaluations: oh.evaluations,
         bound: oh.bound,
         wall_micros: oh.wall.as_micros(),
         availability_ms: avail.protocol_time.as_millis_f64(),
         availability_messages: avail.messages,
-    }
+    })
 }
 
 /// Result of the Gaussian elimination experiment at one size.
@@ -395,39 +419,49 @@ pub struct GaussRow {
 }
 
 /// §6's Gaussian elimination claim: the method applies to a non-uniform
-/// application. Partition with the calibrated broadcast/tree costs, run
-/// the distributed solver, verify the solution, and compare against a
-/// small configuration sweep.
-pub fn gauss_experiment(model: &CalibratedCostModel, sizes: &[usize]) -> Vec<GaussRow> {
-    let sys = SystemModel::from_testbed(&Testbed::paper());
-    let tb = Testbed::paper();
+/// application. Plan with the calibrated broadcast/tree costs, run the
+/// distributed solver through the pipeline, verify the solution, and
+/// compare against a small configuration sweep.
+pub fn gauss_experiment(
+    model: &CalibratedCostModel,
+    sizes: &[usize],
+) -> Result<Vec<GaussRow>, NetpartError> {
     let probe_configs: Vec<[u32; 2]> = vec![[1, 0], [2, 0], [4, 0], [6, 0], [6, 2], [6, 6]];
 
-    // Plan phase: the linear system and the partitioner's decision per
-    // size (cheap next to the distributed solves).
-    struct Plan {
+    // Plan phase: the linear system, the pipeline's decision, and a
+    // pinned measurement plan per probe (cheap next to the solves).
+    struct SizePlan {
         n: usize,
         a: Vec<f64>,
         b: Vec<f64>,
         x_true: Vec<f64>,
-        part: Partition,
+        predicted: netpart::Plan,
+        probes: Vec<netpart::Plan>,
     }
-    let plans: Vec<Plan> = sizes
+    let plans: Vec<SizePlan> = sizes
         .iter()
         .map(|&n| {
             let (a, b, x_true) = make_system(n, 1994);
             let app_model = netpart_apps::gauss_model(n as u64);
-            let est = Estimator::new(&sys, model, &app_model);
-            let part = partition(&est, &PartitionOptions::default()).expect("partition");
-            Plan {
+            let scenario = Scenario::new(Testbed::paper(), app_model.clone())
+                .with_cost(CostSource::Fixed(model.clone()));
+            let predicted = scenario.plan()?;
+            let measure =
+                Scenario::new(Testbed::paper(), app_model).with_cost(CostSource::Measured);
+            let probes = probe_configs
+                .iter()
+                .map(|config| measure.plan_pinned(config, balanced_vector(n as u64, config)))
+                .collect::<Result<_, NetpartError>>()?;
+            Ok(SizePlan {
                 n,
                 a,
                 b,
                 x_true,
-                part,
-            }
+                predicted,
+                probes,
+            })
         })
-        .collect();
+        .collect::<Result<_, NetpartError>>()?;
 
     // Simulation phase: the predicted run and every probe of every size
     // are independent cells.
@@ -437,20 +471,14 @@ pub fn gauss_experiment(model: &CalibratedCostModel, sizes: &[usize]) -> Vec<Gau
                 .chain((0..probe_configs.len()).map(move |ci| (pi, Some(ci))))
         })
         .collect();
-    let results = crate::sweep::sweep(jobs, |(pi, probe)| {
+    let results: Vec<(f64, f64)> = crate::sweep::sweep(jobs, |(pi, probe)| {
         let plan = &plans[pi];
-        let (config, vector): (&[u32], PartitionVector) = match probe {
-            None => (&plan.part.config, plan.part.vector.clone()),
-            Some(ci) => (
-                &probe_configs[ci][..],
-                balanced_vector(plan.n as u64, &probe_configs[ci]),
-            ),
+        let run_plan = match probe {
+            None => &plan.predicted,
+            Some(ci) => &plan.probes[ci],
         };
-        let (mmps, nodes) = tb.build(config, PlacementStrategy::ClusterContiguous);
-        let p: u32 = config.iter().sum();
-        let mut app = GaussApp::new(plan.n, plan.a.clone(), plan.b.clone(), p as usize);
-        let mut exec = Executor::new(mmps, nodes);
-        let report = exec.run(&mut app, &vector, false).expect("gauss run");
+        let mut app = GaussApp::new(plan.n, plan.a.clone(), plan.b.clone(), run_plan.ranks());
+        let run = run_plan.run(&mut app)?;
         let x = app.solve();
         let resid = x
             .iter()
@@ -458,17 +486,19 @@ pub fn gauss_experiment(model: &CalibratedCostModel, sizes: &[usize]) -> Vec<Gau
             .map(|(g, e)| (g - e).abs())
             .fold(0.0f64, f64::max);
         if let Some(ci) = probe {
-            assert!(
+            debug_assert!(
                 resid < 1e-6,
                 "probe config {:?} produced a bad solve",
                 probe_configs[ci]
             );
         }
-        (report.elapsed.as_millis_f64(), resid)
-    });
+        Ok((run.elapsed_ms, resid))
+    })
+    .into_iter()
+    .collect::<Result<_, NetpartError>>()?;
 
     let stride = 1 + probe_configs.len();
-    plans
+    Ok(plans
         .into_iter()
         .enumerate()
         .map(|(pi, plan)| {
@@ -476,7 +506,7 @@ pub fn gauss_experiment(model: &CalibratedCostModel, sizes: &[usize]) -> Vec<Gau
             let (predicted_ms, residual) = results[base];
             GaussRow {
                 n: plan.n,
-                predicted_config: plan.part.config.clone(),
+                predicted_config: plan.predicted.config.clone(),
                 predicted_ms,
                 probe_configs: probe_configs.clone(),
                 probe_ms: results[base + 1..base + stride]
@@ -486,7 +516,7 @@ pub fn gauss_experiment(model: &CalibratedCostModel, sizes: &[usize]) -> Vec<Gau
                 residual,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// One row of the cycle-time breakdown: where a representative processor's
@@ -508,28 +538,40 @@ pub struct BreakdownRow {
 /// Explain Fig. 3 from the inside: along the heuristic's fill order,
 /// report how much of the run each rank spends computing versus blocked
 /// on borders. Region A = compute-dominated; region B = wait-dominated.
-pub fn cycle_breakdown(n: u64, variant: StencilVariant, iters: u64) -> Vec<BreakdownRow> {
-    let tb = Testbed::paper();
+pub fn cycle_breakdown(
+    n: u64,
+    variant: StencilVariant,
+    iters: u64,
+) -> Result<Vec<BreakdownRow>, NetpartError> {
+    let scenario =
+        Scenario::new(Testbed::paper(), stencil_model(n, variant)).with_cost(CostSource::Measured);
     let mut configs: Vec<[u32; 2]> = (1..=6).map(|p| [p, 0]).collect();
     configs.extend((1..=6).map(|p| [6, p]));
-    crate::sweep::sweep(configs, |config| {
-        let (mmps, nodes) = tb.build(&config, PlacementStrategy::ClusterContiguous);
-        let p = (config[0] + config[1]) as usize;
-        let mut app = StencilApp::new(n as usize, iters, variant, p);
-        let mut exec = Executor::new(mmps, nodes);
-        let vector = balanced_vector(n, &config);
-        let report = exec.run(&mut app, &vector, false).expect("run");
+    let plans: Vec<([u32; 2], netpart::Plan)> = configs
+        .into_iter()
+        .map(|config| {
+            Ok((
+                config,
+                scenario.plan_pinned(&config, balanced_vector(n, &config))?,
+            ))
+        })
+        .collect::<Result<_, NetpartError>>()?;
+    crate::sweep::sweep(plans, |(config, plan)| {
+        let mut app = StencilApp::new(n as usize, iters, variant, plan.ranks());
+        let run = plan.run(&mut app)?;
         let mean = |v: &[netpart_sim::SimDur]| -> f64 {
             v.iter().map(|d| d.as_millis_f64()).sum::<f64>() / v.len() as f64
         };
-        BreakdownRow {
+        Ok(BreakdownRow {
             config,
             total_p: config[0] + config[1],
-            compute_ms: mean(&report.compute_time),
-            wait_ms: mean(&report.wait_time),
-            elapsed_ms: report.elapsed.as_millis_f64(),
-        }
+            compute_ms: mean(&run.report.compute_time),
+            wait_ms: mean(&run.report.wait_time),
+            elapsed_ms: run.elapsed_ms,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// One scalability data point: the partitioner on a K-cluster system.
@@ -553,7 +595,11 @@ pub struct ScalabilityRow {
 /// §5's scalability argument, measured: run the heuristic on synthetic
 /// systems of growing cluster counts and show evaluations track
 /// `K·log₂P` while the exhaustive space explodes.
-pub fn scalability(ks: &[usize], nodes_per: u32, n: u64) -> Vec<ScalabilityRow> {
+pub fn scalability(
+    ks: &[usize],
+    nodes_per: u32,
+    n: u64,
+) -> Result<Vec<ScalabilityRow>, NetpartError> {
     use netpart_calibrate::{FittedCost, LinearCost};
     // Each K is an independent cell; evaluations/bounds are deterministic,
     // and `wall_micros` is a host-clock measurement that varies run to run
@@ -587,16 +633,18 @@ pub fn scalability(ks: &[usize], nodes_per: u32, n: u64) -> Vec<ScalabilityRow> 
         let app = stencil_model(n, StencilVariant::Sten1);
         let est = Estimator::new(&sys, &model, &app);
         let start = std::time::Instant::now();
-        let p = partition(&est, &PartitionOptions::default()).expect("partition");
+        let p = partition(&est, &PartitionOptions::default())?;
         let wall = start.elapsed();
         let p_max = nodes_per.max(1) as f64;
-        ScalabilityRow {
+        Ok(ScalabilityRow {
             k,
             total_p: sys.total_available(),
             evaluations: p.evaluations,
             bound: 2 * k as u64 * (p_max.log2().ceil() as u64 + 1),
             wall_micros: wall.as_micros(),
             exhaustive_space: ((nodes_per + 1) as f64).powi(k as i32),
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }

@@ -100,6 +100,49 @@ pub fn format_fig3(points: &[crate::experiments::Fig3Point]) -> String {
     out
 }
 
+/// Render the Table 1 stdout segment exactly as the `experiments` binary
+/// prints it (table, trailing blank line, pointer to the analysis).
+///
+/// The golden-parity test concatenates these `render_*` segments and
+/// compares them byte-for-byte against a pre-refactor fixture, so any
+/// change here must be intentional.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = format_table1(rows);
+    out.push('\n');
+    out.push_str("(see EXPERIMENTS.md for the per-cell agreement analysis)\n");
+    out
+}
+
+/// Render the Table 2 stdout segment exactly as the `experiments` binary
+/// prints it.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = format_table2(rows);
+    out.push('\n');
+    out
+}
+
+/// Render one Fig. 3 curve's stdout segment exactly as the `experiments`
+/// binary prints it: header, bar chart, and the measured-ideal footer.
+pub fn render_fig3(
+    n: u64,
+    variant: StencilVariant,
+    points: &[crate::experiments::Fig3Point],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("— {} N={n} —\n", variant_name(variant)));
+    out.push_str(&format_fig3(points));
+    out.push('\n');
+    let min = points
+        .iter()
+        .min_by(|a, b| a.measured_tc_ms.total_cmp(&b.measured_tc_ms))
+        .expect("non-empty Fig. 3 curve");
+    out.push_str(&format!(
+        "p_ideal (measured) = {} at ({},{})\n\n",
+        min.total_p, min.config[0], min.config[1]
+    ));
+    out
+}
+
 /// Write the core experiment results as CSV files under `dir`, for
 /// plotting outside this repository. Returns the files written.
 pub fn export_csv(

@@ -1,0 +1,60 @@
+//! Golden-output parity: the pipeline-backed experiment harness must
+//! reproduce the pre-refactor Table 1, Table 2, and Fig. 3 text **byte
+//! for byte**. The fixture is the captured stdout of
+//! `experiments -- table1 table2 fig3` from before cycle execution moved
+//! behind the engine and the experiments moved onto Scenario → plan →
+//! run; this test rebuilds the same bytes through the refactored stack.
+//!
+//! If this test fails, the refactor changed an experiment's *result*,
+//! not just its plumbing — regenerate the fixture only when that is
+//! deliberate:
+//!
+//! ```text
+//! cargo run --release -p netpart-bench --bin experiments -- table1 table2 fig3 \
+//!   2>/dev/null > crates/netpart-bench/tests/fixtures/golden_t1t2f3.txt
+//! ```
+
+use std::sync::OnceLock;
+
+use netpart_apps::stencil::StencilVariant;
+use netpart_bench::*;
+use netpart_calibrate::CalibratedCostModel;
+
+fn model() -> &'static CalibratedCostModel {
+    static MODEL: OnceLock<CalibratedCostModel> = OnceLock::new();
+    MODEL.get_or_init(|| paper_calibration().expect("paper calibration"))
+}
+
+#[test]
+fn pipeline_output_matches_pre_refactor_fixture() {
+    // Compose exactly what the binary prints for
+    // `experiments -- table1 table2 fig3`: each command's segment
+    // followed by the blank separator line `main` emits after it.
+    let mut out = String::new();
+    out.push_str(&render_table1(&table1().expect("table1")));
+    out.push('\n');
+    out.push_str(&render_table2(
+        &table2(model(), &PAPER_SIZES, PAPER_ITERS).expect("table2"),
+    ));
+    out.push('\n');
+    for (n, variant) in [
+        (60u64, StencilVariant::Sten1),
+        (600, StencilVariant::Sten1),
+        (600, StencilVariant::Sten2),
+    ] {
+        let points = fig3(model(), n, variant, PAPER_ITERS).expect("fig3");
+        out.push_str(&render_fig3(n, variant, &points));
+    }
+    out.push('\n');
+
+    let golden = include_str!("fixtures/golden_t1t2f3.txt");
+    if out != golden {
+        // Byte diffs in a wall of table text are unreadable; point at the
+        // first differing line instead.
+        for (i, (got, want)) in out.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(got, want, "first divergence at line {}", i + 1);
+        }
+        assert_eq!(out.len(), golden.len(), "outputs differ only in length");
+        unreachable!("strings differ but no line diff found");
+    }
+}

@@ -10,12 +10,12 @@ use netpart_calibrate::CalibratedCostModel;
 
 fn model() -> &'static CalibratedCostModel {
     static MODEL: OnceLock<CalibratedCostModel> = OnceLock::new();
-    MODEL.get_or_init(paper_calibration)
+    MODEL.get_or_init(|| paper_calibration().expect("paper calibration"))
 }
 
 #[test]
 fn table1_has_all_sixteen_decisions() {
-    let rows = table1();
+    let rows = table1().expect("table1");
     assert_eq!(rows.len(), 8);
     for r in &rows {
         // The partitioner never scores worse than the paper's printed
@@ -34,7 +34,7 @@ fn table1_has_all_sixteen_decisions() {
 
 #[test]
 fn table2_small_sizes_star_the_predicted_config() {
-    let rows = table2(model(), &[60, 150], 6);
+    let rows = table2(model(), &[60, 150], 6).expect("table2");
     assert_eq!(rows.len(), 4);
     for r in &rows {
         let best = r.measured_ms[r.measured_min];
@@ -59,7 +59,7 @@ fn table2_small_sizes_star_the_predicted_config() {
 
 #[test]
 fn fig3_curve_is_u_shaped_at_small_n() {
-    let points = fig3(model(), 60, StencilVariant::Sten1, 6);
+    let points = fig3(model(), 60, StencilVariant::Sten1, 6).expect("fig3");
     assert_eq!(points.len(), 12);
     let min_idx = points
         .iter()
@@ -78,7 +78,7 @@ fn fig3_curve_is_u_shaped_at_small_n() {
 
 #[test]
 fn overhead_numbers_within_bounds() {
-    let o = overhead_report(model());
+    let o = overhead_report(model()).expect("overhead");
     assert!(o.evaluations <= o.bound);
     assert!(o.availability_ms > 0.0 && o.availability_ms < 100.0);
     assert_eq!(o.availability_messages, 20);
@@ -86,7 +86,7 @@ fn overhead_numbers_within_bounds() {
 
 #[test]
 fn scalability_evaluations_track_k() {
-    let rows = scalability(&[2, 4, 8], 8, 1200);
+    let rows = scalability(&[2, 4, 8], 8, 1200).expect("scalability");
     for w in rows.windows(2) {
         // Doubling K doubles the evaluation count (linear growth).
         assert_eq!(w[1].evaluations, 2 * w[0].evaluations);
@@ -97,11 +97,11 @@ fn scalability_evaluations_track_k() {
 #[test]
 fn csv_export_round_trips() {
     let dir = std::env::temp_dir().join("netpart-csv-test");
-    let t1 = table1();
-    let t2 = table2(model(), &[60], 4);
+    let t1 = table1().expect("table1");
+    let t2 = table2(model(), &[60], 4).expect("table2");
     let curves = vec![(
         "sten1_n60".to_owned(),
-        fig3(model(), 60, StencilVariant::Sten1, 4),
+        fig3(model(), 60, StencilVariant::Sten1, 4).expect("fig3"),
     )];
     let files = export_csv(&dir, &t1, &t2, &curves).expect("export");
     assert_eq!(files.len(), 3);

@@ -23,6 +23,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
 
+use netpart_model::NetpartError;
 use netpart_topology::Topology;
 
 use crate::costmodel::{CalibratedCostModel, FittedCost, LinearCost};
@@ -82,7 +83,7 @@ pub fn calibrate_testbed_cached_status(
     testbed: &Testbed,
     topologies: &[Topology],
     cfg: &CalibrationConfig,
-) -> (CalibratedCostModel, CacheStatus) {
+) -> Result<(CalibratedCostModel, CacheStatus), NetpartError> {
     static MEMO: OnceLock<Mutex<HashMap<u64, CalibratedCostModel>>> = OnceLock::new();
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     let fp = calibration_fingerprint(testbed, topologies, cfg);
@@ -91,7 +92,7 @@ pub fn calibrate_testbed_cached_status(
     // same fingerprint wait for one calibration instead of racing.
     let mut map = memo.lock().expect("calibration memo poisoned");
     if let Some(model) = map.get(&fp) {
-        return (model.clone(), CacheStatus::MemoHit);
+        return Ok((model.clone(), CacheStatus::MemoHit));
     }
 
     let path = cache_path(fp);
@@ -105,14 +106,14 @@ pub fn calibrate_testbed_cached_status(
             describe(testbed, topologies)
         );
         map.insert(fp, model.clone());
-        return (model, CacheStatus::DiskHit);
+        return Ok((model, CacheStatus::DiskHit));
     }
 
     eprintln!(
         "netpart-calibrate: cache miss, running full calibration ({})",
         describe(testbed, topologies)
     );
-    let model = calibrate_testbed(testbed, topologies, cfg);
+    let model = calibrate_testbed(testbed, topologies, cfg)?;
     if let Err(e) = persist(&path, fp, &model) {
         eprintln!(
             "netpart-calibrate: could not persist calibration to {}: {e}",
@@ -120,7 +121,7 @@ pub fn calibrate_testbed_cached_status(
         );
     }
     map.insert(fp, model.clone());
-    (model, CacheStatus::Miss)
+    Ok((model, CacheStatus::Miss))
 }
 
 /// Like [`calibrate_testbed`], but computed at most once per machine for a
@@ -129,8 +130,8 @@ pub fn calibrate_testbed_cached(
     testbed: &Testbed,
     topologies: &[Topology],
     cfg: &CalibrationConfig,
-) -> CalibratedCostModel {
-    calibrate_testbed_cached_status(testbed, topologies, cfg).0
+) -> Result<CalibratedCostModel, NetpartError> {
+    Ok(calibrate_testbed_cached_status(testbed, topologies, cfg)?.0)
 }
 
 fn describe(testbed: &Testbed, topologies: &[Topology]) -> String {

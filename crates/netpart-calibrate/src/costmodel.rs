@@ -113,6 +113,14 @@ pub trait CommCostModel {
         CrossClusterMode::Plain
     }
 
+    /// Whether this model can price `cluster` under `topo`. The planner
+    /// checks this for every (cluster, topology) pair it is about to
+    /// evaluate, turning a missing table entry into a typed error instead
+    /// of a panic deep inside the partition search.
+    fn covers(&self, _cluster: usize, _topo: Topology) -> bool {
+        true
+    }
+
     /// Eq. 2: the per-cycle communication cost of a configuration
     /// (`config[k]` = processors used from cluster k), in milliseconds.
     ///
@@ -193,6 +201,10 @@ impl CalibratedCostModel {
 }
 
 impl CommCostModel for CalibratedCostModel {
+    fn covers(&self, cluster: usize, topo: Topology) -> bool {
+        self.intra.contains_key(&(cluster, topo))
+    }
+
     fn intra_ms(&self, cluster: usize, topo: Topology, bytes: f64, p: u32) -> f64 {
         if p <= 1 && !topo.is_bandwidth_limited() {
             return 0.0;
@@ -241,6 +253,10 @@ impl PaperCostModel {
 }
 
 impl CommCostModel for PaperCostModel {
+    fn covers(&self, cluster: usize, topo: Topology) -> bool {
+        cluster < 2 && topo == Topology::OneD
+    }
+
     fn intra_ms(&self, cluster: usize, topo: Topology, bytes: f64, p: u32) -> f64 {
         assert_eq!(
             topo,

@@ -6,7 +6,7 @@
 //! benchmarked using different p and b values to derive the appropriate
 //! constants", executed against the simulator instead of real Sun4s.
 
-use netpart_model::PartitionVector;
+use netpart_model::{NetpartError, PartitionVector};
 use netpart_spmd::Executor;
 use netpart_topology::{PlacementStrategy, Topology};
 
@@ -44,21 +44,19 @@ pub fn measure_cycle_ms(
     topo: Topology,
     bytes: u32,
     cfg: &CalibrationConfig,
-) -> f64 {
+) -> Result<f64, NetpartError> {
     let p: u32 = per_cluster.iter().sum();
     if p <= 1 {
-        return 0.0;
+        return Ok(0.0);
     }
-    let (mmps, nodes) = testbed.build(per_cluster, PlacementStrategy::ClusterContiguous);
+    let (mmps, nodes) = testbed.try_build(per_cluster, PlacementStrategy::ClusterContiguous)?;
     let mut app = CommBench::new(topo, p, bytes, cfg.cycles);
     let mut exec = Executor::new(mmps, nodes);
-    let report = exec
-        .run(
-            &mut app,
-            &PartitionVector::equal(p as u64, p as usize),
-            false,
-        )
-        .expect("calibration run failed");
+    let report = exec.run(
+        &mut app,
+        &PartitionVector::equal(p as u64, p as usize),
+        false,
+    )?;
     let usable: Vec<f64> = report
         .per_cycle
         .iter()
@@ -66,9 +64,9 @@ pub fn measure_cycle_ms(
         .map(|d| d.as_millis_f64())
         .collect();
     if usable.is_empty() {
-        return report.mean_cycle().as_millis_f64();
+        return Ok(report.mean_cycle().as_millis_f64());
     }
-    usable.iter().sum::<f64>() / usable.len() as f64
+    Ok(usable.iter().sum::<f64>() / usable.len() as f64)
 }
 
 /// Benchmark one cluster's Eq. 1 constants for `topo`: sweep
@@ -79,9 +77,13 @@ pub fn calibrate_cluster(
     cluster: usize,
     topo: Topology,
     cfg: &CalibrationConfig,
-) -> FittedCost {
+) -> Result<FittedCost, NetpartError> {
     let capacity = testbed.clusters[cluster].nodes;
-    assert!(capacity >= 2, "need at least two nodes to communicate");
+    if capacity < 2 {
+        return Err(NetpartError::Calibration(format!(
+            "cluster {cluster} has {capacity} node(s); need at least two to communicate"
+        )));
+    }
     // Each (p, b) grid point is an independent simulation; the sweep
     // returns them in grid order, so the least-squares system is built
     // exactly as the sequential loop built it.
@@ -95,19 +97,21 @@ pub fn calibrate_cluster(
     });
     let mut rows = Vec::new();
     let mut y = Vec::new();
-    for (&(p, b), &t) in grid.iter().zip(times.iter()) {
+    for (&(p, b), t) in grid.iter().zip(times) {
         rows.push(vec![1.0, p as f64, b as f64, p as f64 * b as f64]);
-        y.push(t);
+        y.push(t?);
     }
-    let fit = least_squares(&rows, &y).expect("calibration sweep must be well-posed");
-    FittedCost {
+    let fit = least_squares(&rows, &y).ok_or_else(|| {
+        NetpartError::Calibration("calibration sweep produced a singular system".into())
+    })?;
+    Ok(FittedCost {
         c1: fit.coefficients[0],
         c2: fit.coefficients[1],
         c3: fit.coefficients[2],
         c4: fit.coefficients[3],
         r_squared: fit.r_squared,
         abs_fix: true, // same guard the paper applies to poor small-p fits
-    }
+    })
 }
 
 /// Benchmark the router penalty between two clusters: the per-byte excess
@@ -118,7 +122,7 @@ pub fn calibrate_router(
     ca: usize,
     cb: usize,
     cfg: &CalibrationConfig,
-) -> LinearCost {
+) -> Result<LinearCost, NetpartError> {
     // The penalty belongs to the *path*, not the machines, so measure it
     // with identical hosts on both sides: clone cluster `ca`'s machine
     // class onto cluster `cb`'s segment (this also unifies data formats,
@@ -132,18 +136,21 @@ pub fn calibrate_router(
         let mut cross_cfg = vec![0u32; tb.num_clusters()];
         cross_cfg[ca] = 1;
         cross_cfg[cb] = 1;
-        let cross = measure_cycle_ms(&tb, &cross_cfg, Topology::OneD, b, cfg);
+        let cross = measure_cycle_ms(&tb, &cross_cfg, Topology::OneD, b, cfg)?;
         let mut intra_cfg = vec![0u32; tb.num_clusters()];
         intra_cfg[ca] = 2;
-        let base = measure_cycle_ms(&tb, &intra_cfg, Topology::OneD, b, cfg);
-        (cross - base).max(0.0)
+        let base = measure_cycle_ms(&tb, &intra_cfg, Topology::OneD, b, cfg)?;
+        Ok::<f64, NetpartError>((cross - base).max(0.0))
     });
+    let excesses = excesses.into_iter().collect::<Result<Vec<f64>, _>>()?;
     let rows: Vec<Vec<f64>> = cfg.b_values.iter().map(|&b| vec![1.0, b as f64]).collect();
-    let fit = least_squares(&rows, &excesses).expect("router sweep must be well-posed");
-    LinearCost {
+    let fit = least_squares(&rows, &excesses).ok_or_else(|| {
+        NetpartError::Calibration("router sweep produced a singular system".into())
+    })?;
+    Ok(LinearCost {
         a: fit.coefficients[0].max(0.0),
         k: fit.coefficients[1].max(0.0),
-    }
+    })
 }
 
 /// Benchmark the coercion penalty between two clusters: the per-byte
@@ -154,9 +161,9 @@ pub fn calibrate_coerce(
     ca: usize,
     cb: usize,
     cfg: &CalibrationConfig,
-) -> LinearCost {
+) -> Result<LinearCost, NetpartError> {
     if testbed.clusters[ca].proc_type.data_format == testbed.clusters[cb].proc_type.data_format {
-        return LinearCost::default();
+        return Ok(LinearCost::default());
     }
     let mut unified = testbed.clone();
     unified.clusters[cb].proc_type.data_format = unified.clusters[ca].proc_type.data_format;
@@ -165,16 +172,19 @@ pub fn calibrate_coerce(
         let mut cc = vec![0u32; testbed.num_clusters()];
         cc[ca] = 1;
         cc[cb] = 1;
-        let with = measure_cycle_ms(testbed, &cc, Topology::OneD, b, cfg);
-        let without = measure_cycle_ms(&unified, &cc, Topology::OneD, b, cfg);
-        (with - without).max(0.0)
+        let with = measure_cycle_ms(testbed, &cc, Topology::OneD, b, cfg)?;
+        let without = measure_cycle_ms(&unified, &cc, Topology::OneD, b, cfg)?;
+        Ok::<f64, NetpartError>((with - without).max(0.0))
     });
+    let excesses = excesses.into_iter().collect::<Result<Vec<f64>, _>>()?;
     let rows: Vec<Vec<f64>> = cfg.b_values.iter().map(|&b| vec![1.0, b as f64]).collect();
-    let fit = least_squares(&rows, &excesses).expect("coercion sweep must be well-posed");
-    LinearCost {
+    let fit = least_squares(&rows, &excesses).ok_or_else(|| {
+        NetpartError::Calibration("coercion sweep produced a singular system".into())
+    })?;
+    Ok(LinearCost {
         a: fit.coefficients[0].max(0.0),
         k: fit.coefficients[1].max(0.0),
-    }
+    })
 }
 
 /// Run the full offline procedure: every cluster × every requested
@@ -183,24 +193,27 @@ pub fn calibrate_testbed(
     testbed: &Testbed,
     topologies: &[Topology],
     cfg: &CalibrationConfig,
-) -> CalibratedCostModel {
+) -> Result<CalibratedCostModel, NetpartError> {
+    if testbed.num_clusters() == 0 {
+        return Err(NetpartError::EmptyTestbed);
+    }
     let mut model = CalibratedCostModel::default();
     for cluster in 0..testbed.num_clusters() {
         for &topo in topologies {
             model.set_intra(
                 cluster,
                 topo,
-                calibrate_cluster(testbed, cluster, topo, cfg),
+                calibrate_cluster(testbed, cluster, topo, cfg)?,
             );
         }
     }
     for a in 0..testbed.num_clusters() {
         for b in a + 1..testbed.num_clusters() {
-            model.set_router(a, b, calibrate_router(testbed, a, b, cfg));
-            model.set_coerce(a, b, calibrate_coerce(testbed, a, b, cfg));
+            model.set_router(a, b, calibrate_router(testbed, a, b, cfg)?);
+            model.set_coerce(a, b, calibrate_coerce(testbed, a, b, cfg)?);
         }
     }
-    model
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -219,9 +232,9 @@ mod tests {
     fn cycle_time_grows_with_p_and_b() {
         let tb = Testbed::paper();
         let cfg = quick_cfg();
-        let t_2_small = measure_cycle_ms(&tb, &[2, 0], Topology::OneD, 512, &cfg);
-        let t_6_small = measure_cycle_ms(&tb, &[6, 0], Topology::OneD, 512, &cfg);
-        let t_2_big = measure_cycle_ms(&tb, &[2, 0], Topology::OneD, 8192, &cfg);
+        let t_2_small = measure_cycle_ms(&tb, &[2, 0], Topology::OneD, 512, &cfg).unwrap();
+        let t_6_small = measure_cycle_ms(&tb, &[6, 0], Topology::OneD, 512, &cfg).unwrap();
+        let t_2_big = measure_cycle_ms(&tb, &[2, 0], Topology::OneD, 8192, &cfg).unwrap();
         assert!(t_2_small > 0.0);
         assert!(t_6_small > t_2_small, "{t_6_small} vs {t_2_small}");
         assert!(t_2_big > t_2_small, "{t_2_big} vs {t_2_small}");
@@ -231,10 +244,10 @@ mod tests {
     fn fitted_constants_predict_measurements() {
         let tb = Testbed::paper();
         let cfg = quick_cfg();
-        let fit = calibrate_cluster(&tb, 0, Topology::OneD, &cfg);
+        let fit = calibrate_cluster(&tb, 0, Topology::OneD, &cfg).unwrap();
         assert!(fit.r_squared > 0.95, "fit quality {}", fit.r_squared);
         // Out-of-sample check: predict p=5, b=2048 within 25%.
-        let measured = measure_cycle_ms(&tb, &[5, 0], Topology::OneD, 2048, &cfg);
+        let measured = measure_cycle_ms(&tb, &[5, 0], Topology::OneD, 2048, &cfg).unwrap();
         let predicted = fit.eval_ms(2048.0, 5);
         let rel = (measured - predicted).abs() / measured;
         assert!(rel < 0.25, "measured {measured} predicted {predicted}");
@@ -250,8 +263,8 @@ mod tests {
         // wire dominates both clusters equally.
         let tb = Testbed::paper();
         let cfg = quick_cfg();
-        let sparc = measure_cycle_ms(&tb, &[4, 0], Topology::OneD, 64, &cfg);
-        let ipc = measure_cycle_ms(&tb, &[0, 4], Topology::OneD, 64, &cfg);
+        let sparc = measure_cycle_ms(&tb, &[4, 0], Topology::OneD, 64, &cfg).unwrap();
+        let ipc = measure_cycle_ms(&tb, &[0, 4], Topology::OneD, 64, &cfg).unwrap();
         assert!(
             ipc > sparc * 1.2,
             "ipc {ipc} should clearly exceed sparc {sparc} at small b"
@@ -262,7 +275,7 @@ mod tests {
     fn router_penalty_is_positive_and_per_byte() {
         let tb = Testbed::paper();
         let cfg = quick_cfg();
-        let r = calibrate_router(&tb, 0, 1, &cfg);
+        let r = calibrate_router(&tb, 0, 1, &cfg).unwrap();
         assert!(r.k > 0.0, "router per-byte must be positive: {r:?}");
         // Same order of magnitude as the paper's 0.0006 ms/byte.
         assert!(r.k > 0.0001 && r.k < 0.01, "per-byte {k}", k = r.k);
@@ -272,7 +285,7 @@ mod tests {
     fn coercion_zero_for_same_format() {
         let tb = Testbed::paper();
         let cfg = quick_cfg();
-        let c = calibrate_coerce(&tb, 0, 1, &cfg);
+        let c = calibrate_coerce(&tb, 0, 1, &cfg).unwrap();
         assert_eq!(c, LinearCost::default());
     }
 
@@ -280,7 +293,7 @@ mod tests {
     fn coercion_positive_across_formats() {
         let tb = Testbed::metasystem();
         let cfg = quick_cfg();
-        let c = calibrate_coerce(&tb, 0, 2, &cfg);
+        let c = calibrate_coerce(&tb, 0, 2, &cfg).unwrap();
         assert!(c.k > 0.0, "cross-format coercion per byte: {c:?}");
     }
 }

@@ -3,6 +3,7 @@
 //! per ethernet segment, one router joining every segment).
 
 use netpart_mmps::{Mmps, MmpsConfig};
+use netpart_model::NetpartError;
 use netpart_sim::{NetworkBuilder, NodeId, ProcType, RouterSpec, SegmentSpec};
 use netpart_topology::PlacementStrategy;
 
@@ -147,9 +148,40 @@ impl Testbed {
     ///
     /// # Panics
     /// If `per_cluster` is longer than the cluster list or requests more
-    /// nodes than a cluster has.
+    /// nodes than a cluster has. [`Testbed::try_build`] is the fallible
+    /// variant the pipeline uses.
     pub fn build(&self, per_cluster: &[u32], placement: PlacementStrategy) -> (Mmps, Vec<NodeId>) {
-        assert!(per_cluster.len() <= self.clusters.len());
+        self.try_build(per_cluster, placement)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Testbed::build`]: returns
+    /// [`NetpartError::ClusterOvercommitted`] when a cluster is asked for
+    /// more nodes than it has, [`NetpartError::InvalidScenario`] when
+    /// `per_cluster` names more clusters than exist, and
+    /// [`NetpartError::Network`] when the network description is
+    /// malformed.
+    pub fn try_build(
+        &self,
+        per_cluster: &[u32],
+        placement: PlacementStrategy,
+    ) -> Result<(Mmps, Vec<NodeId>), NetpartError> {
+        if per_cluster.len() > self.clusters.len() {
+            return Err(NetpartError::InvalidScenario(format!(
+                "configuration names {} clusters but the testbed has {}",
+                per_cluster.len(),
+                self.clusters.len()
+            )));
+        }
+        for (k, (&asked, spec)) in per_cluster.iter().zip(&self.clusters).enumerate() {
+            if asked > spec.nodes {
+                return Err(NetpartError::ClusterOvercommitted {
+                    cluster: k,
+                    have: spec.nodes,
+                    asked,
+                });
+            }
+        }
         let mut b = NetworkBuilder::new(self.seed);
         let mut cluster_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(self.clusters.len());
         let mut segments = Vec::with_capacity(self.clusters.len());
@@ -174,24 +206,23 @@ impl Testbed {
                 b.add_router(spec);
             }
         }
-        let net = b.build().expect("testbed network is well-formed");
+        let net = b
+            .build()
+            .map_err(|e| NetpartError::Network(format!("testbed network is malformed: {e}")))?;
 
-        // Rank → node mapping per the placement strategy.
+        // Rank → node mapping per the placement strategy. The per-cluster
+        // totals were bounds-checked above, so indexing is an invariant.
         let assignment = placement.assign(per_cluster);
         let mut next_in_cluster = vec![0usize; self.clusters.len()];
         let mut nodes = Vec::with_capacity(assignment.len());
         for &cluster in &assignment {
             let k = cluster as usize;
             let idx = next_in_cluster[k];
-            assert!(
-                idx < cluster_nodes[k].len(),
-                "cluster {k} has only {} nodes, asked for more",
-                cluster_nodes[k].len()
-            );
+            debug_assert!(idx < cluster_nodes[k].len());
             nodes.push(cluster_nodes[k][idx]);
             next_in_cluster[k] = idx + 1;
         }
-        (Mmps::new(net, self.mmps.clone()), nodes)
+        Ok((Mmps::new(net, self.mmps.clone()), nodes))
     }
 }
 

@@ -79,27 +79,10 @@ impl Partition {
     }
 }
 
-/// Errors from partitioning.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PartitionError {
-    /// No cluster has an available processor.
-    NoProcessorsAvailable,
-    /// A [`ClusterOrder::Given`] order was not a permutation of clusters.
-    InvalidOrder,
-}
-
-impl std::fmt::Display for PartitionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PartitionError::NoProcessorsAvailable => {
-                write!(f, "no processors available in any cluster")
-            }
-            PartitionError::InvalidOrder => write!(f, "cluster order is not a permutation"),
-        }
-    }
-}
-
-impl std::error::Error for PartitionError {}
+/// Errors from partitioning. Alias of the workspace-wide
+/// [`netpart_model::NetpartError`]; the relevant variants are
+/// `NoProcessorsAvailable` and `InvalidOrder`.
+pub type PartitionError = netpart_model::NetpartError;
 
 /// Run the heuristic partitioning algorithm.
 pub fn partition(
@@ -197,7 +180,12 @@ pub fn partition_exhaustive(est: &Estimator<'_>) -> Result<Partition, PartitionE
         let mut i = 0;
         loop {
             if i == k {
-                let (config, _) = best.expect("at least one non-empty config");
+                let Some((config, _)) = best else {
+                    // Unreachable while total_available() > 0, but a typed
+                    // error beats a panic if a caller mutates availability
+                    // mid-search.
+                    return Err(PartitionError::NoProcessorsAvailable);
+                };
                 let order = sys.speed_order(kind);
                 let breakdown = est.breakdown(&config);
                 let evaluations = est.evaluations() - 1;

@@ -152,7 +152,7 @@ impl SearchStrategy {
                 let mut best: Option<(u32, f64)> = None;
                 for p in (a.floor() as u32).max(lo)..=(b.ceil() as u32).min(hi) {
                     let v = eval(p, &mut cache, &mut evals);
-                    if best.is_none() || v < best.unwrap().1 {
+                    if best.is_none_or(|(_, b)| v < b) {
                         best = Some((p, v));
                     }
                 }

@@ -32,8 +32,8 @@ fn faster_network_means_more_processors() {
     let mut fddi_tb = Testbed::paper();
     fddi_tb.segment = SegmentSpec::fddi_100mbps();
 
-    let eth_model = calibrate_testbed(&eth_tb, &[Topology::OneD], &quick);
-    let fddi_model = calibrate_testbed(&fddi_tb, &[Topology::OneD], &quick);
+    let eth_model = calibrate_testbed(&eth_tb, &[Topology::OneD], &quick).expect("calibration");
+    let fddi_model = calibrate_testbed(&fddi_tb, &[Topology::OneD], &quick).expect("calibration");
     let sys = SystemModel::from_testbed(&eth_tb);
 
     let app = stencil(60);
@@ -109,7 +109,7 @@ fn exhaustive_beats_or_matches_heuristic_on_metasystem() {
         warmup: 1,
     };
     let tb = Testbed::metasystem();
-    let model = calibrate_testbed(&tb, &[Topology::OneD], &quick);
+    let model = calibrate_testbed(&tb, &[Topology::OneD], &quick).expect("calibration");
     let sys = SystemModel::from_testbed(&tb);
     for n in [120u64, 600] {
         let app = stencil(n);

@@ -43,6 +43,45 @@ pub(crate) fn unpack_tag(tag: u64) -> Option<(WireKind, u64, u32)> {
     ))
 }
 
+/// Width of the rank field in a cycle tag.
+const CYCLE_RANK_BITS: u32 = 16;
+/// Width of the per-(cycle, peer) sequence field in a cycle tag.
+const CYCLE_SEQ_BITS: u32 = 8;
+const CYCLE_SHIFT: u32 = CYCLE_RANK_BITS + CYCLE_SEQ_BITS;
+const CYCLE_RANK_MASK: u64 = (1 << CYCLE_RANK_BITS) - 1;
+const CYCLE_SEQ_MASK: u64 = (1 << CYCLE_SEQ_BITS) - 1;
+
+/// The SPMD cycle-tag layout: `(cycle+1) << 24 | from << 8 | seq`.
+///
+/// This is the *message*-level tag the cycle engine hands to
+/// [`Mmps::send_message`](crate::Mmps::send_message) so a receiver can
+/// demultiplex deliveries by (cycle, sender, sequence) — distinct from the
+/// datagram-level [`pack_tag`] wire encoding. The cycle component `0` is
+/// reserved for the startup data distribution, which is why the cycle
+/// number is stored off by one.
+///
+/// The rank field is 16 bits wide; ranks `≥ 2^16` are rejected by a
+/// `debug_assert!` and masked in release builds (the simulator cannot
+/// instantiate that many stations on a segment, so this is a true
+/// invariant, not a fallible path).
+pub fn tag_of(cycle_plus1: u64, from: usize, seq: u8) -> u64 {
+    debug_assert!(
+        (from as u64) <= CYCLE_RANK_MASK,
+        "rank {from} overflows the 16-bit cycle-tag rank field"
+    );
+    (cycle_plus1 << CYCLE_SHIFT) | ((from as u64 & CYCLE_RANK_MASK) << CYCLE_SEQ_BITS) | seq as u64
+}
+
+/// Inverse of [`tag_of`]: split a cycle tag into
+/// `(cycle+1, sending rank, sequence)`.
+pub fn untag(tag: u64) -> (u64, usize, u8) {
+    (
+        tag >> CYCLE_SHIFT,
+        ((tag >> CYCLE_SEQ_BITS) & CYCLE_RANK_MASK) as usize,
+        (tag & CYCLE_SEQ_MASK) as u8,
+    )
+}
+
 /// Fragmentation plan for a message of `len` payload bytes with
 /// `header_bytes` of MMPS header per fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +141,46 @@ mod tests {
         }
         assert_eq!(unpack_tag(0), None);
         assert_eq!(unpack_tag(3 << KIND_SHIFT), None);
+    }
+
+    #[test]
+    fn cycle_tag_round_trips() {
+        for (cyc1, rank, seq) in [
+            (0u64, 0usize, 0u8),
+            (1, 0, 0),
+            (5, 3, 255),
+            (1 << 39, 0xFFFF, 17),
+        ] {
+            assert_eq!(untag(tag_of(cyc1, rank, seq)), (cyc1, rank, seq));
+        }
+    }
+
+    #[test]
+    fn cycle_tag_seq_wraps_at_u8() {
+        // The engine wraps the per-(cycle, peer) sequence with
+        // `wrapping_add`; 255 is the last representable value and the
+        // wrapped 0 must land in a *distinct* tag.
+        let last = tag_of(7, 2, 255);
+        let wrapped = tag_of(7, 2, 255u8.wrapping_add(1));
+        assert_eq!(untag(last).2, 255);
+        assert_eq!(untag(wrapped).2, 0);
+        assert_ne!(last, wrapped);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflows the 16-bit cycle-tag rank field")]
+    fn cycle_tag_rank_overflow_asserts() {
+        let _ = tag_of(1, 1 << 16, 0);
+    }
+
+    #[test]
+    fn cycle_tag_startup_component_is_reserved() {
+        // Cycle component 0 marks the startup distribution; any real
+        // cycle c is stored as c+1 and can never collide with it.
+        let startup = tag_of(0, 0, 0);
+        assert_eq!(untag(startup).0, 0);
+        assert_eq!(untag(tag_of(1, 0, 0)).0, 1);
     }
 
     #[test]

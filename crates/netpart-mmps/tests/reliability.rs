@@ -14,7 +14,7 @@ fn pair_net(loss: f64, seed: u64) -> (Mmps, NodeId, NodeId) {
     });
     let a = b.add_node(pt, seg);
     let c = b.add_node(pt, seg);
-    (Mmps::with_defaults(b.build().unwrap()), a, c)
+    (Mmps::with_defaults(b.build().expect("network")), a, c)
 }
 
 fn drain_until_delivery(mmps: &mut Mmps) -> Option<(u64, Bytes, u32)> {

@@ -1,0 +1,169 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible path in the partition-and-run pipeline — calibration,
+//! estimation, partitioning, SPMD execution — reports through this one
+//! enum, so library consumers thread a single `Result<_, NetpartError>`
+//! from `Scenario` to `Run` instead of catching panics. The crates that
+//! historically had their own error enums (`netpart_spmd::SpmdError`,
+//! `netpart_core::PartitionError`) re-export this type under those names,
+//! so existing match arms keep compiling.
+//!
+//! True invariants (indexing bugs, impossible states) remain
+//! `debug_assert!`s; this type is for conditions a *caller* can cause:
+//! empty clusters, zero-size problems, unfit cost models, lossy networks.
+
+/// Any error the netpart workspace can produce on a fallible path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetpartError {
+    // ---- SPMD execution -------------------------------------------------
+    /// A message exhausted retransmissions; the computation cannot finish.
+    MessageLost {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+    },
+    /// The simulation went quiescent with ranks still blocked — a script
+    /// bug (e.g. a `Recv` with no matching `Send`).
+    Deadlock {
+        /// Ranks still blocked, with a description of what they wait on.
+        blocked: Vec<(usize, String)>,
+    },
+    /// The partition vector's rank count does not match the node list.
+    RankMismatch {
+        /// Ranks in the vector.
+        vector: usize,
+        /// Nodes provided.
+        nodes: usize,
+    },
+    /// An underlying network error (e.g. no route between task nodes).
+    Network(String),
+
+    // ---- Partitioning ---------------------------------------------------
+    /// No cluster has an available processor.
+    NoProcessorsAvailable,
+    /// A given cluster order was not a permutation of cluster indices.
+    InvalidOrder,
+
+    // ---- Calibration / cost model --------------------------------------
+    /// A calibration sweep or fit could not produce a usable cost model
+    /// (ill-posed least-squares system, non-finite constants, a topology
+    /// that was never benchmarked).
+    Calibration(String),
+
+    // ---- Scenario / pipeline -------------------------------------------
+    /// The testbed has no clusters or no nodes to run on.
+    EmptyTestbed,
+    /// The application model decomposes into zero PDUs.
+    ZeroPdus,
+    /// A processor configuration asks a cluster for more nodes than exist.
+    ClusterOvercommitted {
+        /// The overcommitted cluster index.
+        cluster: usize,
+        /// Nodes the cluster has.
+        have: u32,
+        /// Nodes the configuration requested.
+        asked: u32,
+    },
+    /// A scenario or plan was internally inconsistent (e.g. a pinned
+    /// configuration of the wrong length).
+    InvalidScenario(String),
+}
+
+impl std::fmt::Display for NetpartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetpartError::MessageLost { from, to } => {
+                write!(
+                    f,
+                    "message from rank {from} to rank {to} was lost permanently"
+                )
+            }
+            NetpartError::Deadlock { blocked } => {
+                write!(f, "deadlock; blocked ranks: {blocked:?}")
+            }
+            NetpartError::RankMismatch { vector, nodes } => {
+                write!(
+                    f,
+                    "partition vector has {vector} ranks but {nodes} nodes given"
+                )
+            }
+            NetpartError::Network(e) => write!(f, "network error: {e}"),
+            NetpartError::NoProcessorsAvailable => {
+                write!(f, "no processors available in any cluster")
+            }
+            NetpartError::InvalidOrder => write!(f, "cluster order is not a permutation"),
+            NetpartError::Calibration(e) => write!(f, "calibration error: {e}"),
+            NetpartError::EmptyTestbed => write!(f, "testbed has no clusters"),
+            NetpartError::ZeroPdus => {
+                write!(f, "application model decomposes into zero PDUs")
+            }
+            NetpartError::ClusterOvercommitted {
+                cluster,
+                have,
+                asked,
+            } => {
+                write!(
+                    f,
+                    "cluster {cluster} has only {have} nodes, asked for {asked}"
+                )
+            }
+            NetpartError::InvalidScenario(e) => write!(f, "invalid scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetpartError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(NetpartError, &str)> = vec![
+            (
+                NetpartError::MessageLost { from: 1, to: 2 },
+                "rank 1 to rank 2",
+            ),
+            (
+                NetpartError::Deadlock {
+                    blocked: vec![(0, "cycle 3".into())],
+                },
+                "deadlock",
+            ),
+            (
+                NetpartError::RankMismatch {
+                    vector: 4,
+                    nodes: 3,
+                },
+                "4 ranks but 3 nodes",
+            ),
+            (NetpartError::Network("no route".into()), "no route"),
+            (NetpartError::NoProcessorsAvailable, "no processors"),
+            (NetpartError::InvalidOrder, "not a permutation"),
+            (NetpartError::Calibration("singular".into()), "singular"),
+            (NetpartError::EmptyTestbed, "no clusters"),
+            (NetpartError::ZeroPdus, "zero PDUs"),
+            (
+                NetpartError::ClusterOvercommitted {
+                    cluster: 0,
+                    have: 6,
+                    asked: 7,
+                },
+                "has only 6 nodes",
+            ),
+            (NetpartError::InvalidScenario("bad".into()), "bad"),
+        ];
+        for (e, needle) in cases {
+            let s = e.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(NetpartError::ZeroPdus);
+        assert!(!e.to_string().is_empty());
+    }
+}

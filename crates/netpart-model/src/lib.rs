@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 
 pub mod derive;
+pub mod error;
 pub mod model;
 pub mod partition_vector;
 pub mod phase;
 
 pub use derive::{derive_model, BytesExpr, KernelSpec, Stmt};
+pub use error::NetpartError;
 pub use model::AppModel;
 pub use partition_vector::PartitionVector;
 pub use phase::{CommPhase, CompPhase, OpKind};

@@ -14,7 +14,7 @@ fn build(p: usize, loss: f64, seed: u64) -> (netpart_sim::Network, Vec<NodeId>) 
         ..SegmentSpec::ethernet_10mbps()
     });
     let nodes: Vec<_> = (0..p).map(|_| b.add_node(pt, seg)).collect();
-    (b.build().unwrap(), nodes)
+    (b.build().expect("network"), nodes)
 }
 
 /// Run a traffic pattern and collect the (kind, time) event trace.
@@ -31,7 +31,7 @@ fn trace(pattern: &[(usize, usize, u16)], p: usize, loss: f64, seed: u64) -> Vec
             0,
             Bytes::from(vec![0u8; len as usize % 1400]),
         )
-        .unwrap();
+        .expect("send");
     }
     let mut out = Vec::new();
     while let Some(evt) = net.next_event() {

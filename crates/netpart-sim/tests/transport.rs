@@ -17,7 +17,7 @@ fn two_node_net() -> (
     let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
     let a = b.add_node(pt, seg);
     let c = b.add_node(pt, seg);
-    (b.build().unwrap(), a, c)
+    (b.build().expect("network"), a, c)
 }
 
 /// Expected one-way latency of a single datagram on an idle segment:

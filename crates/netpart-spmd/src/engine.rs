@@ -1,0 +1,430 @@
+//! The unified SPMD cycle-execution engine.
+//!
+//! [`CycleEngine`] is the *only* place in the workspace that executes
+//! communication/computation cycles on the simulated network. It owns the
+//! per-task state machines, the message tagging (the cycle-tag layout
+//! lives beside the message layer in [`netpart_mmps::tag_of`]), the phase
+//! stepping, and the communication/computation overlap; everything else —
+//! the [`Executor`](crate::Executor) facade, the calibration benchmarks,
+//! the dynamic-rebalancing baseline — drives cycles through it.
+//!
+//! Instrumentation attaches through the [`Probe`] trait: per-cycle,
+//! per-phase and per-message hooks with empty inlined defaults, so a run
+//! through [`NoProbe`] monomorphizes to exactly the un-instrumented
+//! engine. This is the observation seam adaptive policies (chunked
+//! rebalancing, tracing, metrics) build on without touching the engine.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use netpart_mmps::{tag_of, untag, Mmps, MmpsEvent};
+use netpart_model::{NetpartError, PartitionVector};
+use netpart_sim::{NodeId, SimDur, SimTime};
+
+use crate::report::SpmdReport;
+use crate::task::{Rank, SpmdApp, Step};
+
+/// The phase of a cycle script a [`Probe`] observation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A `Step::Send` — asynchronous sends to this cycle's peers.
+    Send,
+    /// A `Step::Compute` — the processor busy on its region.
+    Compute,
+    /// A `Step::Recv` — blocking receives from this cycle's peers.
+    Recv,
+}
+
+/// Observation hooks into the cycle engine.
+///
+/// Every method has an empty `#[inline]` default, so probes implement
+/// only what they need and [`NoProbe`] costs nothing after
+/// monomorphization. Hooks fire with *simulated* times; `started == ended`
+/// for phases that complete without blocking.
+pub trait Probe {
+    /// `rank` completed one phase step of `cycle`'s script. For
+    /// [`Phase::Compute`] the span is the processor-busy time; for
+    /// [`Phase::Recv`] it covers any time blocked waiting on messages.
+    #[inline]
+    fn on_phase(&mut self, rank: Rank, cycle: u64, phase: Phase, started: SimTime, ended: SimTime) {
+        let _ = (rank, cycle, phase, started, ended);
+    }
+
+    /// `rank` finished every step of `cycle` at simulated time `at`.
+    #[inline]
+    fn on_cycle(&mut self, rank: Rank, cycle: u64, at: SimTime) {
+        let _ = (rank, cycle, at);
+    }
+
+    /// A cycle message from `from` was delivered to `to` at `at`.
+    #[inline]
+    fn on_message(&mut self, from: Rank, to: Rank, cycle: u64, bytes: usize, at: SimTime) {
+        let _ = (from, to, cycle, bytes, at);
+    }
+}
+
+/// The no-op probe: an un-instrumented run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Waiting {
+    Ready,
+    Compute,
+    Msg,
+    Done,
+}
+
+struct TaskState {
+    cycle: u64,
+    script: Vec<Step>,
+    step: usize,
+    recv_progress: usize,
+    waiting: Waiting,
+    started: bool,
+    /// When the currently-executing phase step was first entered
+    /// (tracked across blocking so probes see the full span).
+    phase_started: SimTime,
+    phase_active: bool,
+}
+
+/// The single cycle-execution implementation.
+///
+/// Borrows the message layer, the placement, the application and a probe
+/// for the duration of one run; construct-and-run through
+/// [`CycleEngine::run`]. The [`Executor`](crate::Executor) facade wraps
+/// this for the common own-the-network case.
+pub struct CycleEngine<'a, A: SpmdApp, P: Probe> {
+    mmps: &'a mut Mmps,
+    nodes: &'a [NodeId],
+    app: &'a mut A,
+    probe: &'a mut P,
+    states: Vec<TaskState>,
+    mailbox: Vec<HashMap<(u64, Rank, u8), Bytes>>,
+    send_seq: Vec<HashMap<(u64, Rank), u8>>,
+    recv_next: Vec<HashMap<(u64, Rank), u8>>,
+    cycle_max: Vec<SimTime>,
+    rank_finish: Vec<SimTime>,
+    compute_busy: Vec<SimDur>,
+    compute_started: Vec<SimTime>,
+    msg_wait: Vec<SimDur>,
+    msg_wait_started: Vec<SimTime>,
+    done: usize,
+    num_cycles: u64,
+    node_to_rank: HashMap<NodeId, Rank>,
+}
+
+impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
+    /// Run `app` to completion over `nodes` with the given partition
+    /// vector, reporting observations to `probe`. `distribute` enables
+    /// the startup data distribution from rank 0 (measured separately,
+    /// excluded from `elapsed` as in the paper).
+    pub fn run(
+        mmps: &'a mut Mmps,
+        nodes: &'a [NodeId],
+        app: &'a mut A,
+        vector: &PartitionVector,
+        distribute: bool,
+        probe: &'a mut P,
+    ) -> Result<SpmdReport, NetpartError> {
+        if vector.num_ranks() != nodes.len() {
+            return Err(NetpartError::RankMismatch {
+                vector: vector.num_ranks(),
+                nodes: nodes.len(),
+            });
+        }
+        let n = nodes.len();
+        let num_cycles = app.num_cycles();
+        // The run's baseline is the *current* simulated time — the same
+        // network may host consecutive runs (the dynamic-rebalancing
+        // baseline alternates stencil chunks and redistribution runs).
+        let run_start = mmps.now();
+        for rank in 0..n {
+            app.setup(rank, vector);
+        }
+
+        let node_to_rank = nodes.iter().enumerate().map(|(r, &nid)| (nid, r)).collect();
+        let mut engine = CycleEngine {
+            mmps,
+            nodes,
+            app,
+            probe,
+            states: (0..n)
+                .map(|rank| TaskState {
+                    cycle: 0,
+                    script: Vec::new(),
+                    step: 0,
+                    recv_progress: 0,
+                    waiting: Waiting::Ready,
+                    started: !distribute || rank == 0,
+                    phase_started: run_start,
+                    phase_active: false,
+                })
+                .collect(),
+            mailbox: (0..n).map(|_| HashMap::new()).collect(),
+            send_seq: (0..n).map(|_| HashMap::new()).collect(),
+            recv_next: (0..n).map(|_| HashMap::new()).collect(),
+            cycle_max: vec![SimTime::ZERO; num_cycles as usize],
+            rank_finish: vec![SimTime::ZERO; n],
+            compute_busy: vec![SimDur::ZERO; n],
+            compute_started: vec![SimTime::ZERO; n],
+            msg_wait: vec![SimDur::ZERO; n],
+            msg_wait_started: vec![SimTime::ZERO; n],
+            done: 0,
+            num_cycles,
+            node_to_rank,
+        };
+
+        // Startup distribution: rank 0's node ships every other rank its
+        // block before that rank may begin cycling.
+        let mut startup_end = run_start;
+        if distribute && n > 1 {
+            let master = engine.nodes[0];
+            for rank in 1..n {
+                let bytes = engine.app.distribution_bytes(rank);
+                if bytes == 0 {
+                    engine.states[rank].started = true;
+                    continue;
+                }
+                engine
+                    .mmps
+                    .send_message_dummy(master, engine.nodes[rank], tag_of(0, 0, 0), bytes as u32)
+                    .map_err(|e| NetpartError::Network(e.to_string()))?;
+            }
+        }
+
+        // Kick every rank that can already run (cycle scripts load lazily).
+        if num_cycles == 0 {
+            engine.done = n;
+            for s in &mut engine.states {
+                s.waiting = Waiting::Done;
+            }
+        } else {
+            for rank in 0..n {
+                if engine.states[rank].started {
+                    engine.load_script(rank);
+                    engine.advance(rank)?;
+                }
+            }
+        }
+
+        // Event loop.
+        while engine.done < n {
+            let Some(evt) = engine.mmps.next_event() else {
+                let blocked = engine
+                    .states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.waiting != Waiting::Done)
+                    .map(|(r, s)| {
+                        (
+                            r,
+                            format!(
+                                "cycle {} step {} waiting {:?} started {}",
+                                s.cycle, s.step, s.waiting, s.started
+                            ),
+                        )
+                    })
+                    .collect();
+                return Err(NetpartError::Deadlock { blocked });
+            };
+            match evt {
+                MmpsEvent::MessageDelivered {
+                    at,
+                    dst,
+                    tag,
+                    payload,
+                    ..
+                } => {
+                    let rank = *engine
+                        .node_to_rank
+                        .get(&dst)
+                        .expect("delivery to a node outside the computation");
+                    let (cyc1, from, seq) = untag(tag);
+                    if cyc1 == 0 {
+                        // Startup distribution block arrived.
+                        engine.states[rank].started = true;
+                        startup_end = startup_end.max(at);
+                        engine.load_script(rank);
+                        engine.advance(rank)?;
+                    } else {
+                        engine
+                            .probe
+                            .on_message(from, rank, cyc1 - 1, payload.len(), at);
+                        engine.mailbox[rank].insert((cyc1 - 1, from, seq), payload);
+                        if engine.states[rank].waiting == Waiting::Msg {
+                            engine.states[rank].waiting = Waiting::Ready;
+                            let started = engine.msg_wait_started[rank];
+                            engine.msg_wait[rank] += at.since(started);
+                            engine.advance(rank)?;
+                        }
+                    }
+                }
+                MmpsEvent::ComputeDone { at, node, token } => {
+                    let rank = token as usize;
+                    debug_assert_eq!(engine.nodes[rank], node);
+                    debug_assert_eq!(engine.states[rank].waiting, Waiting::Compute);
+                    engine.states[rank].waiting = Waiting::Ready;
+                    let started = engine.compute_started[rank];
+                    engine.compute_busy[rank] += at.since(started);
+                    let cycle = engine.states[rank].cycle;
+                    engine
+                        .probe
+                        .on_phase(rank, cycle, Phase::Compute, started, at);
+                    engine.states[rank].phase_active = false;
+                    engine.advance(rank)?;
+                }
+                MmpsEvent::MessageFailed { src, dst, .. } => {
+                    let from = engine.node_to_rank.get(&src).copied().unwrap_or(usize::MAX);
+                    let to = engine.node_to_rank.get(&dst).copied().unwrap_or(usize::MAX);
+                    return Err(NetpartError::MessageLost { from, to });
+                }
+                MmpsEvent::MessageAcked { .. } | MmpsEvent::TimerFired { .. } => {}
+            }
+        }
+
+        let rank_finish: Vec<SimTime> = if num_cycles == 0 {
+            vec![run_start; n]
+        } else {
+            engine.rank_finish.clone()
+        };
+        let finish = rank_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let mut per_cycle = Vec::with_capacity(engine.cycle_max.len());
+        let mut prev = startup_end;
+        for &t in &engine.cycle_max {
+            per_cycle.push(t.since(prev));
+            prev = t;
+        }
+        let stats = engine.mmps.stats();
+        Ok(SpmdReport {
+            elapsed: finish.since(startup_end),
+            startup: startup_end.since(SimTime::ZERO),
+            per_cycle,
+            rank_finish,
+            compute_time: engine.compute_busy.clone(),
+            wait_time: engine.msg_wait.clone(),
+            mmps: stats,
+        })
+    }
+
+    fn load_script(&mut self, rank: Rank) {
+        let cycle = self.states[rank].cycle;
+        let script = self.app.script(rank, cycle);
+        let s = &mut self.states[rank];
+        s.script = script;
+        s.step = 0;
+        s.recv_progress = 0;
+    }
+
+    /// Begin (or resume) the current phase step, returning when it was
+    /// first entered.
+    fn phase_enter(&mut self, rank: Rank) -> SimTime {
+        if !self.states[rank].phase_active {
+            self.states[rank].phase_active = true;
+            self.states[rank].phase_started = self.mmps.now();
+        }
+        self.states[rank].phase_started
+    }
+
+    /// Run `rank`'s script until it blocks, finishes the run, or errors.
+    fn advance(&mut self, rank: Rank) -> Result<(), NetpartError> {
+        loop {
+            let s = &self.states[rank];
+            if s.waiting == Waiting::Done {
+                return Ok(());
+            }
+            if s.step >= s.script.len() {
+                // Cycle complete.
+                let now = self.mmps.now();
+                let cycle = self.states[rank].cycle;
+                self.cycle_max[cycle as usize] = self.cycle_max[cycle as usize].max(now);
+                self.probe.on_cycle(rank, cycle, now);
+                let next = cycle + 1;
+                if next >= self.num_cycles {
+                    self.states[rank].waiting = Waiting::Done;
+                    self.rank_finish[rank] = now;
+                    self.done += 1;
+                    return Ok(());
+                }
+                self.states[rank].cycle = next;
+                self.load_script(rank);
+                continue;
+            }
+            // Clone the step descriptor cheaply (small vectors) to end the
+            // immutable borrow before mutating app / mmps.
+            let step = self.states[rank].script[self.states[rank].step].clone();
+            match step {
+                Step::Send { to } => {
+                    let started = self.phase_enter(rank);
+                    let cycle = self.states[rank].cycle;
+                    for peer in to {
+                        let seq_entry = self.send_seq[rank].entry((cycle, peer)).or_insert(0);
+                        let seq = *seq_entry;
+                        *seq_entry = seq_entry.wrapping_add(1);
+                        let payload = self.app.produce(rank, cycle, peer);
+                        self.mmps
+                            .send_message(
+                                self.nodes[rank],
+                                self.nodes[peer],
+                                tag_of(cycle + 1, rank, seq),
+                                payload,
+                            )
+                            .map_err(|e| NetpartError::Network(e.to_string()))?;
+                    }
+                    self.states[rank].step += 1;
+                    self.states[rank].phase_active = false;
+                    self.probe
+                        .on_phase(rank, cycle, Phase::Send, started, self.mmps.now());
+                }
+                Step::Compute { part } => {
+                    let started = self.phase_enter(rank);
+                    let cycle = self.states[rank].cycle;
+                    let (ops, kind) = self.app.compute(rank, cycle, part);
+                    let class = match kind {
+                        netpart_model::OpKind::Flop => netpart_sim::OpClass::Flop,
+                        netpart_model::OpKind::IntOp => netpart_sim::OpClass::IntOp,
+                    };
+                    self.compute_started[rank] = started;
+                    self.mmps
+                        .start_compute(self.nodes[rank], ops, class, rank as u64);
+                    self.states[rank].step += 1;
+                    self.states[rank].waiting = Waiting::Compute;
+                    // The Compute phase probe fires on ComputeDone, where
+                    // the span is known.
+                    return Ok(());
+                }
+                Step::Recv { from } => {
+                    let started = self.phase_enter(rank);
+                    let cycle = self.states[rank].cycle;
+                    let mut progress = self.states[rank].recv_progress;
+                    while progress < from.len() {
+                        let f = from[progress];
+                        let next_seq = *self.recv_next[rank].entry((cycle, f)).or_insert(0);
+                        match self.mailbox[rank].remove(&(cycle, f, next_seq)) {
+                            Some(payload) => {
+                                *self.recv_next[rank].get_mut(&(cycle, f)).expect("present") =
+                                    next_seq.wrapping_add(1);
+                                self.app.consume(rank, cycle, f, &payload);
+                                progress += 1;
+                            }
+                            None => {
+                                self.states[rank].recv_progress = progress;
+                                self.states[rank].waiting = Waiting::Msg;
+                                self.msg_wait_started[rank] = self.mmps.now();
+                                return Ok(());
+                            }
+                        }
+                    }
+                    self.states[rank].recv_progress = 0;
+                    self.states[rank].step += 1;
+                    self.states[rank].phase_active = false;
+                    self.probe
+                        .on_phase(rank, cycle, Phase::Recv, started, self.mmps.now());
+                }
+            }
+        }
+    }
+}

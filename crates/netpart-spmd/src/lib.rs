@@ -20,10 +20,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod report;
 pub mod runtime;
 pub mod task;
 
+pub use engine::{CycleEngine, NoProbe, Phase, Probe};
 pub use report::{SpmdError, SpmdReport};
 pub use runtime::Executor;
 pub use task::{Rank, SpmdApp, Step};

@@ -48,56 +48,12 @@ impl SpmdReport {
 }
 
 /// Errors from an SPMD run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SpmdError {
-    /// A message exhausted retransmissions; the computation cannot finish.
-    MessageLost {
-        /// Sending rank.
-        from: usize,
-        /// Receiving rank.
-        to: usize,
-    },
-    /// The simulation went quiescent with ranks still blocked — a script
-    /// bug (e.g. a `Recv` with no matching `Send`).
-    Deadlock {
-        /// Ranks still blocked, with a description of what they wait on.
-        blocked: Vec<(usize, String)>,
-    },
-    /// The partition vector's rank count does not match the node list.
-    RankMismatch {
-        /// Ranks in the vector.
-        vector: usize,
-        /// Nodes provided.
-        nodes: usize,
-    },
-    /// An underlying network error (e.g. no route between task nodes).
-    Network(String),
-}
-
-impl std::fmt::Display for SpmdError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SpmdError::MessageLost { from, to } => {
-                write!(
-                    f,
-                    "message from rank {from} to rank {to} was lost permanently"
-                )
-            }
-            SpmdError::Deadlock { blocked } => {
-                write!(f, "deadlock; blocked ranks: {blocked:?}")
-            }
-            SpmdError::RankMismatch { vector, nodes } => {
-                write!(
-                    f,
-                    "partition vector has {vector} ranks but {nodes} nodes given"
-                )
-            }
-            SpmdError::Network(e) => write!(f, "network error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for SpmdError {}
+///
+/// Since the engine/pipeline unification this is the workspace-wide
+/// [`NetpartError`](netpart_model::NetpartError); the alias keeps
+/// existing `SpmdError::…` match arms compiling. Runs produce the
+/// `MessageLost`, `Deadlock`, `RankMismatch` and `Network` variants.
+pub type SpmdError = netpart_model::NetpartError;
 
 #[cfg(test)]
 mod tests {

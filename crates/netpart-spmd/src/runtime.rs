@@ -1,50 +1,19 @@
-//! The SPMD execution engine.
+//! The [`Executor`] facade over the cycle engine.
 //!
-//! Drives an [`SpmdApp`] over the simulated network: instantiates one task
-//! per processor (the paper's SPMD model places a single task per node),
-//! executes each rank's per-cycle script, and lets the discrete-event
-//! clock settle who waits for whom. There is no global barrier — ranks
-//! drift exactly as far as their message dependencies allow, which is how
-//! STEN-2's communication/computation overlap earns its speedup.
+//! Owns the message layer (and through it the network) between runs, and
+//! delegates every execution to [`CycleEngine`](crate::CycleEngine) — the
+//! workspace's single cycle-execution implementation. There is no global
+//! barrier — ranks drift exactly as far as their message dependencies
+//! allow, which is how STEN-2's communication/computation overlap earns
+//! its speedup.
 
-use std::collections::HashMap;
-
-use bytes::Bytes;
-
-use netpart_mmps::{Mmps, MmpsEvent};
+use netpart_mmps::Mmps;
 use netpart_model::PartitionVector;
-use netpart_sim::{NodeId, SimTime};
+use netpart_sim::NodeId;
 
+use crate::engine::{CycleEngine, NoProbe, Probe};
 use crate::report::{SpmdError, SpmdReport};
-use crate::task::{Rank, SpmdApp, Step};
-
-/// Message-tag layout: `(cycle+1) << 24 | from << 8 | seq`. The cycle
-/// component 0 is reserved for the startup distribution.
-fn tag_of(cycle_plus1: u64, from: Rank, seq: u8) -> u64 {
-    debug_assert!(from < (1 << 16));
-    (cycle_plus1 << 24) | ((from as u64) << 8) | seq as u64
-}
-
-fn untag(tag: u64) -> (u64, Rank, u8) {
-    (tag >> 24, ((tag >> 8) & 0xFFFF) as Rank, (tag & 0xFF) as u8)
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Waiting {
-    Ready,
-    Compute,
-    Msg,
-    Done,
-}
-
-struct TaskState {
-    cycle: u64,
-    script: Vec<Step>,
-    step: usize,
-    recv_progress: usize,
-    waiting: Waiting,
-    started: bool,
-}
+use crate::task::SpmdApp;
 
 /// Executes SPMD applications on a set of processors.
 ///
@@ -88,295 +57,19 @@ impl Executor {
         vector: &PartitionVector,
         distribute: bool,
     ) -> Result<SpmdReport, SpmdError> {
-        if vector.num_ranks() != self.nodes.len() {
-            return Err(SpmdError::RankMismatch {
-                vector: vector.num_ranks(),
-                nodes: self.nodes.len(),
-            });
-        }
-        let n = self.nodes.len();
-        let num_cycles = app.num_cycles();
-        // The run's baseline is the *current* simulated time — the
-        // executor may be reused for consecutive runs (the dynamic-
-        // rebalancing baseline does).
-        let run_start = self.mmps.now();
-        for rank in 0..n {
-            app.setup(rank, vector);
-        }
-
-        let mut engine = Engine {
-            mmps: &mut self.mmps,
-            nodes: &self.nodes,
-            app,
-            states: (0..n)
-                .map(|rank| TaskState {
-                    cycle: 0,
-                    script: Vec::new(),
-                    step: 0,
-                    recv_progress: 0,
-                    waiting: Waiting::Ready,
-                    started: !distribute || rank == 0,
-                })
-                .collect(),
-            mailbox: (0..n).map(|_| HashMap::new()).collect(),
-            send_seq: (0..n).map(|_| HashMap::new()).collect(),
-            recv_next: (0..n).map(|_| HashMap::new()).collect(),
-            cycle_max: vec![SimTime::ZERO; num_cycles as usize],
-            rank_finish: vec![SimTime::ZERO; n],
-            compute_busy: vec![netpart_sim::SimDur::ZERO; n],
-            compute_started: vec![SimTime::ZERO; n],
-            msg_wait: vec![netpart_sim::SimDur::ZERO; n],
-            msg_wait_started: vec![SimTime::ZERO; n],
-            done: 0,
-            num_cycles,
-            node_to_rank: self
-                .nodes
-                .iter()
-                .enumerate()
-                .map(|(r, &nid)| (nid, r))
-                .collect(),
-        };
-
-        // Startup distribution: rank 0's node ships every other rank its
-        // block before that rank may begin cycling.
-        let mut startup_end = run_start;
-        if distribute && n > 1 {
-            let master = engine.nodes[0];
-            for rank in 1..n {
-                let bytes = engine.app.distribution_bytes(rank);
-                if bytes == 0 {
-                    engine.states[rank].started = true;
-                    continue;
-                }
-                engine
-                    .mmps
-                    .send_message_dummy(master, engine.nodes[rank], tag_of(0, 0, 0), bytes as u32)
-                    .map_err(|e| SpmdError::Network(e.to_string()))?;
-            }
-        }
-
-        // Kick every rank that can already run (cycle scripts load lazily).
-        if num_cycles == 0 {
-            engine.done = n;
-            for s in &mut engine.states {
-                s.waiting = Waiting::Done;
-            }
-        } else {
-            for rank in 0..n {
-                if engine.states[rank].started {
-                    engine.load_script(rank);
-                    engine.advance(rank)?;
-                }
-            }
-        }
-
-        // Event loop.
-        while engine.done < n {
-            let Some(evt) = engine.mmps.next_event() else {
-                let blocked = engine
-                    .states
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.waiting != Waiting::Done)
-                    .map(|(r, s)| {
-                        (
-                            r,
-                            format!(
-                                "cycle {} step {} waiting {:?} started {}",
-                                s.cycle, s.step, s.waiting, s.started
-                            ),
-                        )
-                    })
-                    .collect();
-                return Err(SpmdError::Deadlock { blocked });
-            };
-            match evt {
-                MmpsEvent::MessageDelivered {
-                    at,
-                    dst,
-                    tag,
-                    payload,
-                    ..
-                } => {
-                    let rank = *engine
-                        .node_to_rank
-                        .get(&dst)
-                        .expect("delivery to a node outside the computation");
-                    let (cyc1, from, seq) = untag(tag);
-                    if cyc1 == 0 {
-                        // Startup distribution block arrived.
-                        engine.states[rank].started = true;
-                        startup_end = startup_end.max(at);
-                        engine.load_script(rank);
-                        engine.advance(rank)?;
-                    } else {
-                        engine.mailbox[rank].insert((cyc1 - 1, from, seq), payload);
-                        if engine.states[rank].waiting == Waiting::Msg {
-                            engine.states[rank].waiting = Waiting::Ready;
-                            let started = engine.msg_wait_started[rank];
-                            engine.msg_wait[rank] += at.since(started);
-                            engine.advance(rank)?;
-                        }
-                    }
-                }
-                MmpsEvent::ComputeDone { at, node, token } => {
-                    let rank = token as usize;
-                    debug_assert_eq!(engine.nodes[rank], node);
-                    debug_assert_eq!(engine.states[rank].waiting, Waiting::Compute);
-                    engine.states[rank].waiting = Waiting::Ready;
-                    let started = engine.compute_started[rank];
-                    engine.compute_busy[rank] += at.since(started);
-                    engine.advance(rank)?;
-                }
-                MmpsEvent::MessageFailed { src, dst, .. } => {
-                    let from = engine.node_to_rank.get(&src).copied().unwrap_or(usize::MAX);
-                    let to = engine.node_to_rank.get(&dst).copied().unwrap_or(usize::MAX);
-                    return Err(SpmdError::MessageLost { from, to });
-                }
-                MmpsEvent::MessageAcked { .. } | MmpsEvent::TimerFired { .. } => {}
-            }
-        }
-
-        let rank_finish: Vec<SimTime> = if num_cycles == 0 {
-            vec![run_start; n]
-        } else {
-            // cycle_max holds per-cycle completion; the final entry is the
-            // last rank's finish of the last cycle. Per-rank finishes were
-            // folded into cycle_max as ranks completed.
-            engine.rank_finish.clone()
-        };
-        let finish = rank_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
-        let mut per_cycle = Vec::with_capacity(engine.cycle_max.len());
-        let mut prev = startup_end;
-        for &t in &engine.cycle_max {
-            per_cycle.push(t.since(prev));
-            prev = t;
-        }
-        Ok(SpmdReport {
-            elapsed: finish.since(startup_end),
-            startup: startup_end.since(SimTime::ZERO),
-            per_cycle,
-            rank_finish,
-            compute_time: engine.compute_busy.clone(),
-            wait_time: engine.msg_wait.clone(),
-            mmps: self.mmps.stats(),
-        })
-    }
-}
-
-struct Engine<'a, A: SpmdApp> {
-    mmps: &'a mut Mmps,
-    nodes: &'a [NodeId],
-    app: &'a mut A,
-    states: Vec<TaskState>,
-    mailbox: Vec<HashMap<(u64, Rank, u8), Bytes>>,
-    send_seq: Vec<HashMap<(u64, Rank), u8>>,
-    recv_next: Vec<HashMap<(u64, Rank), u8>>,
-    cycle_max: Vec<SimTime>,
-    rank_finish: Vec<SimTime>,
-    compute_busy: Vec<netpart_sim::SimDur>,
-    compute_started: Vec<SimTime>,
-    msg_wait: Vec<netpart_sim::SimDur>,
-    msg_wait_started: Vec<SimTime>,
-    done: usize,
-    num_cycles: u64,
-    node_to_rank: HashMap<NodeId, Rank>,
-}
-
-impl<A: SpmdApp> Engine<'_, A> {
-    fn load_script(&mut self, rank: Rank) {
-        let cycle = self.states[rank].cycle;
-        let script = self.app.script(rank, cycle);
-        let s = &mut self.states[rank];
-        s.script = script;
-        s.step = 0;
-        s.recv_progress = 0;
+        self.run_probed(app, vector, distribute, &mut NoProbe)
     }
 
-    /// Run `rank`'s script until it blocks, finishes the run, or errors.
-    fn advance(&mut self, rank: Rank) -> Result<(), SpmdError> {
-        loop {
-            let s = &self.states[rank];
-            if s.waiting == Waiting::Done {
-                return Ok(());
-            }
-            if s.step >= s.script.len() {
-                // Cycle complete.
-                let now = self.mmps.now();
-                let cycle = self.states[rank].cycle as usize;
-                self.cycle_max[cycle] = self.cycle_max[cycle].max(now);
-                let next = self.states[rank].cycle + 1;
-                if next >= self.num_cycles {
-                    self.states[rank].waiting = Waiting::Done;
-                    self.rank_finish[rank] = now;
-                    self.done += 1;
-                    return Ok(());
-                }
-                self.states[rank].cycle = next;
-                self.load_script(rank);
-                continue;
-            }
-            // Clone the step descriptor cheaply (small vectors) to end the
-            // immutable borrow before mutating app / mmps.
-            let step = self.states[rank].script[self.states[rank].step].clone();
-            match step {
-                Step::Send { to } => {
-                    let cycle = self.states[rank].cycle;
-                    for peer in to {
-                        let seq_entry = self.send_seq[rank].entry((cycle, peer)).or_insert(0);
-                        let seq = *seq_entry;
-                        *seq_entry = seq_entry.wrapping_add(1);
-                        let payload = self.app.produce(rank, cycle, peer);
-                        self.mmps
-                            .send_message(
-                                self.nodes[rank],
-                                self.nodes[peer],
-                                tag_of(cycle + 1, rank, seq),
-                                payload,
-                            )
-                            .map_err(|e| SpmdError::Network(e.to_string()))?;
-                    }
-                    self.states[rank].step += 1;
-                }
-                Step::Compute { part } => {
-                    let cycle = self.states[rank].cycle;
-                    let (ops, kind) = self.app.compute(rank, cycle, part);
-                    let class = match kind {
-                        netpart_model::OpKind::Flop => netpart_sim::OpClass::Flop,
-                        netpart_model::OpKind::IntOp => netpart_sim::OpClass::IntOp,
-                    };
-                    self.compute_started[rank] = self.mmps.now();
-                    self.mmps
-                        .start_compute(self.nodes[rank], ops, class, rank as u64);
-                    self.states[rank].step += 1;
-                    self.states[rank].waiting = Waiting::Compute;
-                    return Ok(());
-                }
-                Step::Recv { from } => {
-                    let cycle = self.states[rank].cycle;
-                    let mut progress = self.states[rank].recv_progress;
-                    while progress < from.len() {
-                        let f = from[progress];
-                        let next_seq = *self.recv_next[rank].entry((cycle, f)).or_insert(0);
-                        match self.mailbox[rank].remove(&(cycle, f, next_seq)) {
-                            Some(payload) => {
-                                *self.recv_next[rank].get_mut(&(cycle, f)).expect("present") =
-                                    next_seq.wrapping_add(1);
-                                self.app.consume(rank, cycle, f, &payload);
-                                progress += 1;
-                            }
-                            None => {
-                                self.states[rank].recv_progress = progress;
-                                self.states[rank].waiting = Waiting::Msg;
-                                self.msg_wait_started[rank] = self.mmps.now();
-                                return Ok(());
-                            }
-                        }
-                    }
-                    self.states[rank].recv_progress = 0;
-                    self.states[rank].step += 1;
-                }
-            }
-        }
+    /// [`Executor::run`] with a [`Probe`] attached: the engine reports
+    /// per-cycle, per-phase and per-message observations to `probe` as
+    /// the simulation unfolds.
+    pub fn run_probed<A: SpmdApp, P: Probe>(
+        &mut self,
+        app: &mut A,
+        vector: &PartitionVector,
+        distribute: bool,
+        probe: &mut P,
+    ) -> Result<SpmdReport, SpmdError> {
+        CycleEngine::run(&mut self.mmps, &self.nodes, app, vector, distribute, probe)
     }
 }

@@ -103,7 +103,7 @@ fn homogeneous_cluster(p: usize) -> (Mmps, Vec<NodeId>) {
     let pt = b.add_proc_type(ProcType::sparcstation_2());
     let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
     let nodes: Vec<_> = (0..p).map(|_| b.add_node(pt, seg)).collect();
-    (Mmps::with_defaults(b.build().unwrap()), nodes)
+    (Mmps::with_defaults(b.build().expect("network")), nodes)
 }
 
 #[test]
@@ -174,7 +174,7 @@ fn heterogeneous_vector_balances_finish_times() {
             b.add_node(slow, seg),
             b.add_node(slow, seg),
         ];
-        (Mmps::with_defaults(b.build().unwrap()), nodes)
+        (Mmps::with_defaults(b.build().expect("network")), nodes)
     };
     let elapsed = |vector: PartitionVector| -> f64 {
         let (mmps, nodes) = build();
@@ -303,7 +303,7 @@ fn lossy_network_still_completes_exactly() {
         ..SegmentSpec::ethernet_10mbps()
     });
     let nodes: Vec<_> = (0..4).map(|_| b.add_node(pt, seg)).collect();
-    let mmps = Mmps::with_defaults(b.build().unwrap());
+    let mmps = Mmps::with_defaults(b.build().expect("network"));
     let mut app = HaloApp::new(4, 4, 1000.0, false);
     let mut exec = Executor::new(mmps, nodes);
     exec.run(&mut app, &PartitionVector::equal(40, 4), false)

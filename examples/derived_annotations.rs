@@ -7,15 +7,14 @@
 //! ```
 
 use netpart::calibrate::Testbed;
-use netpart::core::{partition, Estimator, PartitionOptions, SystemModel};
-use netpart::model::{derive_model, BytesExpr, KernelSpec, OpKind, Stmt};
+use netpart::model::{derive_model, BytesExpr, KernelSpec, NetpartError, OpKind, Stmt};
+use netpart::pipeline::{CostSource, Scenario};
 use netpart::topology::Topology;
 use netpart_bench::paper_calibration;
 
-fn main() {
+fn main() -> Result<(), NetpartError> {
     eprintln!("calibrating (one-off offline step)...");
-    let cost_model = paper_calibration();
-    let system = SystemModel::from_testbed(&Testbed::paper());
+    let cost_model = paper_calibration()?;
 
     // What a compiler front-end would emit for the STEN-2 loop nest:
     // "each iteration exchanges 4N-byte borders with 1-D neighbors,
@@ -49,26 +48,27 @@ fn main() {
 
     // The derived annotations must drive the partitioner to the same
     // decision as the hand-written ones.
-    let est_derived = Estimator::new(&system, &cost_model, &derived);
-    let plan_derived = partition(&est_derived, &PartitionOptions::default()).unwrap();
-
+    let plan_of = |app| {
+        Scenario::new(Testbed::paper(), app)
+            .with_cost(CostSource::Fixed(cost_model.clone()))
+            .plan()
+    };
+    let plan_derived = plan_of(derived)?;
     let handwritten = netpart::apps::stencil_model(n, netpart::apps::StencilVariant::Sten2);
-    let est_hand = Estimator::new(&system, &cost_model, &handwritten);
-    let plan_hand = partition(&est_hand, &PartitionOptions::default()).unwrap();
+    let plan_hand = plan_of(handwritten)?;
 
+    let tc_derived = plan_derived.predicted_tc_ms.expect("priced plan");
+    let tc_hand = plan_hand.predicted_tc_ms.expect("priced plan");
     println!(
         "derived    → ({},{}), T_c = {:.2} ms",
-        plan_derived.config[0],
-        plan_derived.config[1],
-        plan_derived.predicted_tc_ms()
+        plan_derived.config[0], plan_derived.config[1], tc_derived
     );
     println!(
         "handwritten → ({},{}), T_c = {:.2} ms",
-        plan_hand.config[0],
-        plan_hand.config[1],
-        plan_hand.predicted_tc_ms()
+        plan_hand.config[0], plan_hand.config[1], tc_hand
     );
     assert_eq!(plan_derived.config, plan_hand.config);
-    assert!((plan_derived.predicted_tc_ms() - plan_hand.predicted_tc_ms()).abs() < 1e-9);
+    assert!((tc_derived - tc_hand).abs() < 1e-9);
     println!("identical decisions ✓ — the callbacks were derivable all along");
+    Ok(())
 }

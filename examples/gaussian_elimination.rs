@@ -8,31 +8,25 @@
 
 use netpart::apps::gauss::{gauss_model, make_system, GaussApp};
 use netpart::calibrate::Testbed;
-use netpart::core::{partition, Estimator, PartitionOptions, SystemModel};
-use netpart::spmd::Executor;
-use netpart::topology::PlacementStrategy;
+use netpart::model::NetpartError;
+use netpart::pipeline::{CostSource, Scenario};
 use netpart_bench::paper_calibration;
 
-fn main() {
+fn main() -> Result<(), NetpartError> {
     eprintln!("calibrating (one-off offline step)...");
-    let cost_model = paper_calibration();
-    let testbed = Testbed::paper();
-    let system = SystemModel::from_testbed(&testbed);
+    let cost_model = paper_calibration()?;
 
     for n in [64usize, 128, 256] {
         let (a, b, x_true) = make_system(n, 2024);
 
         // Partition using the broadcast/tree cost functions: the dominant
         // communication is the per-step pivot-row broadcast.
-        let model = gauss_model(n as u64);
-        let est = Estimator::new(&system, &cost_model, &model);
-        let plan = partition(&est, &PartitionOptions::default()).expect("partition");
+        let plan = Scenario::new(Testbed::paper(), gauss_model(n as u64))
+            .with_cost(CostSource::Fixed(cost_model.clone()))
+            .plan()?;
 
-        let (mmps, nodes) = testbed.build(&plan.config, PlacementStrategy::ClusterContiguous);
-        let p = nodes.len();
-        let mut app = GaussApp::new(n, a.clone(), b.clone(), p);
-        let mut exec = Executor::new(mmps, nodes);
-        let report = exec.run(&mut app, &plan.vector, false).expect("solve");
+        let mut app = GaussApp::new(n, a.clone(), b.clone(), plan.ranks());
+        let run = plan.run(&mut app)?;
 
         let x = app.solve();
         let err = x
@@ -44,7 +38,7 @@ fn main() {
             "N={n:>4}: ({},{}) processors, {:>8.1} ms simulated, max |x - x*| = {err:.2e}",
             plan.config[0],
             plan.config.get(1).copied().unwrap_or(0),
-            report.elapsed.as_millis_f64(),
+            run.elapsed_ms,
         );
         assert!(err < 1e-8, "solution drifted");
 
@@ -55,4 +49,5 @@ fn main() {
     println!("\nBroadcast is bandwidth-limited (§3): unlike the stencil's 1-D");
     println!("exchange, extra clusters add no broadcast bandwidth, so the");
     println!("partitioner is much more conservative with processors here.");
+    Ok(())
 }

@@ -12,10 +12,11 @@ use netpart::calibrate::{calibrate_testbed_cached, CalibrationConfig, Testbed};
 use netpart::core::{
     determine_available, partition, AvailabilityPolicy, Estimator, PartitionOptions, SystemModel,
 };
+use netpart::model::NetpartError;
 use netpart::sim::SegmentId;
 use netpart::topology::{PlacementStrategy, Topology};
 
-fn main() {
+fn main() -> Result<(), NetpartError> {
     // Three clusters of three machine classes with three data formats:
     // every cross-cluster message pays coercion.
     let testbed = Testbed::metasystem();
@@ -32,7 +33,7 @@ fn main() {
 
     eprintln!("calibrating (router + coercion fits included; cached after the first run)...");
     let cost_model =
-        calibrate_testbed_cached(&testbed, &[Topology::OneD], &CalibrationConfig::default());
+        calibrate_testbed_cached(&testbed, &[Topology::OneD], &CalibrationConfig::default())?;
     for a in 0..testbed.num_clusters() {
         for b in a + 1..testbed.num_clusters() {
             let r = cost_model.router.get(&(a, b)).copied().unwrap_or_default();
@@ -69,7 +70,7 @@ fn main() {
     for n in [300u64, 900] {
         let app = stencil_model(n, StencilVariant::Sten1);
         let est = Estimator::new(&system, &cost_model, &app);
-        let plan = partition(&est, &PartitionOptions::default()).expect("partition");
+        let plan = partition(&est, &PartitionOptions::default())?;
         let names: Vec<&str> = system.clusters.iter().map(|c| c.name.as_str()).collect();
         println!(
             "N={n}: configuration {:?} over {:?} (order {:?}), predicted T_c {:.2} ms, A = {:?}",
@@ -84,4 +85,5 @@ fn main() {
         "\nThe RS/6000s are considered first (fastest), but busy nodes are\n\
          excluded by the managers before the partitioner ever sees them."
     );
+    Ok(())
 }

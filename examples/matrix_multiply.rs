@@ -8,16 +8,14 @@
 
 use netpart::apps::matmul::{make_matrices, matmul_model, reference_product, MatmulApp};
 use netpart::calibrate::Testbed;
-use netpart::core::{Estimator, SystemModel};
-use netpart::spmd::Executor;
-use netpart::topology::PlacementStrategy;
+use netpart::model::{NetpartError, PartitionVector};
+use netpart::pipeline::{CostSource, Scenario};
 use netpart_bench::paper_calibration;
 
-fn main() {
+fn main() -> Result<(), NetpartError> {
     eprintln!("calibrating (one-off offline step)...");
-    let cost_model = paper_calibration();
+    let cost_model = paper_calibration()?;
     let testbed = Testbed::paper();
-    let system = SystemModel::from_testbed(&testbed);
 
     for n in [48usize, 96, 192] {
         let (a, b) = make_matrices(n, 42);
@@ -25,8 +23,15 @@ fn main() {
         // The ring-matmul annotations depend on the block height, i.e. on
         // p — so evaluate the candidate counts the paper's heuristic
         // would visit and keep the best (the annotation-expressiveness
-        // limitation discussed in the stencil2d module docs).
-        let mut best: Option<(Vec<u32>, f64)> = None;
+        // limitation discussed in the stencil2d module docs). Each
+        // candidate is a pinned plan of its own p-specific scenario.
+        let speed_vector = |config: &[u32]| {
+            let shares: Vec<f64> = std::iter::repeat_n(2.0, config[0] as usize)
+                .chain(std::iter::repeat_n(1.0, config[1] as usize))
+                .collect();
+            PartitionVector::from_real_shares(&shares, n as u64)
+        };
+        let mut best: Option<(netpart::Plan, f64)> = None;
         for config in [
             vec![1u32, 0u32],
             vec![2, 0],
@@ -36,25 +41,19 @@ fn main() {
             vec![6, 6],
         ] {
             let p: u32 = config.iter().sum();
-            let model = matmul_model(n as u64, p);
-            let est = Estimator::new(&system, &cost_model, &model);
+            let scenario = Scenario::new(testbed.clone(), matmul_model(n as u64, p))
+                .with_cost(CostSource::Fixed(cost_model.clone()));
+            let plan = scenario.plan_pinned(&config, speed_vector(&config))?;
             // One ring rotation per cycle; p cycles per multiply.
-            let tc = est.t_c_ms(&config) * p as f64;
-            if best.as_ref().is_none_or(|(_, b)| tc < *b) {
-                best = Some((config, tc));
+            let total = plan.predicted_tc_ms.expect("priced plan") * p as f64;
+            if best.as_ref().is_none_or(|(_, b)| total < *b) {
+                best = Some((plan, total));
             }
         }
-        let (config, predicted_total) = best.expect("candidates");
+        let (plan, predicted_total) = best.expect("candidates");
 
-        let (mmps, nodes) = testbed.build(&config, PlacementStrategy::ClusterContiguous);
-        let p: u32 = config.iter().sum();
-        let shares: Vec<f64> = std::iter::repeat_n(2.0, config[0] as usize)
-            .chain(std::iter::repeat_n(1.0, config[1] as usize))
-            .collect();
-        let vector = netpart::model::PartitionVector::from_real_shares(&shares, n as u64);
-        let mut app = MatmulApp::new(n, a.clone(), b.clone(), p as usize);
-        let mut exec = Executor::new(mmps, nodes);
-        let report = exec.run(&mut app, &vector, false).expect("multiply");
+        let mut app = MatmulApp::new(n, a.clone(), b.clone(), plan.ranks());
+        let run = plan.run(&mut app)?;
 
         let got = app.gather();
         let want = reference_product(n, &a, &b);
@@ -65,13 +64,11 @@ fn main() {
             .fold(0.0f64, f64::max);
         println!(
             "N={n:>4}: chose ({},{}) — predicted {:.1} ms, simulated {:.1} ms, max error {err:.1e}",
-            config[0],
-            config[1],
-            predicted_total,
-            report.elapsed.as_millis_f64()
+            plan.config[0], plan.config[1], predicted_total, run.elapsed_ms
         );
         assert!(err < 1e-9);
     }
     println!("\nBlock rotations are ~1000× the stencil's border messages, so the");
     println!("bandwidth term of the cost functions dominates the decision here.");
+    Ok(())
 }

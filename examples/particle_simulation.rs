@@ -8,17 +8,13 @@
 
 use netpart::apps::particles::{particle_model, seed_particles, ParticleApp};
 use netpart::calibrate::Testbed;
-use netpart::core::{partition, Estimator, PartitionOptions, SystemModel};
-use netpart::model::PartitionVector;
-use netpart::spmd::Executor;
-use netpart::topology::PlacementStrategy;
+use netpart::model::{NetpartError, PartitionVector};
+use netpart::pipeline::{CostSource, Scenario};
 use netpart_bench::paper_calibration;
 
-fn main() {
+fn main() -> Result<(), NetpartError> {
     eprintln!("calibrating (one-off offline step)...");
-    let cost_model = paper_calibration();
-    let testbed = Testbed::paper();
-    let system = SystemModel::from_testbed(&testbed);
+    let cost_model = paper_calibration()?;
 
     let cells = 240usize;
     let mean_occupancy = 40.0;
@@ -28,9 +24,12 @@ fn main() {
 
     // Partition on the *average* annotations — the honest static estimate
     // for an irregular domain.
-    let model = particle_model(cells as u64, mean_occupancy, 0.15);
-    let est = Estimator::new(&system, &cost_model, &model);
-    let plan = partition(&est, &PartitionOptions::default()).expect("partition");
+    let scenario = Scenario::new(
+        Testbed::paper(),
+        particle_model(cells as u64, mean_occupancy, 0.15),
+    )
+    .with_cost(CostSource::Fixed(cost_model));
+    let plan = scenario.plan()?;
     println!(
         "partitioner chose ({},{}) with cell counts {:?}",
         plan.config[0],
@@ -38,41 +37,26 @@ fn main() {
         plan.vector.counts()
     );
 
-    let (mmps, nodes) = testbed.build(&plan.config, PlacementStrategy::ClusterContiguous);
-    let p = nodes.len();
-    let mut app = ParticleApp::new(initial.clone(), 50, p);
-    let mut exec = Executor::new(mmps, nodes);
-    let report = exec.run(&mut app, &plan.vector, false).expect("simulate");
+    let mut app = ParticleApp::new(initial.clone(), 50, plan.ranks());
+    let run = plan.run(&mut app)?;
 
     println!(
         "50 cycles in {:.1} ms simulated; {} messages carried the migrants",
-        report.elapsed.as_millis_f64(),
-        report.mmps.messages_sent
+        run.elapsed_ms, run.report.mmps.messages_sent
     );
     assert_eq!(app.total_particles(), total, "conservation violated");
     assert!(app.ownership_consistent(), "a particle ended up misplaced");
     println!("particle count conserved and every particle sits with its owner ✓");
 
-    // Contrast: an occupancy-weighted decomposition (cells are not equally
-    // heavy!) — the irregular-domain analogue of the speed-weighted vector.
-    let occupancy: Vec<f64> = initial.iter().map(|c| c.len() as f64 + 1.0).collect();
-    let weights: Vec<f64> = plan
-        .vector
-        .ranges()
-        .iter()
-        .map(|r| occupancy[r.start as usize..r.end as usize].iter().sum())
-        .collect();
-    let _ = weights;
-    let balanced = PartitionVector::from_real_shares(
-        &vec![1.0; p], // equal cells per rank for comparison
-        cells as u64,
-    );
-    let (mmps2, nodes2) = testbed.build(&plan.config, PlacementStrategy::ClusterContiguous);
-    let mut app2 = ParticleApp::new(initial, 50, p);
-    let mut exec2 = Executor::new(mmps2, nodes2);
-    let equal_report = exec2.run(&mut app2, &balanced, false).expect("simulate");
+    // Contrast: an equal-cells decomposition (cells are not equally
+    // heavy!) pinned onto the same processor configuration.
+    let balanced = PartitionVector::equal(cells as u64, plan.ranks());
+    let equal_plan = scenario.plan_pinned(&plan.config, balanced)?;
+    let mut app2 = ParticleApp::new(initial, 50, equal_plan.ranks());
+    let equal_run = equal_plan.run(&mut app2)?;
     println!(
         "equal-cells decomposition: {:.1} ms (occupancy skew makes cells unequal work)",
-        equal_report.elapsed.as_millis_f64()
+        equal_run.elapsed_ms
     );
+    Ok(())
 }

@@ -8,13 +8,13 @@
 
 use netpart::apps::stencil::{stencil_model, StencilVariant};
 use netpart::calibrate::Testbed;
-use netpart::core::{partition, Estimator, PartitionOptions, SystemModel};
+use netpart::model::NetpartError;
+use netpart::pipeline::{CostSource, Scenario};
 use netpart_bench::{balanced_vector, paper_calibration, run_stencil_config, TABLE2_CONFIGS};
 
-fn main() {
+fn main() -> Result<(), NetpartError> {
     eprintln!("calibrating (one-off offline step)...");
-    let cost_model = paper_calibration();
-    let system = SystemModel::from_testbed(&Testbed::paper());
+    let cost_model = paper_calibration()?;
     let iters = 10;
 
     for variant in [StencilVariant::Sten1, StencilVariant::Sten2] {
@@ -28,29 +28,28 @@ fn main() {
             "N", "chosen", "predicted ms", "simulated ms", "best sweep ms"
         );
         for n in [60u64, 300, 600, 1200] {
-            let app = stencil_model(n, variant);
-            let est = Estimator::new(&system, &cost_model, &app);
-            let plan = partition(&est, &PartitionOptions::default()).expect("partition");
+            let plan = Scenario::new(Testbed::paper(), stencil_model(n, variant))
+                .with_cost(CostSource::Fixed(cost_model.clone()))
+                .plan()?;
             let simulated =
-                run_stencil_config(&plan.config, &plan.vector, variant, n as usize, iters);
+                run_stencil_config(&plan.config, &plan.vector, variant, n as usize, iters)?;
             // Sweep the paper's measured configurations for reference.
-            let best = TABLE2_CONFIGS
-                .iter()
-                .map(|config| {
-                    run_stencil_config(
-                        config,
-                        &balanced_vector(n, config),
-                        variant,
-                        n as usize,
-                        iters,
-                    )
-                })
-                .fold(f64::MAX, f64::min);
+            let mut best = f64::MAX;
+            for config in TABLE2_CONFIGS {
+                let ms = run_stencil_config(
+                    &config,
+                    &balanced_vector(n, &config),
+                    variant,
+                    n as usize,
+                    iters,
+                )?;
+                best = best.min(ms);
+            }
             println!(
                 "{:>6} {:>12} {:>14.1} {:>14.1} {:>14.1}",
                 n,
                 format!("({},{})", plan.config[0], plan.config[1]),
-                plan.predicted_tc_ms() * iters as f64,
+                plan.predicted_tc_ms.expect("priced plan") * iters as f64,
                 simulated,
                 best
             );
@@ -61,4 +60,5 @@ fn main() {
          Fig. 3 region B) and the slow cluster is only recruited once the \
          problem is large enough to amortize the router."
     );
+    Ok(())
 }

@@ -24,6 +24,18 @@
 //! | [`apps`] | stencil (STEN-1/STEN-2), Gaussian elimination, particle simulation |
 //! | [`baselines`] | equal decomposition, all-processors, dynamic balancing comparators |
 //!
+//! On top sits [`pipeline`], the typed **Scenario → plan → run** flow
+//! every experiment, example, and benchmark drives:
+//!
+//! ```no_run
+//! # use netpart::apps::stencil::{stencil_model, StencilApp, StencilVariant};
+//! # use netpart::{calibrate::Testbed, pipeline::Scenario};
+//! # fn main() -> Result<(), netpart::model::NetpartError> {
+//! let plan = Scenario::new(Testbed::paper(), stencil_model(1200, StencilVariant::Sten1)).plan()?;
+//! let run = plan.run(&mut StencilApp::new(1200, 10, StencilVariant::Sten1, plan.ranks()))?;
+//! # let _ = run; Ok(()) }
+//! ```
+//!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow: build a network,
@@ -31,6 +43,11 @@
 //! partition, and execute.
 
 #![forbid(unsafe_code)]
+
+pub mod pipeline;
+
+pub use netpart_model::NetpartError;
+pub use pipeline::{CostSource, Plan, Run, Scenario};
 
 pub use netpart_apps as apps;
 pub use netpart_baselines as baselines;

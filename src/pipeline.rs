@@ -1,0 +1,431 @@
+//! The typed experiment pipeline: **Scenario → plan → run**.
+//!
+//! A [`Scenario`] bundles everything the paper's method needs to make a
+//! partitioning decision — a testbed description, an annotated
+//! application model, a cost-model source, and partitioner knobs.
+//! [`Scenario::plan`] performs the offline half (calibrate or reuse the
+//! cached calibration, validate coverage, run the heuristic partitioner)
+//! and returns a [`Plan`]: the chosen processor configuration, the data
+//! decomposition, and the predicted per-cycle time `T_c`. [`Plan::run`]
+//! performs the online half: execute any [`SpmdApp`] on the simulated
+//! testbed through the one [`CycleEngine`](crate::spmd::CycleEngine) and
+//! return an instrumented [`Run`].
+//!
+//! Every fallible step surfaces a [`NetpartError`] — an empty testbed, a
+//! zero-PDU model, a cost model with no fit for a (cluster, topology)
+//! pair the application uses — instead of panicking mid-experiment.
+//!
+//! ```no_run
+//! use netpart::pipeline::Scenario;
+//! # use netpart::apps::stencil::{stencil_model, StencilApp, StencilVariant};
+//! # use netpart::calibrate::Testbed;
+//! # fn main() -> Result<(), netpart::model::NetpartError> {
+//! let scenario = Scenario::new(Testbed::paper(), stencil_model(1200, StencilVariant::Sten1));
+//! let plan = scenario.plan()?; // calibrate (or hit the cache) + partition
+//! let run = plan.run(&mut StencilApp::new(1200, 10, StencilVariant::Sten1, plan.ranks()))?;
+//! # let _ = run; Ok(()) }
+//! ```
+
+use netpart_calibrate::{
+    calibrate_testbed_cached, CalibratedCostModel, CalibrationConfig, CommCostModel,
+    PaperCostModel, Testbed,
+};
+use netpart_core::{partition, Estimator, Partition, PartitionOptions, SystemModel};
+use netpart_model::{AppModel, NetpartError, PartitionVector};
+use netpart_sim::SimTime;
+use netpart_spmd::{Executor, Phase, Probe, Rank, SpmdApp, SpmdReport};
+use netpart_topology::{PlacementStrategy, Topology};
+
+/// Where a [`Scenario`] gets its communication cost model.
+#[derive(Debug, Clone)]
+pub enum CostSource {
+    /// No cost model at all: only [`Scenario::plan_pinned`] works, and
+    /// pinned plans carry no `T_c` prediction. For measurement-only runs.
+    Measured,
+    /// The constants printed in §6 of the paper (1-D topology, two
+    /// clusters). Reproduces Table 1 independently of simulator tuning.
+    Paper,
+    /// Calibrate the scenario's testbed against the simulator (or reuse
+    /// the memoized/persisted calibration) with this configuration — the
+    /// paper's offline benchmarking step.
+    Calibrated(CalibrationConfig),
+    /// A caller-supplied, already-fitted model.
+    Fixed(CalibratedCostModel),
+}
+
+/// The resolved cost model a plan was made under.
+enum PlanModel {
+    Paper(PaperCostModel),
+    Table(CalibratedCostModel),
+}
+
+impl PlanModel {
+    fn as_dyn(&self) -> &dyn CommCostModel {
+        match self {
+            PlanModel::Paper(m) => m,
+            PlanModel::Table(m) => m,
+        }
+    }
+}
+
+/// A complete experiment description: *what* to run *where*, and how to
+/// price it. Public fields — construct with [`Scenario::new`] and adjust.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The simulated network of workstation clusters.
+    pub testbed: Testbed,
+    /// The annotated application model (PDUs, phases, complexities).
+    pub app: AppModel,
+    /// Topologies to calibrate. Defaults to every topology the model's
+    /// communication phases mention.
+    pub topologies: Vec<Topology>,
+    /// Cost-model source for planning.
+    pub cost: CostSource,
+    /// Partitioner knobs (search strategy, cluster order).
+    pub options: PartitionOptions,
+    /// How ranks map onto testbed nodes.
+    pub placement: PlacementStrategy,
+    /// Whether runs include the master's startup data distribution.
+    /// Table 2 timings exclude it, so the default is `false`.
+    pub distribute: bool,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: calibrated cost model,
+    /// default partitioner options, cluster-contiguous placement, no
+    /// startup distribution, topologies taken from the app model.
+    pub fn new(testbed: Testbed, app: AppModel) -> Scenario {
+        let mut topologies: Vec<Topology> =
+            app.comm_phases().iter().map(|ph| ph.topology).collect();
+        topologies.dedup();
+        Scenario {
+            testbed,
+            app,
+            topologies,
+            cost: CostSource::Calibrated(CalibrationConfig::default()),
+            options: PartitionOptions::default(),
+            placement: PlacementStrategy::ClusterContiguous,
+            distribute: false,
+        }
+    }
+
+    /// Replace the cost-model source.
+    pub fn with_cost(mut self, cost: CostSource) -> Scenario {
+        self.cost = cost;
+        self
+    }
+
+    /// Replace the partitioner options.
+    pub fn with_options(mut self, options: PartitionOptions) -> Scenario {
+        self.options = options;
+        self
+    }
+
+    /// Checks shared by every planning path.
+    fn validate(&self) -> Result<(), NetpartError> {
+        if self.testbed.num_clusters() == 0 || self.testbed.clusters.iter().all(|c| c.nodes == 0) {
+            return Err(NetpartError::EmptyTestbed);
+        }
+        if self.app.num_pdus() == 0 {
+            return Err(NetpartError::ZeroPdus);
+        }
+        if self.app.comp_phases().is_empty() || self.app.comm_phases().is_empty() {
+            return Err(NetpartError::InvalidScenario(format!(
+                "application model '{}' needs at least one computation and one communication phase",
+                self.app.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Resolve [`CostSource`] into a priced model, verifying it covers
+    /// every (cluster, topology) pair the application can exercise.
+    fn resolve_model(&self) -> Result<PlanModel, NetpartError> {
+        let model = match &self.cost {
+            CostSource::Measured => {
+                return Err(NetpartError::InvalidScenario(
+                    "scenario has no cost model; plan() needs one (use plan_pinned for \
+                     measurement-only runs)"
+                        .into(),
+                ))
+            }
+            CostSource::Paper => PlanModel::Paper(PaperCostModel),
+            CostSource::Calibrated(cfg) => PlanModel::Table(calibrate_testbed_cached(
+                &self.testbed,
+                &self.topologies,
+                cfg,
+            )?),
+            CostSource::Fixed(m) => PlanModel::Table(m.clone()),
+        };
+        for cluster in 0..self.testbed.num_clusters() {
+            if self.testbed.clusters[cluster].nodes == 0 {
+                continue;
+            }
+            for phase in self.app.comm_phases() {
+                if !model.as_dyn().covers(cluster, phase.topology) {
+                    return Err(NetpartError::Calibration(format!(
+                        "cost model has no fit for cluster {cluster} topology {}",
+                        phase.topology
+                    )));
+                }
+            }
+        }
+        Ok(model)
+    }
+
+    /// The offline half of the paper's method: obtain a cost model,
+    /// run the heuristic partitioner, and return the decision with its
+    /// predicted per-cycle time.
+    pub fn plan(&self) -> Result<Plan, NetpartError> {
+        self.validate()?;
+        let model = self.resolve_model()?;
+        let sys = SystemModel::from_testbed(&self.testbed);
+        let est = Estimator::new(&sys, model.as_dyn(), &self.app);
+        let part = partition(&est, &self.options)?;
+        Ok(Plan {
+            testbed: self.testbed.clone(),
+            placement: self.placement,
+            distribute: self.distribute,
+            config: part.config.clone(),
+            vector: part.vector.clone(),
+            predicted_tc_ms: Some(part.predicted_tc_ms()),
+            partition: Some(part),
+        })
+    }
+
+    /// The escape hatch for measured sweeps (Table 2's seven fixed
+    /// configurations, Fig. 3's fill-order curve): pin the processor
+    /// configuration and decomposition instead of asking the partitioner.
+    /// The scenario's cost model still prices the pinned configuration
+    /// when it has one, so estimate-vs-measured comparisons fall out.
+    pub fn plan_pinned(
+        &self,
+        config: &[u32],
+        vector: PartitionVector,
+    ) -> Result<Plan, NetpartError> {
+        self.validate()?;
+        if config.len() > self.testbed.num_clusters() {
+            return Err(NetpartError::InvalidScenario(format!(
+                "pinned configuration names {} clusters but the testbed has {}",
+                config.len(),
+                self.testbed.num_clusters()
+            )));
+        }
+        for (cluster, (&asked, spec)) in config.iter().zip(&self.testbed.clusters).enumerate() {
+            if asked > spec.nodes {
+                return Err(NetpartError::ClusterOvercommitted {
+                    cluster,
+                    have: spec.nodes,
+                    asked,
+                });
+            }
+        }
+        let total: u32 = config.iter().sum();
+        if total == 0 {
+            return Err(NetpartError::NoProcessorsAvailable);
+        }
+        if vector.num_ranks() != total as usize {
+            return Err(NetpartError::RankMismatch {
+                vector: vector.num_ranks(),
+                nodes: total as usize,
+            });
+        }
+        let predicted_tc_ms = match &self.cost {
+            CostSource::Measured => None,
+            _ => {
+                let model = self.resolve_model()?;
+                let sys = SystemModel::from_testbed(&self.testbed);
+                let est = Estimator::new(&sys, model.as_dyn(), &self.app);
+                Some(est.t_c_ms(config))
+            }
+        };
+        Ok(Plan {
+            testbed: self.testbed.clone(),
+            placement: self.placement,
+            distribute: self.distribute,
+            config: config.to_vec(),
+            vector,
+            predicted_tc_ms,
+            partition: None,
+        })
+    }
+}
+
+/// A partitioning decision ready to execute: which processors, which
+/// decomposition, and what the model expects it to cost.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    testbed: Testbed,
+    placement: PlacementStrategy,
+    distribute: bool,
+    /// Processors used per cluster, indexed by cluster id.
+    pub config: Vec<u32>,
+    /// PDUs per rank.
+    pub vector: PartitionVector,
+    /// The model's per-cycle prediction, ms (`None` for pinned plans
+    /// under [`CostSource::Measured`]).
+    pub predicted_tc_ms: Option<f64>,
+    /// The full partitioner output when [`Scenario::plan`] chose the
+    /// configuration (`None` for pinned plans).
+    pub partition: Option<Partition>,
+}
+
+impl Plan {
+    /// Total ranks the plan runs.
+    pub fn ranks(&self) -> usize {
+        self.config.iter().sum::<u32>() as usize
+    }
+
+    /// The online half: execute `app` on the simulated testbed through
+    /// the cycle engine and return the instrumented result. The plan can
+    /// be run any number of times; each run builds a fresh network.
+    pub fn run<A: SpmdApp>(&self, app: &mut A) -> Result<Run, NetpartError> {
+        let (mmps, nodes) = self.testbed.try_build(&self.config, self.placement)?;
+        let mut exec = Executor::new(mmps, nodes);
+        let mut probe = PhaseTotalsProbe::default();
+        let report = exec.run_probed(app, &self.vector, self.distribute, &mut probe)?;
+        Ok(Run {
+            elapsed_ms: report.elapsed.as_millis_f64(),
+            predicted_tc_ms: self.predicted_tc_ms,
+            phases: probe.totals,
+            report,
+        })
+    }
+}
+
+/// Aggregate phase instrumentation gathered by the [`Probe`] the
+/// pipeline attaches to every run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Simulated ms spent across all ranks in `Send` steps.
+    pub send_ms: f64,
+    /// Simulated ms spent across all ranks in `Compute` steps.
+    pub compute_ms: f64,
+    /// Simulated ms spent across all ranks blocked in `Recv` steps.
+    pub recv_ms: f64,
+    /// Rank-cycles completed (ranks × cycles for a full run).
+    pub cycles: u64,
+    /// Cycle messages delivered.
+    pub messages: u64,
+    /// Cycle payload bytes delivered.
+    pub bytes: u64,
+}
+
+/// The pipeline's standard instrumentation, built on the engine's
+/// [`Probe`] seam.
+#[derive(Debug, Default)]
+struct PhaseTotalsProbe {
+    totals: PhaseTotals,
+}
+
+impl Probe for PhaseTotalsProbe {
+    fn on_phase(
+        &mut self,
+        _rank: Rank,
+        _cycle: u64,
+        phase: Phase,
+        started: SimTime,
+        ended: SimTime,
+    ) {
+        let ms = ended.since(started).as_millis_f64();
+        match phase {
+            Phase::Send => self.totals.send_ms += ms,
+            Phase::Compute => self.totals.compute_ms += ms,
+            Phase::Recv => self.totals.recv_ms += ms,
+        }
+    }
+
+    fn on_cycle(&mut self, _rank: Rank, _cycle: u64, _at: SimTime) {
+        self.totals.cycles += 1;
+    }
+
+    fn on_message(&mut self, _from: Rank, _to: Rank, _cycle: u64, bytes: usize, _at: SimTime) {
+        self.totals.messages += 1;
+        self.totals.bytes += bytes as u64;
+    }
+}
+
+/// An executed plan: the engine's report plus the pipeline's aggregate
+/// instrumentation.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Simulated elapsed ms of the iterative part (startup excluded).
+    pub elapsed_ms: f64,
+    /// The plan's prediction, carried over for side-by-side reporting.
+    pub predicted_tc_ms: Option<f64>,
+    /// Aggregate per-phase totals observed by the pipeline probe.
+    pub phases: PhaseTotals,
+    /// The engine's full report (per-cycle spans, per-rank times).
+    pub report: SpmdReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_apps::stencil::{stencil_model, StencilApp, StencilVariant};
+
+    fn small_scenario() -> Scenario {
+        Scenario::new(Testbed::paper(), stencil_model(40, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper)
+    }
+
+    #[test]
+    fn plan_then_run_round_trips() {
+        let plan = small_scenario().plan().unwrap();
+        assert!(plan.ranks() >= 1);
+        assert!(plan.predicted_tc_ms.is_some());
+        let mut app = StencilApp::new(40, 4, StencilVariant::Sten1, plan.ranks());
+        let run = plan.run(&mut app).unwrap();
+        assert!(run.elapsed_ms > 0.0);
+        assert_eq!(run.phases.cycles, 4 * plan.ranks() as u64);
+        if plan.ranks() > 1 {
+            assert!(run.phases.messages > 0);
+            assert!(run.phases.compute_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_testbed_is_a_typed_error() {
+        let mut s = small_scenario();
+        s.testbed.clusters.clear();
+        assert_eq!(s.plan().unwrap_err(), NetpartError::EmptyTestbed);
+    }
+
+    #[test]
+    fn zero_pdus_is_a_typed_error() {
+        let mut s = small_scenario();
+        s.app = stencil_model(0, StencilVariant::Sten1);
+        assert_eq!(s.plan().unwrap_err(), NetpartError::ZeroPdus);
+    }
+
+    #[test]
+    fn miscalibrated_model_is_a_typed_error() {
+        // An empty fixed model covers nothing the stencil needs.
+        let s = small_scenario().with_cost(CostSource::Fixed(CalibratedCostModel::default()));
+        match s.plan().unwrap_err() {
+            NetpartError::Calibration(msg) => assert!(msg.contains("no fit"), "{msg}"),
+            other => panic!("expected Calibration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinned_plan_validates_capacity() {
+        let s = small_scenario();
+        let err = s
+            .plan_pinned(&[99, 0], PartitionVector::equal(40, 99))
+            .unwrap_err();
+        assert!(matches!(err, NetpartError::ClusterOvercommitted { .. }));
+    }
+
+    #[test]
+    fn pinned_plan_runs_without_a_cost_model() {
+        let s = small_scenario().with_cost(CostSource::Measured);
+        let plan = s
+            .plan_pinned(&[2, 0], PartitionVector::equal(40, 2))
+            .unwrap();
+        assert_eq!(plan.predicted_tc_ms, None);
+        let mut app = StencilApp::new(40, 3, StencilVariant::Sten1, 2);
+        let run = plan.run(&mut app).unwrap();
+        assert!(run.elapsed_ms > 0.0);
+    }
+}

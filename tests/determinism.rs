@@ -67,11 +67,11 @@ fn parallel_sweep_cells_match_sequential_bit_exact() {
     set_threads(0);
     assert_eq!(sequential.len(), parallel.len());
     for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
-        assert_eq!(
-            s.to_bits(),
-            p.to_bits(),
-            "cell {i}: sequential {s:?} != parallel {p:?}"
+        let (s, p) = (
+            s.as_ref().expect("sequential run").to_bits(),
+            p.as_ref().expect("parallel run").to_bits(),
         );
+        assert_eq!(s, p, "cell {i}: sequential != parallel");
     }
 }
 
@@ -84,11 +84,12 @@ fn table2_rendering_is_identical_across_thread_counts() {
         &Testbed::paper(),
         &[Topology::OneD],
         &CalibrationConfig::default(),
-    );
+    )
+    .expect("calibration");
     set_threads(1);
-    let sequential = format_table2(&table2(&model, &[60], 5));
+    let sequential = format_table2(&table2(&model, &[60], 5).expect("table2"));
     set_threads(4);
-    let parallel = format_table2(&table2(&model, &[60], 5));
+    let parallel = format_table2(&table2(&model, &[60], 5).expect("table2"));
     set_threads(0);
     assert_eq!(sequential, parallel);
 }
@@ -100,8 +101,8 @@ fn calibration_memo_hit_reproduces_exact_constants() {
     let tb = Testbed::paper();
     let topos = [Topology::OneD];
     let cfg = CalibrationConfig::default();
-    let (first, _) = calibrate_testbed_cached_status(&tb, &topos, &cfg);
-    let (second, status) = calibrate_testbed_cached_status(&tb, &topos, &cfg);
+    let (first, _) = calibrate_testbed_cached_status(&tb, &topos, &cfg).expect("calibration");
+    let (second, status) = calibrate_testbed_cached_status(&tb, &topos, &cfg).expect("calibration");
     assert_eq!(status, CacheStatus::MemoHit);
     assert_eq!(canon(&first), canon(&second));
 }
@@ -165,7 +166,8 @@ fn child_print_calibration() {
         &Testbed::paper(),
         &[Topology::OneD],
         &CalibrationConfig::default(),
-    );
+    )
+    .expect("calibration");
     for line in canon(&model) {
         println!("CANON {line}");
     }

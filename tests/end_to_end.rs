@@ -17,7 +17,7 @@ use netpart_bench::{balanced_vector, run_stencil_config, TABLE2_CONFIGS};
 /// offline step in the paper too).
 fn model() -> &'static CalibratedCostModel {
     static MODEL: OnceLock<CalibratedCostModel> = OnceLock::new();
-    MODEL.get_or_init(netpart_bench::paper_calibration)
+    MODEL.get_or_init(|| netpart_bench::paper_calibration().expect("calibration"))
 }
 
 /// The paper's bottom line: "minimum elapsed times are obtained for a
@@ -34,12 +34,13 @@ fn predicted_configuration_is_near_optimal() {
             let part = partition(&est, &PartitionOptions::default()).expect("partition");
 
             let predicted_ms =
-                run_stencil_config(&part.config, &part.vector, variant, n as usize, iters);
+                run_stencil_config(&part.config, &part.vector, variant, n as usize, iters)
+                    .expect("run");
             let best_ms = TABLE2_CONFIGS
                 .iter()
                 .map(|config| {
                     let vector = balanced_vector(n, config);
-                    run_stencil_config(config, &vector, variant, n as usize, iters)
+                    run_stencil_config(config, &vector, variant, n as usize, iters).expect("run")
                 })
                 .fold(f64::MAX, f64::min);
             assert!(
@@ -64,7 +65,8 @@ fn estimate_tracks_simulation() {
             let part = partition(&est, &PartitionOptions::default()).expect("partition");
             let predicted = part.predicted_tc_ms() * iters as f64;
             let measured =
-                run_stencil_config(&part.config, &part.vector, variant, n as usize, iters);
+                run_stencil_config(&part.config, &part.vector, variant, n as usize, iters)
+                    .expect("run");
             let rel = (predicted - measured).abs() / measured;
             assert!(
                 rel < 0.25,
@@ -107,14 +109,16 @@ fn equal_decomposition_pays_for_ignoring_speeds() {
     let iters = 10;
     let weighted = balanced_vector(n, &[6, 6]);
     let weighted_ms =
-        run_stencil_config(&[6, 6], &weighted, StencilVariant::Sten1, n as usize, iters);
+        run_stencil_config(&[6, 6], &weighted, StencilVariant::Sten1, n as usize, iters)
+            .expect("run");
     let equal_ms = run_stencil_config(
         &[6, 6],
         &PartitionVector::equal(n, 12),
         StencilVariant::Sten1,
         n as usize,
         iters,
-    );
+    )
+    .expect("run");
     assert!(
         weighted_ms < equal_ms * 0.9,
         "weighted {weighted_ms:.1} vs equal {equal_ms:.1}"
