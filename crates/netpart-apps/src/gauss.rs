@@ -28,7 +28,7 @@
 use bytes::Bytes;
 
 use netpart_model::{AppModel, CommPhase, CompPhase, OpKind, PartitionVector};
-use netpart_spmd::{SpmdApp, Step};
+use netpart_spmd::{Checkpoint, SpmdApp, Step};
 use netpart_topology::Topology;
 
 const PART_FIND: u32 = 0;
@@ -151,6 +151,11 @@ pub struct GaussApp {
     /// final gather cycle; rank 0's own block is copied at solve time).
     gathered_a: Vec<f64>,
     gathered_b: Vec<f64>,
+    /// Global cycle that engine-local cycle 0 corresponds to. Zero for a
+    /// fresh solve; a resumed app starts at the cycle after its
+    /// checkpoint, and every cycle-dependent decision (selection parity,
+    /// step index, gather detection) uses the global number.
+    base_cycle: u64,
 }
 
 impl GaussApp {
@@ -169,7 +174,62 @@ impl GaussApp {
             gathered_b: vec![0.0; n],
             a_full: a,
             b_full: b,
+            base_cycle: 0,
         }
+    }
+
+    /// Rebuild from a [`Checkpoint`] recorded at the completion of global
+    /// cycle `ckpt.cycle`: reassemble the partially eliminated system and
+    /// the pivot/used prefix from the per-rank blobs, then continue over
+    /// `p` ranks (which need not match the recording run's rank count)
+    /// from cycle `ckpt.cycle + 1`.
+    pub fn resume(ckpt: &Checkpoint, n: usize, p: usize) -> GaussApp {
+        let mut a_full = vec![0.0f64; n * n];
+        let mut b_full = vec![0.0f64; n];
+        let mut pivots: Vec<usize> = Vec::new();
+        for blob in &ckpt.ranks {
+            assert!(blob.len() >= 24, "checkpoint blob truncated");
+            let start = u64::from_le_bytes(blob[0..8].try_into().expect("8")) as usize;
+            let end = u64::from_le_bytes(blob[8..16].try_into().expect("8")) as usize;
+            let np = u64::from_le_bytes(blob[16..24].try_into().expect("8")) as usize;
+            let mut off = 24;
+            let blob_pivots: Vec<usize> = (0..np)
+                .map(|i| {
+                    let s = off + 8 * i;
+                    u64::from_le_bytes(blob[s..s + 8].try_into().expect("8")) as usize
+                })
+                .collect();
+            if pivots.is_empty() {
+                pivots = blob_pivots;
+            } else {
+                debug_assert_eq!(pivots, blob_pivots, "inconsistent pivot prefixes");
+            }
+            off += 8 * np;
+            let rows = end - start;
+            for (i, chunk) in blob[off..off + 8 * rows * n].chunks_exact(8).enumerate() {
+                a_full[start * n + i] = f64::from_le_bytes(chunk.try_into().expect("8"));
+            }
+            off += 8 * rows * n;
+            for (i, chunk) in blob[off..off + 8 * rows].chunks_exact(8).enumerate() {
+                b_full[start + i] = f64::from_le_bytes(chunk.try_into().expect("8"));
+            }
+        }
+        let mut app = GaussApp::new(n, a_full, b_full, p);
+        // Steps fully eliminated as of cycle C: (C+1)/2 — those pivots'
+        // rows are spent. Later pivot decisions (selection done, row not
+        // yet eliminated) stay recorded so the elimination cycle's script
+        // can name the owner.
+        let done = ckpt.cycle.div_ceil(2) as usize;
+        for &row in &pivots[..done] {
+            app.used[row] = true;
+        }
+        app.pivots = pivots;
+        app.base_cycle = ckpt.cycle + 1;
+        assert!(
+            app.base_cycle <= 2 * n as u64,
+            "checkpoint beyond the elimination cycles"
+        );
+        app
     }
 
     fn tree_children(&self, rank: usize) -> Vec<usize> {
@@ -215,8 +275,12 @@ impl SpmdApp for GaussApp {
     fn setup(&mut self, rank: usize, vector: &PartitionVector) {
         if rank == 0 {
             self.ranks.clear();
-            self.pivots.clear();
-            self.used = vec![false; self.n];
+            if self.base_cycle == 0 {
+                // A resumed app keeps its pivot prefix and used-row set —
+                // they *are* the restored elimination progress.
+                self.pivots.clear();
+                self.used = vec![false; self.n];
+            }
             assert_eq!(vector.total(), self.n as u64);
         }
         let ranges = vector.ranges();
@@ -234,11 +298,12 @@ impl SpmdApp for GaussApp {
     fn num_cycles(&self) -> u64 {
         // 2 cycles per elimination step plus one final gather cycle that
         // ships every rank's eliminated rows to rank 0 for back
-        // substitution.
-        2 * self.n as u64 + 1
+        // substitution; a resumed app runs only the remaining cycles.
+        2 * self.n as u64 + 1 - self.base_cycle
     }
 
     fn script(&self, rank: usize, cycle: u64) -> Vec<Step> {
+        let cycle = self.base_cycle + cycle;
         if cycle == 2 * self.n as u64 {
             // Gather: everyone ships their eliminated block to rank 0.
             if self.p == 1 {
@@ -305,6 +370,7 @@ impl SpmdApp for GaussApp {
     }
 
     fn produce(&mut self, rank: usize, cycle: u64, to: usize) -> Bytes {
+        let cycle = self.base_cycle + cycle;
         if cycle == 2 * self.n as u64 {
             debug_assert_eq!(to, 0);
             // Eliminated rows + rhs entries, full width.
@@ -351,6 +417,7 @@ impl SpmdApp for GaussApp {
     }
 
     fn consume(&mut self, rank: usize, cycle: u64, from: usize, payload: &[u8]) {
+        let cycle = self.base_cycle + cycle;
         if cycle == 2 * self.n as u64 {
             debug_assert_eq!(rank, 0);
             let n = self.n;
@@ -405,6 +472,7 @@ impl SpmdApp for GaussApp {
     }
 
     fn compute(&mut self, rank: usize, cycle: u64, part: u32) -> (f64, OpKind) {
+        let cycle = self.base_cycle + cycle;
         debug_assert!(cycle < 2 * self.n as u64, "gather cycle has no compute");
         let k = (cycle / 2) as usize;
         let n = self.n;
@@ -471,6 +539,37 @@ impl SpmdApp for GaussApp {
     fn distribution_bytes(&self, rank: usize) -> u64 {
         let s = &self.ranks[rank];
         ((s.end - s.start) * (self.n + 1) * 8) as u64
+    }
+
+    fn checkpoint(&self, rank: usize, cycle: u64) -> Option<Bytes> {
+        let cycle = self.base_cycle + cycle;
+        if cycle >= 2 * self.n as u64 {
+            return None; // gather cycle: the run is effectively over
+        }
+        // Shared decision state must be captured *as of this cycle*, not
+        // as of whatever step the furthest-drifted rank has reached: the
+        // pivot list is append/overwrite-by-index, so its cycle-C view is
+        // simply the prefix of `cycle/2 + 1` entries (the used-row set is
+        // rebuilt from that prefix at resume). Blob layout, all LE:
+        // start u64, end u64, pivot count u64, pivots u64 each, owned A
+        // rows f64 each (full width), owned b entries f64 each.
+        let keep = (cycle / 2 + 1) as usize;
+        debug_assert!(self.pivots.len() >= keep, "decision missing at checkpoint");
+        let s = &self.ranks[rank];
+        let mut buf = Vec::with_capacity(24 + 8 * (keep + s.a.len() + s.b.len()));
+        buf.extend_from_slice(&(s.start as u64).to_le_bytes());
+        buf.extend_from_slice(&(s.end as u64).to_le_bytes());
+        buf.extend_from_slice(&(keep as u64).to_le_bytes());
+        for &p in &self.pivots[..keep] {
+            buf.extend_from_slice(&(p as u64).to_le_bytes());
+        }
+        for v in &s.a {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &s.b {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Some(Bytes::from(buf))
     }
 }
 

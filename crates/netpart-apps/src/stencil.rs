@@ -26,7 +26,7 @@
 use bytes::Bytes;
 
 use netpart_model::{AppModel, CommPhase, CompPhase, OpKind, PartitionVector};
-use netpart_spmd::{SpmdApp, Step};
+use netpart_spmd::{Checkpoint, SpmdApp, Step};
 use netpart_topology::Topology;
 
 /// Which §6 implementation variant to run.
@@ -153,6 +153,34 @@ impl StencilApp {
             .into_iter()
             .map(|r| r as usize)
             .collect()
+    }
+
+    /// Rebuild from a [`Checkpoint`] recorded at the completion of global
+    /// cycle `ckpt.cycle`: reassemble the grid from the per-rank blobs and
+    /// run the remaining `total_iters - (ckpt.cycle + 1)` iterations over
+    /// `p` ranks. `p` need not match the rank count that recorded the
+    /// checkpoint — recovery re-partitions over the survivors.
+    pub fn resume(
+        ckpt: &Checkpoint,
+        n: usize,
+        total_iters: u64,
+        variant: StencilVariant,
+        p: usize,
+    ) -> StencilApp {
+        let mut grid = vec![0.0f32; n * n];
+        for blob in &ckpt.ranks {
+            assert!(blob.len() >= 16, "checkpoint blob truncated");
+            let start = u64::from_le_bytes(blob[0..8].try_into().expect("8 bytes")) as usize;
+            let end = u64::from_le_bytes(blob[8..16].try_into().expect("8 bytes")) as usize;
+            let rows = &blob[16..];
+            assert_eq!(rows.len(), (end - start) * n * 4, "blob row payload");
+            for (j, chunk) in rows.chunks_exact(4).enumerate() {
+                grid[start * n + j] = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+            }
+        }
+        let done = ckpt.cycle + 1;
+        assert!(done <= total_iters, "checkpoint beyond the iteration count");
+        StencilApp::from_grid(grid, n, total_iters - done, variant, p)
     }
 
     /// Reassemble the full grid from all ranks (host-side, after a run).
@@ -324,6 +352,20 @@ impl SpmdApp for StencilApp {
         // The master ships each rank its block of 4-byte points.
         let s = &self.ranks[rank];
         ((s.end - s.start) * self.n * 4) as u64
+    }
+
+    fn checkpoint(&self, rank: usize, _cycle: u64) -> Option<Bytes> {
+        // `cur` holds the rank's rows as of the just-completed iteration
+        // (both variants swap buffers before the cycle ends). Blob layout:
+        // start u64 LE, end u64 LE, then (end-start)*N points, f32 LE.
+        let s = &self.ranks[rank];
+        let mut buf = Vec::with_capacity(16 + s.cur.len() * 4);
+        buf.extend_from_slice(&(s.start as u64).to_le_bytes());
+        buf.extend_from_slice(&(s.end as u64).to_le_bytes());
+        for v in &s.cur {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Some(Bytes::from(buf))
     }
 }
 

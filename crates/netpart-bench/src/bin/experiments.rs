@@ -9,7 +9,7 @@
 //! Subcommands: `calibrate`, `table1`, `table2`, `fig2`, `fig3`,
 //! `overhead`, `gauss`, `ablation-ordering`, `ablation-placement`,
 //! `ablation-search`, `ablation-decomposition`, `sensitivity`, `dynamic`,
-//! `metasystem`, `all`.
+//! `metasystem`, `faults`, `all`.
 
 use std::sync::OnceLock;
 
@@ -326,6 +326,26 @@ fn cmd_export(dir: &str) {
     }
 }
 
+/// Fixed seeds for the chaos harness (mirrored by `tests/chaos.rs` and CI).
+const CHAOS_SEEDS: [u64; 3] = [11, 23, 1994];
+
+fn cmd_faults() {
+    println!("Fault injection — checkpointed repartition-and-resume:");
+    let rows = ok(faults_table(model()));
+    print!("{}", render_faults(&rows));
+    println!("\nChaos harness — seeded random fault schedules:");
+    let mut chaos = Vec::new();
+    for seed in CHAOS_SEEDS {
+        chaos.extend(ok(chaos_run(seed, model())));
+    }
+    print!("{}", render_chaos(&chaos));
+    let json = faults_json(&rows, &chaos);
+    match std::fs::write("BENCH_faults.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_faults.json"),
+        Err(e) => eprintln!("BENCH_faults.json not written: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmds: Vec<&str> = if args.is_empty() {
@@ -410,6 +430,10 @@ fn main() {
     }
     if want("metasystem") {
         cmd_metasystem();
+        println!();
+    }
+    if want("faults") {
+        cmd_faults();
         println!();
     }
 }

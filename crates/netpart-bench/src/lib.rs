@@ -20,9 +20,11 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod faults;
 pub mod report;
 pub mod sweep;
 
 pub use ablations::*;
 pub use experiments::*;
+pub use faults::*;
 pub use report::*;

@@ -1,0 +1,81 @@
+//! Chaos harness: seeded random fault schedules over STEN-1, STEN-2, and
+//! Gaussian elimination. Every case must *recover* — complete on the
+//! survivors with an answer bit-identical to the sequential reference —
+//! and every schedule must actually have injected a mid-run crash (a
+//! chaos run that never fails tests nothing).
+//!
+//! The three seeds are fixed (they mirror `experiments -- faults` and the
+//! CI test job): the schedules they draw are deterministic, so a failure
+//! here is reproducible, not flaky.
+
+use std::sync::OnceLock;
+
+use netpart_bench::*;
+use netpart_calibrate::CalibratedCostModel;
+
+fn model() -> &'static CalibratedCostModel {
+    static MODEL: OnceLock<CalibratedCostModel> = OnceLock::new();
+    MODEL.get_or_init(|| paper_calibration().expect("paper calibration"))
+}
+
+fn assert_chaos_seed(seed: u64) {
+    let cases = chaos_run(seed, model()).expect("chaos run");
+    assert_eq!(cases.len(), 3, "one case per application");
+    for c in &cases {
+        assert!(
+            c.bit_identical,
+            "seed {seed}: {} recovered answer diverged from the sequential reference \
+             under schedule {:?}",
+            c.app, c.faults
+        );
+        assert!(
+            c.replans >= 1,
+            "seed {seed}: {} schedule {:?} never triggered a recovery",
+            c.app,
+            c.faults
+        );
+        assert!(
+            c.recovered_ms > c.fault_free_ms,
+            "seed {seed}: {} recovery cannot be faster than the fault-free run",
+            c.app
+        );
+    }
+}
+
+#[test]
+fn chaos_seed_11_recovers_bit_identically() {
+    assert_chaos_seed(11);
+}
+
+#[test]
+fn chaos_seed_23_recovers_bit_identically() {
+    assert_chaos_seed(23);
+}
+
+#[test]
+fn chaos_seed_1994_recovers_bit_identically() {
+    assert_chaos_seed(1994);
+}
+
+#[test]
+fn chaos_schedules_are_deterministic_per_seed() {
+    // Two draws of the same seed must produce identical schedules *and*
+    // identical recovery traces — replans, elapsed, and answer bits.
+    let a = chaos_run(23, model()).expect("first run");
+    let b = chaos_run(23, model()).expect("second run");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.faults, y.faults,
+            "{}: schedule must be seed-determined",
+            x.app
+        );
+        assert_eq!(x.replans, y.replans, "{}: recovery trace diverged", x.app);
+        assert_eq!(
+            x.recovered_ms.to_bits(),
+            y.recovered_ms.to_bits(),
+            "{}: recovered elapsed time diverged",
+            x.app
+        );
+    }
+}

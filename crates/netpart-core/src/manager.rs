@@ -24,11 +24,20 @@ use netpart_sim::{NodeId, SimDur};
 pub struct AvailabilityPolicy {
     /// Maximum external load for a node to be considered available.
     pub threshold: f64,
+    /// Maximum simulated time a manager waits for any probe's reply.
+    /// Members that have not answered when the deadline expires are
+    /// reported as [`suspected_dead`](AvailabilityReport::suspected_dead)
+    /// rather than stalling the round. `None` waits until the message
+    /// layer itself gives up on every probe (the pre-fault behavior).
+    pub probe_timeout: Option<SimDur>,
 }
 
 impl Default for AvailabilityPolicy {
     fn default() -> Self {
-        AvailabilityPolicy { threshold: 0.10 }
+        AvailabilityPolicy {
+            threshold: 0.10,
+            probe_timeout: Some(SimDur::from_millis_f64(500.0)),
+        }
     }
 }
 
@@ -39,6 +48,10 @@ pub struct AvailabilityReport {
     pub available: Vec<u32>,
     /// Which nodes were deemed available, per cluster.
     pub nodes: Vec<Vec<NodeId>>,
+    /// Members whose probe round-trip failed outright or was still
+    /// outstanding at the deadline — crashed, unreachable, or behind a
+    /// down router. Never counted as available.
+    pub suspected_dead: Vec<NodeId>,
     /// Simulated time the cooperative protocol took.
     pub protocol_time: SimDur,
     /// Probe/reply messages exchanged.
@@ -47,6 +60,9 @@ pub struct AvailabilityReport {
 
 const PROBE_TAG: u64 = 1 << 40;
 const REPLY_TAG: u64 = 1 << 41;
+/// Timer owner word for the round deadline (below the MMPS-reserved
+/// owner word, above anything applications use).
+const OWNER_AVAIL: u64 = u64::MAX - 2;
 
 /// Run one round of the cooperative availability protocol.
 ///
@@ -60,7 +76,8 @@ pub fn determine_available(
 ) -> AvailabilityReport {
     let start = mmps.now();
     let mut available: Vec<Vec<NodeId>> = vec![Vec::new(); clusters.len()];
-    let mut outstanding = 0u64;
+    let mut pending: Vec<NodeId> = Vec::new();
+    let mut suspected_dead: Vec<NodeId> = Vec::new();
     let mut messages = 0u64;
 
     // Managers probe their members (themselves included, locally).
@@ -75,41 +92,77 @@ pub fn determine_available(
         for &member in &members[1..] {
             mmps.send_message(manager, member, PROBE_TAG | k as u64, Bytes::new())
                 .expect("probe route");
-            outstanding += 1;
+            pending.push(member);
             messages += 1;
         }
     }
 
+    // One deadline bounds the whole round (every probe is in flight from
+    // the start, so it bounds each probe's wait too). Cancelled once the
+    // last reply arrives, so a fault-free round never observes it.
+    let deadline = policy
+        .probe_timeout
+        .filter(|_| !pending.is_empty())
+        .map(|d| mmps.net().set_timer(d, OWNER_AVAIL, 0));
+
     // Pump: members answer probes with their load; managers tally replies.
-    while outstanding > 0 {
+    // A probe or reply that the message layer gives up on marks the member
+    // suspected dead, as does any member still pending at the deadline.
+    while !pending.is_empty() {
         let Some(evt) = mmps.next_event() else {
-            break; // lost probes on a lossy net: count what we have
+            break; // quiescent with replies missing: suspect the rest
         };
-        if let MmpsEvent::MessageDelivered { src, dst, tag, .. } = evt {
-            if tag & PROBE_TAG != 0 {
-                let k = tag & 0xFFFF_FFFF;
-                let load = mmps.net_ref().node(dst).external_load;
-                let quantized = (load * 255.0).round().clamp(0.0, 255.0) as u8;
-                mmps.send_message(dst, src, REPLY_TAG | (u64::from(quantized) << 16) | k, {
-                    Bytes::from(vec![quantized])
-                })
-                .expect("reply route");
-                messages += 1;
-            } else if tag & REPLY_TAG != 0 {
-                let k = (tag & 0xFFFF) as usize;
-                let quantized = ((tag >> 16) & 0xFF) as u8;
-                let load = quantized as f64 / 255.0;
-                if load <= policy.threshold + 0.5 / 255.0 {
-                    available[k].push(src);
+        match evt {
+            MmpsEvent::MessageDelivered { src, dst, tag, .. } => {
+                if tag & PROBE_TAG != 0 {
+                    let k = tag & 0xFFFF_FFFF;
+                    let load = mmps.net_ref().node(dst).external_load;
+                    let quantized = (load * 255.0).round().clamp(0.0, 255.0) as u8;
+                    mmps.send_message(dst, src, REPLY_TAG | (u64::from(quantized) << 16) | k, {
+                        Bytes::from(vec![quantized])
+                    })
+                    .expect("reply route");
+                    messages += 1;
+                } else if tag & REPLY_TAG != 0 {
+                    let k = (tag & 0xFFFF) as usize;
+                    let quantized = ((tag >> 16) & 0xFF) as u8;
+                    let load = quantized as f64 / 255.0;
+                    if load <= policy.threshold + 0.5 / 255.0 {
+                        available[k].push(src);
+                    }
+                    pending.retain(|&n| n != src);
                 }
-                outstanding -= 1;
             }
+            MmpsEvent::MessageFailed { src, dst, tag, .. } => {
+                // Probe never reached the member, or its reply never made
+                // it back: either way the manager cannot confirm it.
+                let member = if tag & PROBE_TAG != 0 {
+                    dst
+                } else if tag & REPLY_TAG != 0 {
+                    src
+                } else {
+                    continue;
+                };
+                if pending.contains(&member) {
+                    pending.retain(|&n| n != member);
+                    suspected_dead.push(member);
+                }
+            }
+            MmpsEvent::TimerFired { owner, .. } if owner == OWNER_AVAIL => {
+                suspected_dead.append(&mut pending);
+            }
+            _ => {}
         }
+    }
+    suspected_dead.append(&mut pending); // quiescent-drain leftovers
+    if let Some(id) = deadline {
+        mmps.net().cancel_timer(id);
     }
 
     AvailabilityReport {
         available: available.iter().map(|v| v.len() as u32).collect(),
         nodes: available,
+        suspected_dead,
         protocol_time: mmps.now().since(start),
         messages,
     }
@@ -176,6 +229,62 @@ mod tests {
             r.protocol_time.as_millis_f64() < 50.0,
             "protocol took {} ms",
             r.protocol_time.as_millis_f64()
+        );
+    }
+
+    #[test]
+    fn crashed_member_is_suspected_within_the_probe_timeout() {
+        let (mut mmps, clusters) = full_testbed();
+        let dead = clusters[0][3];
+        mmps.net().install_fault_plan(
+            &netpart_sim::FaultPlan::new().crash(netpart_sim::SimTime::ZERO, dead),
+        );
+        let policy = AvailabilityPolicy {
+            probe_timeout: Some(SimDur::from_millis_f64(200.0)),
+            ..AvailabilityPolicy::default()
+        };
+        let r = determine_available(&mut mmps, &clusters, policy);
+        assert_eq!(r.suspected_dead, vec![dead], "only the crashed member");
+        assert_eq!(r.available, vec![5, 6]);
+        assert!(!r.nodes[0].contains(&dead));
+        // The round ends at the deadline (or the message layer's earlier
+        // give-up), never by unbounded waiting.
+        assert!(
+            r.protocol_time.as_millis_f64() <= 200.0 + 1.0,
+            "round ran past the deadline: {} ms",
+            r.protocol_time.as_millis_f64()
+        );
+    }
+
+    #[test]
+    fn lossy_network_delays_but_does_not_falsify_the_round() {
+        // Heavy (but sub-give-up) loss on cluster 0's segment for the
+        // whole round: MMPS retransmission must still confirm every live
+        // member — slower, but with nobody falsely suspected.
+        let (mut mmps, clusters) = full_testbed();
+        mmps.net()
+            .install_fault_plan(&netpart_sim::FaultPlan::new().loss_burst(
+                netpart_sim::SegmentId(0),
+                netpart_sim::SimTime::ZERO,
+                netpart_sim::SimTime::ZERO + SimDur::from_millis_f64(10_000.0),
+                0.6,
+            ));
+        let clean = {
+            let (mut m2, c2) = full_testbed();
+            determine_available(&mut m2, &c2, AvailabilityPolicy::default())
+        };
+        let r = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
+        assert_eq!(r.available, vec![6, 6], "loss must not hide live members");
+        assert!(
+            r.suspected_dead.is_empty(),
+            "suspected {:?}",
+            r.suspected_dead
+        );
+        assert!(
+            r.protocol_time > clean.protocol_time,
+            "retransmission under 60% loss must cost time ({} vs {} ms)",
+            r.protocol_time.as_millis_f64(),
+            clean.protocol_time.as_millis_f64()
         );
     }
 }

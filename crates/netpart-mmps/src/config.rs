@@ -29,6 +29,12 @@ pub struct MmpsConfig {
     pub adaptive_rto: bool,
     /// Floor for the adaptive RTO.
     pub min_rto: SimDur,
+    /// Per-message delivery deadline: if set, a message still unacked this
+    /// long after submission fails at the next retransmission check even
+    /// if retries remain. Bounds failure-*detection* latency independently
+    /// of the (backed-off, size-scaled) retry schedule. `None` (the
+    /// default) preserves the pure retry-budget behaviour.
+    pub give_up_after: Option<SimDur>,
     /// Base spacing between fragments of a *retransmitted* message. The
     /// original transmission bursts (that is what the paper's cost
     /// functions measure), but retransmissions pace out — doubling with
@@ -49,6 +55,7 @@ impl Default for MmpsConfig {
             coerce_per_msg: SimDur::from_micros(150),
             adaptive_rto: true,
             min_rto: SimDur::from_millis(5),
+            give_up_after: None,
             retx_fragment_spacing: SimDur::from_millis(2),
         }
     }

@@ -82,6 +82,53 @@ pub fn untag(tag: u64) -> (u64, usize, u8) {
     )
 }
 
+/// Liveness-ping flag, the top bit of the epoch-stripped cycle-tag space.
+///
+/// When the cycle engine quiesces with unfinished ranks it cannot tell a
+/// logical deadlock from a crashed peer whose traffic simply stopped (a
+/// fail-stop node neither sends nor provokes retransmission failures at
+/// others once their in-flight messages drain). Blocked ranks therefore
+/// ping the peers they are waiting on: a ping that the message layer
+/// gives up on names the dead node, while a delivered ping proves the
+/// peer's stack is alive and changes no task state. The flag sits at bit
+/// 47 — above any reachable `(cycle+1) << 24` component (cycles stay far
+/// below 2^23) and below the epoch field, so pings are epoch-filtered
+/// like all other engine traffic.
+pub const PING_TAG: u64 = 1 << 47;
+
+/// Bit position of the epoch field layered on top of cycle tags.
+const EPOCH_SHIFT: u32 = 48;
+const EPOCH_MASK: u64 = (1 << (64 - EPOCH_SHIFT)) - 1;
+
+/// Stamp an execution epoch into the high bits of a cycle tag.
+///
+/// When consecutive engine runs share one network timeline (the recovery
+/// path re-runs a computation on the survivors after a crash), messages
+/// from an abandoned run can still be in flight when the next run starts.
+/// The epoch field — 16 bits above the cycle component, which real
+/// workloads never reach — lets the engine discard that stale traffic by
+/// value, with no bookkeeping of outstanding message ids. Epoch 0 is the
+/// default for standalone runs (and what non-engine protocols such as the
+/// availability round implicitly use), so tags are unchanged unless a
+/// recovery layer opts in.
+pub fn with_epoch(epoch: u16, tag: u64) -> u64 {
+    debug_assert!(
+        tag >> EPOCH_SHIFT == 0,
+        "cycle tag already uses the epoch bits"
+    );
+    ((epoch as u64) << EPOCH_SHIFT) | tag
+}
+
+/// The epoch stamped into a tag (0 for un-stamped tags).
+pub fn epoch_of(tag: u64) -> u16 {
+    ((tag >> EPOCH_SHIFT) & EPOCH_MASK) as u16
+}
+
+/// The tag with its epoch bits cleared (inverse of [`with_epoch`]).
+pub fn strip_epoch(tag: u64) -> u64 {
+    tag & ((1 << EPOCH_SHIFT) - 1)
+}
+
 /// Fragmentation plan for a message of `len` payload bytes with
 /// `header_bytes` of MMPS header per fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +228,22 @@ mod tests {
         let startup = tag_of(0, 0, 0);
         assert_eq!(untag(startup).0, 0);
         assert_eq!(untag(tag_of(1, 0, 0)).0, 1);
+    }
+
+    #[test]
+    fn epoch_stamp_round_trips_and_is_transparent_at_zero() {
+        let tag = tag_of(42, 3, 7);
+        assert_eq!(epoch_of(tag), 0);
+        assert_eq!(with_epoch(0, tag), tag);
+        let stamped = with_epoch(5, tag);
+        assert_eq!(epoch_of(stamped), 5);
+        assert_eq!(strip_epoch(stamped), tag);
+        assert_eq!(untag(strip_epoch(stamped)), (42, 3, 7));
+        // The availability protocol's tag space (bits 40/41) is untouched
+        // by epoch 0 and distinguishable from any stamped engine tag.
+        let probe = 1u64 << 40;
+        assert_eq!(epoch_of(probe), 0);
+        assert_ne!(epoch_of(with_epoch(1, 0)), 0);
     }
 
     #[test]

@@ -73,7 +73,11 @@ pub enum MmpsEvent {
         /// Original sender (the node that now knows its send completed).
         src: NodeId,
     },
-    /// A message exhausted its retransmissions.
+    /// A message exhausted its retransmission budget (`max_retries`) or
+    /// its per-message deadline (`give_up_after`): the peer is presumed
+    /// unreachable. This only ever fires at a *live* sender — a crashed
+    /// node's pending retransmissions die silently with its protocol
+    /// stack — so the `dst` field names the suspect, never the witness.
     MessageFailed {
         /// Give-up time.
         at: SimTime,
@@ -83,6 +87,11 @@ pub enum MmpsEvent {
         src: NodeId,
         /// Intended receiver.
         dst: NodeId,
+        /// User tag supplied at send time (lets layers above attribute the
+        /// failure to an epoch/cycle without a lookup table).
+        tag: u64,
+        /// Total transmission attempts made (original send + retries).
+        attempts: u32,
     },
     /// Pass-through of [`SimEvent::ComputeDone`].
     ComputeDone {
@@ -449,6 +458,11 @@ impl Mmps {
         match kind {
             TOKEN_DELIVER => {
                 let (src, dst, tag, payload, len) = self.pending_delivery.remove(&msg)?;
+                // The receiver crashed while the delivery (loopback handoff
+                // or coercion) was in progress: it never sees the message.
+                if self.net.node_crashed(dst) {
+                    return None;
+                }
                 self.stats.messages_delivered += 1;
                 Some(MmpsEvent::MessageDelivered {
                     at,
@@ -461,8 +475,21 @@ impl Mmps {
             }
             TOKEN_RETX => {
                 let out = self.outgoing.get_mut(&msg)?;
+                // A crashed sender's protocol stack died with it: its
+                // pending retransmissions stop silently. No MessageFailed
+                // fires — failure *detection* belongs to live nodes whose
+                // own sends to the dead peer go unanswered.
+                if self.net.node_crashed(out.src) {
+                    self.outgoing.remove(&msg);
+                    self.incoming.remove(&msg);
+                    return None;
+                }
                 out.retries += 1;
-                if out.retries > self.cfg.max_retries {
+                let deadline_hit = self
+                    .cfg
+                    .give_up_after
+                    .is_some_and(|d| at.since(out.sent_at) >= d);
+                if out.retries > self.cfg.max_retries || deadline_hit {
                     let out = self.outgoing.remove(&msg).expect("present");
                     self.stats.messages_failed += 1;
                     self.incoming.remove(&msg);
@@ -471,6 +498,8 @@ impl Mmps {
                         msg: MsgId(msg),
                         src: out.src,
                         dst: out.dst,
+                        tag: out.user_tag,
+                        attempts: out.retries,
                     });
                 }
                 self.stats.retransmissions += 1;
@@ -543,6 +572,31 @@ impl Mmps {
             Some(est) => est.rto(self.cfg.min_rto, ceiling),
             None => ceiling,
         }
+    }
+
+    /// Drop all protocol state involving `node`: pending outgoing messages
+    /// (their retransmission timers are cancelled), partially received
+    /// messages, deliveries in flight, and RTT history. Call this once a
+    /// peer has been *declared* dead by a layer above — it keeps a long
+    /// recovery timeline from dragging a tail of doomed retransmissions
+    /// (and their eventual `MessageFailed`s) into later epochs.
+    pub fn abort_peer(&mut self, node: NodeId) {
+        let doomed: Vec<u64> = self
+            .outgoing
+            .iter()
+            .filter(|(_, o)| o.src == node || o.dst == node)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in doomed {
+            if let Some(out) = self.outgoing.remove(&id) {
+                self.net.cancel_timer(out.timer);
+            }
+            self.incoming.remove(&id);
+            self.pending_delivery.remove(&id);
+        }
+        self.pending_delivery
+            .retain(|_, (src, dst, ..)| *src != node && *dst != node);
+        self.rtt.retain(|(a, b), _| *a != node && *b != node);
     }
 
     /// Observed smoothed RTT between two nodes, if any acks completed.

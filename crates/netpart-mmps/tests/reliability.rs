@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use netpart_mmps::{Mmps, MmpsConfig, MmpsEvent};
-use netpart_sim::{NetworkBuilder, NodeId, ProcType, SegmentSpec, SimDur};
+use netpart_sim::{NetworkBuilder, NodeId, ProcType, SegmentSpec, SimDur, SimTime};
 
 fn pair_net(loss: f64, seed: u64) -> (Mmps, NodeId, NodeId) {
     let mut b = NetworkBuilder::new(seed);
@@ -311,4 +311,157 @@ fn router_overflow_is_recovered_by_retransmission() {
         mmps.stats().datagrams_dropped > 0,
         "the tiny buffer must actually have dropped frames"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Fault-model boundary tests: the retransmission budget and fail-stop
+// crashes interacting at the edges (exactly-exhausted budgets, crashes on
+// either side of an in-flight fragment train).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budget_exhaustion_reports_every_attempt_and_the_right_peer() {
+    // A fully opaque link: the budget is spent to the last retry and the
+    // failure must carry src/dst/tag and the exact attempt count
+    // (original transmission + max_retries retries).
+    let cfg = MmpsConfig {
+        max_retries: 4,
+        base_rto: SimDur::from_millis(10),
+        ..MmpsConfig::default()
+    };
+    let mut b = NetworkBuilder::new(7);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let a = b.add_node(pt, seg);
+    let c = b.add_node(pt, seg);
+    let mut mmps = Mmps::new(b.build().unwrap(), cfg);
+    // A peer dead from the very start swallows every frame
+    // deterministically, so the attempt count is exact. Multi-fragment:
+    // the train is re-paced on every retry and the budget must still be
+    // counted per message, not per fragment.
+    mmps.net()
+        .install_fault_plan(&netpart_sim::FaultPlan::new().crash(SimTime::ZERO, c));
+    mmps.send_message(a, c, 0xBEEF, Bytes::from(vec![7u8; 4000]))
+        .unwrap();
+    let mut failure = None;
+    while let Some(evt) = mmps.next_event() {
+        if let MmpsEvent::MessageFailed {
+            src,
+            dst,
+            tag,
+            attempts,
+            ..
+        } = evt
+        {
+            failure = Some((src, dst, tag, attempts));
+        }
+    }
+    assert_eq!(failure, Some((a, c, 0xBEEF, 5)), "1 send + 4 retries");
+    assert_eq!(mmps.stats().messages_failed, 1);
+}
+
+#[test]
+fn give_up_deadline_caps_time_to_detection() {
+    // With a per-message deadline the sender stops well before the retry
+    // budget would run out, and the failure still names the peer.
+    let cfg = MmpsConfig {
+        max_retries: 1000,
+        base_rto: SimDur::from_millis(10),
+        give_up_after: Some(SimDur::from_millis(80)),
+        ..MmpsConfig::default()
+    };
+    let mut b = NetworkBuilder::new(11);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let a = b.add_node(pt, seg);
+    let c = b.add_node(pt, seg);
+    let mut mmps = Mmps::new(b.build().unwrap(), cfg);
+    mmps.net()
+        .install_fault_plan(&netpart_sim::FaultPlan::new().crash(SimTime::ZERO, c));
+    let sent_at = mmps.now();
+    mmps.send_message(a, c, 3, Bytes::from(vec![1u8; 2000]))
+        .unwrap();
+    let mut failed_at = None;
+    while let Some(evt) = mmps.next_event() {
+        if let MmpsEvent::MessageFailed { at, src, dst, .. } = evt {
+            assert_eq!((src, dst), (a, c));
+            failed_at = Some(at);
+        }
+    }
+    let took = failed_at.expect("deadline must fire").since(sent_at);
+    assert!(
+        took.as_millis_f64() >= 80.0 && took.as_millis_f64() < 400.0,
+        "detection bounded by the deadline plus one backoff step, took {took}"
+    );
+}
+
+#[test]
+fn sender_crash_mid_fragment_train_dies_silently() {
+    // Fail-stop semantics: a crashed sender's pending retransmissions die
+    // with its protocol stack. The event stream must drain with neither a
+    // delivery nor a MessageFailed — silence, not a misattributed failure.
+    let mut b = NetworkBuilder::new(13);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec {
+        loss_probability: 0.9, // the train will need many retries
+        ..SegmentSpec::ethernet_10mbps()
+    });
+    let a = b.add_node(pt, seg);
+    let c = b.add_node(pt, seg);
+    let mut mmps = Mmps::with_defaults(b.build().unwrap());
+    mmps.net().install_fault_plan(
+        &netpart_sim::FaultPlan::new().crash(SimTime::ZERO + SimDur::from_millis(5), a),
+    );
+    mmps.send_message(a, c, 9, Bytes::from(vec![2u8; 20_000]))
+        .unwrap();
+    while let Some(evt) = mmps.next_event() {
+        match evt {
+            MmpsEvent::MessageDelivered { .. } => panic!("crashed sender cannot complete"),
+            MmpsEvent::MessageFailed { .. } => {
+                panic!("a dead sender has no stack left to report failure")
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(mmps.stats().messages_failed, 0);
+    assert_eq!(mmps.stats().messages_delivered, 0);
+}
+
+#[test]
+fn receiver_crash_fails_the_message_naming_the_receiver() {
+    // The ack-side peer crashes while a long train is in flight: the live
+    // sender must exhaust its budget and the typed failure must name the
+    // *receiver* (the suspect), never the surviving sender.
+    let cfg = MmpsConfig {
+        max_retries: 3,
+        base_rto: SimDur::from_millis(10),
+        ..MmpsConfig::default()
+    };
+    let mut b = NetworkBuilder::new(17);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let a = b.add_node(pt, seg);
+    let c = b.add_node(pt, seg);
+    let mut mmps = Mmps::new(b.build().unwrap(), cfg);
+    // Crash the receiver almost immediately: the 14-fragment train is
+    // still being clocked out on the wire.
+    mmps.net().install_fault_plan(
+        &netpart_sim::FaultPlan::new().crash(SimTime::ZERO + SimDur::from_micros(500), c),
+    );
+    mmps.send_message(a, c, 21, Bytes::from(vec![3u8; 20_000]))
+        .unwrap();
+    let mut failure = None;
+    while let Some(evt) = mmps.next_event() {
+        match evt {
+            MmpsEvent::MessageDelivered { .. } => panic!("receiver is dead"),
+            MmpsEvent::MessageFailed {
+                src, dst, attempts, ..
+            } => failure = Some((src, dst, attempts)),
+            _ => {}
+        }
+    }
+    let (src, dst, attempts) = failure.expect("sender must give up");
+    assert_eq!(src, a);
+    assert_eq!(dst, c, "failure names the dead receiver");
+    assert_eq!(attempts, 4, "budget fully spent before declaring death");
 }

@@ -23,6 +23,30 @@ pub enum NetpartError {
         /// Receiving rank.
         to: usize,
     },
+    /// A message to a peer exhausted its retransmission budget (or
+    /// per-message deadline): the peer is unreachable — crashed, cut off
+    /// by a dead router, or drowned in loss. This is the low-level typed
+    /// form of failure detection; when the engine is checkpointing it is
+    /// upgraded to [`RankFailed`](NetpartError::RankFailed).
+    PeerUnreachable {
+        /// The rank that could not be reached.
+        rank: usize,
+        /// Total transmission attempts made (original send + retries).
+        attempts: u32,
+    },
+    /// A rank stopped responding mid-computation. Carries everything a
+    /// recovery layer needs to decide what to do next.
+    RankFailed {
+        /// The rank whose node is unreachable.
+        rank: usize,
+        /// The cycle that rank had reached when it went silent.
+        cycle: u64,
+        /// The last globally consistent checkpoint cycle, if any rank
+        /// state was being checkpointed (`None` = restart from scratch).
+        checkpoint: Option<u64>,
+        /// Transmission attempts made before declaring it dead.
+        attempts: u32,
+    },
     /// The simulation went quiescent with ranks still blocked — a script
     /// bug (e.g. a `Recv` with no matching `Send`).
     Deadlock {
@@ -79,6 +103,25 @@ impl std::fmt::Display for NetpartError {
                     "message from rank {from} to rank {to} was lost permanently"
                 )
             }
+            NetpartError::PeerUnreachable { rank, attempts } => {
+                write!(f, "rank {rank} is unreachable after {attempts} attempts")
+            }
+            NetpartError::RankFailed {
+                rank,
+                cycle,
+                checkpoint,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} failed at cycle {cycle} ({attempts} attempts; \
+                     last consistent checkpoint: "
+                )?;
+                match checkpoint {
+                    Some(c) => write!(f, "cycle {c})"),
+                    None => write!(f, "none)"),
+                }
+            }
             NetpartError::Deadlock { blocked } => {
                 write!(f, "deadlock; blocked ranks: {blocked:?}")
             }
@@ -125,6 +168,31 @@ mod tests {
             (
                 NetpartError::MessageLost { from: 1, to: 2 },
                 "rank 1 to rank 2",
+            ),
+            (
+                NetpartError::PeerUnreachable {
+                    rank: 3,
+                    attempts: 11,
+                },
+                "rank 3 is unreachable after 11 attempts",
+            ),
+            (
+                NetpartError::RankFailed {
+                    rank: 2,
+                    cycle: 17,
+                    checkpoint: Some(15),
+                    attempts: 11,
+                },
+                "rank 2 failed at cycle 17",
+            ),
+            (
+                NetpartError::RankFailed {
+                    rank: 1,
+                    cycle: 0,
+                    checkpoint: None,
+                    attempts: 4,
+                },
+                "last consistent checkpoint: none",
             ),
             (
                 NetpartError::Deadlock {

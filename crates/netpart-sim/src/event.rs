@@ -87,6 +87,10 @@ pub enum DropReason {
     ChannelLoss,
     /// The router's store-and-forward buffer was full.
     RouterOverflow,
+    /// The sending or receiving node had crashed (fault injection).
+    NodeDown,
+    /// The router was inside a scheduled outage window (fault injection).
+    RouterDown,
 }
 
 /// Internal scheduler work items. These drive the frame pipeline and are
@@ -111,6 +115,23 @@ pub(crate) enum Work {
     Timer { id: TimerId, owner: u64, token: u64 },
     /// A background cross-traffic flow fires its next datagram.
     BackgroundSend { flow: usize },
+    /// A scheduled fault from a [`FaultPlan`](crate::fault::FaultPlan)
+    /// takes effect.
+    Fault { action: FaultAction },
+}
+
+/// The state change a matured fault applies. Windowed faults (outages,
+/// bursts) carry their end time so overlapping windows merge via `max`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FaultAction {
+    /// Permanent fail-stop of a node.
+    Crash(NodeId),
+    /// Compute-slowdown multiplier for a node from now on.
+    Slow(NodeId, f64),
+    /// Router drops frames until the given time.
+    RouterDown(RouterId, SimTime),
+    /// Segment loss probability override until the given time.
+    Burst(SegmentId, f64, SimTime),
 }
 
 struct Entry {

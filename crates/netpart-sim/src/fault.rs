@@ -1,0 +1,182 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a schedule of fault events — node crashes, node
+//! slowdowns, router outage windows, segment loss bursts — that a test or
+//! experiment installs into a [`Network`](crate::network::Network) before
+//! (or during) a run. Faults ride the same time-ordered event queue as
+//! every other work item, so a given `(network description, seed, plan)`
+//! triple always produces the same trajectory, failure times included.
+//! Installing an **empty** plan pushes nothing into the queue and perturbs
+//! neither the RNG nor the event sequence numbering, so a run with an empty
+//! plan is byte-identical to a run with no plan at all (the determinism
+//! guard in the workspace test suite asserts exactly this).
+//!
+//! # Semantics
+//!
+//! * **Crash** — from the crash instant the node is gone: datagrams it
+//!   would send are silently swallowed (a dead host's protocol stack dies
+//!   with it), frames addressed to it are dropped with
+//!   [`DropReason::NodeDown`](crate::event::DropReason::NodeDown), and
+//!   compute blocks running on it never complete. Crashes are permanent.
+//! * **Slowdown** — compute blocks *started* at or after time `at` stretch
+//!   by `factor` (on top of the external-load stretch). Models a machine
+//!   that degrades without dying.
+//! * **Router outage** — frames reaching the router inside the window are
+//!   dropped with [`DropReason::RouterDown`](crate::event::DropReason::RouterDown).
+//!   Overlapping windows merge.
+//! * **Loss burst** — inside the window the segment's channel-loss
+//!   probability is replaced by `loss`; outside it reverts to the spec
+//!   value. The burst draws from the same seeded RNG stream as ordinary
+//!   channel loss.
+//!
+//! # No cheating
+//!
+//! The query APIs ([`Network::node_crashed`](crate::network::Network::node_crashed)
+//! and friends) exist for tests and for the simulation substrate itself
+//! (e.g. the MMPS layer suppressing a dead host's retransmission timers).
+//! Recovery layers above the message service must *not* consult them:
+//! detection is only legitimate through observable message behaviour —
+//! retransmission budgets expiring, probes going unanswered.
+
+use crate::ids::{NodeId, RouterId, SegmentId};
+use crate::time::SimTime;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Node `node` fail-stops at time `at` (permanent).
+    NodeCrash {
+        /// Crash instant.
+        at: SimTime,
+        /// The victim.
+        node: NodeId,
+    },
+    /// From time `at`, compute blocks started on `node` stretch by
+    /// `factor` (≥ 1.0; values below 1 are clamped to 1).
+    NodeSlowdown {
+        /// Onset instant.
+        at: SimTime,
+        /// The affected node.
+        node: NodeId,
+        /// Seconds-per-op multiplier.
+        factor: f64,
+    },
+    /// Router `router` drops every frame it is handed in `[from, until)`.
+    RouterOutage {
+        /// The affected router.
+        router: RouterId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Segment `segment`'s channel-loss probability becomes `loss` in
+    /// `[from, until)`.
+    LossBurst {
+        /// The affected segment.
+        segment: SegmentId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Loss probability inside the window (clamped to `[0, 0.999]`).
+        loss: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The instant the fault takes effect (window start for windowed
+    /// faults).
+    pub fn at(&self) -> SimTime {
+        match self {
+            FaultEvent::NodeCrash { at, .. } | FaultEvent::NodeSlowdown { at, .. } => *at,
+            FaultEvent::RouterOutage { from, .. } | FaultEvent::LossBurst { from, .. } => *from,
+        }
+    }
+}
+
+/// A deterministic schedule of fault events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled events, in the order they were added (the event queue
+    /// orders them by time at install).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; byte-identical to no plan).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule a permanent fail-stop crash of `node` at `at`.
+    pub fn crash(mut self, at: SimTime, node: NodeId) -> FaultPlan {
+        self.events.push(FaultEvent::NodeCrash { at, node });
+        self
+    }
+
+    /// Schedule a compute slowdown of `node` by `factor` from `at`.
+    pub fn slow(mut self, at: SimTime, node: NodeId, factor: f64) -> FaultPlan {
+        self.events
+            .push(FaultEvent::NodeSlowdown { at, node, factor });
+        self
+    }
+
+    /// Schedule a router outage window.
+    pub fn router_outage(mut self, router: RouterId, from: SimTime, until: SimTime) -> FaultPlan {
+        self.events.push(FaultEvent::RouterOutage {
+            router,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Schedule a segment loss burst.
+    pub fn loss_burst(
+        mut self,
+        segment: SegmentId,
+        from: SimTime,
+        until: SimTime,
+        loss: f64,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent::LossBurst {
+            segment,
+            from,
+            until,
+            loss,
+        });
+        self
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDur;
+
+    #[test]
+    fn builder_accumulates_events_in_order() {
+        let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+        let plan = FaultPlan::new()
+            .crash(t(5), NodeId(3))
+            .slow(t(1), NodeId(2), 4.0)
+            .router_outage(RouterId(0), t(2), t(9))
+            .loss_burst(SegmentId(1), t(3), t(4), 0.5);
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events[0].at(), t(5));
+        assert_eq!(plan.events[2].at(), t(2));
+        assert!(FaultPlan::new().is_empty());
+    }
+}

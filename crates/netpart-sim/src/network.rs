@@ -30,8 +30,9 @@ use bytes::Bytes;
 
 use crate::datagram::{Datagram, MAX_DATAGRAM_PAYLOAD};
 use crate::error::SimError;
-use crate::event::{DropReason, EventQueue, SimEvent, Work};
+use crate::event::{DropReason, EventQueue, FaultAction, SimEvent, Work};
 use crate::fasthash::FastSet;
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::ids::{DgramId, NodeId, ProcTypeId, RouterId, SegmentId, TimerId};
 use crate::node::{Node, OpClass, ProcType};
 use crate::router::{Router, RouterSpec, RouterStats};
@@ -249,6 +250,73 @@ impl Network {
         self.segments[segment.index()].spec.loss_probability = p.clamp(0.0, 0.999);
     }
 
+    // ---- fault injection -------------------------------------------------
+
+    /// Install a [`FaultPlan`]: every scheduled fault joins the event queue
+    /// at its onset time. Installing an empty plan pushes nothing and is
+    /// byte-identical to never calling this. Events whose onset is in the
+    /// past take effect at the current instant; events referencing unknown
+    /// nodes/routers/segments are ignored (chaos schedules may be generated
+    /// against a larger topology).
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in &plan.events {
+            let action = match *ev {
+                FaultEvent::NodeCrash { node, .. } => {
+                    if node.index() >= self.nodes.len() {
+                        continue;
+                    }
+                    FaultAction::Crash(node)
+                }
+                FaultEvent::NodeSlowdown { node, factor, .. } => {
+                    if node.index() >= self.nodes.len() {
+                        continue;
+                    }
+                    FaultAction::Slow(node, factor.max(1.0))
+                }
+                FaultEvent::RouterOutage { router, until, .. } => {
+                    if router.index() >= self.routers.len() {
+                        continue;
+                    }
+                    FaultAction::RouterDown(router, until)
+                }
+                FaultEvent::LossBurst {
+                    segment,
+                    until,
+                    loss,
+                    ..
+                } => {
+                    if segment.index() >= self.segments.len() {
+                        continue;
+                    }
+                    FaultAction::Burst(segment, loss.clamp(0.0, 0.999), until)
+                }
+            };
+            self.queue
+                .push(ev.at().max(self.now), Work::Fault { action });
+        }
+    }
+
+    /// Whether a scheduled fault has fail-stopped this node.
+    ///
+    /// **Substrate-only**: tests and the MMPS layer may consult this (a
+    /// dead host's protocol stack dies with it); recovery layers must
+    /// detect failure through message behaviour alone.
+    pub fn node_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].crashed
+    }
+
+    /// Whether the router is inside an injected outage window right now.
+    /// Substrate-only, like [`node_crashed`](Network::node_crashed).
+    pub fn router_down(&self, router: RouterId) -> bool {
+        self.now < self.routers[router.index()].down_until
+    }
+
+    /// The channel-loss probability currently in effect on `segment`
+    /// (the spec value, or a loss-burst override). Substrate-only.
+    pub fn segment_loss_now(&self, segment: SegmentId) -> f64 {
+        self.segments[segment.index()].effective_loss(self.now)
+    }
+
     /// Utilization statistics for a segment.
     pub fn segment_stats(&self, segment: SegmentId) -> SegmentStats {
         self.segments[segment.index()].stats(self.now)
@@ -343,6 +411,14 @@ impl Network {
 
         let id = DgramId(self.next_dgram);
         self.next_dgram += 1;
+
+        // A crashed host's protocol stack is dead: the send is silently
+        // swallowed (no frame, no error — fail-stop gives no feedback).
+        if self.nodes[src.index()].crashed {
+            self.dropped += 1;
+            return Ok(id);
+        }
+
         let dgram = Datagram {
             id,
             src,
@@ -454,6 +530,18 @@ impl Network {
     fn process(&mut self, work: Work) -> Option<SimEvent> {
         match work {
             Work::FrameReady { dgram } => {
+                // The host crashed after queueing but before the NIC got
+                // the frame: the frame dies in the dead host's buffers.
+                if self.nodes[dgram.src.index()].crashed {
+                    self.dropped += 1;
+                    return Some(SimEvent::DatagramDropped {
+                        at: self.now,
+                        id: dgram.id,
+                        src: dgram.src,
+                        dst: dgram.dst,
+                        reason: DropReason::NodeDown,
+                    });
+                }
                 let seg = self.nodes[dgram.src.index()].segment;
                 self.enqueue_frame(seg, dgram);
                 None
@@ -468,17 +556,38 @@ impl Network {
                 None
             }
             Work::Deliver { dgram } => {
+                // Receiver crashed between final-hop arrival and the end of
+                // its host processing: the delivery never happens.
+                if self.nodes[dgram.dst.index()].crashed {
+                    self.dropped += 1;
+                    return Some(SimEvent::DatagramDropped {
+                        at: self.now,
+                        id: dgram.id,
+                        src: dgram.src,
+                        dst: dgram.dst,
+                        reason: DropReason::NodeDown,
+                    });
+                }
                 self.delivered += 1;
                 Some(SimEvent::DatagramDelivered {
                     at: self.now,
                     dgram,
                 })
             }
-            Work::ComputeDone { node, token } => Some(SimEvent::ComputeDone {
-                at: self.now,
-                node,
-                token,
-            }),
+            Work::ComputeDone { node, token } => {
+                // A crashed node's in-progress compute block never
+                // completes — the event is swallowed, so the rank above
+                // simply stops making progress (detectable only through
+                // its silence on the network).
+                if self.nodes[node.index()].crashed {
+                    return None;
+                }
+                Some(SimEvent::ComputeDone {
+                    at: self.now,
+                    node,
+                    token,
+                })
+            }
             Work::Timer { id, owner, token } => {
                 if self.cancelled_timers.remove(&id) {
                     None
@@ -497,11 +606,39 @@ impl Network {
                     return None;
                 }
                 let (src, dst, bytes, period) = (f.src, f.dst, f.bytes, f.period);
+                // A crashed source kills its flow.
+                if self.nodes[src.index()].crashed {
+                    return None;
+                }
                 // Best effort: background traffic never fails the run.
                 let _ = self.send_datagram_sized(src, dst, 0, Bytes::new(), bytes);
                 self.queue
                     .push(self.now + period, Work::BackgroundSend { flow });
                 None
+            }
+            Work::Fault { action } => {
+                self.apply_fault(action);
+                None
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Crash(node) => {
+                self.nodes[node.index()].crashed = true;
+            }
+            FaultAction::Slow(node, factor) => {
+                self.nodes[node.index()].fault_slowdown = factor;
+            }
+            FaultAction::RouterDown(router, until) => {
+                let r = &mut self.routers[router.index()];
+                r.down_until = r.down_until.max(until);
+            }
+            FaultAction::Burst(segment, loss, until) => {
+                let s = &mut self.segments[segment.index()];
+                s.burst_loss = loss;
+                s.burst_until = s.burst_until.max(until);
             }
         }
     }
@@ -544,8 +681,11 @@ impl Network {
         // regardless of what happens to this frame.
         self.start_next_tx(segment);
 
-        // Channel loss?
-        let loss_p = self.segments[segment.index()].spec.loss_probability;
+        // Channel loss? (A loss burst overrides the spec probability but
+        // draws from the same seeded RNG stream — and, like the spec path,
+        // draws nothing when the effective probability is zero, so an
+        // empty fault plan leaves the stream untouched.)
+        let loss_p = self.segments[segment.index()].effective_loss(self.now);
         if loss_p > 0.0 && self.rng.random::<f64>() < loss_p {
             self.dropped += 1;
             return Some(SimEvent::DatagramDropped {
@@ -559,6 +699,17 @@ impl Network {
 
         let dst_seg = self.nodes[dgram.dst.index()].segment;
         if dst_seg == segment {
+            // A crashed receiver's interface hears nothing.
+            if self.nodes[dgram.dst.index()].crashed {
+                self.dropped += 1;
+                return Some(SimEvent::DatagramDropped {
+                    at: self.now,
+                    id: dgram.id,
+                    src: dgram.src,
+                    dst: dgram.dst,
+                    reason: DropReason::NodeDown,
+                });
+            }
             // Final hop: receiver host processing, then delivery.
             let pt = &self.proc_types[self.nodes[dgram.dst.index()].proc_type.index()];
             let host = pt.recv_overhead
@@ -574,6 +725,17 @@ impl Network {
                 .find_router(segment, dst_seg)
                 .expect("route validated at send time");
             let r = &mut self.routers[router.index()];
+            if self.now < r.down_until {
+                r.frames_dropped += 1;
+                self.dropped += 1;
+                return Some(SimEvent::DatagramDropped {
+                    at: self.now,
+                    id: dgram.id,
+                    src: dgram.src,
+                    dst: dgram.dst,
+                    reason: DropReason::RouterDown,
+                });
+            }
             if r.in_flight >= r.spec.buffer_frames {
                 r.frames_dropped += 1;
                 self.dropped += 1;

@@ -153,6 +153,10 @@ pub struct Node {
     /// When the node's protocol stack frees up (host network processing is
     /// serialized per node, independent of compute — interrupt-level work).
     pub(crate) net_free_at: SimTime,
+    /// Whether a scheduled fault has fail-stopped this node (permanent).
+    pub(crate) crashed: bool,
+    /// Compute-slowdown multiplier from an injected fault (1.0 = healthy).
+    pub(crate) fault_slowdown: f64,
 }
 
 impl Node {
@@ -162,14 +166,17 @@ impl Node {
             segment,
             external_load: 0.0,
             net_free_at: SimTime::ZERO,
+            crashed: false,
+            fault_slowdown: 1.0,
         }
     }
 
-    /// Multiplier applied to compute durations from external load.
+    /// Multiplier applied to compute durations from external load (and any
+    /// injected slowdown fault).
     #[inline]
     pub fn slowdown(&self) -> f64 {
         let l = self.external_load.clamp(0.0, 0.99);
-        1.0 / (1.0 - l)
+        self.fault_slowdown.max(1.0) / (1.0 - l)
     }
 }
 

@@ -66,6 +66,9 @@ pub(crate) struct Router {
     pub(crate) frames_forwarded: u64,
     /// Frames dropped due to buffer overflow.
     pub(crate) frames_dropped: u64,
+    /// Injected outage: frames arriving before this instant are dropped.
+    /// Overlapping outage windows merge via `max`.
+    pub(crate) down_until: SimTime,
 }
 
 impl Router {
@@ -76,6 +79,7 @@ impl Router {
             in_flight: 0,
             frames_forwarded: 0,
             frames_dropped: 0,
+            down_until: SimTime::ZERO,
         }
     }
 }

@@ -79,6 +79,12 @@ pub(crate) struct Segment {
     pub(crate) frames_sent: u64,
     /// Payload+overhead bytes transmitted.
     pub(crate) bytes_sent: u64,
+    /// Injected loss burst: overrides `spec.loss_probability` until
+    /// `burst_until`. Overlapping bursts merge via `max` of the end time
+    /// (the later burst's probability wins from its start).
+    pub(crate) burst_loss: f64,
+    /// End of the current loss-burst window (exclusive).
+    pub(crate) burst_until: SimTime,
 }
 
 impl Segment {
@@ -92,6 +98,19 @@ impl Segment {
             busy_time: SimDur::ZERO,
             frames_sent: 0,
             bytes_sent: 0,
+            burst_loss: 0.0,
+            burst_until: SimTime::ZERO,
+        }
+    }
+
+    /// The channel-loss probability in effect at `now`: the spec value,
+    /// unless an injected loss burst is active.
+    #[inline]
+    pub(crate) fn effective_loss(&self, now: SimTime) -> f64 {
+        if now < self.burst_until {
+            self.burst_loss
+        } else {
+            self.spec.loss_probability
         }
     }
 

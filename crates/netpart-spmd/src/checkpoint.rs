@@ -1,0 +1,234 @@
+//! Cycle-boundary checkpointing for crash recovery.
+//!
+//! The cycle engine's [`Probe`] seam already observes every cycle
+//! completion; this module adds the state capture on top of it. An
+//! application that implements [`SpmdApp::checkpoint`](crate::SpmdApp::checkpoint)
+//! serializes each rank's durable state (the blob format is the app's
+//! own), and a [`CheckpointStore`] attached as the run's probe records
+//! those blobs per rank, per cycle.
+//!
+//! # Consistency
+//!
+//! Ranks drift — rank 3 can complete cycle 12 while rank 0 is still in
+//! cycle 10 — so a single recorded cycle is not automatically a global
+//! snapshot. The store's *consistent frontier* is the largest cycle `C`
+//! for which **every** rank has recorded a blob: because all ranks record
+//! at the same cycle schedule, each rank's recorded set is a prefix of
+//! that schedule and the frontier is simply the minimum over ranks of the
+//! last cycle recorded. Resuming from the frontier re-executes at most
+//! the drift window.
+//!
+//! Checkpoints live in host memory beside the simulation ("stable
+//! storage" in the modeled world): a crashed rank's already-recorded
+//! blobs remain usable, which is what lets recovery resume a computation
+//! whose master rank died.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use netpart_sim::SimTime;
+
+use crate::engine::{Phase, Probe};
+use crate::task::Rank;
+
+/// A globally consistent snapshot: one serialized blob per rank, all
+/// recorded at the completion of the same cycle.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The cycle (in *global* terms — offsets from resumed segments are
+    /// already folded in) whose completion this snapshot captures.
+    pub cycle: u64,
+    /// Per-rank serialized state, indexed by the rank layout of the run
+    /// that recorded it. Resume constructors reassemble global state from
+    /// the blobs, so a later run may use a different rank count.
+    pub ranks: Vec<Bytes>,
+}
+
+/// A [`Probe`] that records per-rank checkpoints every `every` cycles and
+/// tracks the consistent frontier.
+///
+/// `base` is the global-cycle offset of the engine run this store is
+/// attached to: a resumed run whose engine-local cycle 0 is really global
+/// cycle `base` records checkpoints under their global numbers, so traces
+/// and recovery statistics stay in one coordinate system across replans.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    every: u64,
+    base: u64,
+    per_rank: Vec<BTreeMap<u64, Bytes>>,
+    /// Highest global cycle any rank has completed (`None` until one has).
+    max_cycle_seen: Option<u64>,
+}
+
+impl CheckpointStore {
+    /// A store for `ranks` ranks, checkpointing every `every` cycles
+    /// (clamped to ≥ 1), with engine-local cycle 0 at global cycle `base`.
+    pub fn new(ranks: usize, every: u64, base: u64) -> CheckpointStore {
+        CheckpointStore {
+            every: every.max(1),
+            base,
+            per_rank: vec![BTreeMap::new(); ranks],
+            max_cycle_seen: None,
+        }
+    }
+
+    /// The largest global cycle every rank has a blob for, if any.
+    pub fn frontier(&self) -> Option<u64> {
+        self.per_rank
+            .iter()
+            .map(|m| m.last_key_value().map(|(&c, _)| c))
+            .min()
+            .flatten()
+    }
+
+    /// Assemble the consistent snapshot at global `cycle` (normally the
+    /// [`frontier`](CheckpointStore::frontier)). `None` if any rank lacks
+    /// a blob for that cycle.
+    pub fn take(&self, cycle: u64) -> Option<Checkpoint> {
+        let ranks: Vec<Bytes> = self
+            .per_rank
+            .iter()
+            .map(|m| m.get(&cycle).cloned())
+            .collect::<Option<_>>()?;
+        Some(Checkpoint { cycle, ranks })
+    }
+
+    /// Highest global cycle any rank has completed in this run.
+    pub fn max_cycle_seen(&self) -> Option<u64> {
+        self.max_cycle_seen
+    }
+
+    /// The global-cycle offset of the attached engine run.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+impl Probe for CheckpointStore {
+    fn on_cycle(&mut self, _rank: Rank, cycle: u64, _at: SimTime) {
+        let global = self.base + cycle;
+        self.max_cycle_seen = Some(self.max_cycle_seen.map_or(global, |m| m.max(global)));
+    }
+
+    fn wants_checkpoint(&self, _rank: Rank, cycle: u64) -> bool {
+        (self.base + cycle + 1).is_multiple_of(self.every)
+    }
+
+    fn on_checkpoint(&mut self, rank: Rank, cycle: u64, blob: Bytes) {
+        self.per_rank[rank].insert(self.base + cycle, blob);
+    }
+
+    fn tracks_checkpoints(&self) -> bool {
+        true
+    }
+
+    fn last_consistent(&self) -> Option<u64> {
+        self.frontier()
+    }
+}
+
+/// Composition of two probes: every observation goes to both. Built for
+/// the recovery pipeline, which wants its phase-totals instrumentation
+/// *and* a [`CheckpointStore`] on the same run.
+#[derive(Debug)]
+pub struct Tee<'p, A: Probe, B: Probe> {
+    /// First observer.
+    pub a: &'p mut A,
+    /// Second observer (checkpoint queries prefer this one).
+    pub b: &'p mut B,
+}
+
+impl<'p, A: Probe, B: Probe> Tee<'p, A, B> {
+    /// Tee observations into `a` and `b`.
+    pub fn new(a: &'p mut A, b: &'p mut B) -> Tee<'p, A, B> {
+        Tee { a, b }
+    }
+}
+
+impl<A: Probe, B: Probe> Probe for Tee<'_, A, B> {
+    fn on_phase(&mut self, rank: Rank, cycle: u64, phase: Phase, started: SimTime, ended: SimTime) {
+        self.a.on_phase(rank, cycle, phase, started, ended);
+        self.b.on_phase(rank, cycle, phase, started, ended);
+    }
+
+    fn on_cycle(&mut self, rank: Rank, cycle: u64, at: SimTime) {
+        self.a.on_cycle(rank, cycle, at);
+        self.b.on_cycle(rank, cycle, at);
+    }
+
+    fn on_message(&mut self, from: Rank, to: Rank, cycle: u64, bytes: usize, at: SimTime) {
+        self.a.on_message(from, to, cycle, bytes, at);
+        self.b.on_message(from, to, cycle, bytes, at);
+    }
+
+    fn wants_checkpoint(&self, rank: Rank, cycle: u64) -> bool {
+        self.a.wants_checkpoint(rank, cycle) || self.b.wants_checkpoint(rank, cycle)
+    }
+
+    fn on_checkpoint(&mut self, rank: Rank, cycle: u64, blob: Bytes) {
+        self.a.on_checkpoint(rank, cycle, blob.clone());
+        self.b.on_checkpoint(rank, cycle, blob);
+    }
+
+    fn tracks_checkpoints(&self) -> bool {
+        self.a.tracks_checkpoints() || self.b.tracks_checkpoints()
+    }
+
+    fn last_consistent(&self) -> Option<u64> {
+        self.b
+            .last_consistent()
+            .or_else(|| self.a.last_consistent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(x: u8) -> Bytes {
+        Bytes::from(vec![x])
+    }
+
+    #[test]
+    fn frontier_is_min_over_ranks_of_last_recorded() {
+        let mut s = CheckpointStore::new(3, 1, 0);
+        assert_eq!(s.frontier(), None);
+        for c in 0..5u64 {
+            s.on_checkpoint(0, c, blob(0));
+        }
+        for c in 0..3u64 {
+            s.on_checkpoint(1, c, blob(1));
+        }
+        assert_eq!(s.frontier(), None, "rank 2 has recorded nothing");
+        for c in 0..4u64 {
+            s.on_checkpoint(2, c, blob(2));
+        }
+        assert_eq!(s.frontier(), Some(2), "rank 1 stops at cycle 2");
+        let ckpt = s.take(2).unwrap();
+        assert_eq!(ckpt.cycle, 2);
+        assert_eq!(ckpt.ranks.len(), 3);
+        assert!(s.take(4).is_none(), "cycle 4 is not consistent");
+    }
+
+    #[test]
+    fn interval_and_base_offset_apply() {
+        let s = CheckpointStore::new(1, 3, 0);
+        // Global cycles 2, 5, 8, ... are checkpoint cycles ((c+1) % 3 == 0).
+        assert!(!s.wants_checkpoint(0, 0));
+        assert!(s.wants_checkpoint(0, 2));
+        assert!(!s.wants_checkpoint(0, 3));
+        assert!(s.wants_checkpoint(0, 5));
+
+        // A resumed segment starting at global cycle 4: local cycle 1 is
+        // global 5 — still a checkpoint cycle.
+        let mut r = CheckpointStore::new(1, 3, 4);
+        assert!(r.wants_checkpoint(0, 1));
+        assert!(!r.wants_checkpoint(0, 2));
+        r.on_checkpoint(0, 1, blob(9));
+        assert_eq!(s.base(), 0);
+        assert_eq!(r.frontier(), Some(5), "recorded under its global number");
+        r.on_cycle(0, 2, SimTime::ZERO);
+        assert_eq!(r.max_cycle_seen(), Some(6));
+    }
+}

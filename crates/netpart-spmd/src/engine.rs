@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use netpart_mmps::{tag_of, untag, Mmps, MmpsEvent};
+use netpart_mmps::{epoch_of, strip_epoch, tag_of, untag, with_epoch, Mmps, MmpsEvent, PING_TAG};
 use netpart_model::{NetpartError, PartitionVector};
 use netpart_sim::{NodeId, SimDur, SimTime};
 
@@ -61,6 +61,38 @@ pub trait Probe {
     #[inline]
     fn on_message(&mut self, from: Rank, to: Rank, cycle: u64, bytes: usize, at: SimTime) {
         let _ = (from, to, cycle, bytes, at);
+    }
+
+    /// Should the engine capture `rank`'s state at the completion of
+    /// `cycle`? The default `false` means `SpmdApp::checkpoint` is never
+    /// called, so un-instrumented runs do no serialization work at all.
+    #[inline]
+    fn wants_checkpoint(&self, rank: Rank, cycle: u64) -> bool {
+        let _ = (rank, cycle);
+        false
+    }
+
+    /// `rank`'s serialized state at the completion of `cycle` (only fires
+    /// when [`wants_checkpoint`](Probe::wants_checkpoint) returned true
+    /// and the app produced a blob).
+    #[inline]
+    fn on_checkpoint(&mut self, rank: Rank, cycle: u64, blob: Bytes) {
+        let _ = (rank, cycle, blob);
+    }
+
+    /// Whether this probe records checkpoints at all. When true, a rank
+    /// failure surfaces as [`NetpartError::RankFailed`] (carrying
+    /// [`last_consistent`](Probe::last_consistent)); when false, as the
+    /// plain [`NetpartError::PeerUnreachable`].
+    #[inline]
+    fn tracks_checkpoints(&self) -> bool {
+        false
+    }
+
+    /// The last globally consistent checkpoint cycle, if tracking.
+    #[inline]
+    fn last_consistent(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -115,13 +147,15 @@ pub struct CycleEngine<'a, A: SpmdApp, P: Probe> {
     done: usize,
     num_cycles: u64,
     node_to_rank: HashMap<NodeId, Rank>,
+    epoch: u16,
 }
 
 impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
     /// Run `app` to completion over `nodes` with the given partition
     /// vector, reporting observations to `probe`. `distribute` enables
     /// the startup data distribution from rank 0 (measured separately,
-    /// excluded from `elapsed` as in the paper).
+    /// excluded from `elapsed` as in the paper). Runs in epoch 0, the
+    /// standalone-run default.
     pub fn run(
         mmps: &'a mut Mmps,
         nodes: &'a [NodeId],
@@ -129,6 +163,25 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
         vector: &PartitionVector,
         distribute: bool,
         probe: &'a mut P,
+    ) -> Result<SpmdReport, NetpartError> {
+        Self::run_in_epoch(mmps, nodes, app, vector, distribute, probe, 0)
+    }
+
+    /// Like [`run`](CycleEngine::run), but stamping every message tag and
+    /// compute token with `epoch`, and *ignoring* events stamped with any
+    /// other epoch. Recovery pipelines use this to run consecutive
+    /// computations on one continuous network timeline: traffic from an
+    /// abandoned (crashed) run still in flight when the next run starts is
+    /// discarded by value instead of corrupting mailboxes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_in_epoch(
+        mmps: &'a mut Mmps,
+        nodes: &'a [NodeId],
+        app: &'a mut A,
+        vector: &PartitionVector,
+        distribute: bool,
+        probe: &'a mut P,
+        epoch: u16,
     ) -> Result<SpmdReport, NetpartError> {
         if vector.num_ranks() != nodes.len() {
             return Err(NetpartError::RankMismatch {
@@ -176,6 +229,7 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
             done: 0,
             num_cycles,
             node_to_rank,
+            epoch,
         };
 
         // Startup distribution: rank 0's node ships every other rank its
@@ -191,7 +245,12 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                 }
                 engine
                     .mmps
-                    .send_message_dummy(master, engine.nodes[rank], tag_of(0, 0, 0), bytes as u32)
+                    .send_message_dummy(
+                        master,
+                        engine.nodes[rank],
+                        with_epoch(epoch, tag_of(0, 0, 0)),
+                        bytes as u32,
+                    )
                     .map_err(|e| NetpartError::Network(e.to_string()))?;
             }
         }
@@ -211,9 +270,47 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
             }
         }
 
-        // Event loop.
+        // Event loop. A quiescent network with unfinished ranks is either
+        // a logical deadlock or a fail-stop peer whose silence looks like
+        // one (its own sends are swallowed with its stack, and once the
+        // live side's in-flight traffic drains nothing is left to fail).
+        // One round of liveness pings tells them apart: blocked ranks ping
+        // the peers they wait on; a ping the message layer gives up on
+        // surfaces as `MessageFailed` naming the dead node, while pings
+        // that all deliver change nothing and the second quiescence is a
+        // genuine deadlock. Fault-free runs never quiesce early, so this
+        // path costs them nothing.
+        let mut pinged = false;
         while engine.done < n {
             let Some(evt) = engine.mmps.next_event() else {
+                if !pinged {
+                    pinged = true;
+                    if engine.send_liveness_pings()? > 0 {
+                        continue;
+                    }
+                }
+                // A `ComputeDone` can only vanish from the timeline with
+                // its host's fail-stop (the processor model always
+                // completes work on a live node), so a rank still waiting
+                // on one at quiescence *is* the failure — even when no
+                // other rank depends on it and no ping could name it.
+                if let Some(rank) = engine
+                    .states
+                    .iter()
+                    .position(|s| s.waiting == Waiting::Compute)
+                {
+                    let cycle = engine.states[rank].cycle;
+                    return Err(if engine.probe.tracks_checkpoints() {
+                        NetpartError::RankFailed {
+                            rank,
+                            cycle,
+                            checkpoint: engine.probe.last_consistent(),
+                            attempts: 0,
+                        }
+                    } else {
+                        NetpartError::PeerUnreachable { rank, attempts: 0 }
+                    });
+                }
                 let blocked = engine
                     .states
                     .iter()
@@ -239,11 +336,23 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                     payload,
                     ..
                 } => {
-                    let rank = *engine
-                        .node_to_rank
-                        .get(&dst)
-                        .expect("delivery to a node outside the computation");
-                    let (cyc1, from, seq) = untag(tag);
+                    // Stale traffic from an abandoned epoch (or another
+                    // protocol sharing the network, e.g. a straggling
+                    // availability reply) is discarded, not fatal.
+                    if epoch_of(tag) != engine.epoch {
+                        continue;
+                    }
+                    if strip_epoch(tag) & PING_TAG != 0 {
+                        // A delivered liveness ping proves the peer's stack
+                        // is up; it carries no task data.
+                        continue;
+                    }
+                    let Some(&rank) = engine.node_to_rank.get(&dst) else {
+                        // Delivery to a node outside this computation —
+                        // a previous run's placement included it.
+                        continue;
+                    };
+                    let (cyc1, from, seq) = untag(strip_epoch(tag));
                     if cyc1 == 0 {
                         // Startup distribution block arrived.
                         engine.states[rank].started = true;
@@ -264,7 +373,12 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                     }
                 }
                 MmpsEvent::ComputeDone { at, node, token } => {
-                    let rank = token as usize;
+                    // Token layout: epoch << 32 | rank. A completion from
+                    // a previous epoch's run on a reused node is stale.
+                    if token >> 32 != engine.epoch as u64 {
+                        continue;
+                    }
+                    let rank = (token & 0xFFFF_FFFF) as usize;
                     debug_assert_eq!(engine.nodes[rank], node);
                     debug_assert_eq!(engine.states[rank].waiting, Waiting::Compute);
                     engine.states[rank].waiting = Waiting::Ready;
@@ -277,10 +391,44 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                     engine.states[rank].phase_active = false;
                     engine.advance(rank)?;
                 }
-                MmpsEvent::MessageFailed { src, dst, .. } => {
-                    let from = engine.node_to_rank.get(&src).copied().unwrap_or(usize::MAX);
-                    let to = engine.node_to_rank.get(&dst).copied().unwrap_or(usize::MAX);
-                    return Err(NetpartError::MessageLost { from, to });
+                MmpsEvent::MessageFailed {
+                    src,
+                    dst,
+                    tag,
+                    attempts,
+                    ..
+                } => {
+                    // A doomed retransmission tail from an abandoned epoch
+                    // may still expire during this run; it is not *our*
+                    // failure.
+                    if epoch_of(tag) != engine.epoch {
+                        continue;
+                    }
+                    // Failures only fire at live senders (a crashed node's
+                    // retransmissions die silently with its stack), so the
+                    // *destination* names the unreachable suspect.
+                    match engine.node_to_rank.get(&dst).copied() {
+                        Some(to) => {
+                            let cycle = engine.states[to].cycle;
+                            return Err(if engine.probe.tracks_checkpoints() {
+                                NetpartError::RankFailed {
+                                    rank: to,
+                                    cycle,
+                                    checkpoint: engine.probe.last_consistent(),
+                                    attempts,
+                                }
+                            } else {
+                                NetpartError::PeerUnreachable { rank: to, attempts }
+                            });
+                        }
+                        None => {
+                            let from = engine.node_to_rank.get(&src).copied().unwrap_or(usize::MAX);
+                            return Err(NetpartError::MessageLost {
+                                from,
+                                to: usize::MAX,
+                            });
+                        }
+                    }
                 }
                 MmpsEvent::MessageAcked { .. } | MmpsEvent::TimerFired { .. } => {}
             }
@@ -308,6 +456,45 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
             wait_time: engine.msg_wait.clone(),
             mmps: stats,
         })
+    }
+
+    /// One round of failure detection at quiescence: every blocked rank
+    /// pings the peers whose messages it is still waiting on (a rank that
+    /// never received its startup block pings the distributing master).
+    /// Pings from a crashed rank vanish with its stack — harmless — so a
+    /// dead node is always probed *by* a live one as long as any live rank
+    /// depends on it. Returns the number of pings sent.
+    fn send_liveness_pings(&mut self) -> Result<usize, NetpartError> {
+        let mut targets: Vec<(Rank, Rank)> = Vec::new();
+        for (rank, s) in self.states.iter().enumerate() {
+            if !s.started {
+                if rank != 0 {
+                    targets.push((rank, 0)); // waiting on the master's block
+                }
+                continue;
+            }
+            if s.waiting != Waiting::Msg {
+                continue;
+            }
+            if let Some(Step::Recv { from }) = s.script.get(s.step) {
+                for &f in &from[s.recv_progress..] {
+                    if f != rank {
+                        targets.push((rank, f));
+                    }
+                }
+            }
+        }
+        for &(from, to) in &targets {
+            self.mmps
+                .send_message(
+                    self.nodes[from],
+                    self.nodes[to],
+                    with_epoch(self.epoch, PING_TAG | ((from as u64) << 8) | to as u64),
+                    Bytes::new(),
+                )
+                .map_err(|e| NetpartError::Network(e.to_string()))?;
+        }
+        Ok(targets.len())
     }
 
     fn load_script(&mut self, rank: Rank) {
@@ -342,6 +529,14 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                 let cycle = self.states[rank].cycle;
                 self.cycle_max[cycle as usize] = self.cycle_max[cycle as usize].max(now);
                 self.probe.on_cycle(rank, cycle, now);
+                // Checkpoint seam: capture this rank's state at the cycle
+                // boundary — gated on the probe so un-instrumented runs
+                // never serialize anything.
+                if self.probe.wants_checkpoint(rank, cycle) {
+                    if let Some(blob) = self.app.checkpoint(rank, cycle) {
+                        self.probe.on_checkpoint(rank, cycle, blob);
+                    }
+                }
                 let next = cycle + 1;
                 if next >= self.num_cycles {
                     self.states[rank].waiting = Waiting::Done;
@@ -369,7 +564,7 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                             .send_message(
                                 self.nodes[rank],
                                 self.nodes[peer],
-                                tag_of(cycle + 1, rank, seq),
+                                with_epoch(self.epoch, tag_of(cycle + 1, rank, seq)),
                                 payload,
                             )
                             .map_err(|e| NetpartError::Network(e.to_string()))?;
@@ -388,8 +583,8 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                         netpart_model::OpKind::IntOp => netpart_sim::OpClass::IntOp,
                     };
                     self.compute_started[rank] = started;
-                    self.mmps
-                        .start_compute(self.nodes[rank], ops, class, rank as u64);
+                    let token = ((self.epoch as u64) << 32) | rank as u64;
+                    self.mmps.start_compute(self.nodes[rank], ops, class, token);
                     self.states[rank].step += 1;
                     self.states[rank].waiting = Waiting::Compute;
                     // The Compute phase probe fires on ComputeDone, where

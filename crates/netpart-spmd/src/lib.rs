@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod report;
 pub mod runtime;
 pub mod task;
 
+pub use checkpoint::{Checkpoint, CheckpointStore, Tee};
 pub use engine::{CycleEngine, NoProbe, Phase, Probe};
 pub use report::{SpmdError, SpmdReport};
 pub use runtime::Executor;

@@ -72,4 +72,28 @@ impl Executor {
     ) -> Result<SpmdReport, SpmdError> {
         CycleEngine::run(&mut self.mmps, &self.nodes, app, vector, distribute, probe)
     }
+
+    /// [`Executor::run_probed`] in a non-zero execution epoch: every tag
+    /// and compute token this run emits is stamped with `epoch`, and
+    /// traffic from other epochs still in flight on the shared network is
+    /// ignored. The recovery pipeline runs each replanned segment in a
+    /// fresh epoch so abandoned runs cannot contaminate the next one.
+    pub fn run_epoch<A: SpmdApp, P: Probe>(
+        &mut self,
+        app: &mut A,
+        vector: &PartitionVector,
+        distribute: bool,
+        probe: &mut P,
+        epoch: u16,
+    ) -> Result<SpmdReport, SpmdError> {
+        CycleEngine::run_in_epoch(
+            &mut self.mmps,
+            &self.nodes,
+            app,
+            vector,
+            distribute,
+            probe,
+            epoch,
+        )
+    }
 }

@@ -85,6 +85,17 @@ pub trait SpmdApp {
         let _ = rank;
         0
     }
+
+    /// Serialize `rank`'s durable state as of the *completion* of `cycle`
+    /// (the blob format is the app's own; a matching resume constructor
+    /// must be able to rebuild global state from one blob per rank). The
+    /// engine calls this only at cycle boundaries and only when the
+    /// attached probe asks for a checkpoint. The default `None` means the
+    /// app is not checkpointable — failures then lose all progress.
+    fn checkpoint(&self, rank: Rank, cycle: u64) -> Option<Bytes> {
+        let _ = (rank, cycle);
+        None
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,10 @@
 pub mod pipeline;
 
 pub use netpart_model::NetpartError;
-pub use pipeline::{CostSource, Plan, Run, Scenario};
+pub use pipeline::{
+    AppStart, CostSource, Fault, FaultSchedule, PhaseTotals, Plan, RecoveryPolicy, RecoveryStats,
+    Run, Scenario,
+};
 
 pub use netpart_apps as apps;
 pub use netpart_baselines as baselines;

@@ -30,10 +30,16 @@ use netpart_calibrate::{
     calibrate_testbed_cached, CalibratedCostModel, CalibrationConfig, CommCostModel,
     PaperCostModel, Testbed,
 };
-use netpart_core::{partition, Estimator, Partition, PartitionOptions, SystemModel};
+use netpart_core::{
+    determine_available, partition, AvailabilityPolicy, Estimator, Partition, PartitionOptions,
+    SystemModel,
+};
+use netpart_mmps::MmpsEvent;
 use netpart_model::{AppModel, NetpartError, PartitionVector};
-use netpart_sim::SimTime;
-use netpart_spmd::{Executor, Phase, Probe, Rank, SpmdApp, SpmdReport};
+use netpart_sim::{FaultPlan, NodeId, RouterId, SegmentId, SimDur, SimTime};
+use netpart_spmd::{
+    Checkpoint, CheckpointStore, Executor, Phase, Probe, Rank, SpmdApp, SpmdReport, Tee,
+};
 use netpart_topology::{PlacementStrategy, Topology};
 
 /// Where a [`Scenario`] gets its communication cost model.
@@ -288,8 +294,359 @@ impl Plan {
             elapsed_ms: report.elapsed.as_millis_f64(),
             predicted_tc_ms: self.predicted_tc_ms,
             phases: probe.totals,
+            recovery: None,
             report,
         })
+    }
+}
+
+/// A scheduled fault in the *plan's* coordinate system (ranks, clusters,
+/// routers) with millisecond times — what an experiment writes down.
+/// [`Scenario::run_recoverable`] translates it into the simulator's
+/// node/segment addressing against the initial placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Permanent fail-stop crash of the node hosting `rank` at `at_ms`.
+    RankCrash {
+        /// Crash instant, simulated ms.
+        at_ms: f64,
+        /// Rank (in the initial plan's numbering) whose node dies.
+        rank: usize,
+    },
+    /// The node hosting `rank` degrades: compute stretches by `factor`.
+    RankSlowdown {
+        /// Onset instant, simulated ms.
+        at_ms: f64,
+        /// Rank whose node slows.
+        rank: usize,
+        /// Seconds-per-op multiplier (≥ 1).
+        factor: f64,
+    },
+    /// Router `router` drops every frame in the window.
+    RouterOutage {
+        /// Router index (0 for the single inter-cluster router).
+        router: usize,
+        /// Window start, simulated ms.
+        from_ms: f64,
+        /// Window end (exclusive), simulated ms.
+        until_ms: f64,
+    },
+    /// Cluster `cluster`'s segment loses frames with probability `loss`
+    /// inside the window.
+    LossBurst {
+        /// Cluster whose segment degrades.
+        cluster: usize,
+        /// Window start, simulated ms.
+        from_ms: f64,
+        /// Window end (exclusive), simulated ms.
+        until_ms: f64,
+        /// Loss probability inside the window.
+        loss: f64,
+    },
+}
+
+/// A deterministic fault schedule for one recoverable run. Same schedule +
+/// same scenario ⇒ same trajectory, failures and recoveries included.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// The scheduled faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (injects nothing; a run under it is
+    /// byte-identical to [`Plan::run`]).
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Append a fault.
+    pub fn with(mut self, fault: Fault) -> FaultSchedule {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Translate into the simulator's fault plan using the initial
+    /// placement (`nodes[rank]` is the node hosting `rank`).
+    fn translate(&self, nodes: &[NodeId]) -> Result<FaultPlan, NetpartError> {
+        let t = |ms: f64| SimTime::ZERO + SimDur::from_millis_f64(ms);
+        let mut plan = FaultPlan::new();
+        for f in &self.faults {
+            plan = match *f {
+                Fault::RankCrash { at_ms, rank } => {
+                    let &node = nodes.get(rank).ok_or(NetpartError::RankMismatch {
+                        vector: rank + 1,
+                        nodes: nodes.len(),
+                    })?;
+                    plan.crash(t(at_ms), node)
+                }
+                Fault::RankSlowdown {
+                    at_ms,
+                    rank,
+                    factor,
+                } => {
+                    let &node = nodes.get(rank).ok_or(NetpartError::RankMismatch {
+                        vector: rank + 1,
+                        nodes: nodes.len(),
+                    })?;
+                    plan.slow(t(at_ms), node, factor)
+                }
+                Fault::RouterOutage {
+                    router,
+                    from_ms,
+                    until_ms,
+                } => plan.router_outage(RouterId(router as u16), t(from_ms), t(until_ms)),
+                Fault::LossBurst {
+                    cluster,
+                    from_ms,
+                    until_ms,
+                    loss,
+                } => plan.loss_burst(SegmentId(cluster as u16), t(from_ms), t(until_ms), loss),
+            };
+        }
+        Ok(plan)
+    }
+}
+
+/// What [`Scenario::run_recoverable`] does when a rank failure surfaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryPolicy {
+    /// Return the typed engine error immediately; no recovery.
+    FailFast,
+    /// Exclude the dead nodes, re-run the partitioner on the survivors,
+    /// redistribute the last consistent checkpoint, and resume.
+    Replan {
+        /// Maximum recoveries before giving up with the last error.
+        max_replans: u32,
+        /// Simulated pause before re-probing availability — lets in-flight
+        /// retransmissions of the failed epoch drain and models the
+        /// decision latency of a real recovery manager.
+        backoff_ms: f64,
+    },
+}
+
+/// What recovery cost, attached to a [`Run`] by
+/// [`Scenario::run_recoverable`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Completed replan-and-resume rounds.
+    pub replans: u32,
+    /// Ranks whose failure triggered each replan (numbered in the failing
+    /// segment's rank space), in failure order.
+    pub failed_ranks: Vec<usize>,
+    /// Rank-independent cycles of progress discarded: completed beyond the
+    /// checkpoint each recovery resumed from, summed over recoveries.
+    pub cycles_lost: u64,
+    /// Simulated ms spent recovering: failure detection to relaunch, plus
+    /// checkpoint-redistribution startup of resumed segments.
+    pub overhead_ms: f64,
+}
+
+/// How the app factory passed to [`Scenario::run_recoverable`] should
+/// construct the next execution segment.
+#[derive(Debug)]
+pub enum AppStart<'a> {
+    /// First segment: start from the application's initial state.
+    Fresh,
+    /// Recovery segment: rebuild from this checkpoint and run the
+    /// remaining cycles.
+    Resume(&'a Checkpoint),
+}
+
+/// Timer owner word for the recovery backoff pause (distinct from the
+/// MMPS-internal and availability-round owners).
+const OWNER_RECOVERY: u64 = u64::MAX - 3;
+
+impl Scenario {
+    /// Plan and run `app` with scheduled faults and a recovery policy —
+    /// the fault-tolerant sibling of [`Scenario::plan`] + [`Plan::run`].
+    ///
+    /// The whole lifetime — initial run, failure detection, availability
+    /// re-probe, replanning, checkpoint redistribution, resumed segments —
+    /// unfolds on **one** simulated network and clock, so recovery cost is
+    /// measured in the same currency as the computation itself.
+    ///
+    /// `factory(ranks, start)` builds the application for each segment:
+    /// [`AppStart::Fresh`] for the first, [`AppStart::Resume`] afterwards.
+    /// `checkpoint_every` is the cycle interval between checkpoints.
+    ///
+    /// Under [`RecoveryPolicy::FailFast`] the first rank failure is
+    /// returned as the typed engine error ([`NetpartError::RankFailed`]).
+    /// Under [`RecoveryPolicy::Replan`] dead nodes are excluded via an
+    /// availability round (bounded by the policy's probe timeout), the
+    /// partitioner re-runs on the survivors, and the computation resumes
+    /// from the last consistent checkpoint in a fresh engine epoch.
+    /// Returns the instrumented [`Run`] (with
+    /// [`recovery`](Run::recovery) populated) and the final segment's
+    /// application, whose state holds the computed answer.
+    pub fn run_recoverable<A, F>(
+        &self,
+        faults: &FaultSchedule,
+        policy: RecoveryPolicy,
+        checkpoint_every: u64,
+        mut factory: F,
+    ) -> Result<(Run, A), NetpartError>
+    where
+        A: SpmdApp,
+        F: FnMut(usize, AppStart<'_>) -> Result<A, NetpartError>,
+    {
+        let plan = self.plan()?;
+        let (mmps, nodes) = self.testbed.try_build(&plan.config, self.placement)?;
+        let fault_plan = faults.translate(&nodes)?;
+        let mut exec = Executor::new(mmps, nodes);
+        exec.mmps().net().install_fault_plan(&fault_plan);
+
+        let mut cur_vector = plan.vector.clone();
+        let mut distribute = self.distribute;
+        let mut phase_probe = PhaseTotalsProbe::default();
+        let mut stats = RecoveryStats::default();
+        let mut best: Option<Checkpoint> = None;
+        let mut known_dead: Vec<NodeId> = Vec::new();
+        let mut epoch: u16 = 1;
+        let t0 = exec.mmps().now();
+
+        loop {
+            let base = best.as_ref().map_or(0, |c| c.cycle + 1);
+            let mut app = factory(
+                exec.nodes().len(),
+                match &best {
+                    Some(c) => AppStart::Resume(c),
+                    None => AppStart::Fresh,
+                },
+            )?;
+            let mut store = CheckpointStore::new(exec.nodes().len(), checkpoint_every, base);
+            let result = {
+                let mut tee = Tee::new(&mut phase_probe, &mut store);
+                exec.run_epoch(&mut app, &cur_vector, distribute, &mut tee, epoch)
+            };
+
+            let err = match result {
+                Ok(report) => {
+                    if stats.replans > 0 {
+                        stats.overhead_ms += report.startup.as_millis_f64();
+                    }
+                    let elapsed_ms = if stats.replans == 0 {
+                        report.elapsed.as_millis_f64()
+                    } else {
+                        // Recovered runs measure wall time across every
+                        // segment on the shared clock (fresh segments
+                        // start un-distributed, so t0 marks compute start).
+                        exec.mmps().now().since(t0).as_millis_f64()
+                    };
+                    return Ok((
+                        Run {
+                            elapsed_ms,
+                            predicted_tc_ms: plan.predicted_tc_ms,
+                            phases: phase_probe.totals,
+                            recovery: Some(stats),
+                            report,
+                        },
+                        app,
+                    ));
+                }
+                Err(e) => e,
+            };
+
+            // Only rank failures (and deadlocks that scheduled faults can
+            // explain — e.g. nobody ever sends to a crashed pivot owner,
+            // so no transmission fails) are recoverable.
+            let suspect = match &err {
+                NetpartError::RankFailed { rank, .. }
+                | NetpartError::PeerUnreachable { rank, .. } => Some(*rank),
+                NetpartError::Deadlock { .. } if !faults.is_empty() => None,
+                _ => return Err(err),
+            };
+            let RecoveryPolicy::Replan {
+                max_replans,
+                backoff_ms,
+            } = policy
+            else {
+                return Err(err);
+            };
+            if stats.replans >= max_replans {
+                return Err(err);
+            }
+            let t_fail = exec.mmps().now();
+
+            // Fold this segment's consistent frontier into the best
+            // checkpoint (the store outlives the segment — host-memory
+            // stable storage, so a dead rank's blobs stay usable).
+            let progress = store.max_cycle_seen().map_or(base, |m| m + 1);
+            if let Some(f) = store.frontier() {
+                best = store.take(f);
+            }
+            let resume_at = best.as_ref().map_or(0, |c| c.cycle + 1);
+            stats.cycles_lost += progress.saturating_sub(resume_at);
+            if let Some(rank) = suspect {
+                stats.failed_ranks.push(rank);
+                let node = exec.nodes()[rank];
+                if !known_dead.contains(&node) {
+                    known_dead.push(node);
+                }
+            }
+            for &d in &known_dead {
+                exec.mmps().abort_peer(d);
+            }
+
+            // Simulated pause before re-probing (drains stragglers).
+            if backoff_ms > 0.0 {
+                exec.mmps()
+                    .set_timer(SimDur::from_millis_f64(backoff_ms), OWNER_RECOVERY, 0);
+                while let Some(evt) = exec.mmps().next_event() {
+                    if matches!(evt, MmpsEvent::TimerFired { owner, .. } if owner == OWNER_RECOVERY)
+                    {
+                        break;
+                    }
+                }
+            }
+
+            // Failure-aware availability round over the physical clusters,
+            // known-dead nodes excluded up front; nodes that do not answer
+            // within the bounded probe timeout join them.
+            let clusters: Vec<Vec<NodeId>> = (0..self.testbed.num_clusters())
+                .map(|k| {
+                    exec.mmps()
+                        .net_ref()
+                        .nodes_on_segment(SegmentId(k as u16))
+                        .into_iter()
+                        .filter(|n| !known_dead.contains(n))
+                        .collect()
+                })
+                .collect();
+            let avail = determine_available(exec.mmps(), &clusters, AvailabilityPolicy::default());
+            for &n in &avail.suspected_dead {
+                if !known_dead.contains(&n) {
+                    known_dead.push(n);
+                }
+                exec.mmps().abort_peer(n);
+            }
+
+            // Re-run the offline half on the survivors.
+            let model = self.resolve_model()?;
+            let sys = SystemModel::from_testbed(&self.testbed).with_available(&avail.available);
+            let est = Estimator::new(&sys, model.as_dyn(), &self.app);
+            let part = partition(&est, &self.options)?;
+            let assignment = self.placement.assign(&part.config);
+            let mut next_in = vec![0usize; self.testbed.num_clusters()];
+            let mut new_nodes = Vec::with_capacity(assignment.len());
+            for &k in &assignment {
+                let k = k as usize;
+                new_nodes.push(avail.nodes[k][next_in[k]]);
+                next_in[k] += 1;
+            }
+            cur_vector = part.vector;
+            distribute = true; // checkpointed state must reach survivors
+            let mmps = exec.into_mmps();
+            exec = Executor::new(mmps, new_nodes);
+            epoch += 1;
+            stats.replans += 1;
+            stats.overhead_ms += exec.mmps().now().since(t_fail).as_millis_f64();
+        }
     }
 }
 
@@ -355,6 +712,9 @@ pub struct Run {
     pub predicted_tc_ms: Option<f64>,
     /// Aggregate per-phase totals observed by the pipeline probe.
     pub phases: PhaseTotals,
+    /// Recovery accounting, present when the run came from
+    /// [`Scenario::run_recoverable`] (zeroed stats if nothing failed).
+    pub recovery: Option<RecoveryStats>,
     /// The engine's full report (per-cycle spans, per-rank times).
     pub report: SpmdReport,
 }
@@ -415,6 +775,108 @@ mod tests {
             .plan_pinned(&[99, 0], PartitionVector::equal(40, 99))
             .unwrap_err();
         assert!(matches!(err, NetpartError::ClusterOvercommitted { .. }));
+    }
+
+    fn stencil_factory(
+        n: usize,
+        iters: u64,
+    ) -> impl FnMut(usize, AppStart<'_>) -> Result<StencilApp, NetpartError> {
+        move |ranks, start| {
+            Ok(match start {
+                AppStart::Fresh => StencilApp::new(n, iters, StencilVariant::Sten1, ranks),
+                AppStart::Resume(c) => {
+                    StencilApp::resume(c, n, iters, StencilVariant::Sten1, ranks)
+                }
+            })
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_identical_to_plain_run() {
+        use netpart_apps::stencil::sequential_reference;
+        let s = small_scenario();
+        let plan = s.plan().unwrap();
+        let mut app = StencilApp::new(40, 6, StencilVariant::Sten1, plan.ranks());
+        let baseline = plan.run(&mut app).unwrap();
+
+        let policy = RecoveryPolicy::Replan {
+            max_replans: 3,
+            backoff_ms: 10.0,
+        };
+        let (run, rapp) = s
+            .run_recoverable(&FaultSchedule::new(), policy, 1, stencil_factory(40, 6))
+            .unwrap();
+        assert_eq!(run.elapsed_ms.to_bits(), baseline.elapsed_ms.to_bits());
+        assert_eq!(run.phases, baseline.phases);
+        assert_eq!(run.recovery, Some(RecoveryStats::default()));
+        assert_eq!(rapp.gather(), app.gather());
+        assert_eq!(rapp.gather(), sequential_reference(40, 6));
+    }
+
+    #[test]
+    fn crash_under_replan_recovers_bit_identically() {
+        use netpart_apps::stencil::sequential_reference;
+        let s = small_scenario();
+        // Find the fault-free wall time, then crash rank 0 mid-run.
+        let plan = s.plan().unwrap();
+        let iters = 12u64;
+        let mut app = StencilApp::new(40, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        let faults = FaultSchedule::new().with(Fault::RankCrash {
+            at_ms: fault_free.elapsed_ms * 0.4,
+            rank: 0,
+        });
+        let policy = RecoveryPolicy::Replan {
+            max_replans: 3,
+            backoff_ms: 5.0,
+        };
+        let (run, rapp) = s
+            .run_recoverable(&faults, policy, 1, stencil_factory(40, iters))
+            .unwrap();
+        let stats = run.recovery.expect("recoverable run carries stats");
+        assert_eq!(stats.replans, 1, "one crash, one replan");
+        assert_eq!(stats.failed_ranks, vec![0]);
+        assert!(stats.overhead_ms > 0.0);
+        assert!(
+            run.elapsed_ms > fault_free.elapsed_ms,
+            "recovery cannot be free"
+        );
+        assert_eq!(
+            rapp.gather(),
+            sequential_reference(40, iters),
+            "recovered answer must be bit-identical to the sequential reference"
+        );
+    }
+
+    #[test]
+    fn crash_under_fail_fast_returns_typed_error_naming_the_rank() {
+        let s = small_scenario();
+        let plan = s.plan().unwrap();
+        let iters = 12u64;
+        let mut app = StencilApp::new(40, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        let faults = FaultSchedule::new().with(Fault::RankCrash {
+            at_ms: fault_free.elapsed_ms * 0.4,
+            rank: 0,
+        });
+        let err = match s.run_recoverable(
+            &faults,
+            RecoveryPolicy::FailFast,
+            1,
+            stencil_factory(40, iters),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("fail-fast run must fail"),
+        };
+        match err {
+            NetpartError::RankFailed {
+                rank, checkpoint, ..
+            } => {
+                assert_eq!(rank, 0);
+                assert!(checkpoint.is_some(), "checkpoints were being recorded");
+            }
+            other => panic!("expected RankFailed, got {other}"),
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 
-use netpart::calibrate::{CommCostModel, FittedCost, PaperCostModel};
+use netpart::apps::stencil::{sequential_reference, stencil_model, StencilApp, StencilVariant};
+use netpart::calibrate::{CommCostModel, FittedCost, PaperCostModel, Testbed};
 use netpart::core::SearchStrategy;
 use netpart::model::PartitionVector;
 use netpart::topology::{crossings, PlacementStrategy, Topology};
@@ -171,5 +172,88 @@ proptest! {
         for r in 0..p {
             prop_assert!(v.count(r) == lo || v.count(r) == lo + 1);
         }
+    }
+}
+
+/// Builds the stencil app factory `Scenario::run_recoverable` needs.
+fn stencil_factory(
+    n: usize,
+    iters: u64,
+) -> impl FnMut(usize, netpart::AppStart<'_>) -> Result<StencilApp, netpart::model::NetpartError> {
+    move |ranks, start| {
+        Ok(match start {
+            netpart::AppStart::Fresh => StencilApp::new(n, iters, StencilVariant::Sten1, ranks),
+            netpart::AppStart::Resume(c) => {
+                StencilApp::resume(c, n, iters, StencilVariant::Sten1, ranks)
+            }
+        })
+    }
+}
+
+proptest! {
+    /// The fault-injection seam is free when unused: a recoverable run
+    /// with an **empty** fault schedule is byte-identical — elapsed-time
+    /// bits, phase totals, and the canonical rendering of both — to the
+    /// plain pipeline run with no fault plan installed, for any problem
+    /// size, iteration count, and checkpoint cadence.
+    #[test]
+    fn empty_fault_schedule_is_byte_transparent(
+        n in 16usize..44,
+        iters in 2u64..7,
+        every in 1u64..4,
+    ) {
+        use netpart::{CostSource, FaultSchedule, RecoveryPolicy, Scenario};
+        let s = Scenario::new(Testbed::paper(), stencil_model(n as u64, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        let plan = s.plan().expect("plan");
+        let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, plan.ranks());
+        let baseline = plan.run(&mut app).expect("plain run");
+
+        let policy = RecoveryPolicy::Replan { max_replans: 2, backoff_ms: 5.0 };
+        let (run, rapp) = s
+            .run_recoverable(&FaultSchedule::new(), policy, every, stencil_factory(n, iters))
+            .expect("recoverable run");
+
+        prop_assert_eq!(run.elapsed_ms.to_bits(), baseline.elapsed_ms.to_bits());
+        prop_assert_eq!(run.phases, baseline.phases);
+        // Canonical rendering (`{:?}` floats round-trip bits) must match
+        // byte for byte — what any table built from these runs prints.
+        let render = |e: f64, ph: &netpart::PhaseTotals, g: &[f32]| {
+            format!("{:?} {:?} {:?}", e, ph, g)
+        };
+        prop_assert_eq!(
+            render(baseline.elapsed_ms, &baseline.phases, &app.gather()),
+            render(run.elapsed_ms, &run.phases, &rapp.gather())
+        );
+    }
+
+    /// Any mid-run fail-stop crash that `RecoveryPolicy::Replan` absorbs
+    /// still produces the bit-identical sequential answer, wherever the
+    /// crash lands and whichever rank it kills.
+    #[test]
+    fn replanned_crash_preserves_bit_identity(
+        n in 20usize..40,
+        frac in 0.15f64..0.7,
+        victim in 0usize..8,
+    ) {
+        use netpart::{CostSource, Fault, FaultSchedule, RecoveryPolicy, Scenario};
+        let iters = 6u64;
+        let s = Scenario::new(Testbed::paper(), stencil_model(n as u64, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        let plan = s.plan().expect("plan");
+        let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).expect("fault-free run");
+
+        let faults = FaultSchedule::new().with(Fault::RankCrash {
+            at_ms: fault_free.elapsed_ms * frac,
+            rank: victim.min(plan.ranks() - 1),
+        });
+        let policy = RecoveryPolicy::Replan { max_replans: 3, backoff_ms: 5.0 };
+        let (run, rapp) = s
+            .run_recoverable(&faults, policy, 2, stencil_factory(n, iters))
+            .expect("recovery");
+        let rec = run.recovery.expect("recovery stats");
+        prop_assert!(rec.replans >= 1, "crash at {}x never fired", frac);
+        prop_assert_eq!(rapp.gather(), sequential_reference(n, iters));
     }
 }
