@@ -9,7 +9,7 @@
 //! Subcommands: `calibrate`, `table1`, `table2`, `fig2`, `fig3`,
 //! `overhead`, `gauss`, `ablation-ordering`, `ablation-placement`,
 //! `ablation-search`, `ablation-decomposition`, `sensitivity`, `dynamic`,
-//! `metasystem`, `faults`, `all`.
+//! `metasystem`, `faults`, `drift`, `all`.
 
 use std::sync::OnceLock;
 
@@ -346,6 +346,23 @@ fn cmd_faults() {
     }
 }
 
+fn cmd_drift() {
+    println!("Gray-failure drift — detect, recalibrate, repartition-on-degradation:");
+    let rows = ok(drift_table(model()));
+    print!("{}", render_drift(&rows));
+    println!("\nDrift chaos harness — seeded transient-fault schedules under Adapt:");
+    let mut chaos = Vec::new();
+    for seed in CHAOS_SEEDS {
+        chaos.extend(ok(drift_chaos_run(seed, model())));
+    }
+    print!("{}", render_drift_chaos(&chaos));
+    let json = drift_json(&rows, &chaos);
+    match std::fs::write("BENCH_drift.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_drift.json"),
+        Err(e) => eprintln!("BENCH_drift.json not written: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmds: Vec<&str> = if args.is_empty() {
@@ -434,6 +451,10 @@ fn main() {
     }
     if want("faults") {
         cmd_faults();
+        println!();
+    }
+    if want("drift") {
+        cmd_drift();
         println!();
     }
 }

@@ -1,0 +1,472 @@
+//! Gray-failure drift experiments: adaptive repartitioning vs limping.
+//!
+//! Each row of the drift table runs one stencil three times on the paper
+//! testbed: fault-free, with a mid-run gray slowdown (one node's compute
+//! stretches, the node never fail-stops) under plain
+//! [`RecoveryPolicy::Replan`] — which cannot see a gray failure, so the
+//! run limps to completion at the degraded pace — and with the identical
+//! slowdown under [`RecoveryPolicy::Adapt`], whose drift monitor detects
+//! the degradation, recalibrates online, and repartitions when the
+//! cost/benefit gate projects a net gain. The `min_gain = ∞` row proves
+//! the other half of the gate: told that no gain is ever large enough,
+//! the policy *declines* to move and the run still finishes exactly.
+//!
+//! The drift chaos harness draws transient-fault schedules — slowdowns
+//! that may end mid-run, loss bursts, crash-and-recover — from a seeded
+//! PRNG and requires the adaptive run to finish with the bit-identical
+//! sequential answer, whatever the monitor decided to do.
+
+use netpart::{AppStart, CostSource, Fault, FaultSchedule, RecoveryPolicy, Scenario};
+use netpart_apps::{sequential_reference, stencil_model, StencilApp, StencilVariant};
+use netpart_calibrate::{CalibratedCostModel, Testbed};
+use netpart_model::NetpartError;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Drift-monitor threshold used by the table and chaos harness: a rank
+/// 75% over its predicted phase time counts as degraded.
+const DEGRADE_THRESHOLD: f64 = 1.75;
+/// Cooldown cycles after a declined repartition.
+const COOLDOWN: u64 = 4;
+
+/// One row of the drift table: a stencil under a mid-run gray slowdown,
+/// adaptive vs staying put.
+#[derive(Debug, Clone)]
+pub struct DriftRow {
+    /// Application label (`STEN-1`, `STEN-2`).
+    pub app: &'static str,
+    /// Grid edge.
+    pub n: u64,
+    /// Iteration count.
+    pub iters: u64,
+    /// Ranks in the fault-free plan.
+    pub ranks: usize,
+    /// Fault-free simulated elapsed ms.
+    pub fault_free_ms: f64,
+    /// Rank whose node turns gray.
+    pub degraded_rank: usize,
+    /// Compute slowdown factor.
+    pub factor: f64,
+    /// Degradation onset, simulated ms.
+    pub onset_ms: f64,
+    /// The gate's `min_gain` (∞ encodes the forced-decline row).
+    pub min_gain_ms: f64,
+    /// Elapsed ms staying put (same slowdown under plain `Replan`).
+    pub stay_ms: f64,
+    /// Elapsed ms under `Adapt` (detection + recalibration + decision).
+    pub adaptive_ms: f64,
+    /// Drift confirmations.
+    pub detections: u32,
+    /// Online recalibrations.
+    pub recalibrations: u32,
+    /// Repartitions the cost/benefit gate accepted.
+    pub repartitions: u32,
+    /// Drift confirmations the gate declined to act on.
+    pub declined: u32,
+    /// Cycles from drift onset to confirmation, summed over detections.
+    pub cycles_to_detect: u64,
+    /// Projected net gain (ms) of the accepted repartitions.
+    pub drift_gain_ms: f64,
+    /// Whether the adaptive answer is bit-identical to the sequential
+    /// reference.
+    pub bit_identical: bool,
+}
+
+/// One drift-chaos case: a randomly drawn transient-fault schedule run
+/// under [`RecoveryPolicy::Adapt`].
+#[derive(Debug, Clone)]
+pub struct DriftChaosCase {
+    /// Application label.
+    pub app: &'static str,
+    /// Seed the schedule was drawn from.
+    pub seed: u64,
+    /// The drawn schedule (deterministic per seed).
+    pub faults: FaultSchedule,
+    /// Fault-free simulated elapsed ms.
+    pub fault_free_ms: f64,
+    /// Adaptive run's simulated elapsed ms.
+    pub adaptive_ms: f64,
+    /// Drift confirmations.
+    pub detections: u32,
+    /// Repartitions accepted / declined.
+    pub repartitions: u32,
+    /// Declined repartitions.
+    pub declined: u32,
+    /// Fail-stop replans (crash-and-recover schedules trigger these).
+    pub replans: u32,
+    /// Whether the answer is bit-identical to the sequential reference.
+    pub bit_identical: bool,
+}
+
+fn adapt_policy(min_gain: f64) -> RecoveryPolicy {
+    RecoveryPolicy::Adapt {
+        degrade_threshold: DEGRADE_THRESHOLD,
+        min_gain,
+        cooldown: COOLDOWN,
+    }
+}
+
+fn bits_eq_f32(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn stencil_scenario(n: u64, variant: StencilVariant, model: &CalibratedCostModel) -> Scenario {
+    Scenario::new(Testbed::paper(), stencil_model(n, variant))
+        .with_cost(CostSource::Fixed(model.clone()))
+}
+
+fn stencil_factory(
+    n: usize,
+    iters: u64,
+    variant: StencilVariant,
+) -> impl FnMut(usize, AppStart<'_>) -> Result<StencilApp, NetpartError> {
+    move |ranks, start| {
+        Ok(match start {
+            AppStart::Fresh => StencilApp::new(n, iters, variant, ranks),
+            AppStart::Resume(c) => StencilApp::resume(c, n, iters, variant, ranks),
+        })
+    }
+}
+
+fn variant_label(variant: StencilVariant) -> &'static str {
+    match variant {
+        StencilVariant::Sten1 => "STEN-1",
+        StencilVariant::Sten2 => "STEN-2",
+    }
+}
+
+/// Run one drift case: fault-free baseline, the gray slowdown under plain
+/// `Replan` (stays put by construction), and under `Adapt`.
+#[allow(clippy::too_many_arguments)]
+fn drift_row(
+    model: &CalibratedCostModel,
+    n: usize,
+    iters: u64,
+    variant: StencilVariant,
+    onset_frac: f64,
+    degraded_rank: usize,
+    factor: f64,
+    min_gain: f64,
+) -> Result<DriftRow, NetpartError> {
+    let s = stencil_scenario(n as u64, variant, model);
+    let plan = s.plan()?;
+    let ranks = plan.ranks();
+    let mut app = StencilApp::new(n, iters, variant, ranks);
+    let fault_free = plan.run(&mut app)?;
+
+    let degraded_rank = degraded_rank.min(ranks - 1);
+    let onset_ms = fault_free.elapsed_ms * onset_frac;
+    let faults = FaultSchedule::new().with(Fault::RankSlowdown {
+        at_ms: onset_ms,
+        rank: degraded_rank,
+        factor,
+    });
+
+    // Staying put: Replan never fires on a gray failure.
+    let (stay, _) = s.run_recoverable(
+        &faults,
+        RecoveryPolicy::Replan {
+            max_replans: 4,
+            backoff_ms: 5.0,
+        },
+        2,
+        stencil_factory(n, iters, variant),
+    )?;
+
+    let (adaptive, rapp) = s.run_recoverable(
+        &faults,
+        adapt_policy(min_gain),
+        2,
+        stencil_factory(n, iters, variant),
+    )?;
+    let rec = adaptive.recovery.clone().unwrap_or_default();
+    let bit_identical = bits_eq_f32(&rapp.gather(), &sequential_reference(n, iters));
+
+    Ok(DriftRow {
+        app: variant_label(variant),
+        n: n as u64,
+        iters,
+        ranks,
+        fault_free_ms: fault_free.elapsed_ms,
+        degraded_rank,
+        factor,
+        onset_ms,
+        min_gain_ms: min_gain,
+        stay_ms: stay.elapsed_ms,
+        adaptive_ms: adaptive.elapsed_ms,
+        detections: rec.drift_detections,
+        recalibrations: rec.recalibrations,
+        repartitions: rec.repartitions,
+        declined: rec.repartitions_declined,
+        cycles_to_detect: rec.cycles_to_detect,
+        drift_gain_ms: rec.drift_gain_ms,
+        bit_identical,
+    })
+}
+
+/// The drift table: STEN-1 and STEN-2 with a 4× mid-run gray slowdown
+/// under an open gate, plus the STEN-1 case with `min_gain = ∞` proving
+/// the gate can deliberately decline.
+pub fn drift_table(model: &CalibratedCostModel) -> Result<Vec<DriftRow>, NetpartError> {
+    Ok(vec![
+        drift_row(model, 120, 30, StencilVariant::Sten1, 0.15, 0, 4.0, 0.0)?,
+        drift_row(model, 120, 30, StencilVariant::Sten2, 0.15, 1, 4.0, 0.0)?,
+        drift_row(
+            model,
+            120,
+            30,
+            StencilVariant::Sten1,
+            0.15,
+            0,
+            4.0,
+            f64::INFINITY,
+        )?,
+    ])
+}
+
+/// Render the drift table for the terminal / `BENCH_drift.json` notes.
+pub fn render_drift(rows: &[DriftRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Gray-failure drift — one node slows mid-run (never fail-stops); adaptive \
+         repartition vs limping:\n\n",
+    );
+    out.push_str(&format!(
+        "{:<8} {:>5} {:>5} {:>12} {:>7} {:>9} {:>12} {:>12} {:>4} {:>6} {:>8} {:>7} {:>11} {:>8}\n",
+        "app",
+        "n",
+        "ranks",
+        "T_ff (ms)",
+        "victim",
+        "min_gain",
+        "T_stay (ms)",
+        "T_adapt(ms)",
+        "det",
+        "repart",
+        "declined",
+        "det cyc",
+        "gain (ms)",
+        "bit-id"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>5} {:>5} {:>12.3} {:>7} {:>9} {:>12.3} {:>12.3} {:>4} {:>6} {:>8} {:>7} {:>11.3} {:>8}\n",
+            r.app,
+            r.n,
+            r.ranks,
+            r.fault_free_ms,
+            format!("r{}×{}", r.degraded_rank, r.factor),
+            if r.min_gain_ms.is_finite() {
+                format!("{:.0}", r.min_gain_ms)
+            } else {
+                "inf".to_string()
+            },
+            r.stay_ms,
+            r.adaptive_ms,
+            r.detections,
+            r.repartitions,
+            r.declined,
+            r.cycles_to_detect,
+            r.drift_gain_ms,
+            if r.bit_identical { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+/// Draw a transient-fault schedule: a gray slowdown (ending mid-run with
+/// probability ½), plus (each with probability ½) a loss burst and a
+/// crash-and-recover of another rank. Deterministic per
+/// `(seed, ranks, fault_free_ms)`.
+fn draw_drift_schedule(rng: &mut SmallRng, ranks: usize, fault_free_ms: f64) -> FaultSchedule {
+    let mut faults = FaultSchedule::new();
+    let victim = (rng.random::<u64>() % ranks as u64) as usize;
+    let onset = fault_free_ms * (0.1 + 0.2 * rng.random::<f64>());
+    faults = faults.with(Fault::RankSlowdown {
+        at_ms: onset,
+        rank: victim,
+        factor: 2.5 + 2.5 * rng.random::<f64>(),
+    });
+    if rng.random::<bool>() {
+        faults = faults.with(Fault::RankSlowdownEnd {
+            at_ms: onset + fault_free_ms * (0.3 + 0.4 * rng.random::<f64>()),
+            rank: victim,
+        });
+    }
+    if rng.random::<bool>() {
+        let from = fault_free_ms * 0.1 * rng.random::<f64>();
+        faults = faults.with(Fault::LossBurst {
+            cluster: (rng.random::<u64>() % 2) as usize,
+            from_ms: from,
+            until_ms: from + fault_free_ms * 0.15,
+            loss: 0.2 + 0.2 * rng.random::<f64>(),
+        });
+    }
+    if rng.random::<bool>() {
+        let crash_rank = (victim + 1 + (rng.random::<u64>() % (ranks as u64 - 1)) as usize) % ranks;
+        let crash_at = fault_free_ms * (0.35 + 0.3 * rng.random::<f64>());
+        faults = faults.with(Fault::RankCrash {
+            at_ms: crash_at,
+            rank: crash_rank,
+        });
+        faults = faults.with(Fault::RankRecover {
+            at_ms: crash_at + fault_free_ms * 0.3,
+            rank: crash_rank,
+        });
+    }
+    faults
+}
+
+/// Run the drift chaos harness for one seed: transient-fault schedules
+/// over STEN-1 and STEN-2 under [`RecoveryPolicy::Adapt`], each required
+/// to finish with the bit-identical sequential answer.
+pub fn drift_chaos_run(
+    seed: u64,
+    model: &CalibratedCostModel,
+) -> Result<Vec<DriftChaosCase>, NetpartError> {
+    let mut cases = Vec::new();
+    for (idx, variant) in [StencilVariant::Sten1, StencilVariant::Sten2]
+        .into_iter()
+        .enumerate()
+    {
+        let (n, iters) = (60usize, 10u64);
+        let s = stencil_scenario(n as u64, variant, model);
+        let plan = s.plan()?;
+        let ranks = plan.ranks();
+        let mut app = StencilApp::new(n, iters, variant, ranks);
+        let fault_free = plan.run(&mut app)?;
+
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(idx as u64 * 0x6A09_E667));
+        let faults = draw_drift_schedule(&mut rng, ranks, fault_free.elapsed_ms);
+        let (run, rapp) = s.run_recoverable(
+            &faults,
+            adapt_policy(0.0),
+            2,
+            stencil_factory(n, iters, variant),
+        )?;
+        let rec = run.recovery.clone().unwrap_or_default();
+        cases.push(DriftChaosCase {
+            app: variant_label(variant),
+            seed,
+            faults,
+            fault_free_ms: fault_free.elapsed_ms,
+            adaptive_ms: run.elapsed_ms,
+            detections: rec.drift_detections,
+            repartitions: rec.repartitions,
+            declined: rec.repartitions_declined,
+            replans: rec.replans,
+            bit_identical: bits_eq_f32(&rapp.gather(), &sequential_reference(n, iters)),
+        });
+    }
+    Ok(cases)
+}
+
+/// Render drift-chaos outcomes.
+pub fn render_drift_chaos(cases: &[DriftChaosCase]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>6} {:>7} {:>12} {:>12} {:>4} {:>6} {:>8} {:>7} {:>8}\n",
+        "app",
+        "seed",
+        "faults",
+        "T_ff (ms)",
+        "T_run (ms)",
+        "det",
+        "repart",
+        "declined",
+        "replans",
+        "bit-id"
+    ));
+    for c in cases {
+        out.push_str(&format!(
+            "{:<8} {:>6} {:>7} {:>12.3} {:>12.3} {:>4} {:>6} {:>8} {:>7} {:>8}\n",
+            c.app,
+            c.seed,
+            c.faults.faults.len(),
+            c.fault_free_ms,
+            c.adaptive_ms,
+            c.detections,
+            c.repartitions,
+            c.declined,
+            c.replans,
+            if c.bit_identical { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+/// Serialise the drift table and chaos outcomes as the hand-rolled JSON
+/// the repo uses for benchmark artefacts (`BENCH_drift.json`).
+pub fn drift_json(rows: &[DriftRow], chaos: &[DriftChaosCase]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"description\": \"Gray-failure drift experiments: one node slows mid-run \
+         without fail-stopping. 'stay' runs under plain Replan (blind to gray failures) \
+         and limps; 'adaptive' runs under Adapt, which detects drift against the plan's \
+         predictions, recalibrates online, and repartitions only when the projected \
+         saving beats the migration cost by min_gain. All times are simulated \
+         milliseconds on the paper testbed; bit_identical compares the final answer \
+         against the sequential reference bit for bit.\",\n",
+    );
+    out.push_str("  \"policy\": { \"degrade_threshold\": ");
+    out.push_str(&format!("{DEGRADE_THRESHOLD:.2}"));
+    out.push_str(", \"cooldown_cycles\": ");
+    out.push_str(&COOLDOWN.to_string());
+    out.push_str(" },\n");
+    out.push_str("  \"gray_slowdown\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"n\": {}, \"iters\": {}, \"ranks\": {}, \
+             \"fault_free_ms\": {:.4}, \"degraded_rank\": {}, \"factor\": {:.1}, \
+             \"onset_ms\": {:.4}, \"min_gain_ms\": {}, \"stay_ms\": {:.4}, \
+             \"adaptive_ms\": {:.4}, \"detections\": {}, \"recalibrations\": {}, \
+             \"repartitions\": {}, \"declined\": {}, \"cycles_to_detect\": {}, \
+             \"drift_gain_ms\": {:.4}, \"bit_identical\": {} }}{}\n",
+            r.app,
+            r.n,
+            r.iters,
+            r.ranks,
+            r.fault_free_ms,
+            r.degraded_rank,
+            r.factor,
+            r.onset_ms,
+            if r.min_gain_ms.is_finite() {
+                format!("{:.1}", r.min_gain_ms)
+            } else {
+                "\"inf\"".to_string()
+            },
+            r.stay_ms,
+            r.adaptive_ms,
+            r.detections,
+            r.recalibrations,
+            r.repartitions,
+            r.declined,
+            r.cycles_to_detect,
+            r.drift_gain_ms,
+            r.bit_identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"chaos\": [\n");
+    for (i, c) in chaos.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"seed\": {}, \"faults\": {}, \"fault_free_ms\": {:.4}, \
+             \"adaptive_ms\": {:.4}, \"detections\": {}, \"repartitions\": {}, \
+             \"declined\": {}, \"replans\": {}, \"bit_identical\": {} }}{}\n",
+            c.app,
+            c.seed,
+            c.faults.faults.len(),
+            c.fault_free_ms,
+            c.adaptive_ms,
+            c.detections,
+            c.repartitions,
+            c.declined,
+            c.replans,
+            c.bit_identical,
+            if i + 1 == chaos.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

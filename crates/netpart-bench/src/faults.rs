@@ -55,6 +55,17 @@ pub struct FaultRow {
     /// Whether the recovered answer is bit-identical to the sequential
     /// reference.
     pub bit_identical: bool,
+    /// Drift confirmations during recovery — always 0 under `Replan`,
+    /// which never arms the drift monitor.
+    pub drift_detections: u32,
+    /// Drift-triggered repartitions — likewise always 0 under `Replan`.
+    pub repartitions: u32,
+    /// Online recalibrations (one per confirmation) — 0 under `Replan`.
+    pub recalibrations: u32,
+    /// Detection latency summed over confirmations — 0 under `Replan`.
+    pub cycles_to_detect: u64,
+    /// Projected net gain of accepted repartitions — 0 under `Replan`.
+    pub drift_gain_ms: f64,
     /// The typed error the same crash produces under
     /// [`RecoveryPolicy::FailFast`] (rendered), proving bounded detection.
     pub fail_fast: String,
@@ -257,6 +268,11 @@ fn fault_row(
         cycles_lost: rec.cycles_lost,
         overhead_ms: rec.overhead_ms,
         bit_identical,
+        drift_detections: rec.drift_detections,
+        repartitions: rec.repartitions,
+        recalibrations: rec.recalibrations,
+        cycles_to_detect: rec.cycles_to_detect,
+        drift_gain_ms: rec.drift_gain_ms,
         fail_fast,
     }
 }
@@ -276,7 +292,7 @@ pub fn render_faults(rows: &[FaultRow]) -> String {
     let mut out = String::new();
     out.push_str("Fault injection — mid-run fail-stop crash, Replan recovery vs FailFast:\n\n");
     out.push_str(&format!(
-        "{:<8} {:>5} {:>5} {:>12} {:>6} {:>10} {:>12} {:>7} {:>9} {:>12} {:>8}\n",
+        "{:<8} {:>5} {:>5} {:>12} {:>6} {:>10} {:>12} {:>7} {:>9} {:>12} {:>8} {:>5} {:>6}\n",
         "app",
         "n",
         "ranks",
@@ -287,11 +303,13 @@ pub fn render_faults(rows: &[FaultRow]) -> String {
         "replan",
         "cyc lost",
         "ovh (ms)",
-        "bit-id"
+        "bit-id",
+        "drift",
+        "repart"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<8} {:>5} {:>5} {:>12.3} {:>6} {:>10.3} {:>12.3} {:>7} {:>9} {:>12.3} {:>8}\n",
+            "{:<8} {:>5} {:>5} {:>12.3} {:>6} {:>10.3} {:>12.3} {:>7} {:>9} {:>12.3} {:>8} {:>5} {:>6}\n",
             r.app,
             r.n,
             r.ranks,
@@ -302,7 +320,9 @@ pub fn render_faults(rows: &[FaultRow]) -> String {
             r.replans,
             r.cycles_lost,
             r.overhead_ms,
-            if r.bit_identical { "yes" } else { "NO" }
+            if r.bit_identical { "yes" } else { "NO" },
+            r.drift_detections,
+            r.repartitions
         ));
     }
     out.push_str("\nFailFast on the same crash (typed error, bounded detection):\n");
@@ -458,7 +478,9 @@ pub fn faults_json(rows: &[FaultRow], chaos: &[ChaosCase]) -> String {
             "    {{ \"app\": \"{}\", \"n\": {}, \"ranks\": {}, \"fault_free_ms\": {:.4}, \
              \"crashed_rank\": {}, \"crash_at_ms\": {:.4}, \"recovered_ms\": {:.4}, \
              \"replans\": {}, \"cycles_lost\": {}, \"overhead_ms\": {:.4}, \
-             \"bit_identical\": {}, \"fail_fast_error\": \"{}\" }}{}\n",
+             \"bit_identical\": {}, \"drift_detections\": {}, \"repartitions\": {}, \
+             \"recalibrations\": {}, \"cycles_to_detect\": {}, \"drift_gain_ms\": {:.4}, \
+             \"fail_fast_error\": \"{}\" }}{}\n",
             r.app,
             r.n,
             r.ranks,
@@ -470,6 +492,11 @@ pub fn faults_json(rows: &[FaultRow], chaos: &[ChaosCase]) -> String {
             r.cycles_lost,
             r.overhead_ms,
             r.bit_identical,
+            r.drift_detections,
+            r.repartitions,
+            r.recalibrations,
+            r.cycles_to_detect,
+            r.drift_gain_ms,
             r.fail_fast.replace('"', "'"),
             if i + 1 == rows.len() { "" } else { "," }
         ));

@@ -19,12 +19,14 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod drift;
 pub mod experiments;
 pub mod faults;
 pub mod report;
 pub mod sweep;
 
 pub use ablations::*;
+pub use drift::*;
 pub use experiments::*;
 pub use faults::*;
 pub use report::*;

@@ -27,6 +27,7 @@ pub mod cache;
 pub mod costmodel;
 pub mod fit;
 pub mod linreg;
+pub mod recal;
 pub mod testbed;
 
 pub use bench_app::CommBench;
@@ -41,4 +42,5 @@ pub use fit::{
     CalibrationConfig,
 };
 pub use linreg::{least_squares, FitResult};
+pub use recal::{inflate_intra, refit_speed, speed_scale, InflatedCostModel};
 pub use testbed::{ClusterSpec, Testbed};

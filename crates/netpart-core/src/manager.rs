@@ -85,7 +85,14 @@ pub fn determine_available(
         let Some(&manager) = members.first() else {
             continue;
         };
-        let mgr_load = mmps.net_ref().node(manager).external_load;
+        // Managers and members report their *effective* load: external
+        // load plus any gray-failure slowdown folded into one "fraction of
+        // nominal speed unavailable" number. This is the node honestly
+        // reporting its own observed state (the paper's load daemon), not
+        // the manager peeking at fault-injection internals — and it is
+        // what lets a degraded node be excluded while degraded and
+        // re-admitted automatically once its slowdown ends.
+        let mgr_load = mmps.net_ref().node(manager).effective_load();
         if mgr_load <= policy.threshold {
             available[k].push(manager);
         }
@@ -116,7 +123,7 @@ pub fn determine_available(
             MmpsEvent::MessageDelivered { src, dst, tag, .. } => {
                 if tag & PROBE_TAG != 0 {
                     let k = tag & 0xFFFF_FFFF;
-                    let load = mmps.net_ref().node(dst).external_load;
+                    let load = mmps.net_ref().node(dst).effective_load();
                     let quantized = (load * 255.0).round().clamp(0.0, 255.0) as u8;
                     mmps.send_message(dst, src, REPLY_TAG | (u64::from(quantized) << 16) | k, {
                         Bytes::from(vec![quantized])
@@ -230,6 +237,39 @@ mod tests {
             "protocol took {} ms",
             r.protocol_time.as_millis_f64()
         );
+    }
+
+    #[test]
+    fn degraded_member_is_excluded_then_readmitted_after_recovery() {
+        let (mut mmps, clusters) = full_testbed();
+        let slow = clusters[0][2];
+        mmps.net().install_fault_plan(
+            &netpart_sim::FaultPlan::new()
+                .slow(netpart_sim::SimTime::ZERO, slow, 4.0)
+                .end_slowdown(
+                    netpart_sim::SimTime::ZERO + SimDur::from_millis_f64(100.0),
+                    slow,
+                ),
+        );
+        let r1 = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
+        assert_eq!(r1.available, vec![5, 6], "4x-degraded node reports 0.75");
+        assert!(!r1.nodes[0].contains(&slow));
+        assert!(
+            r1.suspected_dead.is_empty(),
+            "degraded is not dead: {:?}",
+            r1.suspected_dead
+        );
+        // Advance the simulated clock past the end of the slowdown, then
+        // re-probe: the recovered capacity must be re-admitted.
+        mmps.net().set_timer(SimDur::from_millis_f64(200.0), 99, 0);
+        while let Some(evt) = mmps.next_event() {
+            if matches!(evt, MmpsEvent::TimerFired { owner: 99, .. }) {
+                break;
+            }
+        }
+        let r2 = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
+        assert_eq!(r2.available, vec![6, 6], "recovered node rejoins the pool");
+        assert!(r2.nodes[0].contains(&slow));
     }
 
     #[test]

@@ -47,6 +47,22 @@ pub enum NetpartError {
         /// Transmission attempts made before declaring it dead.
         attempts: u32,
     },
+    /// A drift monitor confirmed sustained performance degradation on a
+    /// rank: observed phase times exceed the plan's prediction past the
+    /// hysteresis window. Not a failure — the computation *could* limp on —
+    /// but the engine surfaces it so an adaptive recovery policy can weigh
+    /// repartitioning against staying put.
+    DriftDegraded {
+        /// The degraded rank.
+        rank: usize,
+        /// The global cycle at which drift was confirmed.
+        cycle: u64,
+        /// The last globally consistent checkpoint cycle, if any.
+        checkpoint: Option<u64>,
+        /// Observed/predicted time ratio at confirmation, in permille
+        /// (1000 = exactly as predicted, 4000 = 4× slower).
+        severity_permille: u32,
+    },
     /// The simulation went quiescent with ranks still blocked — a script
     /// bug (e.g. a `Recv` with no matching `Send`).
     Deadlock {
@@ -122,6 +138,24 @@ impl std::fmt::Display for NetpartError {
                     None => write!(f, "none)"),
                 }
             }
+            NetpartError::DriftDegraded {
+                rank,
+                cycle,
+                checkpoint,
+                severity_permille,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} degraded at cycle {cycle} ({}.{:03}x predicted; \
+                     last consistent checkpoint: ",
+                    severity_permille / 1000,
+                    severity_permille % 1000,
+                )?;
+                match checkpoint {
+                    Some(c) => write!(f, "cycle {c})"),
+                    None => write!(f, "none)"),
+                }
+            }
             NetpartError::Deadlock { blocked } => {
                 write!(f, "deadlock; blocked ranks: {blocked:?}")
             }
@@ -191,6 +225,24 @@ mod tests {
                     cycle: 0,
                     checkpoint: None,
                     attempts: 4,
+                },
+                "last consistent checkpoint: none",
+            ),
+            (
+                NetpartError::DriftDegraded {
+                    rank: 5,
+                    cycle: 9,
+                    checkpoint: Some(7),
+                    severity_permille: 4250,
+                },
+                "rank 5 degraded at cycle 9 (4.250x predicted",
+            ),
+            (
+                NetpartError::DriftDegraded {
+                    rank: 0,
+                    cycle: 2,
+                    checkpoint: None,
+                    severity_permille: 1500,
                 },
                 "last consistent checkpoint: none",
             ),

@@ -132,10 +132,32 @@ pub(crate) enum FaultAction {
     RouterDown(RouterId, SimTime),
     /// Segment loss probability override until the given time.
     Burst(SegmentId, f64, SimTime),
+    /// Clear a node's compute-slowdown multiplier (back to 1.0).
+    EndSlow(NodeId),
+    /// Un-crash a node: it rejoins the network with clean state.
+    Recover(NodeId),
+    /// Set a node's external (background) load fraction.
+    Load(NodeId, f64),
+}
+
+impl Work {
+    /// Scheduling class at equal timestamps: faults resolve before any
+    /// other work item scheduled for the same instant. This makes the
+    /// boundary semantics deterministic by construction — a slowdown
+    /// ending at time *t* is applied before a compute block that starts
+    /// at *t*, so the block runs at the restored rate (and symmetrically
+    /// a slowdown *starting* at *t* does slow a block started at *t*).
+    fn class(&self) -> u8 {
+        match self {
+            Work::Fault { .. } => 0,
+            _ => 1,
+        }
+    }
 }
 
 struct Entry {
     at: SimTime,
+    class: u8,
     seq: u64,
     work: Work,
 }
@@ -154,9 +176,12 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: the BinaryHeap is a max-heap and we want earliest first.
+        // Key is (time, class, seq): at equal times faults (class 0) win,
+        // then insertion order. See [`Work::class`] for why.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.class.cmp(&self.class))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -176,11 +201,18 @@ impl EventQueue {
     }
 
     /// Schedule `work` at `at`. Items scheduled for the same instant are
-    /// processed in insertion order.
+    /// processed in insertion order, except that fault events always
+    /// resolve first (see [`Work::class`]).
     pub(crate) fn push(&mut self, at: SimTime, work: Work) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, work });
+        let class = work.class();
+        self.heap.push(Entry {
+            at,
+            class,
+            seq,
+            work,
+        });
     }
 
     /// Remove and return the earliest item.
@@ -239,6 +271,35 @@ mod tests {
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, w)| token_of(&w))).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_wins_ties_regardless_of_insertion_order() {
+        let mut q = EventQueue::new();
+        // Non-fault work enqueued first (lower seq), fault enqueued last:
+        // at the shared instant the fault must still pop first.
+        q.push(SimTime(5), timer(0));
+        q.push(SimTime(5), timer(1));
+        q.push(
+            SimTime(5),
+            Work::Fault {
+                action: FaultAction::EndSlow(NodeId(0)),
+            },
+        );
+        let (_, first) = q.pop().unwrap();
+        assert!(matches!(first, Work::Fault { .. }));
+        // The remaining same-time items keep FIFO order.
+        assert_eq!(token_of(&q.pop().unwrap().1), 0);
+        assert_eq!(token_of(&q.pop().unwrap().1), 1);
+        // An earlier non-fault item still beats a later fault.
+        q.push(SimTime(9), timer(7));
+        q.push(
+            SimTime(10),
+            Work::Fault {
+                action: FaultAction::Recover(NodeId(1)),
+            },
+        );
+        assert_eq!(q.pop().unwrap().0, SimTime(9));
     }
 
     #[test]

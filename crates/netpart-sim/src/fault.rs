@@ -17,10 +17,22 @@
 //!   would send are silently swallowed (a dead host's protocol stack dies
 //!   with it), frames addressed to it are dropped with
 //!   [`DropReason::NodeDown`](crate::event::DropReason::NodeDown), and
-//!   compute blocks running on it never complete. Crashes are permanent.
+//!   compute blocks running on it never complete. Crashes are permanent
+//!   unless the plan also schedules a later [`FaultEvent::NodeRecover`]
+//!   for the same node.
 //! * **Slowdown** — compute blocks *started* at or after time `at` stretch
 //!   by `factor` (on top of the external-load stretch). Models a machine
-//!   that degrades without dying.
+//!   that degrades without dying. A scheduled
+//!   [`FaultEvent::EndSlowdown`] clears the multiplier; compute blocks
+//!   already in flight keep the rate sampled when they started.
+//! * **Recover** — the node rejoins the network: it accepts frames and
+//!   can compute again, but anything that was lost while it was down
+//!   stays lost (protocol layers must re-establish state themselves).
+//! * **External load** — sets the node's background-load fraction (the
+//!   same knob as [`Network::set_external_load`](crate::network::Network::set_external_load)),
+//!   which stretches compute started from then on by `1/(1-load)`. A
+//!   sequence of these events forms a load ramp;
+//!   [`FaultPlan::load_ramp`] is a convenience that emits the steps.
 //! * **Router outage** — frames reaching the router inside the window are
 //!   dropped with [`DropReason::RouterDown`](crate::event::DropReason::RouterDown).
 //!   Overlapping windows merge.
@@ -28,6 +40,16 @@
 //!   probability is replaced by `loss`; outside it reverts to the spec
 //!   value. The burst draws from the same seeded RNG stream as ordinary
 //!   channel loss.
+//!
+//! # Boundary tie-break
+//!
+//! Faults scheduled for time *t* resolve **before** any other work item
+//! at *t*, regardless of insertion order. Concretely: a slowdown ending
+//! at *t* and a compute block starting at *t* always resolve as
+//! end-then-start, so the block runs at the restored rate; symmetrically
+//! a slowdown starting at *t* does slow a block started at *t*. Compute
+//! blocks already in flight at either boundary keep the rate sampled at
+//! their start (duration is computed once, when the block starts).
 //!
 //! # No cheating
 //!
@@ -82,6 +104,33 @@ pub enum FaultEvent {
         /// Loss probability inside the window (clamped to `[0, 0.999]`).
         loss: f64,
     },
+    /// At time `at` the compute-slowdown multiplier on `node` is cleared
+    /// (back to 1.0). Compute already in flight keeps its sampled rate.
+    EndSlowdown {
+        /// Restore instant.
+        at: SimTime,
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// At time `at` a crashed `node` rejoins the network (accepts frames,
+    /// can compute). State lost during the outage stays lost.
+    NodeRecover {
+        /// Rejoin instant.
+        at: SimTime,
+        /// The returning node.
+        node: NodeId,
+    },
+    /// At time `at` the external (background) load on `node` becomes
+    /// `load` (clamped to `[0, 0.99]`), stretching compute started from
+    /// then on by `1/(1-load)`.
+    ExternalLoad {
+        /// Onset instant.
+        at: SimTime,
+        /// The affected node.
+        node: NodeId,
+        /// Background-load fraction.
+        load: f64,
+    },
 }
 
 impl FaultEvent {
@@ -89,7 +138,11 @@ impl FaultEvent {
     /// faults).
     pub fn at(&self) -> SimTime {
         match self {
-            FaultEvent::NodeCrash { at, .. } | FaultEvent::NodeSlowdown { at, .. } => *at,
+            FaultEvent::NodeCrash { at, .. }
+            | FaultEvent::NodeSlowdown { at, .. }
+            | FaultEvent::EndSlowdown { at, .. }
+            | FaultEvent::NodeRecover { at, .. }
+            | FaultEvent::ExternalLoad { at, .. } => *at,
             FaultEvent::RouterOutage { from, .. } | FaultEvent::LossBurst { from, .. } => *from,
         }
     }
@@ -149,6 +202,56 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule the end of a compute slowdown on `node` at `at`.
+    pub fn end_slowdown(mut self, at: SimTime, node: NodeId) -> FaultPlan {
+        self.events.push(FaultEvent::EndSlowdown { at, node });
+        self
+    }
+
+    /// Schedule a crashed `node` to rejoin the network at `at`.
+    pub fn node_recover(mut self, at: SimTime, node: NodeId) -> FaultPlan {
+        self.events.push(FaultEvent::NodeRecover { at, node });
+        self
+    }
+
+    /// Schedule `node`'s external (background) load to become `load` at
+    /// `at`.
+    pub fn load(mut self, at: SimTime, node: NodeId, load: f64) -> FaultPlan {
+        self.events
+            .push(FaultEvent::ExternalLoad { at, node, load });
+        self
+    }
+
+    /// Schedule a background-load ramp on `node`: `steps` evenly spaced
+    /// [`FaultEvent::ExternalLoad`] events across `[from, until]`,
+    /// linearly interpolating from the current load assumption `start`
+    /// to `end`. With `steps == 1` this degenerates to a single step to
+    /// `end` at `from`.
+    pub fn load_ramp(
+        mut self,
+        node: NodeId,
+        from: SimTime,
+        until: SimTime,
+        start: f64,
+        end: f64,
+        steps: u32,
+    ) -> FaultPlan {
+        let steps = steps.max(1);
+        let span = until.0.saturating_sub(from.0);
+        for k in 0..steps {
+            let frac = if steps == 1 {
+                1.0
+            } else {
+                f64::from(k + 1) / f64::from(steps)
+            };
+            let at = SimTime(from.0 + (span as f64 * f64::from(k) / f64::from(steps)) as u64);
+            let load = start + (end - start) * frac;
+            self.events
+                .push(FaultEvent::ExternalLoad { at, node, load });
+        }
+        self
+    }
+
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -178,5 +281,49 @@ mod tests {
         assert_eq!(plan.events[0].at(), t(5));
         assert_eq!(plan.events[2].at(), t(2));
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn transient_builders_record_events() {
+        let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+        let plan = FaultPlan::new()
+            .slow(t(1), NodeId(0), 4.0)
+            .end_slowdown(t(6), NodeId(0))
+            .crash(t(2), NodeId(1))
+            .node_recover(t(8), NodeId(1))
+            .load(t(3), NodeId(2), 0.5);
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.events[1].at(), t(6));
+        assert_eq!(plan.events[3].at(), t(8));
+        assert!(matches!(
+            plan.events[4],
+            FaultEvent::ExternalLoad { load, .. } if load == 0.5
+        ));
+    }
+
+    #[test]
+    fn load_ramp_interpolates_evenly() {
+        let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+        let plan = FaultPlan::new().load_ramp(NodeId(4), t(0), t(40), 0.0, 0.8, 4);
+        assert_eq!(plan.len(), 4);
+        let loads: Vec<f64> = plan
+            .events
+            .iter()
+            .map(|e| match e {
+                FaultEvent::ExternalLoad { load, .. } => *load,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(loads, vec![0.2, 0.4, 0.6000000000000001, 0.8]);
+        assert_eq!(plan.events[0].at(), t(0));
+        assert_eq!(plan.events[3].at(), t(30));
+
+        let single = FaultPlan::new().load_ramp(NodeId(4), t(5), t(9), 0.1, 0.7, 1);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.events[0].at(), t(5));
+        assert!(matches!(
+            single.events[0],
+            FaultEvent::ExternalLoad { load, .. } if load == 0.7
+        ));
     }
 }

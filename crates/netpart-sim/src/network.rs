@@ -290,6 +290,24 @@ impl Network {
                     }
                     FaultAction::Burst(segment, loss.clamp(0.0, 0.999), until)
                 }
+                FaultEvent::EndSlowdown { node, .. } => {
+                    if node.index() >= self.nodes.len() {
+                        continue;
+                    }
+                    FaultAction::EndSlow(node)
+                }
+                FaultEvent::NodeRecover { node, .. } => {
+                    if node.index() >= self.nodes.len() {
+                        continue;
+                    }
+                    FaultAction::Recover(node)
+                }
+                FaultEvent::ExternalLoad { node, load, .. } => {
+                    if node.index() >= self.nodes.len() {
+                        continue;
+                    }
+                    FaultAction::Load(node, load.clamp(0.0, 0.99))
+                }
             };
             self.queue
                 .push(ev.at().max(self.now), Work::Fault { action });
@@ -639,6 +657,15 @@ impl Network {
                 let s = &mut self.segments[segment.index()];
                 s.burst_loss = loss;
                 s.burst_until = s.burst_until.max(until);
+            }
+            FaultAction::EndSlow(node) => {
+                self.nodes[node.index()].fault_slowdown = 1.0;
+            }
+            FaultAction::Recover(node) => {
+                self.nodes[node.index()].crashed = false;
+            }
+            FaultAction::Load(node, load) => {
+                self.nodes[node.index()].external_load = load;
             }
         }
     }

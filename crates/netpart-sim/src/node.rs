@@ -153,7 +153,8 @@ pub struct Node {
     /// When the node's protocol stack frees up (host network processing is
     /// serialized per node, independent of compute — interrupt-level work).
     pub(crate) net_free_at: SimTime,
-    /// Whether a scheduled fault has fail-stopped this node (permanent).
+    /// Whether a scheduled fault has fail-stopped this node (permanent
+    /// unless the plan schedules a later recover).
     pub(crate) crashed: bool,
     /// Compute-slowdown multiplier from an injected fault (1.0 = healthy).
     pub(crate) fault_slowdown: f64,
@@ -177,6 +178,18 @@ impl Node {
     pub fn slowdown(&self) -> f64 {
         let l = self.external_load.clamp(0.0, 0.99);
         self.fault_slowdown.max(1.0) / (1.0 - l)
+    }
+
+    /// The load fraction this node would honestly report to a cluster
+    /// manager's availability probe: the fraction of its nominal speed
+    /// currently unavailable, from external load *and* any gray-failure
+    /// slowdown. Equal to `external_load` on a healthy node (so the value
+    /// is indistinguishable from the raw field in the fault-free case),
+    /// and `1 - 1/slowdown()` in general — e.g. a 4×-degraded idle node
+    /// reports 0.75.
+    #[inline]
+    pub fn effective_load(&self) -> f64 {
+        1.0 - 1.0 / self.slowdown()
     }
 }
 
@@ -207,5 +220,21 @@ mod tests {
         assert!((n.slowdown() - 2.0).abs() < 1e-12);
         n.external_load = 2.0; // clamped
         assert!(n.slowdown() <= 100.0);
+    }
+
+    #[test]
+    fn effective_load_folds_in_fault_slowdown() {
+        let mut n = Node::new(ProcTypeId(0), SegmentId(0));
+        assert_eq!(n.effective_load(), 0.0);
+        n.external_load = 0.3;
+        assert!(
+            (n.effective_load() - 0.3).abs() < 1e-12,
+            "healthy node reports its raw external load"
+        );
+        n.fault_slowdown = 4.0;
+        n.external_load = 0.0;
+        assert!((n.effective_load() - 0.75).abs() < 1e-12);
+        n.fault_slowdown = 1.0;
+        assert_eq!(n.effective_load(), 0.0, "cleared slowdown reports clean");
     }
 }

@@ -1,0 +1,166 @@
+//! Fault-injection boundary semantics and transient-fault behaviour.
+//!
+//! The deterministic tie-break under test: a fault scheduled for time *t*
+//! resolves before any other work item at *t*, regardless of insertion
+//! order. So a slowdown *ending* at *t* restores full speed for a compute
+//! block started at *t*, and a slowdown *starting* at *t* does slow such
+//! a block — even when the triggering timer was enqueued before the fault
+//! plan was installed.
+
+use bytes::Bytes;
+use netpart_sim::{
+    FaultPlan, NetworkBuilder, NodeId, OpClass, ProcType, SegmentSpec, SimDur, SimEvent, SimTime,
+};
+
+fn one_node_net() -> (netpart_sim::Network, NodeId, NodeId) {
+    let mut b = NetworkBuilder::new(1);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let a = b.add_node(pt, seg);
+    let c = b.add_node(pt, seg);
+    (b.build().expect("network"), a, c)
+}
+
+/// Un-slowed duration of the reference compute block: 1e6 flops on a
+/// Sparc2 at 0.3 µs/flop = 300 ms.
+const OPS: f64 = 1.0e6;
+const BASE_MS: u64 = 300;
+
+fn compute_started_at_timer(net: &mut netpart_sim::Network, node: NodeId) -> (SimTime, SimTime) {
+    let mut started = None;
+    loop {
+        match net.next_event() {
+            Some(SimEvent::TimerFired { at, .. }) => {
+                started = Some(at);
+                net.start_compute(node, OPS, OpClass::Flop, 77);
+            }
+            Some(SimEvent::ComputeDone { at, token: 77, .. }) => {
+                return (started.expect("timer fired before compute"), at);
+            }
+            Some(_) => {}
+            None => panic!("queue drained before compute finished"),
+        }
+    }
+}
+
+#[test]
+fn slowdown_ending_at_t_restores_block_starting_at_t() {
+    let (mut net, a, _) = one_node_net();
+    let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+    // Timer enqueued BEFORE the plan (lower sequence number): with plain
+    // FIFO tie-breaking the timer would fire first and the block would
+    // sample the still-slowed rate. Fault-first ordering must win.
+    net.set_timer(SimDur::from_millis(10), 0, 1);
+    net.install_fault_plan(&FaultPlan::new().slow(t(0), a, 4.0).end_slowdown(t(10), a));
+    let (started, ended) = compute_started_at_timer(&mut net, a);
+    assert_eq!(started, t(10));
+    assert_eq!(
+        ended,
+        started + SimDur::from_millis(BASE_MS),
+        "block starting exactly when the slowdown ends runs at full speed"
+    );
+}
+
+#[test]
+fn slowdown_starting_at_t_slows_block_starting_at_t() {
+    let (mut net, a, _) = one_node_net();
+    let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+    net.set_timer(SimDur::from_millis(10), 0, 1);
+    net.install_fault_plan(&FaultPlan::new().slow(t(10), a, 4.0));
+    let (started, ended) = compute_started_at_timer(&mut net, a);
+    assert_eq!(started, t(10));
+    assert_eq!(
+        ended,
+        started + SimDur::from_millis(4 * BASE_MS),
+        "block starting exactly at slowdown onset is slowed"
+    );
+}
+
+#[test]
+fn in_flight_block_keeps_rate_sampled_at_start() {
+    let (mut net, a, _) = one_node_net();
+    let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+    // Slowdown ends mid-block: the duration was fixed at start, so the
+    // block still takes the slowed time.
+    net.set_timer(SimDur::from_millis(10), 0, 1);
+    net.install_fault_plan(&FaultPlan::new().slow(t(0), a, 4.0).end_slowdown(t(100), a));
+    let (started, ended) = compute_started_at_timer(&mut net, a);
+    assert_eq!(started, t(10));
+    assert_eq!(
+        ended,
+        started + SimDur::from_millis(4 * BASE_MS),
+        "the end_slowdown at 100 ms does not shorten the in-flight block"
+    );
+}
+
+#[test]
+fn recovered_node_accepts_traffic_and_computes_again() {
+    let (mut net, a, c) = one_node_net();
+    let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+    net.install_fault_plan(&FaultPlan::new().crash(t(5), c).node_recover(t(50), c));
+    // Datagram sent while c is down is dropped.
+    net.set_timer(SimDur::from_millis(10), 0, 1);
+    let mut delivered = false;
+    loop {
+        match net.next_event() {
+            Some(SimEvent::TimerFired { .. }) => {
+                net.send_datagram(a, c, 1, Bytes::from(vec![0u8; 64]))
+                    .unwrap();
+            }
+            Some(SimEvent::DatagramDropped { .. }) => {
+                // The drop is proven; try again after the recover instant.
+                net.set_timer(SimDur::from_millis(60), 0, 2);
+                break;
+            }
+            Some(_) => {}
+            None => panic!("expected a drop while the receiver is down"),
+        }
+    }
+    loop {
+        match net.next_event() {
+            Some(SimEvent::TimerFired { at, .. }) => {
+                assert!(at >= t(50));
+                assert!(!net.node_crashed(c), "node has recovered by now");
+                net.send_datagram(a, c, 2, Bytes::from(vec![0u8; 64]))
+                    .unwrap();
+                net.start_compute(c, OPS, OpClass::Flop, 9);
+            }
+            Some(SimEvent::DatagramDelivered { dgram, .. }) if dgram.tag == 2 => {
+                delivered = true;
+            }
+            Some(SimEvent::ComputeDone { token: 9, .. }) => break,
+            Some(_) => {}
+            None => panic!("recovered node never delivered/computed"),
+        }
+    }
+    assert!(delivered);
+}
+
+#[test]
+fn external_load_event_stretches_compute_like_the_setter() {
+    let (mut net, a, _) = one_node_net();
+    let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+    // load 0.5 → stretch 2×.
+    net.set_timer(SimDur::from_millis(20), 0, 1);
+    net.install_fault_plan(&FaultPlan::new().load(t(20), a, 0.5));
+    let (started, ended) = compute_started_at_timer(&mut net, a);
+    assert_eq!(started, t(20));
+    assert_eq!(ended, started + SimDur::from_millis(2 * BASE_MS));
+}
+
+#[test]
+fn load_ramp_steps_apply_in_sequence() {
+    let (mut net, a, _) = one_node_net();
+    let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+    // Two steps: load 0.25 at 0 ms, load 0.5 at 50 ms.
+    net.install_fault_plan(&FaultPlan::new().load_ramp(a, t(0), t(100), 0.0, 0.5, 2));
+    net.set_timer(SimDur::from_millis(10), 0, 1);
+    let (_, ended1) = compute_started_at_timer(&mut net, a);
+    // Started at 10 ms under load 0.25 → 400 ms.
+    assert_eq!(ended1, t(10) + SimDur::from_millis(400));
+    net.set_timer(SimDur::from_millis(200), 0, 2);
+    let (started2, ended2) = compute_started_at_timer(&mut net, a);
+    // By 610 ms the ramp has reached 0.5 → 600 ms.
+    assert_eq!(started2, ended1 + SimDur::from_millis(200));
+    assert_eq!(ended2, started2 + SimDur::from_millis(2 * BASE_MS));
+}

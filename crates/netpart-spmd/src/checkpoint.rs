@@ -180,6 +180,10 @@ impl<A: Probe, B: Probe> Probe for Tee<'_, A, B> {
             .last_consistent()
             .or_else(|| self.a.last_consistent())
     }
+
+    fn drift_abort(&self) -> Option<crate::engine::DriftAbort> {
+        self.a.drift_abort().or_else(|| self.b.drift_abort())
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,23 @@ pub enum Phase {
     Recv,
 }
 
+/// A probe's verdict that the run should be abandoned for adaptive
+/// reasons: some rank's observed performance has drifted past its
+/// tolerance. Surfaced by the engine as
+/// [`NetpartError::DriftDegraded`] with the probe's last consistent
+/// checkpoint attached, so an adaptive recovery policy can decide whether
+/// to repartition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftAbort {
+    /// The degraded rank.
+    pub rank: Rank,
+    /// The cycle at which drift was confirmed, in the probe's own
+    /// coordinate system (global when the probe tracks a base offset).
+    pub cycle: u64,
+    /// Observed/predicted ratio at confirmation, in permille.
+    pub severity_permille: u32,
+}
+
 /// Observation hooks into the cycle engine.
 ///
 /// Every method has an empty `#[inline]` default, so probes implement
@@ -92,6 +109,17 @@ pub trait Probe {
     /// The last globally consistent checkpoint cycle, if tracking.
     #[inline]
     fn last_consistent(&self) -> Option<u64> {
+        None
+    }
+
+    /// Polled by the engine after every completed cycle (after the
+    /// checkpoint seam): a probe that has confirmed sustained drift
+    /// returns `Some` to abandon the run with
+    /// [`NetpartError::DriftDegraded`]. The default `None` keeps
+    /// un-instrumented runs byte-identical — the poll is a pure read with
+    /// no observable side effects.
+    #[inline]
+    fn drift_abort(&self) -> Option<DriftAbort> {
         None
     }
 }
@@ -536,6 +564,18 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                     if let Some(blob) = self.app.checkpoint(rank, cycle) {
                         self.probe.on_checkpoint(rank, cycle, blob);
                     }
+                }
+                // Drift seam: a monitoring probe that has just confirmed
+                // sustained degradation aborts the run here, *after* the
+                // cycle's checkpoint was captured, so recovery resumes
+                // from the freshest consistent state.
+                if let Some(d) = self.probe.drift_abort() {
+                    return Err(NetpartError::DriftDegraded {
+                        rank: d.rank,
+                        cycle: d.cycle,
+                        checkpoint: self.probe.last_consistent(),
+                        severity_permille: d.severity_permille,
+                    });
                 }
                 let next = cycle + 1;
                 if next >= self.num_cycles {

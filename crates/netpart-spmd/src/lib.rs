@@ -21,13 +21,15 @@
 #![forbid(unsafe_code)]
 
 pub mod checkpoint;
+pub mod drift;
 pub mod engine;
 pub mod report;
 pub mod runtime;
 pub mod task;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, Tee};
-pub use engine::{CycleEngine, NoProbe, Phase, Probe};
+pub use drift::{DriftConfig, DriftMonitor, DriftReport};
+pub use engine::{CycleEngine, DriftAbort, NoProbe, Phase, Probe};
 pub use report::{SpmdError, SpmdReport};
 pub use runtime::Executor;
 pub use task::{Rank, SpmdApp, Step};

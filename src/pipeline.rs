@@ -27,8 +27,8 @@
 //! ```
 
 use netpart_calibrate::{
-    calibrate_testbed_cached, CalibratedCostModel, CalibrationConfig, CommCostModel,
-    PaperCostModel, Testbed,
+    calibrate_testbed_cached, speed_scale, CalibratedCostModel, CalibrationConfig, CommCostModel,
+    InflatedCostModel, PaperCostModel, Testbed,
 };
 use netpart_core::{
     determine_available, partition, AvailabilityPolicy, Estimator, Partition, PartitionOptions,
@@ -38,7 +38,8 @@ use netpart_mmps::MmpsEvent;
 use netpart_model::{AppModel, NetpartError, PartitionVector};
 use netpart_sim::{FaultPlan, NodeId, RouterId, SegmentId, SimDur, SimTime};
 use netpart_spmd::{
-    Checkpoint, CheckpointStore, Executor, Phase, Probe, Rank, SpmdApp, SpmdReport, Tee,
+    Checkpoint, CheckpointStore, DriftConfig, DriftMonitor, DriftReport, Executor, Phase, Probe,
+    Rank, SpmdApp, SpmdReport, Tee,
 };
 use netpart_topology::{PlacementStrategy, Topology};
 
@@ -343,6 +344,35 @@ pub enum Fault {
         /// Loss probability inside the window.
         loss: f64,
     },
+    /// An earlier [`Fault::RankSlowdown`] on `rank`'s node ends: the
+    /// compute multiplier clears back to 1 (in-flight blocks keep the
+    /// rate they sampled at start).
+    RankSlowdownEnd {
+        /// Recovery instant, simulated ms.
+        at_ms: f64,
+        /// Rank whose node returns to full speed.
+        rank: usize,
+    },
+    /// The node hosting `rank` returns from an earlier
+    /// [`Fault::RankCrash`] — a transient outage instead of fail-stop.
+    /// The returned node rejoins the pool at the next availability round.
+    RankRecover {
+        /// Recovery instant, simulated ms.
+        at_ms: f64,
+        /// Rank whose node comes back.
+        rank: usize,
+    },
+    /// Background load on `rank`'s node steps to `load` (a fraction of
+    /// the CPU, clamped below 1) — schedule several to ramp load up or
+    /// back down.
+    RankLoad {
+        /// Step instant, simulated ms.
+        at_ms: f64,
+        /// Rank whose node gains competing load.
+        rank: usize,
+        /// External load fraction in `[0, 1)`.
+        load: f64,
+    },
 }
 
 /// A deterministic fault schedule for one recoverable run. Same schedule +
@@ -407,6 +437,27 @@ impl FaultSchedule {
                     until_ms,
                     loss,
                 } => plan.loss_burst(SegmentId(cluster as u16), t(from_ms), t(until_ms), loss),
+                Fault::RankSlowdownEnd { at_ms, rank } => {
+                    let &node = nodes.get(rank).ok_or(NetpartError::RankMismatch {
+                        vector: rank + 1,
+                        nodes: nodes.len(),
+                    })?;
+                    plan.end_slowdown(t(at_ms), node)
+                }
+                Fault::RankRecover { at_ms, rank } => {
+                    let &node = nodes.get(rank).ok_or(NetpartError::RankMismatch {
+                        vector: rank + 1,
+                        nodes: nodes.len(),
+                    })?;
+                    plan.node_recover(t(at_ms), node)
+                }
+                Fault::RankLoad { at_ms, rank, load } => {
+                    let &node = nodes.get(rank).ok_or(NetpartError::RankMismatch {
+                        vector: rank + 1,
+                        nodes: nodes.len(),
+                    })?;
+                    plan.load(t(at_ms), node, load)
+                }
             };
         }
         Ok(plan)
@@ -428,6 +479,34 @@ pub enum RecoveryPolicy {
         /// decision latency of a real recovery manager.
         backoff_ms: f64,
     },
+    /// Gray-failure tolerance on top of everything
+    /// [`Replan`](RecoveryPolicy::Replan) does for fail-stop crashes
+    /// (with fixed internal replan/backoff knobs). A
+    /// [`DriftMonitor`] rides along on every segment, comparing each
+    /// rank's observed phase times against the plan's predicted
+    /// `T_comp`/`T_comm`. On confirmed drift the policy refits the
+    /// degraded cluster's speed and/or its segment's communication cost
+    /// from the in-flight measurement, re-runs the partitioner on the
+    /// refitted model over the currently-available nodes, and applies a
+    /// cost/benefit gate: repartition only when the projected per-cycle
+    /// saving over the remaining cycles beats the migration cost
+    /// (re-executed cycles plus shipping the checkpointed state) by more
+    /// than `min_gain`. Otherwise it deliberately stays put and re-arms
+    /// the monitor after `cooldown` cycles. A fault-free run under
+    /// `Adapt` is byte-identical to one under `Replan` — the monitor is
+    /// purely observational.
+    Adapt {
+        /// Observed/predicted ratio above which a cycle counts as
+        /// degraded (e.g. `1.75` = 75% slower than planned).
+        degrade_threshold: f64,
+        /// Minimum projected *net* gain (simulated ms over the rest of
+        /// the run) required to repartition; below it the policy declines.
+        min_gain: f64,
+        /// Cycles after a declined repartition during which the drift
+        /// monitor is suppressed, so an unprofitable degradation is not
+        /// re-litigated every few cycles.
+        cooldown: u64,
+    },
 }
 
 /// What recovery cost, attached to a [`Run`] by
@@ -445,6 +524,23 @@ pub struct RecoveryStats {
     /// Simulated ms spent recovering: failure detection to relaunch, plus
     /// checkpoint-redistribution startup of resumed segments.
     pub overhead_ms: f64,
+    /// Drift confirmations by the monitor ([`RecoveryPolicy::Adapt`]
+    /// only; gray failures, not fail-stop crashes).
+    pub drift_detections: u32,
+    /// Online recalibrations performed from in-flight drift measurements
+    /// (one per confirmed drift).
+    pub recalibrations: u32,
+    /// Drift-triggered repartitions the cost/benefit gate accepted.
+    pub repartitions: u32,
+    /// Drift confirmations where the gate declined to move (projected
+    /// gain below `min_gain`, or no capacity to move to).
+    pub repartitions_declined: u32,
+    /// Detection latency: cycles from drift onset (first degraded cycle)
+    /// to confirmation, inclusive, summed over detections.
+    pub cycles_to_detect: u64,
+    /// Projected net gain (simulated ms: per-cycle saving × remaining
+    /// cycles, minus migration cost) of the accepted repartitions.
+    pub drift_gain_ms: f64,
 }
 
 /// How the app factory passed to [`Scenario::run_recoverable`] should
@@ -461,6 +557,13 @@ pub enum AppStart<'a> {
 /// Timer owner word for the recovery backoff pause (distinct from the
 /// MMPS-internal and availability-round owners).
 const OWNER_RECOVERY: u64 = u64::MAX - 3;
+
+/// Fail-stop replan budget and decision pause used by
+/// [`RecoveryPolicy::Adapt`], which fixes the [`RecoveryPolicy::Replan`]
+/// knobs so its own surface stays the three drift parameters the
+/// cost/benefit gate actually needs.
+const ADAPT_MAX_REPLANS: u32 = 4;
+const ADAPT_BACKOFF_MS: f64 = 5.0;
 
 impl Scenario {
     /// Plan and run `app` with scheduled faults and a recovery policy —
@@ -481,6 +584,10 @@ impl Scenario {
     /// availability round (bounded by the policy's probe timeout), the
     /// partitioner re-runs on the survivors, and the computation resumes
     /// from the last consistent checkpoint in a fresh engine epoch.
+    /// [`RecoveryPolicy::Adapt`] additionally watches for gray failures
+    /// (sustained drift between observed and predicted phase times),
+    /// recalibrates the degraded coefficients online, and repartitions
+    /// when — and only when — its cost/benefit gate projects a net gain.
     /// Returns the instrumented [`Run`] (with
     /// [`recovery`](Run::recovery) populated) and the final segment's
     /// application, whose state holds the computed answer.
@@ -496,10 +603,23 @@ impl Scenario {
         F: FnMut(usize, AppStart<'_>) -> Result<A, NetpartError>,
     {
         let plan = self.plan()?;
+        let mut cur_part = plan.partition.clone().ok_or_else(|| {
+            NetpartError::InvalidScenario("plan() produced no partition output".into())
+        })?;
         let (mmps, nodes) = self.testbed.try_build(&plan.config, self.placement)?;
         let fault_plan = faults.translate(&nodes)?;
         let mut exec = Executor::new(mmps, nodes);
         exec.mmps().net().install_fault_plan(&fault_plan);
+
+        let adapt = matches!(policy, RecoveryPolicy::Adapt { .. });
+        let fail_params = match policy {
+            RecoveryPolicy::FailFast => None,
+            RecoveryPolicy::Replan {
+                max_replans,
+                backoff_ms,
+            } => Some((max_replans, backoff_ms)),
+            RecoveryPolicy::Adapt { .. } => Some((ADAPT_MAX_REPLANS, ADAPT_BACKOFF_MS)),
+        };
 
         let mut cur_vector = plan.vector.clone();
         let mut distribute = self.distribute;
@@ -508,6 +628,12 @@ impl Scenario {
         let mut best: Option<Checkpoint> = None;
         let mut known_dead: Vec<NodeId> = Vec::new();
         let mut epoch: u16 = 1;
+        // Drift state carried across segments: the global cycle before
+        // which the monitor stays quiet, and where the last drift round
+        // resumed from (to detect a stalled frontier and stop thrashing).
+        let mut cooldown_until: u64 = 0;
+        let mut prev_drift_resume: Option<u64> = None;
+        let mut declined_last_round = false;
         let t0 = exec.mmps().now();
 
         loop {
@@ -519,18 +645,54 @@ impl Scenario {
                     None => AppStart::Fresh,
                 },
             )?;
+            // Resumed apps run the *remaining* cycles, so this is the
+            // job's total iteration count in global-cycle terms.
+            let total_cycles = base + app.num_cycles();
             let mut store = CheckpointStore::new(exec.nodes().len(), checkpoint_every, base);
-            let result = {
-                let mut tee = Tee::new(&mut phase_probe, &mut store);
-                exec.run_epoch(&mut app, &cur_vector, distribute, &mut tee, epoch)
+            let mut monitor = if adapt {
+                let RecoveryPolicy::Adapt {
+                    degrade_threshold, ..
+                } = policy
+                else {
+                    unreachable!("adapt implies the Adapt policy")
+                };
+                let rc = cur_part.rank_clusters();
+                let preds: Vec<f64> = rc
+                    .iter()
+                    .map(|&k| cur_part.breakdown.t_comp_ms[k as usize])
+                    .collect();
+                let mut m = DriftMonitor::new(
+                    DriftConfig {
+                        degrade_threshold,
+                        ..DriftConfig::default()
+                    },
+                    base,
+                    preds,
+                    cur_part.breakdown.t_comm_ms,
+                );
+                m.set_cooldown_until(cooldown_until);
+                Some(m)
+            } else {
+                None
+            };
+            let result = match monitor.as_mut() {
+                Some(m) => {
+                    let mut inner = Tee::new(&mut phase_probe, m);
+                    let mut tee = Tee::new(&mut inner, &mut store);
+                    exec.run_epoch(&mut app, &cur_vector, distribute, &mut tee, epoch)
+                }
+                None => {
+                    let mut tee = Tee::new(&mut phase_probe, &mut store);
+                    exec.run_epoch(&mut app, &cur_vector, distribute, &mut tee, epoch)
+                }
             };
 
             let err = match result {
                 Ok(report) => {
-                    if stats.replans > 0 {
+                    if stats.replans > 0 || stats.repartitions_declined > 0 {
                         stats.overhead_ms += report.startup.as_millis_f64();
                     }
-                    let elapsed_ms = if stats.replans == 0 {
+                    let elapsed_ms = if stats.replans == 0 && stats.repartitions_declined == 0 {
                         report.elapsed.as_millis_f64()
                     } else {
                         // Recovered runs measure wall time across every
@@ -552,26 +714,132 @@ impl Scenario {
                 Err(e) => e,
             };
 
-            // Only rank failures (and deadlocks that scheduled faults can
-            // explain — e.g. nobody ever sends to a crashed pivot owner,
-            // so no transmission fails) are recoverable.
-            let suspect = match &err {
-                NetpartError::RankFailed { rank, .. }
-                | NetpartError::PeerUnreachable { rank, .. } => Some(*rank),
-                NetpartError::Deadlock { .. } if !faults.is_empty() => None,
-                _ => return Err(err),
+            // Classify. A drift abort carries the monitor's confirmed
+            // report (only Adapt attaches one); otherwise only rank
+            // failures (and deadlocks that scheduled faults can explain —
+            // e.g. nobody ever sends to a crashed pivot owner, so no
+            // transmission fails) are recoverable.
+            let drift: Option<DriftReport> = match &err {
+                NetpartError::DriftDegraded { .. } => {
+                    monitor.as_ref().and_then(|m| m.confirmed()).copied()
+                }
+                _ => None,
             };
-            let RecoveryPolicy::Replan {
-                max_replans,
-                backoff_ms,
-            } = policy
-            else {
+            let suspect = if drift.is_some() {
+                None
+            } else {
+                match &err {
+                    NetpartError::RankFailed { rank, .. }
+                    | NetpartError::PeerUnreachable { rank, .. } => Some(*rank),
+                    NetpartError::Deadlock { .. } if !faults.is_empty() => None,
+                    _ => return Err(err),
+                }
+            };
+            let Some((max_replans, backoff_ms)) = fail_params else {
                 return Err(err);
             };
-            if stats.replans >= max_replans {
+            // Fail-stop recoveries are budgeted; a drift round past the
+            // budget declines instead of erroring (the run still works,
+            // just degraded).
+            if drift.is_none() && stats.replans >= max_replans {
                 return Err(err);
             }
             let t_fail = exec.mmps().now();
+
+            // Online recalibration from the in-flight measurement — pure
+            // arithmetic against the *current* layout, before it changes.
+            struct Recal {
+                cluster: usize,
+                node: NodeId,
+                comp_scale: f64,
+                comm_scale: f64,
+                t_stay_ms: f64,
+                report: DriftReport,
+            }
+            let recal = drift.map(|report| {
+                let m = monitor.as_ref().expect("a drift report implies a monitor");
+                let rc = cur_part.rank_clusters();
+                let slack = DriftConfig::default().slack_ms;
+                // Attribution. In a bulk-synchronous cycle the *healthy*
+                // neighbours of a slow rank can trip the receive-wait test
+                // first (they sit waiting on it), so the confirmed rank may
+                // name a symptom. And the plan's per-cluster compute
+                // prediction can be systematically biased for a given app,
+                // which shifts every ratio in a cluster by the same factor.
+                // Both problems cancel against same-cluster peers: the rank
+                // whose compute ratio stands `degrade_threshold ×` above
+                // its peers' median (and above prediction in absolute
+                // terms) is the degradation source, and the ratio relative
+                // to that peer median is its slowdown. Without such an
+                // outlier the confirmation stands as genuine communication
+                // drift.
+                let ratios: Vec<f64> = (0..exec.nodes().len())
+                    .map(|r| m.comp_ratio(r).unwrap_or(1.0))
+                    .collect();
+                // A rank alone in its cluster has no peers to difference
+                // against; its baseline falls back to the prediction (1.0).
+                let peer_median = |r: usize| -> f64 {
+                    let mut peers: Vec<f64> = (0..ratios.len())
+                        .filter(|&q| q != r && rc[q] == rc[r])
+                        .map(|q| ratios[q])
+                        .collect();
+                    if peers.is_empty() {
+                        return 1.0;
+                    }
+                    peers.sort_by(f64::total_cmp);
+                    peers[peers.len() / 2].max(f64::EPSILON)
+                };
+                let worst = (0..ratios.len())
+                    .map(|r| (r, ratios[r] / peer_median(r)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .unwrap_or((report.rank, 1.0));
+                let RecoveryPolicy::Adapt {
+                    degrade_threshold, ..
+                } = policy
+                else {
+                    unreachable!("a drift report implies the Adapt policy")
+                };
+                let (rank, comp_scale, raw_comp) =
+                    if worst.1 > degrade_threshold && ratios[worst.0] > 1.0 {
+                        (worst.0, worst.1.max(1.0), ratios[worst.0])
+                    } else {
+                        (report.rank, 1.0, ratios[report.rank])
+                    };
+                let cluster = rc[rank] as usize;
+                let node = exec.nodes()[rank];
+                let comm_ratio = if rank == report.rank {
+                    report.comm_ratio
+                } else {
+                    m.comm_ratio(rank).unwrap_or(1.0)
+                };
+                let pred_comm = cur_part.breakdown.t_comm_ms + slack;
+                let comm_scale = speed_scale(comm_ratio * pred_comm, pred_comm);
+                // Staying put prices every remaining cycle at the degraded
+                // rank's pace — it gates the bulk-synchronous cycle. The
+                // compute term is the rank's *observed* smoothed time
+                // (ratio × prediction undoes the ratio's denominator), so
+                // prediction bias cannot distort it.
+                let obs_comp_ms = raw_comp * (cur_part.breakdown.t_comp_ms[cluster] + slack);
+                let t_stay_ms = obs_comp_ms
+                    + (cur_part.breakdown.t_comm_ms * comm_scale - cur_part.breakdown.t_overlap_ms)
+                        .max(0.0);
+                stats.drift_detections += 1;
+                stats.recalibrations += 1;
+                stats.cycles_to_detect += report.cycle + 1 - report.first_degraded_cycle;
+                Recal {
+                    cluster,
+                    node,
+                    comp_scale,
+                    comm_scale,
+                    t_stay_ms,
+                    report: DriftReport {
+                        rank,
+                        comp_ratio: raw_comp,
+                        comm_ratio,
+                        ..report
+                    },
+                }
+            });
 
             // Fold this segment's consistent frontier into the best
             // checkpoint (the store outlives the segment — host-memory
@@ -607,7 +875,10 @@ impl Scenario {
 
             // Failure-aware availability round over the physical clusters,
             // known-dead nodes excluded up front; nodes that do not answer
-            // within the bounded probe timeout join them.
+            // within the bounded probe timeout join them. A gray-degraded
+            // node answers honestly with its effective load and thereby
+            // self-excludes; a recovered or unloaded node re-admits itself
+            // the same way.
             let clusters: Vec<Vec<NodeId>> = (0..self.testbed.num_clusters())
                 .map(|k| {
                     exec.mmps()
@@ -626,11 +897,128 @@ impl Scenario {
                 exec.mmps().abort_peer(n);
             }
 
-            // Re-run the offline half on the survivors.
+            // Re-run the offline half on the survivors — on the refitted
+            // model when a drift was just recalibrated.
             let model = self.resolve_model()?;
-            let sys = SystemModel::from_testbed(&self.testbed).with_available(&avail.available);
-            let est = Estimator::new(&sys, model.as_dyn(), &self.app);
-            let part = partition(&est, &self.options)?;
+            let inflated = recal
+                .as_ref()
+                .filter(|r| r.comm_scale > 1.0)
+                .map(|r| InflatedCostModel::new(model.as_dyn(), r.cluster, r.comm_scale));
+            let model_dyn: &dyn CommCostModel = match &inflated {
+                Some(m) => m,
+                None => model.as_dyn(),
+            };
+            let mut sys = SystemModel::from_testbed(&self.testbed).with_available(&avail.available);
+            if let Some(r) = &recal {
+                // The degraded node normally self-excludes through its
+                // load report; if a lenient availability threshold keeps
+                // it in the pool, plan its cluster at the refitted
+                // (degraded) speed rather than the calibrated one.
+                if r.comp_scale > 1.0
+                    && avail
+                        .nodes
+                        .get(r.cluster)
+                        .is_some_and(|ns| ns.contains(&r.node))
+                {
+                    sys.clusters[r.cluster].sec_per_flop *= r.comp_scale;
+                    sys.clusters[r.cluster].sec_per_intop *= r.comp_scale;
+                }
+            }
+            let est = Estimator::new(&sys, model_dyn, &self.app);
+            let part_res = partition(&est, &self.options);
+
+            // The drift cost/benefit gate: move only when the projected
+            // per-cycle saving over the remaining cycles beats the
+            // migration cost (re-executed cycles on the new plan, shipping
+            // the checkpointed state, the decision pause) by `min_gain`.
+            if let (
+                Some(r),
+                RecoveryPolicy::Adapt {
+                    min_gain, cooldown, ..
+                },
+            ) = (recal, policy)
+            {
+                let net_gain = part_res.as_ref().ok().map(|part| {
+                    let t_new = part.predicted_tc_ms();
+                    let remaining = total_cycles.saturating_sub(resume_at) as f64;
+                    let redo = progress.saturating_sub(resume_at) as f64;
+                    // Shipping estimate: rank 0 sends every other rank its
+                    // checkpoint blob, priced by the (refitted) cost model.
+                    let topo = self.app.comm_phases()[0].topology;
+                    let blob = best.as_ref().map_or(0.0, |c| {
+                        let total: usize = c.ranks.iter().map(|b| b.len()).sum();
+                        total as f64 / c.ranks.len().max(1) as f64
+                    });
+                    let rc = part.rank_clusters();
+                    let src = rc.first().copied().unwrap_or(0) as usize;
+                    let dist_ms: f64 = rc
+                        .iter()
+                        .skip(1)
+                        .map(|&k| {
+                            let k = k as usize;
+                            let mut ms = model_dyn.intra_ms(k, topo, blob, 2);
+                            if k != src {
+                                ms += model_dyn.router_ms(src, k, blob)
+                                    + model_dyn.coerce_ms(src, k, blob);
+                            }
+                            ms
+                        })
+                        .sum();
+                    (r.t_stay_ms - t_new) * remaining - (dist_ms + redo * t_new + backoff_ms)
+                });
+                // A comm-only confirmation (no attributable compute
+                // outlier) never repartitions: the elevated waits are
+                // either a transient burst — waiting it out beats shipping
+                // checkpoint state through the already-degraded network —
+                // or a systematic comm misprediction, and replanning on a
+                // model known to be wrong is thrashing. The recalibrated
+                // (inflated) model is kept either way and prices any later
+                // fail-stop replan in this run.
+                let accept = r.comp_scale > 1.0
+                    && net_gain.is_some_and(|g| g > min_gain)
+                    && stats.replans < max_replans;
+                if accept {
+                    stats.repartitions += 1;
+                    stats.drift_gain_ms += net_gain.unwrap_or(0.0);
+                    // Give the new placement its own settle window: the
+                    // re-executed cycles up to the confirmation point plus
+                    // `cooldown` cycles beyond it run unmonitored, so the
+                    // distribution stragglers of the migrated state are not
+                    // read as fresh drift.
+                    cooldown_until = r.report.cycle + 1 + cooldown;
+                    prev_drift_resume = Some(resume_at);
+                    declined_last_round = false;
+                    // Fall through to the shared replan-and-resume tail.
+                } else {
+                    stats.repartitions_declined += 1;
+                    // Deliberately stay put: resume the same placement and
+                    // decomposition from the checkpoint, suppressing the
+                    // monitor for `cooldown` cycles past the confirmation.
+                    // Re-arming gives the gate one second look (the
+                    // degradation may worsen and tip the balance), but two
+                    // consecutive declines disarm the monitor for good —
+                    // for a steady degradation the remaining-cycle saving
+                    // only shrinks, so every further round would redo
+                    // checkpointed work just to decline again. Likewise if
+                    // the frontier has not advanced since the last drift
+                    // round, the detector cannot make progress — run to
+                    // completion as planned.
+                    cooldown_until = if prev_drift_resume == Some(resume_at) || declined_last_round
+                    {
+                        u64::MAX
+                    } else {
+                        r.report.cycle + 1 + cooldown
+                    };
+                    prev_drift_resume = Some(resume_at);
+                    declined_last_round = true;
+                    distribute = true; // checkpointed state must be re-spread
+                    epoch += 1;
+                    stats.overhead_ms += exec.mmps().now().since(t_fail).as_millis_f64();
+                    continue;
+                }
+            }
+
+            let part = part_res?;
             let assignment = self.placement.assign(&part.config);
             let mut next_in = vec![0usize; self.testbed.num_clusters()];
             let mut new_nodes = Vec::with_capacity(assignment.len());
@@ -639,7 +1027,8 @@ impl Scenario {
                 new_nodes.push(avail.nodes[k][next_in[k]]);
                 next_in[k] += 1;
             }
-            cur_vector = part.vector;
+            cur_vector = part.vector.clone();
+            cur_part = part;
             distribute = true; // checkpointed state must reach survivors
             let mmps = exec.into_mmps();
             exec = Executor::new(mmps, new_nodes);
@@ -811,6 +1200,130 @@ mod tests {
         assert_eq!(run.recovery, Some(RecoveryStats::default()));
         assert_eq!(rapp.gather(), app.gather());
         assert_eq!(rapp.gather(), sequential_reference(40, 6));
+    }
+
+    #[test]
+    fn adapt_on_fault_free_run_is_byte_identical_to_plain_run() {
+        use netpart_apps::stencil::sequential_reference;
+        let s = small_scenario();
+        let plan = s.plan().unwrap();
+        let mut app = StencilApp::new(40, 6, StencilVariant::Sten1, plan.ranks());
+        let baseline = plan.run(&mut app).unwrap();
+
+        // The drift monitor is purely observational: without drift it must
+        // not perturb the run by a single byte, and no drift statistic may
+        // move off zero.
+        let policy = RecoveryPolicy::Adapt {
+            degrade_threshold: 1.75,
+            min_gain: 0.0,
+            cooldown: 4,
+        };
+        let (run, rapp) = s
+            .run_recoverable(&FaultSchedule::new(), policy, 1, stencil_factory(40, 6))
+            .unwrap();
+        assert_eq!(run.elapsed_ms.to_bits(), baseline.elapsed_ms.to_bits());
+        assert_eq!(run.phases, baseline.phases);
+        assert_eq!(run.recovery, Some(RecoveryStats::default()));
+        assert_eq!(rapp.gather(), app.gather());
+        assert_eq!(rapp.gather(), sequential_reference(40, 6));
+    }
+
+    #[test]
+    fn adaptive_repartition_beats_staying_put_under_gray_slowdown() {
+        use netpart_apps::stencil::sequential_reference;
+        let s = small_scenario();
+        let plan = s.plan().unwrap();
+        let iters = 24u64;
+        let mut app = StencilApp::new(40, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        // One node turns gray early: 4× compute, never fail-stop.
+        let faults = FaultSchedule::new().with(Fault::RankSlowdown {
+            at_ms: fault_free.elapsed_ms * 0.15,
+            rank: 0,
+            factor: 4.0,
+        });
+
+        // Replan never fires on a gray slowdown — the run limps through.
+        let (stay, stay_app) = s
+            .run_recoverable(
+                &faults,
+                RecoveryPolicy::Replan {
+                    max_replans: 3,
+                    backoff_ms: 5.0,
+                },
+                1,
+                stencil_factory(40, iters),
+            )
+            .unwrap();
+        assert_eq!(stay.recovery.as_ref().map(|r| r.replans), Some(0));
+        assert!(stay.elapsed_ms > fault_free.elapsed_ms * 1.5);
+
+        let (adapt, adapt_app) = s
+            .run_recoverable(
+                &faults,
+                RecoveryPolicy::Adapt {
+                    degrade_threshold: 1.75,
+                    min_gain: 0.0,
+                    cooldown: 4,
+                },
+                1,
+                stencil_factory(40, iters),
+            )
+            .unwrap();
+        let st = adapt.recovery.clone().expect("adaptive run carries stats");
+        assert!(st.drift_detections >= 1, "drift must be confirmed: {st:?}");
+        assert_eq!(st.recalibrations, st.drift_detections);
+        assert!(st.repartitions >= 1, "gate must accept the move: {st:?}");
+        // Bounded detection: EWMA settle + hysteresis on top of warmup.
+        assert!(
+            (1..=8).contains(&st.cycles_to_detect),
+            "detection latency out of bounds: {st:?}"
+        );
+        assert!(st.drift_gain_ms > 0.0);
+        assert!(
+            adapt.elapsed_ms < stay.elapsed_ms,
+            "repartitioning must beat limping: adapt {} ms vs stay {} ms",
+            adapt.elapsed_ms,
+            stay.elapsed_ms
+        );
+        assert_eq!(adapt_app.gather(), sequential_reference(40, iters));
+        assert_eq!(stay_app.gather(), sequential_reference(40, iters));
+    }
+
+    #[test]
+    fn min_gain_above_projected_saving_declines_to_repartition() {
+        use netpart_apps::stencil::sequential_reference;
+        let s = small_scenario();
+        let plan = s.plan().unwrap();
+        let iters = 24u64;
+        let mut app = StencilApp::new(40, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        let faults = FaultSchedule::new().with(Fault::RankSlowdown {
+            at_ms: fault_free.elapsed_ms * 0.15,
+            rank: 0,
+            factor: 4.0,
+        });
+        // An unreachable min_gain: the gate must deliberately stay put,
+        // every time, and the answer must still come out exact.
+        let (run, rapp) = s
+            .run_recoverable(
+                &faults,
+                RecoveryPolicy::Adapt {
+                    degrade_threshold: 1.75,
+                    min_gain: 1e12,
+                    cooldown: 2,
+                },
+                1,
+                stencil_factory(40, iters),
+            )
+            .unwrap();
+        let st = run.recovery.clone().expect("stats");
+        assert!(st.drift_detections >= 1, "drift still confirmed: {st:?}");
+        assert_eq!(st.repartitions, 0, "gate must never accept: {st:?}");
+        assert!(st.repartitions_declined >= 1);
+        assert_eq!(st.drift_gain_ms, 0.0);
+        assert_eq!(st.replans, 0, "no placement change ever happens");
+        assert_eq!(rapp.gather(), sequential_reference(40, iters));
     }
 
     #[test]

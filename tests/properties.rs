@@ -227,6 +227,41 @@ proptest! {
         );
     }
 
+    /// The drift monitor is purely observational: a fault-free run under
+    /// `RecoveryPolicy::Adapt` — monitor armed on every cycle — is
+    /// byte-identical to the plain pipeline run, for any problem size,
+    /// iteration count, and checkpoint cadence. Gray-failure tolerance
+    /// costs nothing until something actually drifts.
+    #[test]
+    fn adapt_without_faults_is_byte_transparent(
+        n in 16usize..44,
+        iters in 2u64..7,
+        every in 1u64..4,
+    ) {
+        use netpart::{CostSource, FaultSchedule, RecoveryPolicy, Scenario};
+        let s = Scenario::new(Testbed::paper(), stencil_model(n as u64, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        let plan = s.plan().expect("plan");
+        let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, plan.ranks());
+        let baseline = plan.run(&mut app).expect("plain run");
+
+        let policy = RecoveryPolicy::Adapt {
+            degrade_threshold: 1.75,
+            min_gain: 0.0,
+            cooldown: 4,
+        };
+        let (run, rapp) = s
+            .run_recoverable(&FaultSchedule::new(), policy, every, stencil_factory(n, iters))
+            .expect("adaptive run");
+
+        let rec = run.recovery.clone().expect("recovery stats");
+        prop_assert_eq!(rec.drift_detections, 0);
+        prop_assert_eq!(rec.repartitions, 0);
+        prop_assert_eq!(run.elapsed_ms.to_bits(), baseline.elapsed_ms.to_bits());
+        prop_assert_eq!(run.phases, baseline.phases);
+        prop_assert_eq!(rapp.gather(), app.gather());
+    }
+
     /// Any mid-run fail-stop crash that `RecoveryPolicy::Replan` absorbs
     /// still produces the bit-identical sequential answer, wherever the
     /// crash lands and whichever rank it kills.
