@@ -9,7 +9,7 @@
 //! Subcommands: `calibrate`, `table1`, `table2`, `fig2`, `fig3`,
 //! `overhead`, `gauss`, `ablation-ordering`, `ablation-placement`,
 //! `ablation-search`, `ablation-decomposition`, `sensitivity`, `dynamic`,
-//! `metasystem`, `faults`, `drift`, `all`.
+//! `metasystem`, `faults`, `drift`, `chaos-fuzz`, `all`.
 
 use std::sync::OnceLock;
 
@@ -363,6 +363,28 @@ fn cmd_drift() {
     }
 }
 
+fn cmd_chaos_fuzz() {
+    println!("Chaos fuzzer — seeded random schedules over the whole fault model:");
+    // 120 sweep seeds plus the fixed CI seeds, over two targets (STEN-1 and
+    // GAUSS): 246 schedules, each checked against the recover-bit-identical-
+    // or-typed-error invariant.
+    let seeds: Vec<u64> = (0..120).chain(CHAOS_SEEDS).collect();
+    let report = ok(chaos_fuzz(model(), &seeds));
+    print!("{}", render_chaos_fuzz(&report));
+    let json = chaos_fuzz_json(&report);
+    match std::fs::write("BENCH_chaos.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_chaos.json"),
+        Err(e) => eprintln!("BENCH_chaos.json not written: {e}"),
+    }
+    if !report.repros.is_empty() {
+        eprintln!(
+            "chaos-fuzz: {} invariant violation(s) — minimized repros above",
+            report.repros.len()
+        );
+        std::process::exit(3);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmds: Vec<&str> = if args.is_empty() {
@@ -455,6 +477,10 @@ fn main() {
     }
     if want("drift") {
         cmd_drift();
+        println!();
+    }
+    if want("chaos-fuzz") {
+        cmd_chaos_fuzz();
         println!();
     }
 }

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod chaos_fuzz;
 pub mod drift;
 pub mod experiments;
 pub mod faults;
@@ -26,6 +27,7 @@ pub mod report;
 pub mod sweep;
 
 pub use ablations::*;
+pub use chaos_fuzz::*;
 pub use drift::*;
 pub use experiments::*;
 pub use faults::*;

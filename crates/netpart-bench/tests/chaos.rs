@@ -58,6 +58,105 @@ fn chaos_seed_1994_recovers_bit_identically() {
 }
 
 #[test]
+fn chaos_fuzz_fixed_seeds_satisfy_the_invariant() {
+    // Fast CI subset of the full `experiments -- chaos-fuzz` sweep: three
+    // fixed seeds through the whole-fault-model fuzzer. Every case must
+    // either recover bit-identically or end in a typed recovery error —
+    // never a wrong answer, never a plumbing-class error. Seeds 18 and 56
+    // are chosen from the sweep because their schedules actually bite:
+    // 18 crashes a checkpoint holder on STEN-1 (replan + buddy-replica
+    // restore), 56 forces a replan on *both* targets; 1994 exercises the
+    // faults-miss-the-ranks path (background chaos, zero replans).
+    let report = chaos_fuzz(model(), &[18, 56, 1994]).expect("chaos fuzz");
+    assert_eq!(report.cases.len(), 6, "3 seeds x 2 targets");
+    assert!(
+        report.repros.is_empty(),
+        "invariant violations: {:?}",
+        report.repros
+    );
+    assert!(
+        report.cases.iter().any(|c| c.replans >= 1),
+        "no fixed-seed schedule triggered a recovery: {:?}",
+        report.cases
+    );
+    assert!(
+        report.cases.iter().any(|c| c.replica_restores >= 1),
+        "no fixed-seed schedule restored from a buddy replica: {:?}",
+        report.cases
+    );
+}
+
+#[test]
+fn chaos_fuzz_is_deterministic_per_seed() {
+    let a = chaos_fuzz(model(), &[1994]).expect("first fuzz");
+    let b = chaos_fuzz(model(), &[1994]).expect("second fuzz");
+    assert_eq!(a.cases.len(), b.cases.len());
+    for (x, y) in a.cases.iter().zip(&b.cases) {
+        assert_eq!(x.events, y.events, "{}: drawn schedule diverged", x.app);
+        assert_eq!(x.replans, y.replans, "{}: recovery trace diverged", x.app);
+        assert_eq!(x.verdict, y.verdict, "{}: verdict diverged", x.app);
+        assert_eq!(
+            x.recovered_ms.to_bits(),
+            y.recovered_ms.to_bits(),
+            "{}: elapsed diverged",
+            x.app
+        );
+    }
+}
+
+#[test]
+fn planted_recovery_bug_is_caught_and_shrunk_to_a_minimal_schedule() {
+    // The fuzzer's own teeth: with the deliberately planted recovery-path
+    // bug armed (the recovered answer's first element is bit-flipped
+    // whenever a replan happened), scanning seeds must find a violating
+    // schedule and delta-debug it down to one where every event is
+    // load-bearing.
+    let repro = planted_bug_repro(model(), 64)
+        .expect("fuzz scan")
+        .expect("a recovering schedule exists below seed 64");
+    assert!(
+        !repro.plan.events.is_empty(),
+        "a violation needs at least one fault event"
+    );
+    assert!(
+        repro.plan.events.len() <= repro.original_events,
+        "shrinking may only remove events"
+    );
+    // 1-minimality: the planted bug fires iff the run replans, so the
+    // shrunk schedule still violates, and removing any single remaining
+    // event must make the violation disappear.
+    let target = ChaosTarget::sten(model()).expect("sten target");
+    assert!(
+        target
+            .run_case(repro.seed, &repro.plan, true)
+            .verdict
+            .is_violation(),
+        "minimized schedule must still reproduce the violation"
+    );
+    for i in 0..repro.plan.events.len() {
+        let mut reduced = repro.plan.clone();
+        reduced.events.remove(i);
+        assert!(
+            !target
+                .run_case(repro.seed, &reduced, true)
+                .verdict
+                .is_violation(),
+            "event {i} of the minimized schedule is not load-bearing: {:?}",
+            repro.plan.events
+        );
+    }
+    // And with the bug disarmed, the very same schedule is clean — the
+    // violation is the planted bug, not the harness.
+    assert!(
+        !target
+            .run_case(repro.seed, &repro.plan, false)
+            .verdict
+            .is_violation(),
+        "without the planted bug the minimized schedule must satisfy the invariant"
+    );
+}
+
+#[test]
 fn chaos_schedules_are_deterministic_per_seed() {
     // Two draws of the same seed must produce identical schedules *and*
     // identical recovery traces — replans, elapsed, and answer bits.

@@ -82,7 +82,22 @@ pub fn determine_available(
 
     // Managers probe their members (themselves included, locally).
     for (k, members) in clusters.iter().enumerate() {
-        let Some(&manager) = members.first() else {
+        // A fail-stopped node cannot run the manager protocol at all, so
+        // the first *live* member takes the role — in reality the
+        // coordinator's handshake with a dead manager would time out and
+        // it would walk down the member list the same way. The corpses
+        // skipped over are reported suspected dead immediately: their
+        // death is already paid for by the failed handshake this models,
+        // not shortcut from fault-injection internals.
+        let mut manager = None;
+        for &m in members {
+            if mmps.net_ref().node(m).is_alive() {
+                manager = Some(m);
+                break;
+            }
+            suspected_dead.push(m);
+        }
+        let Some(manager) = manager else {
             continue;
         };
         // Managers and members report their *effective* load: external
@@ -96,7 +111,10 @@ pub fn determine_available(
         if mgr_load <= policy.threshold {
             available[k].push(manager);
         }
-        for &member in &members[1..] {
+        for &member in members {
+            if member == manager || suspected_dead.contains(&member) {
+                continue;
+            }
             mmps.send_message(manager, member, PROBE_TAG | k as u64, Bytes::new())
                 .expect("probe route");
             pending.push(member);
@@ -243,14 +261,16 @@ mod tests {
     fn degraded_member_is_excluded_then_readmitted_after_recovery() {
         let (mut mmps, clusters) = full_testbed();
         let slow = clusters[0][2];
-        mmps.net().install_fault_plan(
-            &netpart_sim::FaultPlan::new()
-                .slow(netpart_sim::SimTime::ZERO, slow, 4.0)
-                .end_slowdown(
-                    netpart_sim::SimTime::ZERO + SimDur::from_millis_f64(100.0),
-                    slow,
-                ),
-        );
+        mmps.net()
+            .install_fault_plan(
+                &netpart_sim::FaultPlan::new()
+                    .slow(netpart_sim::SimTime::ZERO, slow, 4.0)
+                    .end_slowdown(
+                        netpart_sim::SimTime::ZERO + SimDur::from_millis_f64(100.0),
+                        slow,
+                    ),
+            )
+            .unwrap();
         let r1 = determine_available(&mut mmps, &clusters, AvailabilityPolicy::default());
         assert_eq!(r1.available, vec![5, 6], "4x-degraded node reports 0.75");
         assert!(!r1.nodes[0].contains(&slow));
@@ -276,9 +296,11 @@ mod tests {
     fn crashed_member_is_suspected_within_the_probe_timeout() {
         let (mut mmps, clusters) = full_testbed();
         let dead = clusters[0][3];
-        mmps.net().install_fault_plan(
-            &netpart_sim::FaultPlan::new().crash(netpart_sim::SimTime::ZERO, dead),
-        );
+        mmps.net()
+            .install_fault_plan(
+                &netpart_sim::FaultPlan::new().crash(netpart_sim::SimTime::ZERO, dead),
+            )
+            .unwrap();
         let policy = AvailabilityPolicy {
             probe_timeout: Some(SimDur::from_millis_f64(200.0)),
             ..AvailabilityPolicy::default()
@@ -308,7 +330,8 @@ mod tests {
                 netpart_sim::SimTime::ZERO,
                 netpart_sim::SimTime::ZERO + SimDur::from_millis_f64(10_000.0),
                 0.6,
-            ));
+            ))
+            .unwrap();
         let clean = {
             let (mut m2, c2) = full_testbed();
             determine_available(&mut m2, &c2, AvailabilityPolicy::default())

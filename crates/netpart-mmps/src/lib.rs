@@ -44,6 +44,8 @@ pub mod rtt;
 pub mod service;
 
 pub use config::MmpsConfig;
-pub use message::{epoch_of, strip_epoch, tag_of, untag, with_epoch, FragPlan, MsgId, PING_TAG};
+pub use message::{
+    epoch_of, strip_epoch, tag_of, untag, with_epoch, FragPlan, MsgId, CKPT_TAG, PING_TAG,
+};
 pub use rtt::RttEstimator;
 pub use service::{Mmps, MmpsEvent, MmpsStats, OWNER_MMPS};

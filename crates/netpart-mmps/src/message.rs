@@ -96,6 +96,17 @@ pub fn untag(tag: u64) -> (u64, usize, u8) {
 /// like all other engine traffic.
 pub const PING_TAG: u64 = 1 << 47;
 
+/// Checkpoint-replica flag, one bit below [`PING_TAG`].
+///
+/// When a replicated checkpoint store is active, each rank mirrors its
+/// freshly captured checkpoint blob to a buddy rank over ordinary MMPS
+/// traffic, tagged `CKPT_TAG | tag_of(cycle+1, owner, 0)`. Bit 46 is still
+/// above any reachable `(cycle+1) << 24` component and below both the ping
+/// flag and the epoch field, so replica traffic demultiplexes cleanly,
+/// epoch-filters like everything else, and a failed replica send enters
+/// the normal failure-detection path (the buddy is a real peer).
+pub const CKPT_TAG: u64 = 1 << 46;
+
 /// Bit position of the epoch field layered on top of cycle tags.
 const EPOCH_SHIFT: u32 = 48;
 const EPOCH_MASK: u64 = (1 << (64 - EPOCH_SHIFT)) - 1;
@@ -244,6 +255,20 @@ mod tests {
         let probe = 1u64 << 40;
         assert_eq!(epoch_of(probe), 0);
         assert_ne!(epoch_of(with_epoch(1, 0)), 0);
+    }
+
+    #[test]
+    fn ckpt_tag_is_disjoint_from_cycle_ping_and_epoch_spaces() {
+        // A replica tag composes with any reachable cycle tag without
+        // colliding with the ping flag or spilling into the epoch bits.
+        let cycle = tag_of(1 << 21, 0xFFFF, 255);
+        let replica = CKPT_TAG | cycle;
+        assert_eq!(replica & PING_TAG, 0);
+        assert_eq!(replica >> 48, 0);
+        assert_eq!(untag(replica & !CKPT_TAG), (1 << 21, 0xFFFF, 255));
+        let stamped = with_epoch(3, replica);
+        assert_eq!(epoch_of(stamped), 3);
+        assert_ne!(strip_epoch(stamped) & CKPT_TAG, 0);
     }
 
     #[test]

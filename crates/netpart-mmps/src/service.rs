@@ -130,6 +130,9 @@ pub struct MmpsStats {
     pub datagrams_dropped: u64,
     /// Duplicate completed messages re-acknowledged.
     pub duplicates: u64,
+    /// Frames discarded by the receive-side frame checksum (corruption
+    /// fault injection). The retransmission budget recovers the content.
+    pub corrupt_dropped: u64,
 }
 
 struct OutMsg {
@@ -360,6 +363,14 @@ impl Mmps {
     }
 
     fn on_datagram(&mut self, at: SimTime, dgram: netpart_sim::Datagram) -> Option<MmpsEvent> {
+        // Frame checksum: a frame flagged corrupted by the wire is
+        // discarded before any protocol accounting — data and acks alike.
+        // The sender's retransmission budget recovers the content, so a
+        // corruption burst affects timing and statistics, never bytes.
+        if dgram.corrupted {
+            self.stats.corrupt_dropped += 1;
+            return None;
+        }
         let (kind, msg, frag) = unpack_tag(dgram.tag)?;
         match kind {
             WireKind::Ack => {

@@ -340,7 +340,8 @@ fn budget_exhaustion_reports_every_attempt_and_the_right_peer() {
     // the train is re-paced on every retry and the budget must still be
     // counted per message, not per fragment.
     mmps.net()
-        .install_fault_plan(&netpart_sim::FaultPlan::new().crash(SimTime::ZERO, c));
+        .install_fault_plan(&netpart_sim::FaultPlan::new().crash(SimTime::ZERO, c))
+        .unwrap();
     mmps.send_message(a, c, 0xBEEF, Bytes::from(vec![7u8; 4000]))
         .unwrap();
     let mut failure = None;
@@ -377,7 +378,8 @@ fn give_up_deadline_caps_time_to_detection() {
     let c = b.add_node(pt, seg);
     let mut mmps = Mmps::new(b.build().unwrap(), cfg);
     mmps.net()
-        .install_fault_plan(&netpart_sim::FaultPlan::new().crash(SimTime::ZERO, c));
+        .install_fault_plan(&netpart_sim::FaultPlan::new().crash(SimTime::ZERO, c))
+        .unwrap();
     let sent_at = mmps.now();
     mmps.send_message(a, c, 3, Bytes::from(vec![1u8; 2000]))
         .unwrap();
@@ -409,9 +411,11 @@ fn sender_crash_mid_fragment_train_dies_silently() {
     let a = b.add_node(pt, seg);
     let c = b.add_node(pt, seg);
     let mut mmps = Mmps::with_defaults(b.build().unwrap());
-    mmps.net().install_fault_plan(
-        &netpart_sim::FaultPlan::new().crash(SimTime::ZERO + SimDur::from_millis(5), a),
-    );
+    mmps.net()
+        .install_fault_plan(
+            &netpart_sim::FaultPlan::new().crash(SimTime::ZERO + SimDur::from_millis(5), a),
+        )
+        .unwrap();
     mmps.send_message(a, c, 9, Bytes::from(vec![2u8; 20_000]))
         .unwrap();
     while let Some(evt) = mmps.next_event() {
@@ -445,9 +449,11 @@ fn receiver_crash_fails_the_message_naming_the_receiver() {
     let mut mmps = Mmps::new(b.build().unwrap(), cfg);
     // Crash the receiver almost immediately: the 14-fragment train is
     // still being clocked out on the wire.
-    mmps.net().install_fault_plan(
-        &netpart_sim::FaultPlan::new().crash(SimTime::ZERO + SimDur::from_micros(500), c),
-    );
+    mmps.net()
+        .install_fault_plan(
+            &netpart_sim::FaultPlan::new().crash(SimTime::ZERO + SimDur::from_micros(500), c),
+        )
+        .unwrap();
     mmps.send_message(a, c, 21, Bytes::from(vec![3u8; 20_000]))
         .unwrap();
     let mut failure = None;
@@ -464,4 +470,75 @@ fn receiver_crash_fails_the_message_naming_the_receiver() {
     assert_eq!(src, a);
     assert_eq!(dst, c, "failure names the dead receiver");
     assert_eq!(attempts, 4, "budget fully spent before declaring death");
+}
+
+#[test]
+fn corruption_burst_delivers_intact_or_fails_typed_never_mangled() {
+    // A total-corruption window covers the initial fragment train (so its
+    // tail — the last fragment included — arrives flagged and is discarded
+    // by the frame checksum), then ends. The retransmission budget must
+    // deliver the payload bit-identically; the corruption can only ever
+    // cost time, never content.
+    let data: Vec<u8> = (0..20_000u32)
+        .map(|i| (i.wrapping_mul(37) % 253) as u8)
+        .collect();
+    let (mut mmps, a, c) = pair_net(0.0, 29);
+    mmps.net()
+        .install_fault_plan(&netpart_sim::FaultPlan::new().corrupt_burst(
+            netpart_sim::SegmentId(0),
+            SimTime::ZERO,
+            SimTime::ZERO + SimDur::from_millis(12),
+            1.0,
+        ))
+        .unwrap();
+    mmps.send_message(a, c, 4, Bytes::from(data.clone()))
+        .unwrap();
+    let (tag, payload, _) = drain_until_delivery(&mut mmps).expect("delivered after burst ends");
+    assert_eq!(tag, 4);
+    assert_eq!(
+        &payload[..],
+        &data[..],
+        "payload must survive corruption bit-identically"
+    );
+    let st = mmps.stats();
+    assert!(st.corrupt_dropped >= 1, "the burst must have eaten frames");
+    assert!(st.retransmissions >= 1, "recovery rides the retry budget");
+    assert_eq!(st.messages_failed, 0);
+
+    // An unbounded total-corruption burst: the sender must surface the
+    // typed MessageFailed (peer presumed unreachable) — silence or a
+    // mangled delivery are both bugs.
+    let cfg = MmpsConfig {
+        max_retries: 3,
+        base_rto: SimDur::from_millis(10),
+        ..MmpsConfig::default()
+    };
+    let mut b = NetworkBuilder::new(31);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let a = b.add_node(pt, seg);
+    let c = b.add_node(pt, seg);
+    let mut mmps = Mmps::new(b.build().unwrap(), cfg);
+    mmps.net()
+        .install_fault_plan(&netpart_sim::FaultPlan::new().corrupt_burst(
+            netpart_sim::SegmentId(0),
+            SimTime::ZERO,
+            SimTime::ZERO + SimDur::from_secs_f64(3600.0),
+            1.0,
+        ))
+        .unwrap();
+    mmps.send_message(a, c, 8, Bytes::from(vec![9u8; 4000]))
+        .unwrap();
+    let mut failed = false;
+    while let Some(evt) = mmps.next_event() {
+        match evt {
+            MmpsEvent::MessageDelivered { .. } => panic!("nothing intact can arrive"),
+            MmpsEvent::MessageFailed { src, dst, .. } => {
+                assert_eq!((src, dst), (a, c));
+                failed = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(failed, "an always-corrupting link must exhaust retries");
 }

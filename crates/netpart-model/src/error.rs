@@ -108,6 +108,26 @@ pub enum NetpartError {
     /// A scenario or plan was internally inconsistent (e.g. a pinned
     /// configuration of the wrong length).
     InvalidScenario(String),
+
+    // ---- Fault injection / recovery -------------------------------------
+    /// A fault schedule named a node, router, or segment the network does
+    /// not have, or a window with `until < from`. Surfaced at
+    /// schedule-build/install time, before any event runs, instead of
+    /// silently ignoring the event.
+    InvalidFaultPlan(String),
+    /// Recovery made no checkpoint progress across repeated failures for
+    /// longer than the per-attempt watchdog budget: the recovery path
+    /// itself is livelocked (e.g. every replan's redistribution keeps
+    /// dying), so the run surfaces a typed error instead of spinning.
+    RecoveryStalled {
+        /// Failures absorbed during the stalled streak (nested recovery
+        /// attempts with no frontier progress).
+        attempts: u32,
+        /// Simulated milliseconds spent in the streak, rounded.
+        stalled_ms: u64,
+        /// The watchdog budget that was exceeded, simulated ms, rounded.
+        budget_ms: u64,
+    },
 }
 
 impl std::fmt::Display for NetpartError {
@@ -186,6 +206,18 @@ impl std::fmt::Display for NetpartError {
                 )
             }
             NetpartError::InvalidScenario(e) => write!(f, "invalid scenario: {e}"),
+            NetpartError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            NetpartError::RecoveryStalled {
+                attempts,
+                stalled_ms,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "recovery stalled: {attempts} nested failures with no checkpoint \
+                     progress over {stalled_ms} ms (watchdog budget {budget_ms} ms)"
+                )
+            }
         }
     }
 }
@@ -274,6 +306,18 @@ mod tests {
                 "has only 6 nodes",
             ),
             (NetpartError::InvalidScenario("bad".into()), "bad"),
+            (
+                NetpartError::InvalidFaultPlan("unknown node 99".into()),
+                "invalid fault plan: unknown node 99",
+            ),
+            (
+                NetpartError::RecoveryStalled {
+                    attempts: 3,
+                    stalled_ms: 120,
+                    budget_ms: 100,
+                },
+                "recovery stalled: 3 nested failures",
+            ),
         ];
         for (e, needle) in cases {
             let s = e.to_string();

@@ -37,6 +37,12 @@ pub struct Datagram {
     /// `payload.len()`, but calibration programs may time a b-byte packet
     /// without materializing b bytes.
     pub wire_len: u32,
+    /// Set when a corruption fault flipped bits in flight. The frame still
+    /// occupies the channel and is delivered, but any receiver that
+    /// checksums frames (the MMPS layer does) discards it on arrival —
+    /// corruption affects timing and retransmission statistics, never the
+    /// bytes a reliable layer hands upward.
+    pub corrupted: bool,
 }
 
 impl Datagram {
@@ -61,6 +67,7 @@ mod tests {
             tag: 0,
             payload: Bytes::from_static(b"hello"),
             wire_len: 5,
+            corrupted: false,
         };
         assert_eq!(d.frame_bytes(), 5 + FRAME_OVERHEAD_BYTES);
     }

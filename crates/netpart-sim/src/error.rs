@@ -31,6 +31,10 @@ pub enum SimError {
     EmptyNetwork,
     /// A builder parameter was out of range (e.g. non-positive bandwidth).
     InvalidParameter(&'static str),
+    /// A fault plan referenced a node/router/segment the network does not
+    /// have, or scheduled a window with `until < from`. Rejected at
+    /// install time instead of silently skipping the event.
+    InvalidFaultPlan(String),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +50,7 @@ impl fmt::Display for SimError {
             }
             SimError::EmptyNetwork => write!(f, "network has no nodes or segments"),
             SimError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+            SimError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -68,5 +73,7 @@ mod tests {
             to: SegmentId(3),
         };
         assert!(e.to_string().contains("seg3"));
+        let e = SimError::InvalidFaultPlan("event 2 names unknown node n9".into());
+        assert!(e.to_string().contains("unknown node n9"));
     }
 }

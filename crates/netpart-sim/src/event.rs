@@ -138,6 +138,8 @@ pub(crate) enum FaultAction {
     Recover(NodeId),
     /// Set a node's external (background) load fraction.
     Load(NodeId, f64),
+    /// Segment frame-corruption probability override until the given time.
+    Corrupt(SegmentId, f64, SimTime),
 }
 
 impl Work {

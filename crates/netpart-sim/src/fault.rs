@@ -40,6 +40,13 @@
 //!   probability is replaced by `loss`; outside it reverts to the spec
 //!   value. The burst draws from the same seeded RNG stream as ordinary
 //!   channel loss.
+//! * **Corruption burst** — inside the window each frame transmitted on
+//!   the segment is bit-mangled with probability `prob`. Corrupted frames
+//!   still occupy the channel and are delivered; the MMPS frame checksum
+//!   discards them on arrival, so the cost is time and retransmissions,
+//!   never payload integrity. The draw shares the seeded RNG stream and
+//!   happens only while a burst is active, so corruption-free runs stay
+//!   byte-identical.
 //!
 //! # Boundary tie-break
 //!
@@ -131,6 +138,22 @@ pub enum FaultEvent {
         /// Background-load fraction.
         load: f64,
     },
+    /// In `[from, until)` each frame transmitted on `segment` is corrupted
+    /// (bits mangled in flight) with probability `prob`. Corrupted frames
+    /// still occupy the channel and are delivered, but a checksumming
+    /// receiver (the MMPS layer) discards them, so they cost time and
+    /// retransmissions, never payload integrity.
+    CorruptBurst {
+        /// The affected segment.
+        segment: SegmentId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Per-frame corruption probability inside the window (clamped to
+        /// `[0, 1]`).
+        prob: f64,
+    },
 }
 
 impl FaultEvent {
@@ -143,7 +166,9 @@ impl FaultEvent {
             | FaultEvent::EndSlowdown { at, .. }
             | FaultEvent::NodeRecover { at, .. }
             | FaultEvent::ExternalLoad { at, .. } => *at,
-            FaultEvent::RouterOutage { from, .. } | FaultEvent::LossBurst { from, .. } => *from,
+            FaultEvent::RouterOutage { from, .. }
+            | FaultEvent::LossBurst { from, .. }
+            | FaultEvent::CorruptBurst { from, .. } => *from,
         }
     }
 }
@@ -252,6 +277,26 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a segment corruption burst: frames transmitted on
+    /// `segment` in `[from, until)` are bit-mangled with probability
+    /// `prob` (they still cost channel time; a checksumming receiver
+    /// drops them).
+    pub fn corrupt_burst(
+        mut self,
+        segment: SegmentId,
+        from: SimTime,
+        until: SimTime,
+        prob: f64,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent::CorruptBurst {
+            segment,
+            from,
+            until,
+            prob,
+        });
+        self
+    }
+
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -261,6 +306,177 @@ impl FaultPlan {
     pub fn len(&self) -> usize {
         self.events.len()
     }
+
+    /// Check every event against a network shape: each referenced node,
+    /// router, or segment must exist, and windowed faults must have
+    /// `until >= from`. Returns the first offence found, described with
+    /// the event's index in the plan. [`Network::install_fault_plan`]
+    /// (crate::network::Network::install_fault_plan) calls this, so a bad
+    /// plan is rejected before any event is queued.
+    pub fn validate(
+        &self,
+        num_nodes: usize,
+        num_routers: usize,
+        num_segments: usize,
+    ) -> Result<(), crate::error::SimError> {
+        use crate::error::SimError;
+        let bad =
+            |i: usize, what: String| Err(SimError::InvalidFaultPlan(format!("event {i} {what}")));
+        let node_ok = |i: usize, n: NodeId| {
+            if n.index() < num_nodes {
+                Ok(())
+            } else {
+                bad(i, format!("names unknown node {n} ({num_nodes} nodes)"))
+            }
+        };
+        let window_ok = |i: usize, from: SimTime, until: SimTime| {
+            if until >= from {
+                Ok(())
+            } else {
+                bad(
+                    i,
+                    format!(
+                        "has until {} ms < from {} ms",
+                        until.as_millis_f64(),
+                        from.as_millis_f64()
+                    ),
+                )
+            }
+        };
+        for (i, ev) in self.events.iter().enumerate() {
+            match *ev {
+                FaultEvent::NodeCrash { node, .. }
+                | FaultEvent::NodeSlowdown { node, .. }
+                | FaultEvent::EndSlowdown { node, .. }
+                | FaultEvent::NodeRecover { node, .. }
+                | FaultEvent::ExternalLoad { node, .. } => node_ok(i, node)?,
+                FaultEvent::RouterOutage {
+                    router,
+                    from,
+                    until,
+                } => {
+                    if router.index() >= num_routers {
+                        return bad(
+                            i,
+                            format!("names unknown router {router} ({num_routers} routers)"),
+                        );
+                    }
+                    window_ok(i, from, until)?;
+                }
+                FaultEvent::LossBurst {
+                    segment,
+                    from,
+                    until,
+                    ..
+                }
+                | FaultEvent::CorruptBurst {
+                    segment,
+                    from,
+                    until,
+                    ..
+                } => {
+                    if segment.index() >= num_segments {
+                        return bad(
+                            i,
+                            format!("names unknown segment {segment} ({num_segments} segments)"),
+                        );
+                    }
+                    window_ok(i, from, until)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draw a random fault schedule from a seeded PRNG, valid by
+    /// construction for any network within `bounds`. Event kinds span the
+    /// whole fault model — crashes (sometimes with a later recover),
+    /// slowdowns (always paired with an end), router outages, loss
+    /// bursts, corruption bursts, and background-load steps — with every
+    /// instant inside `[0, bounds.horizon_ms)`. The same `(seed, bounds)`
+    /// always yields the same plan; this is the generator the chaos
+    /// fuzzer iterates over hundreds of seeds.
+    pub fn random(seed: u64, bounds: &FaultBounds) -> FaultPlan {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let t = |frac: f64| SimTime::ZERO + crate::time::SimDur::from_millis_f64(frac);
+        let n_events = 1 + (rng.random::<u32>() % bounds.max_events.max(1)) as usize;
+        let mut crashes = 0u32;
+        for _ in 0..n_events {
+            let kind = rng.random::<u32>() % 6;
+            match kind {
+                0 if crashes < bounds.max_crashes && bounds.num_nodes > 0 => {
+                    crashes += 1;
+                    let node = NodeId(rng.random::<u32>() % bounds.num_nodes);
+                    let at = bounds.horizon_ms * rng.random::<f64>();
+                    plan = plan.crash(t(at), node);
+                    if rng.random::<bool>() {
+                        let back = at + bounds.horizon_ms * rng.random::<f64>();
+                        plan = plan.node_recover(t(back), node);
+                    }
+                }
+                1 if bounds.num_nodes > 0 => {
+                    let node = NodeId(rng.random::<u32>() % bounds.num_nodes);
+                    let from = bounds.horizon_ms * rng.random::<f64>();
+                    let span = bounds.horizon_ms * 0.5 * rng.random::<f64>();
+                    let factor = 1.5 + 4.0 * rng.random::<f64>();
+                    plan = plan
+                        .slow(t(from), node, factor)
+                        .end_slowdown(t(from + span), node);
+                }
+                2 if bounds.num_routers > 0 => {
+                    let router = RouterId((rng.random::<u32>() % bounds.num_routers) as u16);
+                    let from = bounds.horizon_ms * rng.random::<f64>();
+                    let span = bounds.horizon_ms * 0.2 * rng.random::<f64>();
+                    plan = plan.router_outage(router, t(from), t(from + span));
+                }
+                3 if bounds.num_segments > 0 => {
+                    let segment = SegmentId((rng.random::<u32>() % bounds.num_segments) as u16);
+                    let from = bounds.horizon_ms * rng.random::<f64>();
+                    let span = bounds.horizon_ms * 0.3 * rng.random::<f64>();
+                    let loss = 0.1 + 0.5 * rng.random::<f64>();
+                    plan = plan.loss_burst(segment, t(from), t(from + span), loss);
+                }
+                4 if bounds.num_segments > 0 => {
+                    let segment = SegmentId((rng.random::<u32>() % bounds.num_segments) as u16);
+                    let from = bounds.horizon_ms * rng.random::<f64>();
+                    let span = bounds.horizon_ms * 0.3 * rng.random::<f64>();
+                    let prob = 0.1 + 0.6 * rng.random::<f64>();
+                    plan = plan.corrupt_burst(segment, t(from), t(from + span), prob);
+                }
+                _ if bounds.num_nodes > 0 => {
+                    let node = NodeId(rng.random::<u32>() % bounds.num_nodes);
+                    let at = bounds.horizon_ms * rng.random::<f64>();
+                    let load = 0.5 * rng.random::<f64>();
+                    plan = plan.load(t(at), node, load);
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+}
+
+/// Shape limits for [`FaultPlan::random`]: the network dimensions every
+/// drawn id must respect, the time horizon fault onsets fall in, and
+/// caps on schedule size.
+#[derive(Debug, Clone)]
+pub struct FaultBounds {
+    /// Nodes in the target network (ids drawn in `[0, num_nodes)`).
+    pub num_nodes: u32,
+    /// Routers in the target network.
+    pub num_routers: u32,
+    /// Segments in the target network.
+    pub num_segments: u32,
+    /// Fault onsets are drawn in `[0, horizon_ms)` (windows may extend
+    /// past it).
+    pub horizon_ms: f64,
+    /// Maximum events drawn per plan (at least 1 is always drawn).
+    pub max_events: u32,
+    /// Cap on crash events per plan, so a schedule cannot trivially kill
+    /// every node.
+    pub max_crashes: u32,
 }
 
 #[cfg(test)]
@@ -299,6 +515,64 @@ mod tests {
             plan.events[4],
             FaultEvent::ExternalLoad { load, .. } if load == 0.5
         ));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_ids_and_inverted_windows() {
+        let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+        let ok = FaultPlan::new()
+            .crash(t(1), NodeId(2))
+            .router_outage(RouterId(0), t(2), t(2))
+            .loss_burst(SegmentId(1), t(3), t(9), 0.5)
+            .corrupt_burst(SegmentId(0), t(1), t(4), 0.3);
+        assert_eq!(ok.validate(3, 1, 2), Ok(()));
+
+        let bad_node = FaultPlan::new().slow(t(0), NodeId(3), 2.0);
+        let e = bad_node.validate(3, 1, 2).unwrap_err();
+        assert!(e.to_string().contains("unknown node n3"), "{e}");
+
+        let bad_router = FaultPlan::new().router_outage(RouterId(1), t(0), t(5));
+        let e = bad_router.validate(3, 1, 2).unwrap_err();
+        assert!(e.to_string().contains("unknown router r1"), "{e}");
+
+        let bad_seg = FaultPlan::new().corrupt_burst(SegmentId(2), t(0), t(5), 0.2);
+        let e = bad_seg.validate(3, 1, 2).unwrap_err();
+        assert!(e.to_string().contains("unknown segment seg2"), "{e}");
+
+        let inverted = FaultPlan::new().loss_burst(SegmentId(0), t(7), t(3), 0.5);
+        let e = inverted.validate(3, 1, 2).unwrap_err();
+        assert!(e.to_string().contains('<'), "{e}");
+
+        // The offending event's index is reported, not just its kind.
+        let second = FaultPlan::new()
+            .crash(t(0), NodeId(0))
+            .crash(t(1), NodeId(9));
+        let e = second.validate(3, 1, 2).unwrap_err();
+        assert!(e.to_string().contains("event 1"), "{e}");
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid_by_construction() {
+        let bounds = FaultBounds {
+            num_nodes: 12,
+            num_routers: 1,
+            num_segments: 2,
+            horizon_ms: 50.0,
+            max_events: 6,
+            max_crashes: 2,
+        };
+        let mut distinct = 0usize;
+        for seed in 0..500u64 {
+            let a = FaultPlan::random(seed, &bounds);
+            let b = FaultPlan::random(seed, &bounds);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(!a.is_empty(), "seed {seed} drew an empty plan");
+            assert_eq!(a.validate(12, 1, 2), Ok(()), "seed {seed} invalid");
+            if a != FaultPlan::random(seed + 1, &bounds) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 400, "plans barely vary: {distinct}/500");
     }
 
     #[test]

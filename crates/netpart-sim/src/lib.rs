@@ -65,7 +65,7 @@ pub use datagram::{Datagram, FRAME_OVERHEAD_BYTES, MAX_DATAGRAM_PAYLOAD};
 pub use error::SimError;
 pub use event::{DropReason, SimEvent};
 pub use fasthash::{FastHasher, FastMap, FastSet};
-pub use fault::{FaultEvent, FaultPlan};
+pub use fault::{FaultBounds, FaultEvent, FaultPlan};
 pub use ids::{DgramId, NodeId, ProcTypeId, RouterId, SegmentId, TimerId};
 pub use network::{BackgroundFlow, Network, NetworkBuilder};
 pub use node::{Node, OpClass, ProcType};

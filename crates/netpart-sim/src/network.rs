@@ -255,28 +255,21 @@ impl Network {
     /// Install a [`FaultPlan`]: every scheduled fault joins the event queue
     /// at its onset time. Installing an empty plan pushes nothing and is
     /// byte-identical to never calling this. Events whose onset is in the
-    /// past take effect at the current instant; events referencing unknown
-    /// nodes/routers/segments are ignored (chaos schedules may be generated
-    /// against a larger topology).
-    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+    /// past take effect at the current instant. The plan is validated
+    /// against this network first ([`FaultPlan::validate`]); an event
+    /// naming an unknown node/router/segment or an inverted window
+    /// rejects the whole plan with [`SimError::InvalidFaultPlan`] before
+    /// anything is queued — silently skipping a misaddressed fault would
+    /// make a chaos schedule quietly weaker than it claims.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        plan.validate(self.nodes.len(), self.routers.len(), self.segments.len())?;
         for ev in &plan.events {
             let action = match *ev {
-                FaultEvent::NodeCrash { node, .. } => {
-                    if node.index() >= self.nodes.len() {
-                        continue;
-                    }
-                    FaultAction::Crash(node)
-                }
+                FaultEvent::NodeCrash { node, .. } => FaultAction::Crash(node),
                 FaultEvent::NodeSlowdown { node, factor, .. } => {
-                    if node.index() >= self.nodes.len() {
-                        continue;
-                    }
                     FaultAction::Slow(node, factor.max(1.0))
                 }
                 FaultEvent::RouterOutage { router, until, .. } => {
-                    if router.index() >= self.routers.len() {
-                        continue;
-                    }
                     FaultAction::RouterDown(router, until)
                 }
                 FaultEvent::LossBurst {
@@ -284,34 +277,23 @@ impl Network {
                     until,
                     loss,
                     ..
-                } => {
-                    if segment.index() >= self.segments.len() {
-                        continue;
-                    }
-                    FaultAction::Burst(segment, loss.clamp(0.0, 0.999), until)
-                }
-                FaultEvent::EndSlowdown { node, .. } => {
-                    if node.index() >= self.nodes.len() {
-                        continue;
-                    }
-                    FaultAction::EndSlow(node)
-                }
-                FaultEvent::NodeRecover { node, .. } => {
-                    if node.index() >= self.nodes.len() {
-                        continue;
-                    }
-                    FaultAction::Recover(node)
-                }
+                } => FaultAction::Burst(segment, loss.clamp(0.0, 0.999), until),
+                FaultEvent::EndSlowdown { node, .. } => FaultAction::EndSlow(node),
+                FaultEvent::NodeRecover { node, .. } => FaultAction::Recover(node),
                 FaultEvent::ExternalLoad { node, load, .. } => {
-                    if node.index() >= self.nodes.len() {
-                        continue;
-                    }
                     FaultAction::Load(node, load.clamp(0.0, 0.99))
                 }
+                FaultEvent::CorruptBurst {
+                    segment,
+                    until,
+                    prob,
+                    ..
+                } => FaultAction::Corrupt(segment, prob.clamp(0.0, 1.0), until),
             };
             self.queue
                 .push(ev.at().max(self.now), Work::Fault { action });
         }
+        Ok(())
     }
 
     /// Whether a scheduled fault has fail-stopped this node.
@@ -444,6 +426,7 @@ impl Network {
             tag,
             payload,
             wire_len,
+            corrupted: false,
         };
 
         // Sender host processing: serialized on the node's protocol stack.
@@ -667,6 +650,11 @@ impl Network {
             FaultAction::Load(node, load) => {
                 self.nodes[node.index()].external_load = load;
             }
+            FaultAction::Corrupt(segment, prob, until) => {
+                let s = &mut self.segments[segment.index()];
+                s.corrupt_prob = prob;
+                s.corrupt_until = s.corrupt_until.max(until);
+            }
         }
     }
 
@@ -703,7 +691,7 @@ impl Network {
         self.queue.push(end, Work::TxEnd { segment, dgram });
     }
 
-    fn tx_end(&mut self, segment: SegmentId, dgram: Datagram) -> Option<SimEvent> {
+    fn tx_end(&mut self, segment: SegmentId, mut dgram: Datagram) -> Option<SimEvent> {
         // Kick the next queued frame first so channel work continues
         // regardless of what happens to this frame.
         self.start_next_tx(segment);
@@ -722,6 +710,16 @@ impl Network {
                 dst: dgram.dst,
                 reason: DropReason::ChannelLoss,
             });
+        }
+
+        // Corruption? The frame survives the hop — it already paid for the
+        // channel — but arrives bit-mangled; a checksumming receiver will
+        // discard it. Like the loss draw, nothing is drawn when no
+        // corruption burst is active, so corruption-free runs leave the
+        // RNG stream untouched.
+        let corrupt_p = self.segments[segment.index()].effective_corrupt(self.now);
+        if corrupt_p > 0.0 && self.rng.random::<f64>() < corrupt_p {
+            dgram.corrupted = true;
         }
 
         let dst_seg = self.nodes[dgram.dst.index()].segment;

@@ -191,6 +191,17 @@ impl Node {
     pub fn effective_load(&self) -> f64 {
         1.0 - 1.0 / self.slowdown()
     }
+
+    /// Whether the node is currently fail-stopped by an injected crash
+    /// fault (`false` until a later scheduled recover, if any). A dead
+    /// node cannot run protocol code — availability rounds use this to
+    /// decide who *can* act as a cluster manager, never to shortcut the
+    /// detection of remote deaths (those still cost real probe traffic
+    /// and timeouts).
+    #[inline]
+    pub fn is_alive(&self) -> bool {
+        !self.crashed
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,14 @@ pub(crate) struct Segment {
     pub(crate) burst_loss: f64,
     /// End of the current loss-burst window (exclusive).
     pub(crate) burst_until: SimTime,
+    /// Injected corruption burst: probability that a frame transmitted on
+    /// this segment has its bits mangled in flight, until `corrupt_until`.
+    /// Outside a burst the probability is zero (the spec has no base
+    /// corruption rate), so runs without corruption faults never draw from
+    /// the RNG for it.
+    pub(crate) corrupt_prob: f64,
+    /// End of the current corruption-burst window (exclusive).
+    pub(crate) corrupt_until: SimTime,
 }
 
 impl Segment {
@@ -100,6 +108,8 @@ impl Segment {
             bytes_sent: 0,
             burst_loss: 0.0,
             burst_until: SimTime::ZERO,
+            corrupt_prob: 0.0,
+            corrupt_until: SimTime::ZERO,
         }
     }
 
@@ -111,6 +121,17 @@ impl Segment {
             self.burst_loss
         } else {
             self.spec.loss_probability
+        }
+    }
+
+    /// The frame-corruption probability in effect at `now`: zero unless an
+    /// injected corruption burst is active.
+    #[inline]
+    pub(crate) fn effective_corrupt(&self, now: SimTime) -> f64 {
+        if now < self.corrupt_until {
+            self.corrupt_prob
+        } else {
+            0.0
         }
     }
 
@@ -188,6 +209,7 @@ mod tests {
                 tag: 0,
                 payload: bytes::Bytes::new(),
                 wire_len: 10,
+                corrupted: false,
             });
         }
         assert!(seg.access_delay() > idle);

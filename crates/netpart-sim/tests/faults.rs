@@ -51,7 +51,8 @@ fn slowdown_ending_at_t_restores_block_starting_at_t() {
     // FIFO tie-breaking the timer would fire first and the block would
     // sample the still-slowed rate. Fault-first ordering must win.
     net.set_timer(SimDur::from_millis(10), 0, 1);
-    net.install_fault_plan(&FaultPlan::new().slow(t(0), a, 4.0).end_slowdown(t(10), a));
+    net.install_fault_plan(&FaultPlan::new().slow(t(0), a, 4.0).end_slowdown(t(10), a))
+        .unwrap();
     let (started, ended) = compute_started_at_timer(&mut net, a);
     assert_eq!(started, t(10));
     assert_eq!(
@@ -66,7 +67,8 @@ fn slowdown_starting_at_t_slows_block_starting_at_t() {
     let (mut net, a, _) = one_node_net();
     let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
     net.set_timer(SimDur::from_millis(10), 0, 1);
-    net.install_fault_plan(&FaultPlan::new().slow(t(10), a, 4.0));
+    net.install_fault_plan(&FaultPlan::new().slow(t(10), a, 4.0))
+        .unwrap();
     let (started, ended) = compute_started_at_timer(&mut net, a);
     assert_eq!(started, t(10));
     assert_eq!(
@@ -83,7 +85,8 @@ fn in_flight_block_keeps_rate_sampled_at_start() {
     // Slowdown ends mid-block: the duration was fixed at start, so the
     // block still takes the slowed time.
     net.set_timer(SimDur::from_millis(10), 0, 1);
-    net.install_fault_plan(&FaultPlan::new().slow(t(0), a, 4.0).end_slowdown(t(100), a));
+    net.install_fault_plan(&FaultPlan::new().slow(t(0), a, 4.0).end_slowdown(t(100), a))
+        .unwrap();
     let (started, ended) = compute_started_at_timer(&mut net, a);
     assert_eq!(started, t(10));
     assert_eq!(
@@ -97,7 +100,8 @@ fn in_flight_block_keeps_rate_sampled_at_start() {
 fn recovered_node_accepts_traffic_and_computes_again() {
     let (mut net, a, c) = one_node_net();
     let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
-    net.install_fault_plan(&FaultPlan::new().crash(t(5), c).node_recover(t(50), c));
+    net.install_fault_plan(&FaultPlan::new().crash(t(5), c).node_recover(t(50), c))
+        .unwrap();
     // Datagram sent while c is down is dropped.
     net.set_timer(SimDur::from_millis(10), 0, 1);
     let mut delivered = false;
@@ -142,7 +146,8 @@ fn external_load_event_stretches_compute_like_the_setter() {
     let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
     // load 0.5 → stretch 2×.
     net.set_timer(SimDur::from_millis(20), 0, 1);
-    net.install_fault_plan(&FaultPlan::new().load(t(20), a, 0.5));
+    net.install_fault_plan(&FaultPlan::new().load(t(20), a, 0.5))
+        .unwrap();
     let (started, ended) = compute_started_at_timer(&mut net, a);
     assert_eq!(started, t(20));
     assert_eq!(ended, started + SimDur::from_millis(2 * BASE_MS));
@@ -153,7 +158,8 @@ fn load_ramp_steps_apply_in_sequence() {
     let (mut net, a, _) = one_node_net();
     let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
     // Two steps: load 0.25 at 0 ms, load 0.5 at 50 ms.
-    net.install_fault_plan(&FaultPlan::new().load_ramp(a, t(0), t(100), 0.0, 0.5, 2));
+    net.install_fault_plan(&FaultPlan::new().load_ramp(a, t(0), t(100), 0.0, 0.5, 2))
+        .unwrap();
     net.set_timer(SimDur::from_millis(10), 0, 1);
     let (_, ended1) = compute_started_at_timer(&mut net, a);
     // Started at 10 ms under load 0.25 → 400 ms.

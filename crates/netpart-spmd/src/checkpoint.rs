@@ -18,19 +18,66 @@
 //! last cycle recorded. Resuming from the frontier re-executes at most
 //! the drift window.
 //!
-//! Checkpoints live in host memory beside the simulation ("stable
-//! storage" in the modeled world): a crashed rank's already-recorded
-//! blobs remain usable, which is what lets recovery resume a computation
-//! whose master rank died.
+//! # Durability
+//!
+//! The store runs in one of two durability modes. **Local**
+//! ([`CheckpointStore::new`]) keeps each rank's blobs in host memory
+//! beside the simulation ("stable storage" in the modeled world): a
+//! crashed rank's already-recorded blobs remain usable, which is what
+//! lets recovery resume a computation whose master rank died.
+//! **Replicated** ([`CheckpointStore::replicated`]) additionally mirrors
+//! each rank's blob to a *buddy* rank — preferentially in another cluster
+//! — over the ordinary message layer, and guards every blob with a CRC so
+//! a corrupted copy is detected rather than restored. Recovery then
+//! [`assemble`](CheckpointStore::assemble)s the newest generation whose
+//! every rank has an intact copy on a live node, falling back to the
+//! buddy replica when the primary holder is dead or its blob fails the
+//! checksum, and to an older generation (replaying the extra cycles) when
+//! neither copy survives.
 
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
-use netpart_sim::SimTime;
+use netpart_sim::{NodeId, SimTime};
 
 use crate::engine::{Phase, Probe};
 use crate::task::Rank;
+
+/// CRC-32 (ISO-HDLC polynomial, the zlib/`cksum -o 3` variant) of a byte
+/// slice. Bitwise implementation: checkpoint blobs are small enough that
+/// a lookup table buys nothing measurable.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A stored blob plus the checksum computed at record time. `intact`
+/// re-hashes on read, so any later bit-flip (injected or modeled) is
+/// caught before the copy can be restored from.
+#[derive(Debug, Clone)]
+struct Held {
+    data: Bytes,
+    crc: u32,
+}
+
+impl Held {
+    fn of(data: Bytes) -> Held {
+        let crc = crc32(&data);
+        Held { data, crc }
+    }
+
+    fn intact(&self) -> bool {
+        crc32(&self.data) == self.crc
+    }
+}
 
 /// A globally consistent snapshot: one serialized blob per rank, all
 /// recorded at the completion of the same cycle.
@@ -56,21 +103,96 @@ pub struct Checkpoint {
 pub struct CheckpointStore {
     every: u64,
     base: u64,
-    per_rank: Vec<BTreeMap<u64, Bytes>>,
+    per_rank: Vec<BTreeMap<u64, Held>>,
+    /// Buddy-held mirror copies, indexed by the *owner* rank. Populated
+    /// only in replicated mode, by [`Probe::on_replica`] deliveries.
+    replicas: Vec<BTreeMap<u64, Held>>,
+    /// `buddies[r]` is the rank holding `r`'s replica (`None` in local
+    /// mode or for single-rank runs).
+    buddies: Option<Vec<Option<Rank>>>,
+    /// The node each rank runs on — liveness of a copy is liveness of the
+    /// node holding it. Empty in local mode.
+    nodes: Vec<NodeId>,
     /// Highest global cycle any rank has completed (`None` until one has).
     max_cycle_seen: Option<u64>,
+}
+
+/// The result of [`CheckpointStore::assemble`]: the newest restorable
+/// snapshot plus counters describing how hard the store had to work for
+/// it.
+#[derive(Debug, Clone)]
+pub struct AssembledCheckpoint {
+    /// The restored snapshot.
+    pub checkpoint: Checkpoint,
+    /// Ranks whose blob came from the buddy replica rather than the
+    /// primary copy (dead holder or failed checksum).
+    pub replica_restores: u64,
+    /// Newer generations that had to be skipped because some rank had no
+    /// intact copy on a live node at that cycle.
+    pub generation_fallbacks: u64,
 }
 
 impl CheckpointStore {
     /// A store for `ranks` ranks, checkpointing every `every` cycles
     /// (clamped to ≥ 1), with engine-local cycle 0 at global cycle `base`.
+    /// Local durability: blobs live in host memory, no replication.
     pub fn new(ranks: usize, every: u64, base: u64) -> CheckpointStore {
         CheckpointStore {
             every: every.max(1),
             base,
             per_rank: vec![BTreeMap::new(); ranks],
+            replicas: vec![BTreeMap::new(); ranks],
+            buddies: None,
+            nodes: Vec::new(),
             max_cycle_seen: None,
         }
+    }
+
+    /// A replicated store: each rank's blob is mirrored to a buddy rank,
+    /// preferentially one in a *different cluster* (`clusters[r]` is the
+    /// cluster index of rank `r`), so a whole-segment loss cannot take
+    /// both copies of any rank's state. When every rank shares one
+    /// cluster the buddy is the ring neighbour `(r + 1) % n`; a
+    /// single-rank run has no buddy at all. `nodes[r]` is the node rank
+    /// `r` runs on, used by [`assemble`](CheckpointStore::assemble) to
+    /// judge copy liveness.
+    pub fn replicated(
+        ranks: usize,
+        every: u64,
+        base: u64,
+        nodes: &[NodeId],
+        clusters: &[usize],
+    ) -> CheckpointStore {
+        debug_assert_eq!(nodes.len(), ranks);
+        debug_assert_eq!(clusters.len(), ranks);
+        let buddies = (0..ranks)
+            .map(|r| {
+                let others: Vec<Rank> = (0..ranks)
+                    .filter(|&o| o != r && clusters[o] != clusters[r])
+                    .collect();
+                if !others.is_empty() {
+                    Some(others[r % others.len()])
+                } else if ranks > 1 {
+                    Some((r + 1) % ranks)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        CheckpointStore {
+            every: every.max(1),
+            base,
+            per_rank: vec![BTreeMap::new(); ranks],
+            replicas: vec![BTreeMap::new(); ranks],
+            buddies: Some(buddies),
+            nodes: nodes.to_vec(),
+            max_cycle_seen: None,
+        }
+    }
+
+    /// The rank holding `rank`'s replica, if replication is on.
+    pub fn buddy_of(&self, rank: Rank) -> Option<Rank> {
+        self.buddies.as_ref()?.get(rank).copied().flatten()
     }
 
     /// The largest global cycle every rank has a blob for, if any.
@@ -84,14 +206,103 @@ impl CheckpointStore {
 
     /// Assemble the consistent snapshot at global `cycle` (normally the
     /// [`frontier`](CheckpointStore::frontier)). `None` if any rank lacks
-    /// a blob for that cycle.
+    /// a blob for that cycle. Reads primary copies only and ignores
+    /// checksums — the local-durability restore path, unchanged from
+    /// before replication existed.
     pub fn take(&self, cycle: u64) -> Option<Checkpoint> {
         let ranks: Vec<Bytes> = self
             .per_rank
             .iter()
-            .map(|m| m.get(&cycle).cloned())
+            .map(|m| m.get(&cycle).map(|h| h.data.clone()))
             .collect::<Option<_>>()?;
         Some(Checkpoint { cycle, ranks })
+    }
+
+    /// Restore the newest generation that survives the death of `dead`
+    /// nodes: per rank, prefer an intact (checksum-verified) primary copy
+    /// on a live node, fall back to an intact replica on a live buddy
+    /// node, and when neither exists for some rank, fall back a whole
+    /// generation (the resumed run replays the extra cycles). `None` when
+    /// no generation is fully restorable.
+    pub fn assemble(&self, dead: &[NodeId]) -> Option<AssembledCheckpoint> {
+        let mut cycles: Vec<u64> = self
+            .per_rank
+            .iter()
+            .chain(self.replicas.iter())
+            .flat_map(|m| m.keys().copied())
+            .collect();
+        cycles.sort_unstable();
+        cycles.dedup();
+        for (generation_fallbacks, &cycle) in cycles.iter().rev().enumerate() {
+            if let Some((ranks, replica_restores)) = self.assemble_at(cycle, dead) {
+                return Some(AssembledCheckpoint {
+                    checkpoint: Checkpoint { cycle, ranks },
+                    replica_restores,
+                    generation_fallbacks: generation_fallbacks as u64,
+                });
+            }
+        }
+        None
+    }
+
+    fn node_alive(&self, rank: Rank, dead: &[NodeId]) -> bool {
+        match self.nodes.get(rank) {
+            Some(n) => !dead.contains(n),
+            // Local mode records no placement; treat copies as reachable.
+            None => true,
+        }
+    }
+
+    fn assemble_at(&self, cycle: u64, dead: &[NodeId]) -> Option<(Vec<Bytes>, u64)> {
+        let mut restores = 0u64;
+        let mut out = Vec::with_capacity(self.per_rank.len());
+        for rank in 0..self.per_rank.len() {
+            let primary = self.per_rank[rank]
+                .get(&cycle)
+                .filter(|h| h.intact() && self.node_alive(rank, dead));
+            if let Some(h) = primary {
+                out.push(h.data.clone());
+                continue;
+            }
+            let replica = self.buddy_of(rank).and_then(|b| {
+                self.replicas[rank]
+                    .get(&cycle)
+                    .filter(|h| h.intact() && self.node_alive(b, dead))
+            });
+            match replica {
+                Some(h) => {
+                    restores += 1;
+                    out.push(h.data.clone());
+                }
+                None => return None,
+            }
+        }
+        Some((out, restores))
+    }
+
+    /// Flip one bit in `rank`'s *primary* blob at global `cycle` without
+    /// touching the recorded checksum. Fault-injection helper for tests:
+    /// the next checksum verification must reject the copy.
+    pub fn corrupt_primary(&mut self, rank: Rank, cycle: u64) -> bool {
+        Self::flip_bit(self.per_rank[rank].get_mut(&cycle))
+    }
+
+    /// Flip one bit in `rank`'s *replica* blob at global `cycle` without
+    /// touching the recorded checksum. Fault-injection helper for tests.
+    pub fn corrupt_replica(&mut self, rank: Rank, cycle: u64) -> bool {
+        Self::flip_bit(self.replicas[rank].get_mut(&cycle))
+    }
+
+    fn flip_bit(held: Option<&mut Held>) -> bool {
+        match held {
+            Some(h) if !h.data.is_empty() => {
+                let mut v = h.data.to_vec();
+                v[0] ^= 0x01;
+                h.data = Bytes::from(v);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Highest global cycle any rank has completed in this run.
@@ -116,7 +327,18 @@ impl Probe for CheckpointStore {
     }
 
     fn on_checkpoint(&mut self, rank: Rank, cycle: u64, blob: Bytes) {
-        self.per_rank[rank].insert(self.base + cycle, blob);
+        self.per_rank[rank].insert(self.base + cycle, Held::of(blob));
+    }
+
+    fn replica_target(&self, rank: Rank) -> Option<Rank> {
+        self.buddy_of(rank)
+    }
+
+    fn on_replica(&mut self, owner: Rank, cycle: u64, blob: Bytes) {
+        // Checksum computed at receipt: the wire already guarantees
+        // content (corrupted frames never deliver), so the CRC guards
+        // against at-rest rot from here on.
+        self.replicas[owner].insert(self.base + cycle, Held::of(blob));
     }
 
     fn tracks_checkpoints(&self) -> bool {
@@ -169,6 +391,17 @@ impl<A: Probe, B: Probe> Probe for Tee<'_, A, B> {
     fn on_checkpoint(&mut self, rank: Rank, cycle: u64, blob: Bytes) {
         self.a.on_checkpoint(rank, cycle, blob.clone());
         self.b.on_checkpoint(rank, cycle, blob);
+    }
+
+    fn replica_target(&self, rank: Rank) -> Option<Rank> {
+        self.a
+            .replica_target(rank)
+            .or_else(|| self.b.replica_target(rank))
+    }
+
+    fn on_replica(&mut self, owner: Rank, cycle: u64, blob: Bytes) {
+        self.a.on_replica(owner, cycle, blob.clone());
+        self.b.on_replica(owner, cycle, blob);
     }
 
     fn tracks_checkpoints(&self) -> bool {
@@ -234,5 +467,86 @@ mod tests {
         assert_eq!(r.frontier(), Some(5), "recorded under its global number");
         r.on_cycle(0, 2, SimTime::ZERO);
         assert_eq!(r.max_cycle_seen(), Some(6));
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn buddies_prefer_another_cluster_and_fall_back_to_the_ring() {
+        // Ranks 0,1 in cluster 0 and ranks 2,3 in cluster 1: every buddy
+        // must sit in the other cluster.
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let s = CheckpointStore::replicated(4, 1, 0, &nodes, &[0, 0, 1, 1]);
+        for r in 0..4 {
+            let b = s.buddy_of(r).unwrap();
+            assert_ne!(b, r);
+            assert_ne!(r < 2, b < 2, "buddy of rank {r} must cross clusters");
+        }
+        // One cluster only: ring neighbour.
+        let s = CheckpointStore::replicated(3, 1, 0, &nodes[..3], &[0, 0, 0]);
+        assert_eq!(s.buddy_of(0), Some(1));
+        assert_eq!(s.buddy_of(2), Some(0));
+        // A single rank has nobody to mirror to.
+        let s = CheckpointStore::replicated(1, 1, 0, &nodes[..1], &[0]);
+        assert_eq!(s.buddy_of(0), None);
+        // Local mode never has buddies.
+        assert_eq!(CheckpointStore::new(4, 1, 0).buddy_of(0), None);
+    }
+
+    #[test]
+    fn assemble_prefers_primary_then_replica_then_older_generation() {
+        let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+        let mut s = CheckpointStore::replicated(2, 2, 0, &nodes, &[0, 1]);
+        // Two generations recorded on both ranks, mirrored to buddies.
+        for cycle in [1u64, 3] {
+            for rank in 0..2usize {
+                s.on_checkpoint(rank, cycle, blob(10 * rank as u8 + cycle as u8));
+                s.on_replica(rank, cycle, blob(10 * rank as u8 + cycle as u8));
+            }
+        }
+        // Clean store: newest generation, all primaries.
+        let a = s.assemble(&[]).unwrap();
+        assert_eq!(a.checkpoint.cycle, 3);
+        assert_eq!((a.replica_restores, a.generation_fallbacks), (0, 0));
+
+        // Bit-flip rank 0's newest primary: the checksum must reject it
+        // and the buddy replica restores the same bytes.
+        assert!(s.corrupt_primary(0, 3));
+        let a = s.assemble(&[]).unwrap();
+        assert_eq!(a.checkpoint.cycle, 3);
+        assert_eq!((a.replica_restores, a.generation_fallbacks), (1, 0));
+        assert_eq!(&a.checkpoint.ranks[0][..], &[3u8]);
+
+        // Kill the replica too: generation 3 is gone for rank 0; the
+        // store falls back one generation and the older snapshot is
+        // intact.
+        assert!(s.corrupt_replica(0, 3));
+        let a = s.assemble(&[]).unwrap();
+        assert_eq!(a.checkpoint.cycle, 1);
+        assert_eq!(a.generation_fallbacks, 1);
+        assert_eq!(&a.checkpoint.ranks[0][..], &[1u8]);
+        assert_eq!(&a.checkpoint.ranks[1][..], &[11u8]);
+    }
+
+    #[test]
+    fn assemble_honours_dead_nodes() {
+        let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+        let mut s = CheckpointStore::replicated(2, 2, 0, &nodes, &[0, 1]);
+        for rank in 0..2usize {
+            s.on_checkpoint(rank, 1, blob(rank as u8 + 1));
+            s.on_replica(rank, 1, blob(rank as u8 + 1));
+        }
+        // Node 0 dead: rank 0's primary is unreachable, but its replica
+        // lives on rank 1 (node 1). Rank 1's own primary is fine.
+        let a = s.assemble(&[NodeId(0)]).unwrap();
+        assert_eq!(a.checkpoint.cycle, 1);
+        assert_eq!(a.replica_restores, 1);
+        assert_eq!(&a.checkpoint.ranks[0][..], &[1u8]);
+        // Both nodes dead: nothing survives anywhere.
+        assert!(s.assemble(&[NodeId(0), NodeId(1)]).is_none());
     }
 }

@@ -18,7 +18,9 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use netpart_mmps::{epoch_of, strip_epoch, tag_of, untag, with_epoch, Mmps, MmpsEvent, PING_TAG};
+use netpart_mmps::{
+    epoch_of, strip_epoch, tag_of, untag, with_epoch, Mmps, MmpsEvent, CKPT_TAG, PING_TAG,
+};
 use netpart_model::{NetpartError, PartitionVector};
 use netpart_sim::{NodeId, SimDur, SimTime};
 
@@ -95,6 +97,26 @@ pub trait Probe {
     #[inline]
     fn on_checkpoint(&mut self, rank: Rank, cycle: u64, blob: Bytes) {
         let _ = (rank, cycle, blob);
+    }
+
+    /// The rank that should hold a mirror copy of `rank`'s checkpoint
+    /// blobs, if any. When `Some(buddy)` (and `buddy != rank`), the
+    /// engine ships every captured blob to the buddy's node over the
+    /// ordinary message layer, tagged [`CKPT_TAG`], and the delivery
+    /// surfaces as [`on_replica`](Probe::on_replica). The default `None`
+    /// keeps un-replicated runs byte-identical — no extra traffic at all.
+    #[inline]
+    fn replica_target(&self, rank: Rank) -> Option<Rank> {
+        let _ = rank;
+        None
+    }
+
+    /// A mirror copy of `owner`'s checkpoint blob for `cycle` arrived at
+    /// its buddy's node (only fires for probes that return a
+    /// [`replica_target`](Probe::replica_target)).
+    #[inline]
+    fn on_replica(&mut self, owner: Rank, cycle: u64, blob: Bytes) {
+        let _ = (owner, cycle, blob);
     }
 
     /// Whether this probe records checkpoints at all. When true, a rank
@@ -375,6 +397,13 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                         // is up; it carries no task data.
                         continue;
                     }
+                    if strip_epoch(tag) & CKPT_TAG != 0 {
+                        // A checkpoint replica reached its buddy: hand it
+                        // to the probe, never to the app's mailbox.
+                        let (cyc1, owner, _) = untag(strip_epoch(tag) & !CKPT_TAG);
+                        engine.probe.on_replica(owner, cyc1 - 1, payload);
+                        continue;
+                    }
                     let Some(&rank) = engine.node_to_rank.get(&dst) else {
                         // Delivery to a node outside this computation —
                         // a previous run's placement included it.
@@ -430,6 +459,16 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                     // may still expire during this run; it is not *our*
                     // failure.
                     if epoch_of(tag) != engine.epoch {
+                        continue;
+                    }
+                    // Replica mirroring is best-effort background traffic:
+                    // a mirror that exhausts its budget (congested segment,
+                    // dead buddy) costs one replica generation — which
+                    // recovery's assembly already tolerates by falling back
+                    // — and must not be read as the *computation* failing.
+                    // A genuinely dead buddy is still caught through the
+                    // cycle traffic and liveness pings addressed to it.
+                    if strip_epoch(tag) & CKPT_TAG != 0 {
                         continue;
                     }
                     // Failures only fire at live senders (a crashed node's
@@ -562,7 +601,28 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                 // never serialize anything.
                 if self.probe.wants_checkpoint(rank, cycle) {
                     if let Some(blob) = self.app.checkpoint(rank, cycle) {
-                        self.probe.on_checkpoint(rank, cycle, blob);
+                        match self.probe.replica_target(rank) {
+                            // Replicated durability: the blob also rides
+                            // the wire to the buddy's node. The send is a
+                            // normal reliable message — if the buddy is
+                            // dead it enters ordinary failure detection
+                            // and names the buddy as the suspect.
+                            Some(buddy) if buddy != rank => {
+                                self.probe.on_checkpoint(rank, cycle, blob.clone());
+                                self.mmps
+                                    .send_message(
+                                        self.nodes[rank],
+                                        self.nodes[buddy],
+                                        with_epoch(
+                                            self.epoch,
+                                            CKPT_TAG | tag_of(cycle + 1, rank, 0),
+                                        ),
+                                        blob,
+                                    )
+                                    .map_err(|e| NetpartError::Network(e.to_string()))?;
+                            }
+                            _ => self.probe.on_checkpoint(rank, cycle, blob),
+                        }
                     }
                 }
                 // Drift seam: a monitoring probe that has just confirmed

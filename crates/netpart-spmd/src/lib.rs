@@ -27,7 +27,7 @@ pub mod report;
 pub mod runtime;
 pub mod task;
 
-pub use checkpoint::{Checkpoint, CheckpointStore, Tee};
+pub use checkpoint::{crc32, AssembledCheckpoint, Checkpoint, CheckpointStore, Tee};
 pub use drift::{DriftConfig, DriftMonitor, DriftReport};
 pub use engine::{CycleEngine, DriftAbort, NoProbe, Phase, Probe};
 pub use report::{SpmdError, SpmdReport};

@@ -48,8 +48,8 @@ pub mod pipeline;
 
 pub use netpart_model::NetpartError;
 pub use pipeline::{
-    AppStart, CostSource, Fault, FaultSchedule, PhaseTotals, Plan, RecoveryPolicy, RecoveryStats,
-    Run, Scenario,
+    AppStart, CheckpointPolicy, CostSource, Durability, Fault, FaultSchedule, PhaseTotals, Plan,
+    RecoveryPolicy, RecoveryStats, Run, Scenario,
 };
 
 pub use netpart_apps as apps;

@@ -36,7 +36,7 @@ use netpart_core::{
 };
 use netpart_mmps::MmpsEvent;
 use netpart_model::{AppModel, NetpartError, PartitionVector};
-use netpart_sim::{FaultPlan, NodeId, RouterId, SegmentId, SimDur, SimTime};
+use netpart_sim::{FaultPlan, NodeId, RouterId, SegmentId, SimDur, SimError, SimTime};
 use netpart_spmd::{
     Checkpoint, CheckpointStore, DriftConfig, DriftMonitor, DriftReport, Executor, Phase, Probe,
     Rank, SpmdApp, SpmdReport, Tee,
@@ -379,8 +379,15 @@ pub enum Fault {
 /// same scenario ⇒ same trajectory, failures and recoveries included.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultSchedule {
-    /// The scheduled faults.
+    /// The scheduled faults, in the plan's rank/cluster coordinates.
     pub faults: Vec<Fault>,
+    /// Additional raw simulator-coordinate events (node/router/segment
+    /// ids against the whole testbed, not just placed ranks) merged into
+    /// the installed plan verbatim. The chaos fuzzer generates these with
+    /// [`FaultPlan::random`]; an event naming a node outside the current
+    /// placement still takes effect on the testbed (and is validated like
+    /// everything else at install).
+    pub raw: FaultPlan,
 }
 
 impl FaultSchedule {
@@ -396,16 +403,22 @@ impl FaultSchedule {
         self
     }
 
+    /// Merge a raw simulator-coordinate fault plan into the schedule.
+    pub fn with_raw(mut self, plan: FaultPlan) -> FaultSchedule {
+        self.raw.events.extend(plan.events);
+        self
+    }
+
     /// Whether the schedule is empty.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.raw.is_empty()
     }
 
     /// Translate into the simulator's fault plan using the initial
     /// placement (`nodes[rank]` is the node hosting `rank`).
     fn translate(&self, nodes: &[NodeId]) -> Result<FaultPlan, NetpartError> {
         let t = |ms: f64| SimTime::ZERO + SimDur::from_millis_f64(ms);
-        let mut plan = FaultPlan::new();
+        let mut plan = self.raw.clone();
         for f in &self.faults {
             plan = match *f {
                 Fault::RankCrash { at_ms, rank } => {
@@ -509,6 +522,119 @@ pub enum RecoveryPolicy {
     },
 }
 
+/// The recovery loop's verdict on a failed segment — extracted as a pure
+/// function so the precedence between concurrent failure signals is
+/// pinned by unit tests rather than implied by control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecoveryAction {
+    /// Surface the error to the caller: unrecoverable kind, no recovery
+    /// policy, or a rank-failure budget already spent.
+    Fail,
+    /// Recover from confirmed drift (gray failure). Drift rounds are
+    /// never budgeted — past the replan budget they decline instead of
+    /// erroring.
+    Drift,
+    /// Recover from a fail-stop failure; `Some(rank)` names the suspect,
+    /// `None` is a fault-explained deadlock that names nobody.
+    Suspect(Option<Rank>),
+}
+
+/// Classify a failed segment.
+///
+/// Precedence rule (regression-pinned): a rank failure that has exhausted
+/// `max_replans` is terminal **even when the drift monitor holds a
+/// concurrent confirmation** — resuming "for drift" at that point would
+/// mask the fatal crash behind an unbudgeted drift loop, and the caller
+/// would see a drift resume where a rank-failure error is owed.
+fn classify_failure(
+    err: &NetpartError,
+    drift_confirmed: bool,
+    scheduled_faults: bool,
+    replans: u32,
+    max_replans: Option<u32>,
+) -> RecoveryAction {
+    let Some(max) = max_replans else {
+        return RecoveryAction::Fail; // FailFast: nothing recovers.
+    };
+    match err {
+        NetpartError::RankFailed { rank, .. } | NetpartError::PeerUnreachable { rank, .. } => {
+            if replans >= max {
+                RecoveryAction::Fail
+            } else {
+                RecoveryAction::Suspect(Some(*rank))
+            }
+        }
+        NetpartError::DriftDegraded { .. } if drift_confirmed => RecoveryAction::Drift,
+        // A deadlock that scheduled faults can explain — e.g. nobody ever
+        // sends to a crashed pivot owner, so no transmission fails and no
+        // rank is named.
+        NetpartError::Deadlock { .. } if scheduled_faults => {
+            if replans >= max {
+                RecoveryAction::Fail
+            } else {
+                RecoveryAction::Suspect(None)
+            }
+        }
+        _ => RecoveryAction::Fail,
+    }
+}
+
+/// Where recovery checkpoints live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Blobs stay in host memory beside the simulation ("stable storage"
+    /// in the modeled world) — the original behaviour, and byte-identical
+    /// to it.
+    Local,
+    /// Each rank's blob is additionally mirrored over the message layer
+    /// to a buddy rank (preferentially in another cluster), checksummed,
+    /// and kept generationally: recovery falls back to the buddy replica
+    /// when the primary holder is dead or its blob fails the CRC, and to
+    /// an older generation when neither copy survives.
+    Replicated,
+}
+
+/// How [`Scenario::run_recoverable_with`] checkpoints and guards the
+/// recovery path itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Cycle interval between checkpoints (clamped to ≥ 1).
+    pub every: u64,
+    /// Where the blobs live.
+    pub durability: Durability,
+    /// Watchdog budget, simulated ms: when nested failures keep striking
+    /// with **no checkpoint-frontier progress** between them for longer
+    /// than this, recovery stops with [`NetpartError::RecoveryStalled`]
+    /// instead of spinning through its replan budget on a hopeless
+    /// network.
+    pub watchdog_ms: f64,
+}
+
+impl CheckpointPolicy {
+    /// Local durability, default watchdog (10 simulated seconds).
+    pub fn local(every: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every,
+            durability: Durability::Local,
+            watchdog_ms: 10_000.0,
+        }
+    }
+
+    /// Replicated durability, default watchdog (10 simulated seconds).
+    pub fn replicated(every: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            durability: Durability::Replicated,
+            ..CheckpointPolicy::local(every)
+        }
+    }
+
+    /// Replace the watchdog budget.
+    pub fn with_watchdog_ms(mut self, budget_ms: f64) -> CheckpointPolicy {
+        self.watchdog_ms = budget_ms;
+        self
+    }
+}
+
 /// What recovery cost, attached to a [`Run`] by
 /// [`Scenario::run_recoverable`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -541,6 +667,17 @@ pub struct RecoveryStats {
     /// Projected net gain (simulated ms: per-cycle saving × remaining
     /// cycles, minus migration cost) of the accepted repartitions.
     pub drift_gain_ms: f64,
+    /// Failures that struck while a recovery was already in progress —
+    /// i.e. rounds where the checkpoint frontier had not advanced since
+    /// the previous failure (faults mid-redistribution or mid-replan).
+    pub nested_attempts: u32,
+    /// Ranks restored from a buddy replica instead of the primary copy
+    /// ([`Durability::Replicated`] only), summed over recoveries.
+    pub replica_restores: u64,
+    /// Generations skipped because no intact copy of some rank survived
+    /// at a newer cycle ([`Durability::Replicated`] only), summed over
+    /// recoveries.
+    pub generation_fallbacks: u64,
 }
 
 /// How the app factory passed to [`Scenario::run_recoverable`] should
@@ -596,6 +733,31 @@ impl Scenario {
         faults: &FaultSchedule,
         policy: RecoveryPolicy,
         checkpoint_every: u64,
+        factory: F,
+    ) -> Result<(Run, A), NetpartError>
+    where
+        A: SpmdApp,
+        F: FnMut(usize, AppStart<'_>) -> Result<A, NetpartError>,
+    {
+        self.run_recoverable_with(
+            faults,
+            policy,
+            CheckpointPolicy::local(checkpoint_every),
+            factory,
+        )
+    }
+
+    /// [`run_recoverable`](Scenario::run_recoverable) with an explicit
+    /// [`CheckpointPolicy`]: checkpoint interval plus durability mode plus
+    /// the recovery watchdog budget. `run_recoverable` is exactly this
+    /// with [`CheckpointPolicy::local`], and a fault-free run is
+    /// byte-identical under every durability mode that sends no replica
+    /// traffic (i.e. [`Durability::Local`]).
+    pub fn run_recoverable_with<A, F>(
+        &self,
+        faults: &FaultSchedule,
+        policy: RecoveryPolicy,
+        ckpt: CheckpointPolicy,
         mut factory: F,
     ) -> Result<(Run, A), NetpartError>
     where
@@ -609,7 +771,13 @@ impl Scenario {
         let (mmps, nodes) = self.testbed.try_build(&plan.config, self.placement)?;
         let fault_plan = faults.translate(&nodes)?;
         let mut exec = Executor::new(mmps, nodes);
-        exec.mmps().net().install_fault_plan(&fault_plan);
+        exec.mmps()
+            .net()
+            .install_fault_plan(&fault_plan)
+            .map_err(|e| match e {
+                SimError::InvalidFaultPlan(msg) => NetpartError::InvalidFaultPlan(msg),
+                other => NetpartError::Network(other.to_string()),
+            })?;
 
         let adapt = matches!(policy, RecoveryPolicy::Adapt { .. });
         let fail_params = match policy {
@@ -634,6 +802,18 @@ impl Scenario {
         let mut cooldown_until: u64 = 0;
         let mut prev_drift_resume: Option<u64> = None;
         let mut declined_last_round = false;
+        // Replicated durability: every segment's store is archived whole,
+        // and each recovery round re-assembles the newest restorable
+        // generation against the round's dead set.
+        let mut archives: Vec<CheckpointStore> = Vec::new();
+        // The planning model resolved once per run and reused across
+        // nested replans (the calibration cache does the heavy lifting;
+        // this keeps even the resolve/validate pass out of the loop).
+        let mut replan_model: Option<PlanModel> = None;
+        // Watchdog state: the checkpoint frontier at the previous failure,
+        // and when the current no-progress failure streak began.
+        let mut last_resume: Option<u64> = None;
+        let mut streak_start: Option<SimTime> = None;
         let t0 = exec.mmps().now();
 
         loop {
@@ -648,7 +828,23 @@ impl Scenario {
             // Resumed apps run the *remaining* cycles, so this is the
             // job's total iteration count in global-cycle terms.
             let total_cycles = base + app.num_cycles();
-            let mut store = CheckpointStore::new(exec.nodes().len(), checkpoint_every, base);
+            let mut store = match ckpt.durability {
+                Durability::Local => CheckpointStore::new(exec.nodes().len(), ckpt.every, base),
+                Durability::Replicated => {
+                    let rc: Vec<usize> = cur_part
+                        .rank_clusters()
+                        .iter()
+                        .map(|&k| k as usize)
+                        .collect();
+                    CheckpointStore::replicated(
+                        exec.nodes().len(),
+                        ckpt.every,
+                        base,
+                        exec.nodes(),
+                        &rc,
+                    )
+                }
+            };
             let mut monitor = if adapt {
                 let RecoveryPolicy::Adapt {
                     degrade_threshold, ..
@@ -714,36 +910,29 @@ impl Scenario {
                 Err(e) => e,
             };
 
-            // Classify. A drift abort carries the monitor's confirmed
-            // report (only Adapt attaches one); otherwise only rank
-            // failures (and deadlocks that scheduled faults can explain —
-            // e.g. nobody ever sends to a crashed pivot owner, so no
-            // transmission fails) are recoverable.
-            let drift: Option<DriftReport> = match &err {
-                NetpartError::DriftDegraded { .. } => {
-                    monitor.as_ref().and_then(|m| m.confirmed()).copied()
-                }
-                _ => None,
-            };
-            let suspect = if drift.is_some() {
-                None
-            } else {
-                match &err {
-                    NetpartError::RankFailed { rank, .. }
-                    | NetpartError::PeerUnreachable { rank, .. } => Some(*rank),
-                    NetpartError::Deadlock { .. } if !faults.is_empty() => None,
-                    _ => return Err(err),
-                }
+            // Classify through the pure helper — the precedence between
+            // concurrent signals (a budget-exhausted rank failure racing a
+            // drift confirmation the monitor holds at the same instant) is
+            // regression-pinned on `classify_failure` directly. A drift
+            // abort carries the monitor's confirmed report (only Adapt
+            // attaches one); fail-stop recoveries are budgeted, drift
+            // rounds decline past the budget instead of erroring.
+            let confirmed = monitor.as_ref().and_then(|m| m.confirmed()).copied();
+            let action = classify_failure(
+                &err,
+                confirmed.is_some(),
+                !faults.is_empty(),
+                stats.replans,
+                fail_params.map(|(m, _)| m),
+            );
+            let (drift, suspect): (Option<DriftReport>, Option<Rank>) = match action {
+                RecoveryAction::Fail => return Err(err),
+                RecoveryAction::Drift => (confirmed, None),
+                RecoveryAction::Suspect(s) => (None, s),
             };
             let Some((max_replans, backoff_ms)) = fail_params else {
-                return Err(err);
+                unreachable!("a recoverable classification implies a recovery budget")
             };
-            // Fail-stop recoveries are budgeted; a drift round past the
-            // budget declines instead of erroring (the run still works,
-            // just degraded).
-            if drift.is_none() && stats.replans >= max_replans {
-                return Err(err);
-            }
             let t_fail = exec.mmps().now();
 
             // Online recalibration from the in-flight measurement — pure
@@ -841,15 +1030,9 @@ impl Scenario {
                 }
             });
 
-            // Fold this segment's consistent frontier into the best
-            // checkpoint (the store outlives the segment — host-memory
-            // stable storage, so a dead rank's blobs stay usable).
-            let progress = store.max_cycle_seen().map_or(base, |m| m + 1);
-            if let Some(f) = store.frontier() {
-                best = store.take(f);
-            }
-            let resume_at = best.as_ref().map_or(0, |c| c.cycle + 1);
-            stats.cycles_lost += progress.saturating_sub(resume_at);
+            // Name the suspect first: every death known *before* the
+            // checkpoint fold below forces replica assembly away from the
+            // corpse's primary copy.
             if let Some(rank) = suspect {
                 stats.failed_ranks.push(rank);
                 let node = exec.nodes()[rank];
@@ -857,6 +1040,7 @@ impl Scenario {
                     known_dead.push(node);
                 }
             }
+            let progress = store.max_cycle_seen().map_or(base, |m| m + 1);
             for &d in &known_dead {
                 exec.mmps().abort_peer(d);
             }
@@ -897,9 +1081,72 @@ impl Scenario {
                 exec.mmps().abort_peer(n);
             }
 
+            // Fold this segment's checkpoints into the best restorable
+            // snapshot (stores outlive their segment — host-memory stable
+            // storage under Local durability, archived checksummed
+            // generations under Replicated). The fold runs *after* the
+            // availability round so assembly honours every death this
+            // round detected, however it was detected: a checkpoint
+            // holder that died mid-recovery (named suspect or silent
+            // corpse the probes just found) must be restored from its
+            // buddy replica, never from a primary copy that went down
+            // with the node.
+            match ckpt.durability {
+                Durability::Local => {
+                    if let Some(f) = store.frontier() {
+                        best = store.take(f);
+                    }
+                }
+                Durability::Replicated => {
+                    // Never cache an assembled snapshot across rounds: the
+                    // dead set grows, so every round re-assembles from the
+                    // archived stores, newest segment first, falling back
+                    // across replicas and generations as needed.
+                    archives.push(store);
+                    best = None;
+                    for st in archives.iter().rev() {
+                        if let Some(a) = st.assemble(&known_dead) {
+                            stats.replica_restores += a.replica_restores;
+                            stats.generation_fallbacks += a.generation_fallbacks;
+                            best = Some(a.checkpoint);
+                            break;
+                        }
+                    }
+                }
+            }
+            let resume_at = best.as_ref().map_or(0, |c| c.cycle + 1);
+            stats.cycles_lost += progress.saturating_sub(resume_at);
+
+            // Watchdog: a failure round resuming from the same frontier as
+            // the previous one made no checkpoint progress — the fault
+            // struck *during* recovery (mid-redistribution, mid-replan). A
+            // streak of those longer than the sim-time budget means the
+            // recovery path is stalling, not advancing; stop with a typed
+            // error instead of spinning through the replan budget.
+            if last_resume == Some(resume_at) {
+                stats.nested_attempts += 1;
+                let start = *streak_start.get_or_insert(t_fail);
+                let stalled_ms = t_fail.since(start).as_millis_f64();
+                if stalled_ms > ckpt.watchdog_ms {
+                    return Err(NetpartError::RecoveryStalled {
+                        attempts: stats.nested_attempts,
+                        stalled_ms: stalled_ms as u64,
+                        budget_ms: ckpt.watchdog_ms as u64,
+                    });
+                }
+            } else {
+                last_resume = Some(resume_at);
+                streak_start = Some(t_fail);
+            }
+
             // Re-run the offline half on the survivors — on the refitted
-            // model when a drift was just recalibrated.
-            let model = self.resolve_model()?;
+            // model when a drift was just recalibrated. Resolved once per
+            // run and reused across nested replans, so recovery rounds
+            // never repeat the calibration-cache lookup and validation.
+            if replan_model.is_none() {
+                replan_model = Some(self.resolve_model()?);
+            }
+            let model = replan_model.as_ref().expect("just resolved");
             let inflated = recal
                 .as_ref()
                 .filter(|r| r.comm_scale > 1.0)
@@ -1402,5 +1649,368 @@ mod tests {
         let mut app = StencilApp::new(40, 3, StencilVariant::Sten1, 2);
         let run = plan.run(&mut app).unwrap();
         assert!(run.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn raw_schedule_naming_an_unknown_node_is_rejected_at_install() {
+        let s = small_scenario();
+        let t = SimTime::ZERO + SimDur::from_millis_f64(5.0);
+        let bogus = FaultPlan::new().crash(t, NodeId(9999));
+        let err = match s.run_recoverable(
+            &FaultSchedule::new().with_raw(bogus),
+            RecoveryPolicy::FailFast,
+            1,
+            stencil_factory(40, 2),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("an unknown node must be rejected"),
+        };
+        match err {
+            NetpartError::InvalidFaultPlan(msg) => {
+                assert!(msg.contains("unknown node"), "{msg}")
+            }
+            other => panic!("expected InvalidFaultPlan, got {other}"),
+        }
+    }
+
+    #[test]
+    fn inverted_fault_window_is_rejected_at_install() {
+        let s = small_scenario();
+        let faults = FaultSchedule::new().with(Fault::LossBurst {
+            cluster: 0,
+            from_ms: 50.0,
+            until_ms: 10.0,
+            loss: 0.5,
+        });
+        let err =
+            match s.run_recoverable(&faults, RecoveryPolicy::FailFast, 1, stencil_factory(40, 2)) {
+                Err(e) => e,
+                Ok(_) => panic!("an inverted window must be rejected"),
+            };
+        match err {
+            NetpartError::InvalidFaultPlan(msg) => {
+                assert!(msg.contains("until") && msg.contains("from"), "{msg}")
+            }
+            other => panic!("expected InvalidFaultPlan, got {other}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhausted_rank_failure_outranks_concurrent_drift() {
+        // The S3 regression pin: precedence between concurrent failure
+        // signals lives in `classify_failure`, not in control-flow luck.
+        let rank_err = NetpartError::RankFailed {
+            rank: 2,
+            cycle: 7,
+            checkpoint: Some(5),
+            attempts: 4,
+        };
+        // Under budget the crash recovers, naming the suspect.
+        assert_eq!(
+            classify_failure(&rank_err, false, true, 1, Some(4)),
+            RecoveryAction::Suspect(Some(2))
+        );
+        // Budget spent and the monitor holds a concurrent drift
+        // confirmation: the rank failure is still terminal — resuming
+        // "for drift" would mask the fatal crash.
+        assert_eq!(
+            classify_failure(&rank_err, true, true, 4, Some(4)),
+            RecoveryAction::Fail
+        );
+        // FailFast recovers nothing.
+        assert_eq!(
+            classify_failure(&rank_err, true, true, 0, None),
+            RecoveryAction::Fail
+        );
+        // An unreachable peer classifies exactly like a failed rank.
+        let peer_err = NetpartError::PeerUnreachable {
+            rank: 1,
+            attempts: 9,
+        };
+        assert_eq!(
+            classify_failure(&peer_err, true, true, 4, Some(4)),
+            RecoveryAction::Fail
+        );
+        assert_eq!(
+            classify_failure(&peer_err, false, false, 0, Some(4)),
+            RecoveryAction::Suspect(Some(1))
+        );
+        // A confirmed drift abort recovers even past the replan budget —
+        // drift rounds decline instead of erroring, so they are never
+        // budgeted.
+        let drift_err = NetpartError::DriftDegraded {
+            rank: 1,
+            cycle: 9,
+            checkpoint: Some(8),
+            severity_permille: 4000,
+        };
+        assert_eq!(
+            classify_failure(&drift_err, true, true, 9, Some(4)),
+            RecoveryAction::Drift
+        );
+        // An unconfirmed drift abort is surfaced as the bug it would be.
+        assert_eq!(
+            classify_failure(&drift_err, false, true, 0, Some(4)),
+            RecoveryAction::Fail
+        );
+        // A deadlock is recoverable (naming nobody) only when scheduled
+        // faults can explain it, and only within the budget.
+        let dead = NetpartError::Deadlock {
+            blocked: vec![(0, "recv".into())],
+        };
+        assert_eq!(
+            classify_failure(&dead, false, true, 0, Some(4)),
+            RecoveryAction::Suspect(None)
+        );
+        assert_eq!(
+            classify_failure(&dead, false, false, 0, Some(4)),
+            RecoveryAction::Fail
+        );
+        assert_eq!(
+            classify_failure(&dead, false, true, 4, Some(4)),
+            RecoveryAction::Fail
+        );
+    }
+
+    #[test]
+    fn replan_budget_exhaustion_surfaces_the_rank_failure() {
+        // A zero budget turns the first crash terminal: the error must be
+        // the typed rank failure, exactly as FailFast would report it —
+        // not a drift resume, not a panic, not an Ok.
+        let s = small_scenario();
+        let plan = s.plan().unwrap();
+        let iters = 12u64;
+        let mut app = StencilApp::new(40, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        let faults = FaultSchedule::new().with(Fault::RankCrash {
+            at_ms: fault_free.elapsed_ms * 0.4,
+            rank: 0,
+        });
+        let err = match s.run_recoverable(
+            &faults,
+            RecoveryPolicy::Replan {
+                max_replans: 0,
+                backoff_ms: 5.0,
+            },
+            1,
+            stencil_factory(40, iters),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("a zero budget must be terminal"),
+        };
+        match err {
+            NetpartError::RankFailed { rank, .. } => assert_eq!(rank, 0),
+            other => panic!("expected RankFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn simultaneous_cluster_crash_collapses_into_one_replan() {
+        use netpart_apps::stencil::sequential_reference;
+        // 400 PDUs plans 11 ranks across both physical clusters, so one
+        // cluster's crash fells several ranks at the same instant.
+        let s = Scenario::new(Testbed::paper(), stencil_model(400, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        let plan = s.plan().unwrap();
+        let iters = 6u64;
+        let mut app = StencilApp::new(400, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        // Crash every rank of one cluster at the same instant: correlated
+        // failures must collapse into a single availability round and a
+        // single replan, not one replan per corpse.
+        let part = plan.partition.as_ref().expect("planned scenario");
+        let rc = part.rank_clusters();
+        let victim = *rc.last().expect("at least one rank");
+        let t = fault_free.elapsed_ms * 0.4;
+        let mut faults = FaultSchedule::new();
+        let mut victims = 0;
+        for (r, &k) in rc.iter().enumerate() {
+            if k == victim {
+                faults = faults.with(Fault::RankCrash { at_ms: t, rank: r });
+                victims += 1;
+            }
+        }
+        assert!(victims >= 2, "the victim cluster must hold several ranks");
+        let (run, rapp) = s
+            .run_recoverable(
+                &faults,
+                RecoveryPolicy::Replan {
+                    max_replans: 3,
+                    backoff_ms: 5.0,
+                },
+                1,
+                stencil_factory(400, iters),
+            )
+            .unwrap();
+        let st = run.recovery.expect("stats");
+        assert_eq!(
+            st.replans, 1,
+            "correlated crashes must fold into one replan: {st:?}"
+        );
+        assert_eq!(rapp.gather(), sequential_reference(400, iters));
+    }
+
+    #[test]
+    fn faults_striking_every_recovery_trip_the_watchdog() {
+        let s = Scenario::new(Testbed::paper(), stencil_model(60, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        let plan = s.plan().unwrap();
+        let iters = 24u64;
+        let mut app = StencilApp::new(60, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        let t = fault_free.elapsed_ms;
+        let crash1 = Fault::RankCrash {
+            at_ms: t * 0.4,
+            rank: 0,
+        };
+        let policy = RecoveryPolicy::Replan {
+            max_replans: 5,
+            backoff_ms: 5.0,
+        };
+        // Stage 1: a single crash, recovered with one replan. Its total
+        // elapsed time tells us *when the recovered segment runs* —
+        // failure detection costs simulated seconds of message retries,
+        // so fractions of the fault-free time cannot aim a fault into
+        // the recovery; a fraction of this measured run can.
+        let (r1, _) = s
+            .run_recoverable_with(
+                &FaultSchedule::new().with(crash1.clone()),
+                policy,
+                CheckpointPolicy::local(10_000).with_watchdog_ms(0.0),
+                stencil_factory(60, iters),
+            )
+            .unwrap();
+        assert_eq!(r1.recovery.as_ref().map(|st| st.replans), Some(1));
+        // Stage 2: the same run, plus a second crash aimed mid-way
+        // through the recovered segment (its rank 0 lives on the node
+        // that hosted rank 1 before the replan). The checkpoint interval
+        // exceeds the run, so every recovery restarts from scratch: the
+        // second failure resumes from the same frontier as the first —
+        // a nested, no-progress attempt — and a zero watchdog budget
+        // makes that streak terminal.
+        let faults = FaultSchedule::new().with(crash1).with(Fault::RankCrash {
+            at_ms: r1.elapsed_ms - 0.5 * t,
+            rank: 1,
+        });
+        let err = match s.run_recoverable_with(
+            &faults,
+            policy,
+            CheckpointPolicy::local(10_000).with_watchdog_ms(0.0),
+            stencil_factory(60, iters),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("a stalled recovery must trip the watchdog"),
+        };
+        match err {
+            NetpartError::RecoveryStalled {
+                attempts,
+                stalled_ms,
+                budget_ms,
+            } => {
+                assert!(attempts >= 1, "streak must count nested failures");
+                assert_eq!(budget_ms, 0);
+                assert!(stalled_ms > 0, "the streak spans simulated time");
+            }
+            other => panic!("expected RecoveryStalled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn replicated_durability_on_a_fault_free_run_changes_only_traffic() {
+        use netpart_apps::stencil::sequential_reference;
+        // Two ranks, so replica traffic actually flows between buddies.
+        let s = Scenario::new(Testbed::paper(), stencil_model(60, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        // Replica mirroring adds messages (and therefore simulated time),
+        // but a fault-free run must still finish with zeroed recovery
+        // stats and the exact sequential answer.
+        let (run, rapp) = s
+            .run_recoverable_with(
+                &FaultSchedule::new(),
+                RecoveryPolicy::Replan {
+                    max_replans: 3,
+                    backoff_ms: 5.0,
+                },
+                CheckpointPolicy::replicated(2),
+                stencil_factory(60, 6),
+            )
+            .unwrap();
+        assert_eq!(run.recovery, Some(RecoveryStats::default()));
+        assert_eq!(rapp.gather(), sequential_reference(60, 6));
+    }
+
+    #[test]
+    fn crash_of_a_checkpoint_holder_recovers_from_the_buddy_replica() {
+        use netpart_apps::stencil::sequential_reference;
+        // Two ranks in one cluster, ring buddies: each rank's blob is
+        // mirrored to the other's node. Sizes are deliberately modest —
+        // a rank's blob costs ~6 ms of 10 Mb wire time, so the mirror
+        // drains well within one checkpoint interval and a later crash
+        // finds the replica already delivered.
+        let s = Scenario::new(Testbed::paper(), stencil_model(60, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        let plan = s.plan().unwrap();
+        let iters = 18u64;
+        let mut app = StencilApp::new(60, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        let t = fault_free.elapsed_ms;
+        let crash1 = Fault::RankCrash {
+            at_ms: t * 0.5,
+            rank: 0,
+        };
+        let policy = RecoveryPolicy::Replan {
+            max_replans: 4,
+            backoff_ms: 5.0,
+        };
+        // Stage 1: the crash takes rank 0's node — and the primary copy
+        // of its cycle-5 blob — down. Assembly must serve the blob from
+        // the buddy replica on rank 1's node and resume past it, losing
+        // no checkpointed cycle.
+        let (r1, a1) = s
+            .run_recoverable_with(
+                &FaultSchedule::new().with(crash1.clone()),
+                policy,
+                CheckpointPolicy::replicated(6),
+                stencil_factory(60, iters),
+            )
+            .unwrap();
+        let st = r1.recovery.expect("stats");
+        assert_eq!(
+            (st.replans, st.replica_restores, st.cycles_lost),
+            (1, 1, 0),
+            "the dead holder's blob must come from its buddy: {st:?}"
+        );
+        assert_eq!(a1.gather(), sequential_reference(60, iters));
+        // Stage 2: additionally kill the *recovered* segment's second
+        // node while that segment is redistributing/re-running (aimed
+        // inside it via the stage-1 elapsed time — detection latency
+        // dwarfs the fault-free run, so only a measured recovered run
+        // can place the fault). Another checkpoint holder is lost
+        // mid-recovery; assembly again falls back to a buddy replica
+        // and the twice-recovered replay still matches the sequential
+        // reference bit for bit.
+        let crash2_at = SimTime::ZERO + SimDur::from_millis_f64(r1.elapsed_ms - 0.6 * t);
+        let faults = FaultSchedule::new()
+            .with(crash1)
+            .with_raw(FaultPlan::new().crash(crash2_at, NodeId(2)));
+        let (run, rapp) = s
+            .run_recoverable_with(
+                &faults,
+                policy,
+                CheckpointPolicy::replicated(6),
+                stencil_factory(60, iters),
+            )
+            .unwrap();
+        let st = run.recovery.expect("stats");
+        assert!(
+            st.replica_restores >= 2,
+            "both dead holders' blobs must come from their buddies: {st:?}"
+        );
+        assert_eq!(st.replans, 2, "{st:?}");
+        assert_eq!(
+            rapp.gather(),
+            sequential_reference(60, iters),
+            "replica-restored replay must be bit-identical"
+        );
     }
 }
