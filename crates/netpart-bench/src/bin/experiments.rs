@@ -9,7 +9,9 @@
 //! Subcommands: `calibrate`, `table1`, `table2`, `fig2`, `fig3`,
 //! `overhead`, `gauss`, `ablation-ordering`, `ablation-placement`,
 //! `ablation-search`, `ablation-decomposition`, `sensitivity`, `dynamic`,
-//! `metasystem`, `faults`, `drift`, `chaos-fuzz`, `all`.
+//! `metasystem`, `faults`, `drift`, `chaos-fuzz`, `all`, plus `simcore`
+//! (event-core throughput; excluded from `all` because its wall-clock
+//! figures are machine-dependent).
 
 use std::sync::OnceLock;
 
@@ -385,6 +387,43 @@ fn cmd_chaos_fuzz() {
     }
 }
 
+fn cmd_simcore() {
+    println!("Event-core throughput — wheel queue vs committed heap baseline:");
+    let samples = run_simcore(3);
+    println!(
+        "{:<18} {:>12} {:>10} {:>14} {:>14} {:>8}",
+        "workload", "events", "wall (s)", "events/s", "heap (ev/s)", "speedup"
+    );
+    for s in &samples {
+        let eps = s.events_per_sec();
+        let (base, speedup) = match s.heap_baseline() {
+            Some(b) => (format!("{b:.3e}"), format!("{:.1}x", eps / b)),
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "{:<18} {:>12} {:>10.4} {:>14.4e} {:>14} {:>8}",
+            s.name, s.events, s.wall_secs, eps, base, speedup
+        );
+    }
+    let json = simcore_json(&samples);
+    match std::fs::write("BENCH_simcore.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_simcore.json"),
+        Err(e) => eprintln!("BENCH_simcore.json not written: {e}"),
+    }
+    let floor_broken: Vec<String> = samples
+        .iter()
+        .filter(|s| !s.floor_cleared())
+        .map(|s| format!("{} (floor {:.1e})", s.name, s.floor().unwrap_or(0.0)))
+        .collect();
+    if !floor_broken.is_empty() {
+        eprintln!(
+            "simcore: events/s below the per-workload floor for: {}",
+            floor_broken.join(", ")
+        );
+        std::process::exit(4);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmds: Vec<&str> = if args.is_empty() {
@@ -481,6 +520,12 @@ fn main() {
     }
     if want("chaos-fuzz") {
         cmd_chaos_fuzz();
+        println!();
+    }
+    // Deliberately not part of `all`: simcore reports machine-dependent
+    // wall-clock figures, which would make `all` output nondeterministic.
+    if cmds.contains(&"simcore") {
+        cmd_simcore();
         println!();
     }
 }

@@ -24,6 +24,7 @@ pub mod drift;
 pub mod experiments;
 pub mod faults;
 pub mod report;
+pub mod simcore;
 pub mod sweep;
 
 pub use ablations::*;
@@ -32,3 +33,4 @@ pub use drift::*;
 pub use experiments::*;
 pub use faults::*;
 pub use report::*;
+pub use simcore::*;

@@ -153,6 +153,12 @@ struct InMsg {
     n_got: u32,
 }
 
+/// How many retired fragment bitmaps the pool keeps. In a cycle loop the
+/// number of concurrently open incoming messages is bounded by the fan-in
+/// of one exchange, so a small cap covers steady state while bounding the
+/// memory a pathological burst could pin.
+const FRAG_POOL_CAP: usize = 64;
+
 /// The reliable message-passing service. See the [module docs](self).
 pub struct Mmps {
     net: Network,
@@ -166,6 +172,10 @@ pub struct Mmps {
     pending_delivery: FastMap<u64, (NodeId, NodeId, u64, Bytes, u32)>,
     /// Per-(sender, receiver) round-trip estimators for adaptive RTO.
     rtt: FastMap<(NodeId, NodeId), RttEstimator>,
+    /// Retired fragment bitmaps, recycled into new [`InMsg`]s so a
+    /// steady-state cycle loop stops allocating one `Vec<bool>` per
+    /// message received.
+    frag_pool: Vec<Vec<bool>>,
     stats: MmpsStats,
 }
 
@@ -181,7 +191,30 @@ impl Mmps {
             completed: FastMap::default(),
             pending_delivery: FastMap::default(),
             rtt: FastMap::default(),
+            frag_pool: Vec::new(),
             stats: MmpsStats::default(),
+        }
+    }
+
+    /// Take an all-false fragment bitmap of length `n` from the pool, or
+    /// allocate one.
+    fn frag_bitmap(pool: &mut Vec<Vec<bool>>, n: usize) -> Vec<bool> {
+        match pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(n, false);
+                v
+            }
+            None => vec![false; n],
+        }
+    }
+
+    /// Retire a finished incoming message's bitmap back into the pool.
+    fn retire_incoming(&mut self, msg: u64) {
+        if let Some(in_msg) = self.incoming.remove(&msg) {
+            if self.frag_pool.len() < FRAG_POOL_CAP {
+                self.frag_pool.push(in_msg.got);
+            }
         }
     }
 
@@ -406,8 +439,9 @@ impl Mmps {
                 }
                 let out = self.outgoing.get(&msg)?;
                 let n_frags = out.plan.n_frags;
+                let pool = &mut self.frag_pool;
                 let entry = self.incoming.entry(msg).or_insert_with(|| InMsg {
-                    got: vec![false; n_frags as usize],
+                    got: Self::frag_bitmap(pool, n_frags as usize),
                     n_got: 0,
                 });
                 let idx = frag as usize;
@@ -427,7 +461,7 @@ impl Mmps {
                 // keeps wire timing exact — and content no longer matters,
                 // since duplicates of a completed message are re-acked
                 // without being delivered.
-                self.incoming.remove(&msg);
+                self.retire_incoming(msg);
                 let out = self.outgoing.get_mut(&msg).expect("checked above");
                 let payload = std::mem::take(&mut out.payload);
                 let (src, dst, tag, len) = (out.src, out.dst, out.user_tag, out.len);
@@ -492,7 +526,7 @@ impl Mmps {
                 // own sends to the dead peer go unanswered.
                 if self.net.node_crashed(out.src) {
                     self.outgoing.remove(&msg);
-                    self.incoming.remove(&msg);
+                    self.retire_incoming(msg);
                     return None;
                 }
                 out.retries += 1;
@@ -503,7 +537,7 @@ impl Mmps {
                 if out.retries > self.cfg.max_retries || deadline_hit {
                     let out = self.outgoing.remove(&msg).expect("present");
                     self.stats.messages_failed += 1;
-                    self.incoming.remove(&msg);
+                    self.retire_incoming(msg);
                     return Some(MmpsEvent::MessageFailed {
                         at,
                         msg: MsgId(msg),
@@ -602,7 +636,7 @@ impl Mmps {
             if let Some(out) = self.outgoing.remove(&id) {
                 self.net.cancel_timer(out.timer);
             }
-            self.incoming.remove(&id);
+            self.retire_incoming(id);
             self.pending_delivery.remove(&id);
         }
         self.pending_delivery

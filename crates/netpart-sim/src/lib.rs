@@ -59,6 +59,7 @@ pub mod network;
 pub mod node;
 pub mod router;
 pub mod segment;
+mod slab;
 pub mod time;
 
 pub use datagram::{Datagram, FRAME_OVERHEAD_BYTES, MAX_DATAGRAM_PAYLOAD};

@@ -37,6 +37,7 @@ use crate::ids::{DgramId, NodeId, ProcTypeId, RouterId, SegmentId, TimerId};
 use crate::node::{Node, OpClass, ProcType};
 use crate::router::{Router, RouterSpec, RouterStats};
 use crate::segment::{Segment, SegmentSpec, SegmentStats};
+use crate::slab::{DgramHandle, DgramSlab};
 use crate::time::{SimDur, SimTime};
 
 /// Builder for a [`Network`].
@@ -150,13 +151,16 @@ impl NetworkBuilder {
                 .collect(),
             routers: self.routers.into_iter().map(Router::new).collect(),
             queue: EventQueue::new(),
+            slab: DgramSlab::new(),
             now: SimTime::ZERO,
             next_dgram: 0,
             next_timer: 0,
-            cancelled_timers: FastSet::default(),
+            pending_timers: FastSet::default(),
+            cancelled_unpopped: 0,
             rng: SmallRng::seed_from_u64(self.seed),
             delivered: 0,
             dropped: 0,
+            events_processed: 0,
             background: Vec::new(),
         })
     }
@@ -186,13 +190,24 @@ pub struct Network {
     nodes: Vec<Node>,
     routers: Vec<Router>,
     queue: EventQueue,
+    /// In-flight datagrams; work items carry slab handles, not payloads.
+    slab: DgramSlab,
     now: SimTime,
     next_dgram: u64,
     next_timer: u64,
-    cancelled_timers: FastSet<TimerId>,
+    /// Timers set but not yet fired or cancelled. A cancel removes the id
+    /// here; when the queued work item later pops it finds the id gone and
+    /// is swallowed. Bounded by the number of queued timers by
+    /// construction — unlike the old tombstone set, which grew forever if
+    /// callers cancelled already-fired timers.
+    pending_timers: FastSet<TimerId>,
+    /// Cancelled timers whose queue entries have not popped yet; keeps
+    /// [`pending_work`](Network::pending_work) honest.
+    cancelled_unpopped: usize,
     rng: SmallRng,
     delivered: u64,
     dropped: u64,
+    events_processed: u64,
     background: Vec<(BackgroundFlow, bool)>,
 }
 
@@ -341,6 +356,15 @@ impl Network {
         self.dropped
     }
 
+    /// Lifetime count of scheduler work items processed by
+    /// [`next_event`](Network::next_event) — internal frame-pipeline steps
+    /// included, not just externally visible events. Divide by wall-clock
+    /// seconds for the events/s throughput of the simulator core (the
+    /// `experiments -- simcore` subcommand does exactly that).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Whether a route exists between two nodes (same segment, or a router
     /// joins their segments).
     pub fn route_exists(&self, a: NodeId, b: NodeId) -> bool {
@@ -435,6 +459,7 @@ impl Network {
         let start = self.now.max(self.nodes[src.index()].net_free_at);
         let done = start + host;
         self.nodes[src.index()].net_free_at = done;
+        let dgram = self.slab.insert(dgram);
         self.queue.push(done, Work::FrameReady { dgram });
         Ok(id)
     }
@@ -482,14 +507,19 @@ impl Network {
     pub fn set_timer(&mut self, delay: SimDur, owner: u64, token: u64) -> TimerId {
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
+        self.pending_timers.insert(id);
         self.queue
             .push(self.now + delay, Work::Timer { id, owner, token });
         id
     }
 
-    /// Cancel a pending timer. Cancelling an already-fired timer is a no-op.
+    /// Cancel a pending timer. Cancelling an already-fired (or
+    /// already-cancelled) timer is a no-op and costs nothing: no state is
+    /// retained for ids that are not actually pending.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled_timers.insert(id);
+        if self.pending_timers.remove(&id) {
+            self.cancelled_unpopped += 1;
+        }
     }
 
     // ---- the event loop --------------------------------------------------
@@ -500,16 +530,18 @@ impl Network {
         while let Some((at, work)) = self.queue.pop() {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            self.events_processed += 1;
             if let Some(evt) = self.process(work) {
                 return Some(evt);
             }
             // Drain the rest of this instant's batch without touching the
             // clock. Same-timestamp bursts are the common case here —
             // fragment trains queued behind one frame, simultaneous timer
-            // matures — and processing them in place skips the redundant
+            // matures — and `pop_if_at` hands them straight out of the
+            // wheel's current slot with no peek/pop pair and no redundant
             // per-item clock bookkeeping.
-            while self.queue.peek_time() == Some(self.now) {
-                let (_, work) = self.queue.pop().expect("peeked non-empty");
+            while let Some(work) = self.queue.pop_if_at(self.now) {
+                self.events_processed += 1;
                 if let Some(evt) = self.process(work) {
                     return Some(evt);
                 }
@@ -523,9 +555,11 @@ impl Network {
         self.queue.is_empty()
     }
 
-    /// Number of pending internal work items (diagnostics).
+    /// Number of pending internal work items (diagnostics). Cancelled
+    /// timers whose queue entries have not been reaped yet are *not*
+    /// counted — they are dead weight, not pending work.
     pub fn pending_work(&self) -> usize {
-        self.queue.len()
+        self.queue.len() - self.cancelled_unpopped
     }
 
     fn process(&mut self, work: Work) -> Option<SimEvent> {
@@ -533,17 +567,19 @@ impl Network {
             Work::FrameReady { dgram } => {
                 // The host crashed after queueing but before the NIC got
                 // the frame: the frame dies in the dead host's buffers.
-                if self.nodes[dgram.src.index()].crashed {
+                let src = self.slab.get(dgram).src;
+                if self.nodes[src.index()].crashed {
+                    let d = self.slab.take(dgram);
                     self.dropped += 1;
                     return Some(SimEvent::DatagramDropped {
                         at: self.now,
-                        id: dgram.id,
-                        src: dgram.src,
-                        dst: dgram.dst,
+                        id: d.id,
+                        src: d.src,
+                        dst: d.dst,
                         reason: DropReason::NodeDown,
                     });
                 }
-                let seg = self.nodes[dgram.src.index()].segment;
+                let seg = self.nodes[src.index()].segment;
                 self.enqueue_frame(seg, dgram);
                 None
             }
@@ -552,11 +588,12 @@ impl Network {
                 let r = &mut self.routers[router.index()];
                 r.in_flight -= 1;
                 r.frames_forwarded += 1;
-                let egress = self.nodes[dgram.dst.index()].segment;
+                let egress = self.nodes[self.slab.get(dgram).dst.index()].segment;
                 self.enqueue_frame(egress, dgram);
                 None
             }
             Work::Deliver { dgram } => {
+                let dgram = self.slab.take(dgram);
                 // Receiver crashed between final-hop arrival and the end of
                 // its host processing: the delivery never happens.
                 if self.nodes[dgram.dst.index()].crashed {
@@ -590,15 +627,17 @@ impl Network {
                 })
             }
             Work::Timer { id, owner, token } => {
-                if self.cancelled_timers.remove(&id) {
-                    None
-                } else {
+                if self.pending_timers.remove(&id) {
                     Some(SimEvent::TimerFired {
                         at: self.now,
                         id,
                         owner,
                         token,
                     })
+                } else {
+                    // Cancelled before firing; reap the tombstone count.
+                    self.cancelled_unpopped -= 1;
+                    None
                 }
             }
             Work::BackgroundSend { flow } => {
@@ -658,9 +697,22 @@ impl Network {
         }
     }
 
+    /// Take an interned frame out of the slab and surface its drop.
+    fn drop_frame(&mut self, dgram: DgramHandle, reason: DropReason) -> Option<SimEvent> {
+        let d = self.slab.take(dgram);
+        self.dropped += 1;
+        Some(SimEvent::DatagramDropped {
+            at: self.now,
+            id: d.id,
+            src: d.src,
+            dst: d.dst,
+            reason,
+        })
+    }
+
     /// A frame wants the channel on `segment`: queue it, and start
     /// transmitting if the channel is idle.
-    fn enqueue_frame(&mut self, segment: SegmentId, dgram: Datagram) {
+    fn enqueue_frame(&mut self, segment: SegmentId, dgram: DgramHandle) {
         let seg = &mut self.segments[segment.index()];
         seg.queue.push_back(dgram);
         if !seg.busy {
@@ -679,11 +731,12 @@ impl Network {
         // number of stations still waiting — the linear-in-p load the
         // paper's cost model assumes.
         let access = seg.access_delay();
-        let tx = seg.spec.tx_time(dgram.frame_bytes());
+        let frame_bytes = self.slab.get(dgram).frame_bytes();
+        let tx = seg.spec.tx_time(frame_bytes);
         seg.busy = true;
         seg.busy_time += tx;
         seg.frames_sent += 1;
-        seg.bytes_sent += dgram.frame_bytes() as u64;
+        seg.bytes_sent += frame_bytes as u64;
         let end = self.now + access + tx;
         // The frame rides inside the TxEnd item itself: a segment's wire
         // holds at most one frame at a time, so no side slot is needed and
@@ -691,7 +744,7 @@ impl Network {
         self.queue.push(end, Work::TxEnd { segment, dgram });
     }
 
-    fn tx_end(&mut self, segment: SegmentId, mut dgram: Datagram) -> Option<SimEvent> {
+    fn tx_end(&mut self, segment: SegmentId, dgram: DgramHandle) -> Option<SimEvent> {
         // Kick the next queued frame first so channel work continues
         // regardless of what happens to this frame.
         self.start_next_tx(segment);
@@ -702,14 +755,7 @@ impl Network {
         // empty fault plan leaves the stream untouched.)
         let loss_p = self.segments[segment.index()].effective_loss(self.now);
         if loss_p > 0.0 && self.rng.random::<f64>() < loss_p {
-            self.dropped += 1;
-            return Some(SimEvent::DatagramDropped {
-                at: self.now,
-                id: dgram.id,
-                src: dgram.src,
-                dst: dgram.dst,
-                reason: DropReason::ChannelLoss,
-            });
+            return self.drop_frame(dgram, DropReason::ChannelLoss);
         }
 
         // Corruption? The frame survives the hop — it already paid for the
@@ -719,29 +765,26 @@ impl Network {
         // RNG stream untouched.
         let corrupt_p = self.segments[segment.index()].effective_corrupt(self.now);
         if corrupt_p > 0.0 && self.rng.random::<f64>() < corrupt_p {
-            dgram.corrupted = true;
+            self.slab.get_mut(dgram).corrupted = true;
         }
 
-        let dst_seg = self.nodes[dgram.dst.index()].segment;
+        let (dst, wire_len) = {
+            let d = self.slab.get(dgram);
+            (d.dst, d.wire_len)
+        };
+        let dst_seg = self.nodes[dst.index()].segment;
         if dst_seg == segment {
             // A crashed receiver's interface hears nothing.
-            if self.nodes[dgram.dst.index()].crashed {
-                self.dropped += 1;
-                return Some(SimEvent::DatagramDropped {
-                    at: self.now,
-                    id: dgram.id,
-                    src: dgram.src,
-                    dst: dgram.dst,
-                    reason: DropReason::NodeDown,
-                });
+            if self.nodes[dst.index()].crashed {
+                return self.drop_frame(dgram, DropReason::NodeDown);
             }
             // Final hop: receiver host processing, then delivery.
-            let pt = &self.proc_types[self.nodes[dgram.dst.index()].proc_type.index()];
-            let host = pt.recv_overhead
-                + SimDur::from_secs_f64(dgram.wire_len as f64 * pt.recv_sec_per_byte);
-            let start = self.now.max(self.nodes[dgram.dst.index()].net_free_at);
+            let pt = &self.proc_types[self.nodes[dst.index()].proc_type.index()];
+            let host =
+                pt.recv_overhead + SimDur::from_secs_f64(wire_len as f64 * pt.recv_sec_per_byte);
+            let start = self.now.max(self.nodes[dst.index()].net_free_at);
             let done = start + host;
-            self.nodes[dgram.dst.index()].net_free_at = done;
+            self.nodes[dst.index()].net_free_at = done;
             self.queue.push(done, Work::Deliver { dgram });
             None
         } else {
@@ -752,27 +795,13 @@ impl Network {
             let r = &mut self.routers[router.index()];
             if self.now < r.down_until {
                 r.frames_dropped += 1;
-                self.dropped += 1;
-                return Some(SimEvent::DatagramDropped {
-                    at: self.now,
-                    id: dgram.id,
-                    src: dgram.src,
-                    dst: dgram.dst,
-                    reason: DropReason::RouterDown,
-                });
+                return self.drop_frame(dgram, DropReason::RouterDown);
             }
             if r.in_flight >= r.spec.buffer_frames {
                 r.frames_dropped += 1;
-                self.dropped += 1;
-                return Some(SimEvent::DatagramDropped {
-                    at: self.now,
-                    id: dgram.id,
-                    src: dgram.src,
-                    dst: dgram.dst,
-                    reason: DropReason::RouterOverflow,
-                });
+                return self.drop_frame(dgram, DropReason::RouterOverflow);
             }
-            let fwd = r.spec.forward_time(dgram.wire_len);
+            let fwd = r.spec.forward_time(wire_len);
             let start = self.now.max(r.free_at);
             let done = start + fwd;
             r.free_at = done;

@@ -16,7 +16,7 @@
 
 use std::collections::VecDeque;
 
-use crate::datagram::Datagram;
+use crate::slab::DgramHandle;
 use crate::time::{SimDur, SimTime};
 
 /// Static description of a segment.
@@ -68,8 +68,9 @@ impl SegmentSpec {
 #[derive(Debug)]
 pub(crate) struct Segment {
     pub(crate) spec: SegmentSpec,
-    /// Frames waiting for the channel, FIFO.
-    pub(crate) queue: VecDeque<Datagram>,
+    /// Frames waiting for the channel, FIFO. Slab handles, not packets:
+    /// the payload lives in the network's datagram slab.
+    pub(crate) queue: VecDeque<DgramHandle>,
     /// Whether a frame is currently on the wire.
     pub(crate) busy: bool,
     /// Cumulative time the channel has spent transmitting (for utilization
@@ -201,16 +202,8 @@ mod tests {
     fn access_delay_grows_with_queue() {
         let mut seg = Segment::new(SegmentSpec::ethernet_10mbps());
         let idle = seg.access_delay();
-        for _ in 0..4 {
-            seg.queue.push_back(crate::datagram::Datagram {
-                id: crate::ids::DgramId(0),
-                src: crate::ids::NodeId(0),
-                dst: crate::ids::NodeId(1),
-                tag: 0,
-                payload: bytes::Bytes::new(),
-                wire_len: 10,
-                corrupted: false,
-            });
+        for k in 0..4 {
+            seg.queue.push_back(DgramHandle(k));
         }
         assert!(seg.access_delay() > idle);
     }

@@ -259,6 +259,54 @@ fn timers_fire_in_order_and_cancel() {
 }
 
 #[test]
+fn cancelling_a_fired_timer_leaves_no_tombstone() {
+    // Regression: cancelling an already-fired timer used to insert an id
+    // into the tombstone set that nothing ever removed, so a long run
+    // cancelling fired timers leaked memory and skewed pending_work().
+    let (mut net, _a, _c) = two_node_net();
+    let t1 = net.set_timer(SimDur::from_millis(1), 7, 1);
+    assert!(matches!(
+        net.next_event(),
+        Some(SimEvent::TimerFired { token: 1, .. })
+    ));
+    net.cancel_timer(t1); // fired already: must be a free no-op
+    assert_eq!(net.pending_work(), 0, "no tombstone left behind");
+
+    // A later timer with fresh state still works and is counted once.
+    let _t2 = net.set_timer(SimDur::from_millis(1), 7, 2);
+    assert_eq!(net.pending_work(), 1);
+    net.cancel_timer(t1); // double-cancel of a dead id: still a no-op
+    assert_eq!(net.pending_work(), 1);
+    assert!(matches!(
+        net.next_event(),
+        Some(SimEvent::TimerFired { token: 2, .. })
+    ));
+    assert_eq!(net.pending_work(), 0);
+}
+
+#[test]
+fn pending_work_excludes_cancelled_unpopped_timers() {
+    // A cancelled-but-unpopped timer still occupies a queue slot, but it
+    // is not pending *work*; pending_work() must not count it.
+    let (mut net, _a, _c) = two_node_net();
+    let t1 = net.set_timer(SimDur::from_millis(10), 7, 1);
+    let _t2 = net.set_timer(SimDur::from_millis(20), 7, 2);
+    assert_eq!(net.pending_work(), 2);
+    net.cancel_timer(t1);
+    assert_eq!(net.pending_work(), 1, "cancelled timer is not work");
+    net.cancel_timer(t1); // idempotent
+    assert_eq!(net.pending_work(), 1);
+    assert!(!net.is_idle(), "the live timer still counts");
+    assert!(matches!(
+        net.next_event(),
+        Some(SimEvent::TimerFired { token: 2, .. })
+    ));
+    assert_eq!(net.pending_work(), 0);
+    assert!(net.is_idle());
+    assert!(net.next_event().is_none());
+}
+
+#[test]
 fn integer_ops_use_int_speed() {
     let (mut net, a, _c) = two_node_net();
     // Sparc2 int: 0.15 µs/op → 1e6 ops = 150 ms.

@@ -10,7 +10,12 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The shared zero-length backing store handed out by [`Bytes::new`].
+/// Every empty buffer (acks, dummy retransmission fragments, background
+/// traffic) clones this one `Arc` instead of allocating a fresh one.
+static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
 
 /// An immutable, reference-counted byte buffer with O(1) `clone`/`slice`.
 #[derive(Clone)]
@@ -21,10 +26,15 @@ pub struct Bytes {
 }
 
 impl Bytes {
-    /// An empty buffer. Does not allocate a backing store per call beyond
-    /// the `Arc` bookkeeping for a zero-length slice.
+    /// An empty buffer. All empty buffers share one static backing store,
+    /// so this never allocates — the reliable-transport hot path mints an
+    /// empty `Bytes` per ack and per dummy retransmission fragment.
     pub fn new() -> Self {
-        Bytes::from_static(&[])
+        Bytes {
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Wrap a static byte slice. (The vendored version copies into an

@@ -110,6 +110,19 @@ pub struct Bencher {
     durations: Vec<Duration>,
 }
 
+/// How a batched benchmark amortizes setup, mirroring the real crate's
+/// enum. The shim's measurement model times every routine call
+/// individually, so the variants only signal intent; `NumBatches` /
+/// `NumIterations` exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
 impl Bencher {
     /// Time `inner` once per sample, after one untimed warm-up call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
@@ -118,6 +131,24 @@ impl Bencher {
         for _ in 0..self.samples {
             let start = Instant::now();
             std::hint::black_box(inner());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on inputs built by `setup`, keeping setup cost out
+    /// of the measurement: each sample runs `setup` untimed, then times
+    /// only the `routine` call on that fresh input.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        self.durations.reserve(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
             self.durations.push(start.elapsed());
         }
     }
@@ -217,6 +248,32 @@ mod tests {
         }
         // 1 warm-up + 1 sample in test mode.
         assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_sample_size: 3,
+        };
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |input| {
+                    runs += 1;
+                    input
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        // 1 warm-up + 1 sample in test mode, each with its own setup.
+        assert_eq!(setups, 2);
+        assert_eq!(runs, 2);
     }
 
     #[test]
