@@ -25,6 +25,8 @@ pub fn equal_partition(est: &Estimator<'_>, config: &[u32]) -> Partition {
         vector,
         breakdown,
         evaluations: 0,
+        cluster_evals: 0,
+        refinement_moves: 0,
     }
 }
 
@@ -41,6 +43,8 @@ pub fn all_processors(est: &Estimator<'_>) -> Partition {
         vector,
         breakdown,
         evaluations: 0,
+        cluster_evals: 0,
+        refinement_moves: 0,
     }
 }
 

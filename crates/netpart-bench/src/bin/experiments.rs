@@ -11,7 +11,9 @@
 //! `ablation-search`, `ablation-decomposition`, `sensitivity`, `dynamic`,
 //! `metasystem`, `faults`, `drift`, `chaos-fuzz`, `all`, plus `simcore`
 //! (event-core throughput; excluded from `all` because its wall-clock
-//! figures are machine-dependent).
+//! figures are machine-dependent), `scale` (hierarchical-fabric planning
+//! sweep up to 4096 nodes; excluded from `all` for the same reason), and
+//! `scale-smoke` (CI's 256-node fat-tree guard; exits 5 on regression).
 
 use std::sync::OnceLock;
 
@@ -424,6 +426,36 @@ fn cmd_simcore() {
     }
 }
 
+fn cmd_scale() {
+    println!("Hierarchical-fabric planning sweep (STEN-1 + GAUSS, 256/1024/4096 nodes):");
+    let rows = ok(scale_sweep());
+    print!("{}", render_scale(&rows));
+    let json = scale_json(&rows);
+    match std::fs::write("BENCH_scale.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_scale.json"),
+        Err(e) => eprintln!("BENCH_scale.json not written: {e}"),
+    }
+}
+
+fn cmd_scale_smoke() {
+    println!("Scale smoke (256-node fat-tree, STEN-1 plan + 1 simulated iteration):");
+    match ok(scale_smoke()) {
+        SmokeVerdict::Pass(row) => {
+            print!("{}", render_scale(std::slice::from_ref(&row)));
+            println!(
+                "plan {} µs (full) / {} µs (incremental), sim {} µs — within ceilings",
+                row.plan_full_micros,
+                row.plan_incremental_micros,
+                row.sim_wall_micros.unwrap_or(0)
+            );
+        }
+        SmokeVerdict::Regression(msg) => {
+            eprintln!("scale-smoke: {msg}");
+            std::process::exit(5);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmds: Vec<&str> = if args.is_empty() {
@@ -526,6 +558,15 @@ fn main() {
     // wall-clock figures, which would make `all` output nondeterministic.
     if cmds.contains(&"simcore") {
         cmd_simcore();
+        println!();
+    }
+    // Same reason: the scale sweep's plan/sim timings are host-dependent.
+    if cmds.contains(&"scale") {
+        cmd_scale();
+        println!();
+    }
+    if cmds.contains(&"scale-smoke") {
+        cmd_scale_smoke();
         println!();
     }
 }

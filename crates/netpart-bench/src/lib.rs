@@ -24,6 +24,7 @@ pub mod drift;
 pub mod experiments;
 pub mod faults;
 pub mod report;
+pub mod scale;
 pub mod simcore;
 pub mod sweep;
 
@@ -33,4 +34,5 @@ pub use drift::*;
 pub use experiments::*;
 pub use faults::*;
 pub use report::*;
+pub use scale::*;
 pub use simcore::*;

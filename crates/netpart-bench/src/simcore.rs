@@ -259,26 +259,16 @@ pub fn simcore_json(samples: &[SimcoreSample]) -> String {
         s.push_str("    {\n");
         s.push_str(&format!("      \"name\": \"{}\",\n", sample.name));
         s.push_str(&format!("      \"events\": {},\n", sample.events));
-        s.push_str(&format!(
-            "      \"wall_secs\": {:.6},\n",
-            sample.wall_secs
-        ));
+        s.push_str(&format!("      \"wall_secs\": {:.6},\n", sample.wall_secs));
         s.push_str(&format!("      \"events_per_sec\": {eps:.4e},\n"));
         match sample.floor() {
-            Some(f) => s.push_str(&format!(
-                "      \"floor_events_per_sec\": {f:.3e},\n"
-            )),
+            Some(f) => s.push_str(&format!("      \"floor_events_per_sec\": {f:.3e},\n")),
             None => s.push_str("      \"floor_events_per_sec\": null,\n"),
         }
         match sample.heap_baseline() {
             Some(base) => {
-                s.push_str(&format!(
-                    "      \"heap_events_per_sec\": {base:.4e},\n"
-                ));
-                s.push_str(&format!(
-                    "      \"speedup_vs_heap\": {:.2}\n",
-                    eps / base
-                ));
+                s.push_str(&format!("      \"heap_events_per_sec\": {base:.4e},\n"));
+                s.push_str(&format!("      \"speedup_vs_heap\": {:.2}\n", eps / base));
             }
             None => s.push_str("      \"heap_events_per_sec\": null\n"),
         }

@@ -58,3 +58,30 @@ fn pipeline_output_matches_pre_refactor_fixture() {
         unreachable!("strings differ but no line diff found");
     }
 }
+
+/// The paper testbed now reaches the simulator through the generic
+/// [`Fabric`](netpart_calibrate::Fabric) builder. The golden byte-parity
+/// above proves the *results* did not move; this pins the *shape* the
+/// builder produces, so a generator regression cannot hide behind a
+/// cost model that happens to mask it.
+#[test]
+fn paper_testbed_lowers_to_the_paper_fabric() {
+    use netpart_calibrate::Testbed;
+
+    let tb = Testbed::paper();
+    let fabric = tb.fabric();
+    // Fig. 1: two cluster segments joined by one router — a star.
+    assert_eq!(fabric.num_segments(), 2);
+    assert_eq!(fabric.num_routers(), 1);
+    fabric.validate().expect("the paper fabric is valid");
+    // Every cluster pair sits one router hop apart, exactly the flat
+    // one-hop world the pre-fabric testbed hard-coded.
+    let hops = tb.cluster_hops().expect("paper fabric connects");
+    assert_eq!(hops, vec![vec![0, 1], vec![1, 0]]);
+    // And the built network routes between the clusters in one hop.
+    let net = fabric.build().expect("paper fabric builds");
+    let a = net.nodes_on_segment(netpart_sim::SegmentId(0))[0];
+    let b = net.nodes_on_segment(netpart_sim::SegmentId(1))[0];
+    assert!(net.route_exists(a, b));
+    assert_eq!(net.hop_count(a, b), Some(1));
+}

@@ -42,5 +42,6 @@ pub use fit::{
     CalibrationConfig,
 };
 pub use linreg::{least_squares, FitResult};
+pub use netpart_sim::{Fabric, Wiring};
 pub use recal::{inflate_intra, refit_speed, speed_scale, InflatedCostModel};
 pub use testbed::{ClusterSpec, Testbed};

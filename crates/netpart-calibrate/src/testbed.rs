@@ -1,10 +1,17 @@
 //! Testbed descriptions: reusable recipes for building simulated networks
-//! shaped like the paper's (clusters of homogeneous machines, one cluster
-//! per ethernet segment, one router joining every segment).
+//! shaped like the paper's — clusters of homogeneous machines, one cluster
+//! per ethernet segment — wired together by a selectable
+//! [`Wiring`] (the paper's single router by default; router trees,
+//! fat-trees, and dumbbells for the scale experiments).
+//!
+//! `Testbed` is a thin, paper-shaped constructor over the general
+//! [`Fabric`] layer in `netpart-sim`: [`Testbed::fabric`] lowers the
+//! cluster list + wiring to a `Fabric` description, and
+//! [`Testbed::try_build`] validates and builds it.
 
 use netpart_mmps::{Mmps, MmpsConfig};
 use netpart_model::NetpartError;
-use netpart_sim::{NetworkBuilder, NodeId, ProcType, RouterSpec, SegmentSpec};
+use netpart_sim::{Fabric, NodeId, ProcType, RouterSpec, SegmentSpec, SimError, Wiring};
 use netpart_topology::PlacementStrategy;
 
 /// One homogeneous cluster: a machine class and how many of them exist.
@@ -16,8 +23,8 @@ pub struct ClusterSpec {
     pub nodes: u32,
 }
 
-/// A whole testbed: clusters (one per segment) joined by a single router,
-/// as in the paper's Fig. 1.
+/// A whole testbed: clusters (one per leaf segment) wired together per
+/// [`Wiring`] — the paper's Fig. 1 single router by default.
 #[derive(Debug, Clone)]
 pub struct Testbed {
     /// The clusters, in cluster-index order.
@@ -25,19 +32,19 @@ pub struct Testbed {
     /// Segment recipe shared by all segments (the paper assumes equal
     /// communication bandwidth per segment).
     pub segment: SegmentSpec,
-    /// Router recipe (segments filled in at build time).
+    /// Router recipe (port lists filled in by the fabric generator).
     pub router: RouterSpec,
     /// Message layer configuration.
     pub mmps: MmpsConfig,
     /// Simulation seed.
     pub seed: u64,
-    /// Router wiring: `false` (default) instantiates one router joining
-    /// every segment, as in the paper's Fig. 1; `true` instantiates a
-    /// dedicated router per segment *pair* — the literal reading of the
-    /// paper's assumption 3 ("every pair of segments is connected by a
-    /// single router"), which removes forwarding-engine sharing between
-    /// unrelated cluster pairs.
-    pub pairwise_routers: bool,
+    /// How the cluster leaf segments are wired together:
+    /// [`Wiring::Star`] (default) is the paper's Fig. 1 single router;
+    /// [`Wiring::Pairwise`] the literal reading of assumption 3 (a
+    /// dedicated router per segment pair); trees, fat-trees, dumbbells,
+    /// and custom port lists give the hierarchical fabrics the scale
+    /// experiments run on.
+    pub wiring: Wiring,
 }
 
 impl Testbed {
@@ -59,7 +66,7 @@ impl Testbed {
             router: RouterSpec::paper_router(Vec::new()),
             mmps: MmpsConfig::default(),
             seed: 1994,
-            pairwise_routers: false,
+            wiring: Wiring::Star,
         }
     }
 
@@ -86,7 +93,7 @@ impl Testbed {
             router: RouterSpec::paper_router(Vec::new()),
             mmps: MmpsConfig::default(),
             seed: 1994,
-            pairwise_routers: false,
+            wiring: Wiring::Star,
         }
     }
 
@@ -116,7 +123,7 @@ impl Testbed {
             router: RouterSpec::paper_router(Vec::new()),
             mmps: MmpsConfig::default(),
             seed: 1994,
-            pairwise_routers: false,
+            wiring: Wiring::Star,
         }
     }
 
@@ -138,13 +145,62 @@ impl Testbed {
             .collect()
     }
 
+    /// Replace the wiring (builder style).
+    pub fn with_wiring(mut self, wiring: Wiring) -> Testbed {
+        self.wiring = wiring;
+        self
+    }
+
+    /// Lower this testbed to its [`Fabric`] description: cluster `k`'s
+    /// machines sit on leaf segment `k`, wired per [`Testbed::wiring`].
+    /// The fabric is data — validate it, inspect hop distances, or build
+    /// the runtime network from it.
+    pub fn fabric(&self) -> Fabric {
+        let members: Vec<(ProcType, u32)> = self
+            .clusters
+            .iter()
+            .map(|c| (c.proc_type.clone(), c.nodes))
+            .collect();
+        self.wiring
+            .generate(&members, &self.segment, &self.router, self.seed)
+    }
+
+    /// Router hops between every cluster pair (0 on the diagonal),
+    /// computed from the fabric's routing graph. Unreachable pairs —
+    /// possible only with [`Wiring::Custom`] — surface as
+    /// [`NetpartError::InvalidFabric`], the same error `try_build` and
+    /// `Scenario::plan()` report.
+    pub fn cluster_hops(&self) -> Result<Vec<Vec<u32>>, NetpartError> {
+        let fabric = self.fabric();
+        fabric.validate().map_err(map_sim_err)?;
+        let k = self.clusters.len();
+        let m = fabric.leaf_hop_matrix(k);
+        m.iter()
+            .enumerate()
+            .map(|(a, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(b, d)| {
+                        d.ok_or_else(|| {
+                            NetpartError::InvalidFabric(format!(
+                                "no router path joins cluster {a} and cluster {b}"
+                            ))
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Build a network using `per_cluster[k]` nodes from cluster `k` and
     /// return the message layer plus the task placement (rank → node).
     ///
     /// Every cluster's full node population is instantiated (idle nodes
-    /// still exist physically); only the selected ones receive tasks. The
-    /// router joins all segments, so any pair of clusters is one hop
-    /// apart, as the paper's network model assumes.
+    /// still exist physically); only the selected ones receive tasks.
+    /// Under the default [`Wiring::Star`] a single router joins all
+    /// segments, so any pair of clusters is one hop apart, as the paper's
+    /// network model assumes; hierarchical wirings put more routers — and
+    /// more hops — between cluster pairs.
     ///
     /// # Panics
     /// If `per_cluster` is longer than the cluster list or requests more
@@ -158,9 +214,11 @@ impl Testbed {
     /// Fallible [`Testbed::build`]: returns
     /// [`NetpartError::ClusterOvercommitted`] when a cluster is asked for
     /// more nodes than it has, [`NetpartError::InvalidScenario`] when
-    /// `per_cluster` names more clusters than exist, and
-    /// [`NetpartError::Network`] when the network description is
-    /// malformed.
+    /// `per_cluster` names more clusters than exist,
+    /// [`NetpartError::InvalidFabric`] when the wiring fails fabric
+    /// validation (dangling/duplicate router ports, a partitioned
+    /// fabric), and [`NetpartError::Network`] when the network
+    /// description is otherwise malformed.
     pub fn try_build(
         &self,
         per_cluster: &[u32],
@@ -182,33 +240,15 @@ impl Testbed {
                 });
             }
         }
-        let mut b = NetworkBuilder::new(self.seed);
+        let net = self.fabric().build().map_err(map_sim_err)?;
+        // Generator invariant: nodes are cluster-contiguous in cluster
+        // order, so cluster k's node ids are one dense run.
         let mut cluster_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(self.clusters.len());
-        let mut segments = Vec::with_capacity(self.clusters.len());
+        let mut next_id = 0u32;
         for spec in &self.clusters {
-            let pt = b.add_proc_type(spec.proc_type.clone());
-            let seg = b.add_segment(self.segment.clone());
-            segments.push(seg);
-            cluster_nodes.push((0..spec.nodes).map(|_| b.add_node(pt, seg)).collect());
+            cluster_nodes.push((next_id..next_id + spec.nodes).map(NodeId).collect());
+            next_id += spec.nodes;
         }
-        if segments.len() > 1 {
-            if self.pairwise_routers {
-                for i in 0..segments.len() {
-                    for j in i + 1..segments.len() {
-                        let mut spec = self.router.clone();
-                        spec.segments = vec![segments[i], segments[j]];
-                        b.add_router(spec);
-                    }
-                }
-            } else {
-                let mut spec = self.router.clone();
-                spec.segments = segments;
-                b.add_router(spec);
-            }
-        }
-        let net = b
-            .build()
-            .map_err(|e| NetpartError::Network(format!("testbed network is malformed: {e}")))?;
 
         // Rank → node mapping per the placement strategy. The per-cluster
         // totals were bounds-checked above, so indexing is an invariant.
@@ -223,6 +263,16 @@ impl Testbed {
             next_in_cluster[k] = idx + 1;
         }
         Ok((Mmps::new(net, self.mmps.clone()), nodes))
+    }
+}
+
+/// Map a simulator build error to the workspace error type: fabric
+/// validation failures keep their typed identity, everything else stays a
+/// generic network error.
+fn map_sim_err(e: SimError) -> NetpartError {
+    match e {
+        SimError::InvalidFabric(msg) => NetpartError::InvalidFabric(msg),
+        other => NetpartError::Network(format!("testbed network is malformed: {other}")),
     }
 }
 
@@ -273,7 +323,7 @@ mod tests {
     #[test]
     fn pairwise_routers_route_every_pair() {
         let mut t = Testbed::metasystem();
-        t.pairwise_routers = true;
+        t.wiring = Wiring::Pairwise;
         let (mmps, _) = t.build(&[1, 1, 1], PlacementStrategy::ClusterContiguous);
         let net = mmps.net_ref();
         // One node per segment: every pair must be mutually reachable.
@@ -297,7 +347,11 @@ mod tests {
         use netpart_sim::SimEvent;
         let run = |pairwise: bool| -> u64 {
             let mut t = Testbed::metasystem();
-            t.pairwise_routers = pairwise;
+            t.wiring = if pairwise {
+                Wiring::Pairwise
+            } else {
+                Wiring::Star
+            };
             t.router.per_byte_sec = 5.0e-6;
             let (mut mmps, _) = t.build(&[0, 0, 0], PlacementStrategy::ClusterContiguous);
             let net = mmps.net();
@@ -324,6 +378,59 @@ mod tests {
             pairwise * 10 < shared * 7,
             "pairwise {pairwise} should clearly beat shared {shared}"
         );
+    }
+
+    #[test]
+    fn hierarchical_wirings_build_and_route() {
+        for wiring in [
+            Wiring::Tree { arity: 2 },
+            Wiring::FatTree { pod: 2, spines: 2 },
+            Wiring::Dumbbell,
+        ] {
+            let t = Testbed::synthetic(4, 2, 1.2).with_wiring(wiring.clone());
+            let (mmps, nodes) = t.build(&[1, 1, 1, 1], PlacementStrategy::ClusterContiguous);
+            let net = mmps.net_ref();
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!(net.route_exists(nodes[i], nodes[j]), "{wiring:?} {i}→{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_hops_reflect_the_wiring() {
+        let t = Testbed::synthetic(4, 2, 1.2);
+        let hops = t.cluster_hops().unwrap();
+        assert_eq!(hops[0][0], 0);
+        assert_eq!(hops[0][3], 1, "star: every pair one hop");
+
+        let t = t.with_wiring(Wiring::Tree { arity: 2 });
+        let hops = t.cluster_hops().unwrap();
+        assert_eq!(hops[0][1], 1);
+        assert_eq!(hops[0][2], 3, "tree: cross-subtree pairs go up and down");
+
+        let t = t.with_wiring(Wiring::Dumbbell);
+        let hops = t.cluster_hops().unwrap();
+        assert_eq!(hops[0][1], 1);
+        assert_eq!(hops[1][2], 2, "dumbbell: cross-half pairs cross the trunk");
+    }
+
+    #[test]
+    fn partitioned_custom_wiring_is_a_typed_error() {
+        // Router joins clusters {0,1}; cluster 2 is unreachable.
+        let t = Testbed::synthetic(3, 2, 1.2).with_wiring(Wiring::Custom(vec![vec![0, 1]]));
+        let err = match t.try_build(&[1, 1, 1], PlacementStrategy::ClusterContiguous) {
+            Err(e) => e,
+            Ok(_) => panic!("partitioned fabric must not build"),
+        };
+        assert!(
+            matches!(err, NetpartError::InvalidFabric(_)),
+            "expected InvalidFabric, got {err:?}"
+        );
+        assert!(err.to_string().contains("partitioned"), "{err}");
+        let err = t.cluster_hops().unwrap_err();
+        assert!(matches!(err, NetpartError::InvalidFabric(_)));
     }
 
     #[test]

@@ -18,12 +18,17 @@
 //!   the dominant phases (STEN-2) and 0 otherwise (STEN-1).
 //!
 //! Every call to [`Estimator::t_c_ms`] is counted, so the `O(K·log₂P)`
-//! overhead claim of §5 can be verified empirically.
+//! overhead claim of §5 can be verified empirically. A second counter,
+//! [`Estimator::cluster_evals`], measures the *per-cluster* work: a full
+//! breakdown walks all `K` clusters, while a [`FillContext`] delta-eval —
+//! the fast path for the partitioner's fill-in-order inner loop, where
+//! only one cluster's count varies — touches exactly one.
 
 use std::cell::Cell;
 
-use netpart_calibrate::CommCostModel;
+use netpart_calibrate::{CommCostModel, CrossClusterMode};
 use netpart_model::{AppModel, PartitionVector};
+use netpart_topology::Topology;
 
 use crate::system::SystemModel;
 
@@ -48,6 +53,7 @@ pub struct Estimator<'a> {
     cost: &'a dyn CommCostModel,
     app: &'a AppModel,
     evaluations: Cell<u64>,
+    cluster_evals: Cell<u64>,
 }
 
 impl<'a> Estimator<'a> {
@@ -62,6 +68,7 @@ impl<'a> Estimator<'a> {
             cost,
             app,
             evaluations: Cell::new(0),
+            cluster_evals: Cell::new(0),
         }
     }
 
@@ -80,9 +87,18 @@ impl<'a> Estimator<'a> {
         self.evaluations.get()
     }
 
+    /// Per-cluster units of estimation work spent: `K` for every full
+    /// breakdown, `1` for every [`FillContext`] delta-eval, `K` to build a
+    /// context. This is the honest cost metric for comparing the
+    /// incremental fill path against the walk-all-clusters baseline.
+    pub fn cluster_evals(&self) -> u64 {
+        self.cluster_evals.get()
+    }
+
     /// Reset the evaluation counter.
     pub fn reset_evaluations(&self) {
         self.evaluations.set(0);
+        self.cluster_evals.set(0);
     }
 
     /// Eq. 3: the real-valued per-processor PDU share of each cluster.
@@ -183,6 +199,8 @@ impl<'a> Estimator<'a> {
     /// Eqs. 3–6 for one configuration, fully broken down.
     pub fn breakdown(&self, config: &[u32]) -> TcBreakdown {
         self.evaluations.set(self.evaluations.get() + 1);
+        self.cluster_evals
+            .set(self.cluster_evals.get() + config.len() as u64);
         let comp = self.app.dominant_comp();
         let comm = self.app.dominant_comm();
         let kind = comp.op_kind;
@@ -245,6 +263,175 @@ impl<'a> Estimator<'a> {
             }
         }
         PartitionVector::from_real_shares(&per_rank, self.app.num_pdus())
+    }
+
+    /// Precompute a [`FillContext`] for the fill-in-order inner loop:
+    /// every cluster's count in `fixed` is pinned except `cluster`'s
+    /// (whose entry in `fixed` is ignored), and subsequent
+    /// [`FillContext::t_c_ms`] calls price candidate counts for that one
+    /// cluster in O(1) instead of re-walking all `K` clusters.
+    ///
+    /// Returns `None` when the fast path's algebra does not apply —
+    /// non-linear computational complexity (shares come from bisection),
+    /// share-dependent message sizes, or a bandwidth-limited topology
+    /// (every cluster's Eq. 1 term sees the *total* count, so nothing is
+    /// fixed). Callers fall back to [`Estimator::t_c_ms`].
+    ///
+    /// The context itself costs `K` [`cluster_evals`] units to build —
+    /// amortized over the `O(log P)` probes of one cluster's search.
+    ///
+    /// [`cluster_evals`]: Estimator::cluster_evals
+    pub fn fill_context(&self, fixed: &[u32], cluster: usize) -> Option<FillContext<'a, '_>> {
+        let comp = self.app.dominant_comp();
+        let comm = self.app.dominant_comm();
+        if !comp.linear || !comm.constant_bytes || comm.topology.is_bandwidth_limited() {
+            return None;
+        }
+        let kind = comp.op_kind;
+        let k = fixed.len();
+        self.cluster_evals.set(self.cluster_evals.get() + k as u64);
+
+        let bytes = comm.bytes(0.0).max(0.0);
+        let topo = comm.topology;
+        let extra = match self.cost.cross_mode() {
+            CrossClusterMode::Plain => 0,
+            CrossClusterMode::AddStation => 1,
+        };
+
+        // Eq. 3/4 for linear complexity: every active cluster's compute
+        // time collapses to num_PDUs·ops_per_pdu·1e3 / Σ_j P_j/S_j, so the
+        // varying cluster only moves the denominator.
+        let ops_per_pdu = comp.ops(1.0);
+        let comp_numer_ms = 1.0e3 * ops_per_pdu * self.app.num_pdus() as f64;
+        let mut fixed_denom = 0.0f64;
+        for (j, &p) in fixed.iter().enumerate() {
+            if j != cluster {
+                fixed_denom += p as f64 / self.system.clusters[j].sec_per_op(kind);
+            }
+        }
+        let inv_s_c = 1.0 / self.system.clusters[cluster].sec_per_op(kind);
+
+        // Eq. 2 decomposition: the fixed clusters' worst intra term and
+        // worst pairwise crossing penalty never change; the candidate
+        // cluster contributes one intra term and one best-of-partners
+        // crossing term, each O(1) per probe.
+        let fixed_active: Vec<usize> = (0..k).filter(|&j| j != cluster && fixed[j] > 0).collect();
+        let mut fixed_worst_intra = 0.0f64;
+        let mut cross_with_c = 0.0f64;
+        for &j in &fixed_active {
+            let p = (fixed[j] + extra).max(2);
+            fixed_worst_intra = fixed_worst_intra.max(self.cost.intra_ms(j, topo, bytes, p));
+            cross_with_c = cross_with_c.max(
+                self.cost.router_ms(cluster, j, bytes) + self.cost.coerce_ms(cluster, j, bytes),
+            );
+        }
+        let mut fixed_worst_cross = 0.0f64;
+        for (i, &a) in fixed_active.iter().enumerate() {
+            for &b in &fixed_active[i + 1..] {
+                fixed_worst_cross = fixed_worst_cross
+                    .max(self.cost.router_ms(a, b, bytes) + self.cost.coerce_ms(a, b, bytes));
+            }
+        }
+
+        // The p = 0 candidate reduces to the fixed configuration alone.
+        let mut at_zero = fixed.to_vec();
+        at_zero[cluster] = 0;
+        let comm_p0 = self.cost.total_ms(&at_zero, topo, bytes);
+        let fixed_total: u32 = at_zero.iter().sum();
+
+        Some(FillContext {
+            est: self,
+            cluster,
+            fixed_total,
+            fixed_denom,
+            comp_numer_ms,
+            inv_s_c,
+            bytes,
+            topo,
+            extra,
+            overlap: self.app.dominant_phases_overlap(),
+            comm_p0,
+            any_fixed_active: !fixed_active.is_empty(),
+            fixed_worst_intra,
+            fixed_worst_cross,
+            cross_with_c,
+        })
+    }
+}
+
+/// O(1) `T_c` evaluator for the partitioner's inner loop: all clusters
+/// pinned except one. Built by [`Estimator::fill_context`]; each
+/// [`t_c_ms`](FillContext::t_c_ms) probe costs one
+/// [`cluster_evals`](Estimator::cluster_evals) unit instead of `K`.
+///
+/// Results agree with [`Estimator::t_c_ms`] up to floating-point
+/// summation order (the partial sums here are accumulated in a different
+/// association than the full Eq. 3 walk); the property tests pin the
+/// relative difference below 1e-9.
+pub struct FillContext<'a, 'b> {
+    est: &'b Estimator<'a>,
+    cluster: usize,
+    fixed_total: u32,
+    /// Σ_{j≠c} P_j / S_j — the pinned part of Eq. 3's denominator.
+    fixed_denom: f64,
+    /// `1e3 · ops_per_pdu · num_PDUs` — Eq. 4's shared numerator (ms).
+    comp_numer_ms: f64,
+    inv_s_c: f64,
+    bytes: f64,
+    topo: Topology,
+    extra: u32,
+    overlap: bool,
+    /// Eq. 2 for the pinned clusters alone (the `p = 0` candidate).
+    comm_p0: f64,
+    any_fixed_active: bool,
+    fixed_worst_intra: f64,
+    fixed_worst_cross: f64,
+    /// Worst crossing penalty between the varied cluster and any pinned
+    /// active cluster.
+    cross_with_c: f64,
+}
+
+impl FillContext<'_, '_> {
+    /// The cluster whose count this context varies.
+    pub fn cluster(&self) -> usize {
+        self.cluster
+    }
+
+    /// Eq. 6 with the varied cluster at `p` processors, in O(1).
+    pub fn t_c_ms(&self, p: u32) -> f64 {
+        let est = self.est;
+        est.evaluations.set(est.evaluations.get() + 1);
+        est.cluster_evals.set(est.cluster_evals.get() + 1);
+
+        let total = self.fixed_total + p;
+        let denom = self.fixed_denom + p as f64 * self.inv_s_c;
+        let worst_comp = if denom > 0.0 {
+            self.comp_numer_ms / denom
+        } else {
+            0.0
+        };
+
+        let t_comm = if total <= 1 {
+            0.0
+        } else if p == 0 {
+            self.comm_p0
+        } else if !self.any_fixed_active {
+            est.cost.intra_ms(self.cluster, self.topo, self.bytes, p)
+        } else {
+            let own =
+                est.cost
+                    .intra_ms(self.cluster, self.topo, self.bytes, (p + self.extra).max(2));
+            let worst_intra = self.fixed_worst_intra.max(own);
+            let worst_cross = self.fixed_worst_cross.max(self.cross_with_c);
+            worst_intra + worst_cross
+        };
+
+        let t_overlap = if self.overlap {
+            worst_comp.min(t_comm)
+        } else {
+            0.0
+        };
+        worst_comp + t_comm - t_overlap
     }
 }
 
@@ -392,6 +579,114 @@ mod tests {
         // Equal times: S1·a1² = S2·a2² → a1/a2 = sqrt(S2/S1) = sqrt(2).
         let ratio = shares[0] / shares[1];
         assert!((ratio - 2.0f64.sqrt()).abs() < 0.01, "ratio {ratio}");
+    }
+
+    fn synthetic_setup(k: usize) -> (SystemModel, netpart_calibrate::CalibratedCostModel) {
+        use netpart_calibrate::{CalibratedCostModel, FittedCost, LinearCost};
+        let sys = SystemModel::from_testbed(&Testbed::synthetic(k, 8, 1.15));
+        let mut cost = CalibratedCostModel::default();
+        for i in 0..k {
+            cost.set_intra(
+                i,
+                Topology::OneD,
+                FittedCost {
+                    c1: 0.2 + 0.01 * i as f64,
+                    c2: 0.5,
+                    c3: -0.001,
+                    c4: 0.0011,
+                    r_squared: 1.0,
+                    abs_fix: true,
+                },
+            );
+        }
+        for a in 0..k {
+            for b in a + 1..k {
+                cost.set_router(
+                    a,
+                    b,
+                    LinearCost {
+                        a: 0.5,
+                        k: 0.0006 * (1 + (b - a) % 3) as f64,
+                    },
+                );
+            }
+        }
+        (sys, cost)
+    }
+
+    #[test]
+    fn fill_context_matches_full_breakdown() {
+        let (sys, cost) = synthetic_setup(12);
+        for overlap in [false, true] {
+            let app = stencil(1200, overlap);
+            let est = Estimator::new(&sys, &cost, &app);
+            // Vary cluster 3 against a mixed fixed background.
+            let mut fixed = vec![0u32; 12];
+            for (j, p) in [(0usize, 8u32), (1, 8), (5, 3), (11, 1)] {
+                fixed[j] = p;
+            }
+            let ctx = est.fill_context(&fixed, 3).expect("stencil is linear");
+            for p in 0..=8u32 {
+                let fast = ctx.t_c_ms(p);
+                let mut full_cfg = fixed.clone();
+                full_cfg[3] = p;
+                let full = est.t_c_ms(&full_cfg);
+                let rel = (fast - full).abs() / full.max(1e-12);
+                assert!(rel < 1e-9, "overlap={overlap} p={p}: {fast} vs {full}");
+            }
+            // Empty background: the context must also price the
+            // single-active-cluster and p ∈ {0, 1} shapes correctly.
+            let ctx = est.fill_context(&[0u32; 12], 3).unwrap();
+            for p in [0u32, 1, 2, 8] {
+                let mut full_cfg = vec![0u32; 12];
+                full_cfg[3] = p;
+                let full = est.t_c_ms(&full_cfg);
+                let fast = ctx.t_c_ms(p);
+                let rel = (fast - full).abs() / full.max(1e-12);
+                assert!(rel < 1e-9, "empty bg p={p}: {fast} vs {full}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_context_counts_one_cluster_eval_per_probe() {
+        let (sys, cost) = synthetic_setup(12);
+        let app = stencil(600, false);
+        let est = Estimator::new(&sys, &cost, &app);
+        let fixed = vec![2u32; 12];
+        let ctx = est.fill_context(&fixed, 0).unwrap();
+        let after_build = est.cluster_evals();
+        assert_eq!(after_build, 12, "context build costs K units");
+        let _ = ctx.t_c_ms(4);
+        let _ = ctx.t_c_ms(5);
+        assert_eq!(est.cluster_evals() - after_build, 2, "1 unit per probe");
+        assert_eq!(est.evaluations(), 2, "probes are still T_c evaluations");
+        // A full breakdown costs K units.
+        let _ = est.t_c_ms(&fixed);
+        assert_eq!(est.cluster_evals(), after_build + 2 + 12);
+    }
+
+    #[test]
+    fn fill_context_refuses_inapplicable_models() {
+        let (sys, cost) = synthetic_setup(4);
+        // Non-linear complexity → bisection, no closed-form denominator.
+        let app = AppModel::new("quad", "row", 100)
+            .with_comp(CompPhase::with_ops("q", OpKind::Flop, |a| a * a))
+            .with_comm(CommPhase::constant("c", Topology::OneD, 100.0));
+        let est = Estimator::new(&sys, &cost, &app);
+        assert!(est.fill_context(&[1, 1, 0, 0], 2).is_none());
+        // Share-dependent bytes → Eq. 5 moves with every cluster.
+        let app = AppModel::new("cols", "col", 100)
+            .with_comp(CompPhase::linear("u", 10.0, OpKind::Flop))
+            .with_comm(CommPhase::with_bytes("c", Topology::OneD, |a| 8.0 * a));
+        let est = Estimator::new(&sys, &cost, &app);
+        assert!(est.fill_context(&[1, 1, 0, 0], 2).is_none());
+        // Bandwidth-limited topology → every intra term sees total p.
+        let app = AppModel::new("bc", "row", 100)
+            .with_comp(CompPhase::linear("u", 10.0, OpKind::Flop))
+            .with_comm(CommPhase::constant("c", Topology::Broadcast, 100.0));
+        let est = Estimator::new(&sys, &cost, &app);
+        assert!(est.fill_context(&[1, 1, 0, 0], 2).is_none());
     }
 
     #[test]

@@ -50,11 +50,12 @@ pub mod partitioner;
 pub mod search;
 pub mod system;
 
-pub use estimator::{Estimator, TcBreakdown};
+pub use estimator::{Estimator, FillContext, TcBreakdown};
 pub use manager::{determine_available, AvailabilityPolicy, AvailabilityReport};
 pub use overhead::{measure_overhead, OverheadReport};
 pub use partitioner::{
-    partition, partition_exhaustive, ClusterOrder, Partition, PartitionError, PartitionOptions,
+    partition, partition_exhaustive, ClusterOrder, EvalMode, Partition, PartitionError,
+    PartitionOptions, AUTO_INCREMENTAL_MIN_K,
 };
 pub use search::{SearchResult, SearchStrategy};
 pub use system::{ClusterInfo, SystemModel};

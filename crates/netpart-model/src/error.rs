@@ -108,6 +108,12 @@ pub enum NetpartError {
     /// A scenario or plan was internally inconsistent (e.g. a pinned
     /// configuration of the wrong length).
     InvalidScenario(String),
+    /// The testbed's fabric description failed build-time validation:
+    /// a dangling or duplicate router port, a router joining fewer than
+    /// two segments, or a partitioned fabric whose populated segments
+    /// cannot all reach each other. Surfaced at `Scenario::plan()` time,
+    /// before any traffic is silently dropped.
+    InvalidFabric(String),
 
     // ---- Fault injection / recovery -------------------------------------
     /// A fault schedule named a node, router, or segment the network does
@@ -206,6 +212,7 @@ impl std::fmt::Display for NetpartError {
                 )
             }
             NetpartError::InvalidScenario(e) => write!(f, "invalid scenario: {e}"),
+            NetpartError::InvalidFabric(e) => write!(f, "invalid fabric: {e}"),
             NetpartError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
             NetpartError::RecoveryStalled {
                 attempts,
@@ -306,6 +313,10 @@ mod tests {
                 "has only 6 nodes",
             ),
             (NetpartError::InvalidScenario("bad".into()), "bad"),
+            (
+                NetpartError::InvalidFabric("fabric is partitioned: no router path".into()),
+                "invalid fabric: fabric is partitioned",
+            ),
             (
                 NetpartError::InvalidFaultPlan("unknown node 99".into()),
                 "invalid fault plan: unknown node 99",

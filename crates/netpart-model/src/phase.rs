@@ -97,6 +97,12 @@ pub struct CommPhase {
     pub topology: Topology,
     /// Bytes per message for a task holding `a_i` PDUs.
     pub bytes_per_msg: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+    /// Whether the message size is independent of `a_i` (built by
+    /// [`CommPhase::constant`]). The estimator's incremental fill-mode
+    /// fast path requires this: with constant bytes the Eq. 5 cost of a
+    /// candidate differs from its neighbor only in the varied cluster's
+    /// terms.
+    pub constant_bytes: bool,
     /// Name of the computation phase this phase overlaps with, if the
     /// implementation overlaps communication and computation (STEN-2).
     pub overlap: Option<String>,
@@ -109,6 +115,7 @@ impl CommPhase {
             name: name.to_owned(),
             topology,
             bytes_per_msg: Arc::new(move |_| bytes),
+            constant_bytes: true,
             overlap: None,
         }
     }
@@ -123,6 +130,7 @@ impl CommPhase {
             name: name.to_owned(),
             topology,
             bytes_per_msg: Arc::new(bytes_per_msg),
+            constant_bytes: false,
             overlap: None,
         }
     }
@@ -176,10 +184,12 @@ mod tests {
         let c = CommPhase::constant("border", Topology::OneD, 2400.0);
         assert_eq!(c.bytes(1.0), 2400.0);
         assert_eq!(c.bytes(100.0), 2400.0);
+        assert!(c.constant_bytes);
         assert!(c.overlap.is_none());
 
         let c = CommPhase::with_bytes("cols", Topology::Ring, |a| 8.0 * a).overlapping("update");
         assert_eq!(c.bytes(50.0), 400.0);
+        assert!(!c.constant_bytes);
         assert_eq!(c.overlap.as_deref(), Some("update"));
     }
 

@@ -19,8 +19,8 @@ pub enum SimError {
     UnknownNode(NodeId),
     /// Referenced a segment that does not exist.
     UnknownSegment(SegmentId),
-    /// No router joins the source and destination segments; the paper's
-    /// model allows at most one hop.
+    /// No chain of routers connects the source segment to the destination
+    /// segment (the precomputed routing table has no entry for the pair).
     NoRoute {
         /// Source segment.
         from: SegmentId,
@@ -29,6 +29,12 @@ pub enum SimError {
     },
     /// The network was built with no nodes or no segments.
     EmptyNetwork,
+    /// A [`Fabric`](crate::fabric::Fabric) description failed build-time
+    /// validation: a dangling node or router port, a duplicate port, a
+    /// router with fewer than two distinct segments, or a populated
+    /// segment unreachable from the rest of the fabric. Rejected before
+    /// construction instead of silently dropping traffic at run time.
+    InvalidFabric(String),
     /// A builder parameter was out of range (e.g. non-positive bandwidth).
     InvalidParameter(&'static str),
     /// A fault plan referenced a node/router/segment the network does not
@@ -46,9 +52,10 @@ impl fmt::Display for SimError {
             SimError::UnknownNode(n) => write!(f, "unknown node {n}"),
             SimError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
             SimError::NoRoute { from, to } => {
-                write!(f, "no router joins segments {from} and {to}")
+                write!(f, "no router path joins segments {from} and {to}")
             }
             SimError::EmptyNetwork => write!(f, "network has no nodes or segments"),
+            SimError::InvalidFabric(e) => write!(f, "invalid fabric: {e}"),
             SimError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
             SimError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
@@ -75,5 +82,7 @@ mod tests {
         assert!(e.to_string().contains("seg3"));
         let e = SimError::InvalidFaultPlan("event 2 names unknown node n9".into());
         assert!(e.to_string().contains("unknown node n9"));
+        let e = SimError::InvalidFabric("router r1 lists seg3 twice".into());
+        assert!(e.to_string().contains("seg3 twice"));
     }
 }

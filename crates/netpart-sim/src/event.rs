@@ -121,11 +121,14 @@ pub(crate) enum Work {
         segment: SegmentId,
         dgram: DgramHandle,
     },
-    /// The router finished store-and-forward processing of a frame and the
-    /// frame now joins the queue of the next-hop segment.
+    /// A router finished store-and-forward processing of a frame and the
+    /// frame now joins the queue of `egress`, the next-hop segment chosen
+    /// from the routing table when the frame left its previous segment.
+    /// On a multi-hop path one of these is processed per router crossed.
     RouterForwarded {
         router: RouterId,
         dgram: DgramHandle,
+        egress: SegmentId,
     },
     /// Receive-side host processing finished; surface the delivery.
     Deliver { dgram: DgramHandle },
@@ -355,7 +358,9 @@ impl EventQueue {
             // soon as any appear.
             if !self.batch.is_empty() {
                 if self.batch.len() > 1 {
-                    self.batch.make_contiguous().sort_unstable_by_key(Entry::key);
+                    self.batch
+                        .make_contiguous()
+                        .sort_unstable_by_key(Entry::key);
                 }
                 return;
             }
@@ -369,7 +374,9 @@ impl EventQueue {
                     self.batch.extend(moved.drain(..));
                     self.slots[slot] = moved;
                     if self.batch.len() > 1 {
-                        self.batch.make_contiguous().sort_unstable_by_key(Entry::key);
+                        self.batch
+                            .make_contiguous()
+                            .sort_unstable_by_key(Entry::key);
                     }
                     return;
                 }
@@ -379,8 +386,7 @@ impl EventQueue {
                     // batch, for items at the base tick itself).
                     let field = tier as u32 * SLOT_BITS;
                     let above = field + SLOT_BITS;
-                    let base =
-                        (self.cur_tick & !((1u64 << above) - 1)) | ((slot as u64) << field);
+                    let base = (self.cur_tick & !((1u64 << above) - 1)) | ((slot as u64) << field);
                     self.cur_tick = base;
                     let idx = tier * SLOTS + slot;
                     let mut moved = std::mem::take(&mut self.slots[idx]);
@@ -676,10 +682,8 @@ mod tests {
         q.push(SimTime(horizon + 1), timer(3)); // same instant, later seq
         q.push(SimTime(horizon - 1), timer(0)); // just inside the first block
         assert!(!q.overflow.is_empty(), "far items start in overflow");
-        let order: Vec<(u64, u64)> = std::iter::from_fn(|| {
-            q.pop().map(|(at, w)| (at.0, token_of(&w)))
-        })
-        .collect();
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|(at, w)| (at.0, token_of(&w)))).collect();
         assert_eq!(
             order,
             vec![
@@ -715,7 +719,15 @@ mod tests {
         // at now + various deltas spanning all tiers. Mirror against the
         // heap oracle.
         let deltas = [
-            0u64, 1, 900, 1_024, 9_600, 300_000, 1_200_000, 50_000_000, 2_000_000_000,
+            0u64,
+            1,
+            900,
+            1_024,
+            9_600,
+            300_000,
+            1_200_000,
+            50_000_000,
+            2_000_000_000,
             30_000_000_000,
         ];
         let mut wheel = EventQueue::new();
@@ -724,7 +736,7 @@ mod tests {
         let mut k = 0u64;
         for round in 0..200u64 {
             for (i, &d) in deltas.iter().enumerate() {
-                if (round + i as u64) % 3 != 0 {
+                if !(round + i as u64).is_multiple_of(3) {
                     continue;
                 }
                 wheel.push(SimTime(now + d), timer(k));
@@ -765,28 +777,24 @@ mod tests {
         for standing in [64usize, 1024, 65_536] {
             let ops = 2_000_000u64;
             let run_wheel = |mut q: EventQueue| {
-                let mut now = 0u64;
                 for k in 0..standing as u64 {
                     q.push(SimTime(deltas[(k % 5) as usize]), timer(k));
                 }
                 let t = Instant::now();
                 for k in 0..ops {
                     let (at, _) = q.pop().expect("standing set never empties");
-                    now = at.0;
-                    q.push(SimTime(now + deltas[(k % 5) as usize]), timer(k));
+                    q.push(SimTime(at.0 + deltas[(k % 5) as usize]), timer(k));
                 }
                 t.elapsed().as_secs_f64()
             };
             let run_heap = |mut q: heap_shim::HeapQueue| {
-                let mut now = 0u64;
                 for k in 0..standing as u64 {
                     q.push(SimTime(deltas[(k % 5) as usize]), timer(k));
                 }
                 let t = Instant::now();
                 for k in 0..ops {
                     let (at, _) = q.pop().expect("standing set never empties");
-                    now = at.0;
-                    q.push(SimTime(now + deltas[(k % 5) as usize]), timer(k));
+                    q.push(SimTime(at.0 + deltas[(k % 5) as usize]), timer(k));
                 }
                 t.elapsed().as_secs_f64()
             };

@@ -14,7 +14,10 @@
 //!   channel, so per-cycle communication cost is linear in the number of
 //!   communicating processors (the form of the paper's cost functions).
 //! * **Router as an extra station** — cross-segment frames pay a per-byte
-//!   forwarding penalty and contend on both segments.
+//!   forwarding penalty and contend on every segment they cross. Frames
+//!   follow a precomputed shortest-path routing table hop by hop, so
+//!   multi-router hierarchies (trees, fat-trees, dumbbells from the
+//!   [`fabric`] generators) charge the penalty once per router crossed.
 //! * **Speed-dependent protocol stacks** — host send/receive costs scale
 //!   with the machine class, so clusters of different processor types have
 //!   different fitted cost constants.
@@ -52,6 +55,7 @@
 pub mod datagram;
 pub mod error;
 pub mod event;
+pub mod fabric;
 pub mod fasthash;
 pub mod fault;
 pub mod ids;
@@ -65,6 +69,7 @@ pub mod time;
 pub use datagram::{Datagram, FRAME_OVERHEAD_BYTES, MAX_DATAGRAM_PAYLOAD};
 pub use error::SimError;
 pub use event::{DropReason, SimEvent};
+pub use fabric::{Fabric, FabricCluster, Wiring};
 pub use fasthash::{FastHasher, FastMap, FastSet};
 pub use fault::{FaultBounds, FaultEvent, FaultPlan};
 pub use ids::{DgramId, NodeId, ProcTypeId, RouterId, SegmentId, TimerId};

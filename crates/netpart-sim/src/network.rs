@@ -14,14 +14,22 @@
 //!
 //! ```text
 //! send_datagram ──► sender host processing (serialized per node)
-//!                 ──► ingress segment FIFO ──► wire transmission
-//!                 ──► [router store-and-forward ──► egress segment FIFO
-//!                      ──► wire transmission]           (cross-segment only)
+//!                 ──► segment FIFO ──► wire transmission
+//!                 ──► ┤ repeated per router on the path (zero times when
+//!                     │ source and destination share a segment):
+//!                     │   router store-and-forward
+//!                     │   ──► next-hop segment FIFO ──► wire transmission
 //!                 ──► receiver host processing ──► DatagramDelivered
 //! ```
 //!
-//! Loss can occur on either wire hop or at a full router buffer; real UDP
-//! gives senders no notification, so reliability lives in `netpart-mmps`.
+//! Cross-segment frames follow the next-hop routing table precomputed at
+//! build time ([`crate::fabric::compute_routes`]): each wire hop ends with
+//! a table lookup that hands the frame to the next router on the shortest
+//! path, so a frame crossing a hierarchical fabric pays host processing
+//! once per endpoint but channel access, transmission, loss, corruption,
+//! and router store-and-forward *per hop*. Loss can occur on any wire hop
+//! or at any full (or down) router buffer along the path; real UDP gives
+//! senders no notification, so reliability lives in `netpart-mmps`.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -40,7 +48,12 @@ use crate::segment::{Segment, SegmentSpec, SegmentStats};
 use crate::slab::{DgramHandle, DgramSlab};
 use crate::time::{SimDur, SimTime};
 
-/// Builder for a [`Network`].
+/// Builder for a [`Network`]. For the standard shapes (star, tree,
+/// fat-tree, dumbbell) prefer generating a validated
+/// [`Fabric`](crate::fabric::Fabric) and calling its `build`; the raw
+/// builder is the escape hatch for hand-wired networks. Multi-segment
+/// paths need a chain of routers — `build` precomputes the shortest-path
+/// next-hop table, and frames are forwarded hop by hop:
 ///
 /// ```
 /// use netpart_sim::{NetworkBuilder, ProcType, SegmentSpec, RouterSpec};
@@ -49,12 +62,16 @@ use crate::time::{SimDur, SimTime};
 /// let sparc2 = b.add_proc_type(ProcType::sparcstation_2());
 /// let ipc = b.add_proc_type(ProcType::sun4_ipc());
 /// let seg1 = b.add_segment(SegmentSpec::ethernet_10mbps());
+/// let trunk = b.add_segment(SegmentSpec::ethernet_10mbps());
 /// let seg2 = b.add_segment(SegmentSpec::ethernet_10mbps());
-/// b.add_router(RouterSpec::paper_router(vec![seg1, seg2]));
-/// for _ in 0..6 { b.add_node(sparc2, seg1); }
-/// for _ in 0..6 { b.add_node(ipc, seg2); }
+/// // Two routers: seg1 ─r0─ trunk ─r1─ seg2. A seg1→seg2 datagram is
+/// // store-and-forwarded twice and transmits on all three segments.
+/// b.add_router(RouterSpec::paper_router(vec![seg1, trunk]));
+/// b.add_router(RouterSpec::paper_router(vec![trunk, seg2]));
+/// let src = b.add_node(sparc2, seg1);
+/// let dst = b.add_node(ipc, seg2);
 /// let net = b.build().unwrap();
-/// assert_eq!(net.num_nodes(), 12);
+/// assert!(net.route_exists(src, dst));
 /// ```
 pub struct NetworkBuilder {
     proc_types: Vec<ProcType>,
@@ -141,8 +158,10 @@ impl NetworkBuilder {
                 }
             }
         }
+        let routes = crate::fabric::compute_routes(self.segments.len(), &self.routers);
         Ok(Network {
             proc_types: self.proc_types,
+            routes,
             segments: self.segments.into_iter().map(Segment::new).collect(),
             nodes: self
                 .nodes
@@ -186,6 +205,10 @@ pub struct BackgroundFlow {
 /// pipeline and the crate docs for how the layers stack.
 pub struct Network {
     proc_types: Vec<ProcType>,
+    /// Dense next-hop table, `src_seg × dst_seg` → (router, egress
+    /// segment), precomputed at build time by
+    /// [`crate::fabric::compute_routes`].
+    routes: Vec<Option<(RouterId, SegmentId)>>,
     segments: Vec<Segment>,
     nodes: Vec<Node>,
     routers: Vec<Router>,
@@ -365,19 +388,35 @@ impl Network {
         self.events_processed
     }
 
-    /// Whether a route exists between two nodes (same segment, or a router
-    /// joins their segments).
+    /// Whether a route exists between two nodes (same segment, or a chain
+    /// of routers joins their segments).
     pub fn route_exists(&self, a: NodeId, b: NodeId) -> bool {
         let sa = self.nodes[a.index()].segment;
         let sb = self.nodes[b.index()].segment;
-        sa == sb || self.find_router(sa, sb).is_some()
+        sa == sb || self.route(sa, sb).is_some()
     }
 
-    fn find_router(&self, a: SegmentId, b: SegmentId) -> Option<RouterId> {
-        self.routers
-            .iter()
-            .position(|r| r.spec.joins(a, b))
-            .map(|i| RouterId(i as u16))
+    /// Router hops on the path between two nodes' segments (0 when they
+    /// share a segment), or `None` when no path exists. Walks the
+    /// precomputed next-hop table, so it reports the hop count frames
+    /// actually pay.
+    pub fn hop_count(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let mut cur = self.nodes[a.index()].segment;
+        let dst = self.nodes[b.index()].segment;
+        let mut hops = 0;
+        while cur != dst {
+            let (_, next) = self.route(cur, dst)?;
+            cur = next;
+            hops += 1;
+        }
+        Some(hops)
+    }
+
+    /// Next hop for a frame on `from` bound for a node on `to`: the
+    /// router to hand it to and the segment that router forwards onto.
+    #[inline]
+    fn route(&self, from: SegmentId, to: SegmentId) -> Option<(RouterId, SegmentId)> {
+        self.routes[from.index() * self.segments.len() + to.index()]
     }
 
     // ---- submitting work -------------------------------------------------
@@ -386,10 +425,11 @@ impl Network {
     /// single MTU ([`MAX_DATAGRAM_PAYLOAD`]); larger messages must be
     /// fragmented by the caller (that is the MMPS layer's job).
     ///
-    /// Timing charged: sender host processing (serialized per node), channel
-    /// access + transmission on the ingress segment, optional router
-    /// store-and-forward plus egress segment transit, receiver host
-    /// processing. Returns the datagram id.
+    /// Timing charged: sender host processing (serialized per node), then
+    /// per wire hop a channel access + transmission, with a router
+    /// store-and-forward between consecutive hops (zero routers same
+    /// segment, one for the paper's star, more across hierarchical
+    /// fabrics), then receiver host processing. Returns the datagram id.
     pub fn send_datagram(
         &mut self,
         src: NodeId,
@@ -426,7 +466,7 @@ impl Network {
         }
         let src_seg = self.nodes[src.index()].segment;
         let dst_seg = self.nodes[dst.index()].segment;
-        if src_seg != dst_seg && self.find_router(src_seg, dst_seg).is_none() {
+        if src_seg != dst_seg && self.route(src_seg, dst_seg).is_none() {
             return Err(SimError::NoRoute {
                 from: src_seg,
                 to: dst_seg,
@@ -584,11 +624,14 @@ impl Network {
                 None
             }
             Work::TxEnd { segment, dgram } => self.tx_end(segment, dgram),
-            Work::RouterForwarded { router, dgram } => {
+            Work::RouterForwarded {
+                router,
+                dgram,
+                egress,
+            } => {
                 let r = &mut self.routers[router.index()];
                 r.in_flight -= 1;
                 r.frames_forwarded += 1;
-                let egress = self.nodes[self.slab.get(dgram).dst.index()].segment;
                 self.enqueue_frame(egress, dgram);
                 None
             }
@@ -788,9 +831,11 @@ impl Network {
             self.queue.push(done, Work::Deliver { dgram });
             None
         } else {
-            // Cross-segment: hand to the router.
-            let router = self
-                .find_router(segment, dst_seg)
+            // Cross-segment: the routing table names the next router on
+            // the path and the segment it forwards onto; each hop repeats
+            // this step until the frame lands on the destination segment.
+            let (router, egress) = self
+                .route(segment, dst_seg)
                 .expect("route validated at send time");
             let r = &mut self.routers[router.index()];
             if self.now < r.down_until {
@@ -806,8 +851,14 @@ impl Network {
             let done = start + fwd;
             r.free_at = done;
             r.in_flight += 1;
-            self.queue
-                .push(done, Work::RouterForwarded { router, dgram });
+            self.queue.push(
+                done,
+                Work::RouterForwarded {
+                    router,
+                    dgram,
+                    egress,
+                },
+            );
             None
         }
     }

@@ -96,6 +96,99 @@ proptest! {
         prop_assert!(events.iter().all(|(k, _)| *k == 0));
     }
 
+    /// The fabric's hop matrix (the same breadth-first search that builds
+    /// the routing table) agrees with an independent reference BFS over
+    /// the segment–router bipartite graph, for arbitrary — including
+    /// partitioned — custom wirings.
+    #[test]
+    fn fabric_hops_match_reference_bfs(
+        leaves in 2usize..8,
+        raw_routers in prop::collection::vec(prop::collection::vec(0usize..8, 2..5), 1..6),
+    ) {
+        use netpart_sim::{Fabric, ProcType, RouterSpec, SegmentId, SegmentSpec};
+
+        // Clamp ports into range and dedupe; routers left with fewer than
+        // two distinct ports are dropped (validate() would reject them,
+        // and the hop semantics under test do not need them).
+        let routers: Vec<Vec<usize>> = raw_routers
+            .iter()
+            .map(|ports| {
+                let mut p: Vec<usize> = ports.iter().map(|&x| x % leaves).collect();
+                p.sort_unstable();
+                p.dedup();
+                p
+            })
+            .filter(|p| p.len() >= 2)
+            .collect();
+        let members: Vec<(ProcType, u32)> = (0..leaves)
+            .map(|_| (ProcType::sparcstation_2(), 1))
+            .collect();
+        let fabric = Fabric::custom(
+            &members,
+            &SegmentSpec::ethernet_10mbps(),
+            &RouterSpec::paper_router(Vec::new()),
+            &routers,
+            11,
+        );
+
+        // Reference: BFS over the bipartite graph, counting routers
+        // crossed, implemented with nothing from fabric.rs.
+        let reference = |src: usize| -> Vec<Option<u32>> {
+            let mut dist = vec![None; leaves];
+            dist[src] = Some(0u32);
+            let mut frontier = vec![src];
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for &seg in &frontier {
+                    let d = dist[seg].unwrap();
+                    for ports in &routers {
+                        if !ports.contains(&seg) {
+                            continue;
+                        }
+                        for &other in ports {
+                            if dist[other].is_none() {
+                                dist[other] = Some(d + 1);
+                                next.push(other);
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            dist
+        };
+
+        let matrix = fabric.leaf_hop_matrix(leaves);
+        for (a, row) in matrix.iter().enumerate() {
+            let expect = reference(a);
+            for b in 0..leaves {
+                prop_assert_eq!(
+                    row[b], expect[b],
+                    "hop({}, {}) with routers {:?}", a, b, &routers
+                );
+                prop_assert_eq!(
+                    fabric.hop_distance(SegmentId(a as u16), SegmentId(b as u16)),
+                    expect[b]
+                );
+            }
+        }
+
+        // When the shape validates, the built network's routing table
+        // must agree node-for-node: reachability and hop counts.
+        if fabric.validate().is_ok() {
+            let net = fabric.build().expect("validated fabric builds");
+            for a in 0..leaves {
+                let na = net.nodes_on_segment(SegmentId(a as u16))[0];
+                for b in 0..leaves {
+                    let nb = net.nodes_on_segment(SegmentId(b as u16))[0];
+                    let expect = reference(a)[b];
+                    prop_assert_eq!(net.route_exists(na, nb), expect.is_some());
+                    prop_assert_eq!(net.hop_count(na, nb), expect);
+                }
+            }
+        }
+    }
+
     /// Compute duration scales exactly linearly with the op count.
     #[test]
     fn compute_is_linear_in_ops(ops in 1.0f64..1e9) {

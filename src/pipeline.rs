@@ -142,6 +142,11 @@ impl Scenario {
                 self.app.name()
             )));
         }
+        // The wiring must describe a well-formed, fully connected fabric —
+        // dangling router ports or a partitioned custom wiring surface as
+        // [`NetpartError::InvalidFabric`] here, before calibration runs or
+        // any traffic is silently dropped.
+        self.testbed.cluster_hops()?;
         Ok(())
     }
 
@@ -1392,6 +1397,27 @@ mod tests {
         let mut s = small_scenario();
         s.app = stencil_model(0, StencilVariant::Sten1);
         assert_eq!(s.plan().unwrap_err(), NetpartError::ZeroPdus);
+    }
+
+    #[test]
+    fn partitioned_fabric_fails_at_plan_time() {
+        use netpart_calibrate::Wiring;
+        // Three clusters, but the custom wiring's one router joins only
+        // segments 0 and 1 — cluster 2 is unreachable. plan() must refuse
+        // with the typed fabric error before calibrating or simulating.
+        let testbed = Testbed::synthetic(3, 2, 1.2).with_wiring(Wiring::Custom(vec![vec![0, 1]]));
+        let s = Scenario::new(testbed, stencil_model(40, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        let err = s.plan().unwrap_err();
+        assert!(
+            matches!(err, NetpartError::InvalidFabric(_)),
+            "expected InvalidFabric, got {err:?}"
+        );
+        // plan_pinned goes through the same gate.
+        let err = s
+            .plan_pinned(&[1, 1, 1], PartitionVector::equal(40, 3))
+            .unwrap_err();
+        assert!(matches!(err, NetpartError::InvalidFabric(_)));
     }
 
     #[test]
