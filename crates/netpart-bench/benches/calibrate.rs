@@ -13,6 +13,7 @@ fn bench_calibrate(c: &mut Criterion) {
         b_values: vec![256, 2048, 8192],
         cycles: 8,
         warmup: 2,
+        lack_of_fit_r2: None,
     };
     let fit = calibrate_cluster(&tb, 0, Topology::OneD, &quick).expect("fit");
     println!(

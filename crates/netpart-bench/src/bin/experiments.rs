@@ -9,7 +9,9 @@
 //! Subcommands: `calibrate`, `table1`, `table2`, `fig2`, `fig3`,
 //! `overhead`, `gauss`, `ablation-ordering`, `ablation-placement`,
 //! `ablation-search`, `ablation-decomposition`, `sensitivity`, `dynamic`,
-//! `metasystem`, `faults`, `drift`, `chaos-fuzz`, `all`, plus `simcore`
+//! `metasystem`, `faults`, `drift`, `congestion`, `chaos-fuzz`, `all`,
+//! plus `congestion-smoke` (CI's fast congestion guard; exits 6 on an
+//! invariant or event-rate-floor break), `simcore`
 //! (event-core throughput; excluded from `all` because its wall-clock
 //! figures are machine-dependent), `scale` (hierarchical-fabric planning
 //! sweep up to 4096 nodes; excluded from `all` for the same reason), and
@@ -367,6 +369,110 @@ fn cmd_drift() {
     }
 }
 
+/// Run the congestion scenarios, the lack-of-fit calibration demo, and
+/// the transparency check; write `BENCH_congestion.json`; exit 6 when an
+/// invariant breaks. The smoke variant runs the same checks at the fast
+/// problem size and additionally guards the congested-path event rate
+/// with a simcore-style floor.
+fn cmd_congestion_common(n: usize, iters: u64, smoke: bool) {
+    let rows = ok(congestion_table(model(), n, iters));
+    print!("{}", render_congestion(&rows));
+    let lof = ok(lack_of_fit_demo());
+    println!(
+        "\nlack-of-fit: cluster {} ring sweep, linear R² {:.4} vs gate {:.3} → {}",
+        lof.cluster,
+        lof.linear_r_squared,
+        lof.gate,
+        if lof.piecewise {
+            format!("two-piece fallback (knee at p={})", lof.knee_p.unwrap_or(0))
+        } else {
+            "linear accepted".to_string()
+        }
+    );
+    let tr = ok(transparency_check(model()));
+    println!(
+        "transparency: plain {:.3} ms vs unreachable-congestion {:.3} ms → {}",
+        tr.baseline_ms,
+        tr.shadowed_ms,
+        if tr.identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let json = congestion_json(&rows, &lof, &tr);
+    match std::fs::write("BENCH_congestion.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_congestion.json"),
+        Err(e) => eprintln!("BENCH_congestion.json not written: {e}"),
+    }
+
+    let mut violations: Vec<String> = Vec::new();
+    for r in &rows {
+        if !r.stay.invariant_holds() {
+            violations.push(format!(
+                "{}: stay run broke bit-identical-or-typed-error",
+                r.scenario
+            ));
+        }
+        if !r.adaptive.invariant_holds() {
+            violations.push(format!(
+                "{}: adaptive run broke bit-identical-or-typed-error",
+                r.scenario
+            ));
+        }
+    }
+    if let Some(flood) = rows.iter().find(|r| r.scenario == "flood") {
+        if flood.detections > 0 && flood.congestion_confirmations == 0 {
+            violations.push(
+                "flood: drift confirmed but never attributed to the congested segment".into(),
+            );
+        }
+    }
+    if !lof.piecewise {
+        violations.push(format!(
+            "lack-of-fit gate did not fire (linear R² {:.4} vs gate {:.3})",
+            lof.linear_r_squared, lof.gate
+        ));
+    }
+    if !tr.identical {
+        violations.push("unreachable congestion thresholds changed the run".into());
+    }
+    if smoke {
+        let sample = run_congested_drain(100_000);
+        let eps = sample.events_per_sec();
+        println!(
+            "congested-path drain: {} events in {:.3} s → {:.3e} events/s (floor {:.1e})",
+            sample.events, sample.wall_secs, eps, CONGESTION_FLOOR_EVENTS_PER_SEC
+        );
+        if eps < CONGESTION_FLOOR_EVENTS_PER_SEC {
+            violations.push(format!(
+                "congested-path event rate {eps:.3e} below floor {CONGESTION_FLOOR_EVENTS_PER_SEC:.1e}"
+            ));
+        }
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("congestion: {v}");
+        }
+        std::process::exit(6);
+    }
+}
+
+fn cmd_congestion() {
+    println!(
+        "Congested links — bounded queues, marks, window backpressure, segment-attributed drift:"
+    );
+    cmd_congestion_common(120, 30, false);
+}
+
+fn cmd_congestion_smoke() {
+    println!("Congestion smoke (fast sizes + congested-path event-rate floor):");
+    // n=120 is the smallest grid whose plan spreads past two ranks —
+    // below that there is no border traffic for the flood to degrade,
+    // so the drift demonstration would be vacuous.
+    cmd_congestion_common(120, 10, true);
+}
+
 fn cmd_chaos_fuzz() {
     println!("Chaos fuzzer — seeded random schedules over the whole fault model:");
     // 120 sweep seeds plus the fixed CI seeds, over two targets (STEN-1 and
@@ -548,6 +654,16 @@ fn main() {
     }
     if want("drift") {
         cmd_drift();
+        println!();
+    }
+    if want("congestion") {
+        cmd_congestion();
+        println!();
+    }
+    // The fast CI variant is not part of `all` (the full `congestion`
+    // command already covers it); exits 6 on an invariant or floor break.
+    if cmds.contains(&"congestion-smoke") {
+        cmd_congestion_smoke();
         println!();
     }
     if want("chaos-fuzz") {

@@ -1,0 +1,674 @@
+//! Congestion experiments: bounded queues, ECN marks, window backpressure,
+//! and drift attribution to a *segment* rather than a rank.
+//!
+//! Three scenarios flood one cluster's segment with background cross
+//! traffic on a congestion-enabled paper testbed ([`OverflowPolicy::Mark`]
+//! queues plus the MMPS AIMD window):
+//!
+//! 1. **flood** — a sustained flood saturates cluster 0's segment until
+//!    the end of the run. Plain `Replan` is blind to the gray degradation
+//!    and limps; `Adapt` confirms drift, reads the accumulated congestion
+//!    marks, attributes the confirmation to *segment 0* (not the waiting
+//!    rank), recalibrates with the segment's cost inflated, and
+//!    repartitions work off the congested cluster when the cost/benefit
+//!    gate projects a win.
+//! 2. **knee** — a gentler flow pushes the queue just past the knee
+//!    mid-run: marks without collapse, the mildest congestion the model
+//!    expresses.
+//! 3. **transient** — the flood clears mid-run; whatever the monitor
+//!    decided, the run must finish with the bit-identical answer.
+//!
+//! Every run is held to the chaos invariant: **bit-identical or typed
+//! error**. A window collapse under sustained overload may surface as
+//! [`NetpartError::SegmentSaturated`]; any other error fails the harness.
+//!
+//! The module also closes the calibration loop: a congested testbed whose
+//! sweep crosses the knee fails the lack-of-fit R² gate, and
+//! [`calibrate_cluster_gated`] falls back to the two-piece
+//! [`CostModel::Piecewise`] — demonstrated by [`lack_of_fit_demo`]. The
+//! transparency check pins the opt-in property: a congestion spec with
+//! unreachable thresholds prices every run exactly like the plain paper
+//! testbed.
+
+use netpart::{AppStart, CostSource, Fault, FaultSchedule, RecoveryPolicy, Scenario};
+use netpart_apps::{sequential_reference, stencil_model, StencilApp, StencilVariant};
+use netpart_calibrate::{
+    calibrate_cluster_gated, CalibratedCostModel, CalibrationConfig, CostModel, Testbed,
+};
+use netpart_mmps::WindowConfig;
+use netpart_model::NetpartError;
+use netpart_sim::{CongestionSpec, OverflowPolicy, SimDur};
+use netpart_topology::Topology;
+
+/// Drift-monitor threshold shared with the drift experiments.
+const DEGRADE_THRESHOLD: f64 = 1.75;
+/// Cooldown cycles after a declined repartition.
+const COOLDOWN: u64 = 4;
+
+/// How one recoverable run under congestion ended.
+#[derive(Debug, Clone)]
+pub enum CongestionOutcome {
+    /// The run completed; `bit_identical` compares the gathered answer
+    /// against the sequential reference bit for bit.
+    Finished {
+        /// Simulated elapsed ms.
+        elapsed_ms: f64,
+        /// Whether the answer matches the sequential reference exactly.
+        bit_identical: bool,
+    },
+    /// The run surfaced the typed saturation error — the documented
+    /// outcome when sustained overload collapses the send window.
+    Saturated {
+        /// Segment index the collapse named.
+        segment: usize,
+    },
+}
+
+impl CongestionOutcome {
+    /// Whether the outcome satisfies the bit-identical-or-typed-error
+    /// invariant.
+    pub fn invariant_holds(&self) -> bool {
+        match self {
+            CongestionOutcome::Finished { bit_identical, .. } => *bit_identical,
+            CongestionOutcome::Saturated { .. } => true,
+        }
+    }
+
+    /// Elapsed ms when the run finished.
+    pub fn elapsed_ms(&self) -> Option<f64> {
+        match self {
+            CongestionOutcome::Finished { elapsed_ms, .. } => Some(*elapsed_ms),
+            CongestionOutcome::Saturated { .. } => None,
+        }
+    }
+}
+
+/// One congestion scenario: a flood window on cluster 0's segment, run
+/// fault-free, under plain `Replan` (stays put), and under `Adapt`.
+#[derive(Debug, Clone)]
+pub struct CongestionRow {
+    /// Scenario label (`flood`, `knee`, `transient`).
+    pub scenario: &'static str,
+    /// Application label.
+    pub app: &'static str,
+    /// Grid edge.
+    pub n: u64,
+    /// Iteration count.
+    pub iters: u64,
+    /// Ranks in the fault-free plan.
+    pub ranks: usize,
+    /// Fault-free simulated elapsed ms on the congestion-enabled testbed.
+    pub fault_free_ms: f64,
+    /// Flood window start, simulated ms.
+    pub flood_from_ms: f64,
+    /// Flood window end, simulated ms.
+    pub flood_until_ms: f64,
+    /// Microseconds between flood frames (lower = heavier).
+    pub flood_period_us: u64,
+    /// Outcome staying put (plain `Replan`, blind to gray congestion).
+    pub stay: CongestionOutcome,
+    /// Outcome under `Adapt`.
+    pub adaptive: CongestionOutcome,
+    /// Drift confirmations in the adaptive run.
+    pub detections: u32,
+    /// Confirmations attributed to a congested segment (not a rank).
+    pub congestion_confirmations: u32,
+    /// Online recalibrations.
+    pub recalibrations: u32,
+    /// Repartitions the cost/benefit gate accepted.
+    pub repartitions: u32,
+    /// Confirmations the gate declined to act on.
+    pub declined: u32,
+}
+
+/// Outcome of the lack-of-fit calibration demonstration.
+#[derive(Debug, Clone)]
+pub struct LackOfFitDemo {
+    /// Cluster the gated calibration ran on.
+    pub cluster: usize,
+    /// The configured R² gate.
+    pub gate: f64,
+    /// R² of the rejected (or accepted) linear fit.
+    pub linear_r_squared: f64,
+    /// First processor count priced by the saturated piece, when the
+    /// two-piece fallback fired.
+    pub knee_p: Option<u32>,
+    /// Whether the gated fit returned [`CostModel::Piecewise`].
+    pub piecewise: bool,
+}
+
+/// Outcome of the opt-in transparency check: the same stencil on the
+/// plain paper testbed and on a testbed whose congestion spec has
+/// unreachable thresholds must price identically.
+#[derive(Debug, Clone)]
+pub struct TransparencyCheck {
+    /// Elapsed ms on the plain paper testbed.
+    pub baseline_ms: f64,
+    /// Elapsed ms with the unreachable congestion spec installed.
+    pub shadowed_ms: f64,
+    /// Whether the two elapsed times are exactly equal and both answers
+    /// are bit-identical to the sequential reference.
+    pub identical: bool,
+}
+
+/// The paper testbed with the congestion model switched on: Mark-policy
+/// bounded queues on every segment and the MMPS AIMD window.
+///
+/// Two knobs differ from the bare defaults, both to keep the *drift*
+/// path observable rather than collapsing straight into the typed
+/// error. `knee_queue: 2` marks early, at shallow queues where RTT
+/// inflation is still mild — the drift monitor needs a few marked-but-
+/// completing cycles to attribute slowness to a segment. And the window
+/// floor is 2, not 1: the border exchange legitimately keeps one
+/// message in flight while the next is offered, so a floor of 1 reads
+/// ordinary bulk-synchronous stacking as collapse the moment the
+/// window is squeezed. Saturation still surfaces — a flood the window
+/// cannot throttle below two in-flight messages per pair is a real
+/// oversubscription.
+pub fn congested_testbed() -> Testbed {
+    let mut t = Testbed::paper();
+    t.segment.congestion = Some(CongestionSpec {
+        knee_queue: 2,
+        ..CongestionSpec::ethernet_default(OverflowPolicy::Mark)
+    });
+    t.mmps.congestion_window = Some(WindowConfig {
+        floor: 2,
+        ..WindowConfig::default()
+    });
+    t
+}
+
+fn adapt_policy(min_gain: f64) -> RecoveryPolicy {
+    RecoveryPolicy::Adapt {
+        degrade_threshold: DEGRADE_THRESHOLD,
+        min_gain,
+        cooldown: COOLDOWN,
+    }
+}
+
+fn bits_eq_f32(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn stencil_factory(
+    n: usize,
+    iters: u64,
+    variant: StencilVariant,
+) -> impl FnMut(usize, AppStart<'_>) -> Result<StencilApp, NetpartError> {
+    move |ranks, start| {
+        Ok(match start {
+            AppStart::Fresh => StencilApp::new(n, iters, variant, ranks),
+            AppStart::Resume(c) => StencilApp::resume(c, n, iters, variant, ranks),
+        })
+    }
+}
+
+fn variant_label(variant: StencilVariant) -> &'static str {
+    match variant {
+        StencilVariant::Sten1 => "STEN-1",
+        StencilVariant::Sten2 => "STEN-2",
+    }
+}
+
+/// Run one recoverable stencil under `policy` and fold the result into a
+/// [`CongestionOutcome`]: finished runs are checked bit-for-bit, a
+/// [`NetpartError::SegmentSaturated`] is the accepted typed outcome, and
+/// anything else propagates as a harness error.
+fn run_outcome(
+    s: &Scenario,
+    faults: &FaultSchedule,
+    policy: RecoveryPolicy,
+    n: usize,
+    iters: u64,
+    variant: StencilVariant,
+) -> Result<(CongestionOutcome, netpart::pipeline::RecoveryStats), NetpartError> {
+    match s.run_recoverable(faults, policy, 2, stencil_factory(n, iters, variant)) {
+        Ok((run, app)) => {
+            let rec = run.recovery.clone().unwrap_or_default();
+            Ok((
+                CongestionOutcome::Finished {
+                    elapsed_ms: run.elapsed_ms,
+                    bit_identical: bits_eq_f32(&app.gather(), &sequential_reference(n, iters)),
+                },
+                rec,
+            ))
+        }
+        Err(NetpartError::SegmentSaturated { segment, .. }) => {
+            Ok((CongestionOutcome::Saturated { segment }, Default::default()))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Run one congestion scenario. The flood window is expressed as
+/// fractions of the fault-free elapsed time; `period_us` sets its
+/// intensity (a 1400-byte frame occupies a 10 Mbit/s ethernet for
+/// ~1.16 ms, so periods below that oversubscribe the channel).
+#[allow(clippy::too_many_arguments)]
+fn congestion_row(
+    model: &CalibratedCostModel,
+    n: usize,
+    iters: u64,
+    variant: StencilVariant,
+    scenario: &'static str,
+    from_frac: f64,
+    until_frac: f64,
+    period_us: u64,
+) -> Result<CongestionRow, NetpartError> {
+    let s = Scenario::new(congested_testbed(), stencil_model(n as u64, variant))
+        .with_cost(CostSource::Fixed(model.clone()));
+    let plan = s.plan()?;
+    let ranks = plan.ranks();
+    let mut app = StencilApp::new(n, iters, variant, ranks);
+    let fault_free = plan.run(&mut app)?;
+
+    let flood_from_ms = fault_free.elapsed_ms * from_frac;
+    let flood_until_ms = fault_free.elapsed_ms * until_frac;
+    let faults = FaultSchedule::new().with(Fault::TrafficFlood {
+        cluster: 0,
+        from_ms: flood_from_ms,
+        until_ms: flood_until_ms,
+        bytes: 1400,
+        period_us,
+    });
+
+    let (stay, _) = run_outcome(
+        &s,
+        &faults,
+        RecoveryPolicy::Replan {
+            max_replans: 4,
+            backoff_ms: 5.0,
+        },
+        n,
+        iters,
+        variant,
+    )?;
+    let (adaptive, rec) = run_outcome(&s, &faults, adapt_policy(0.0), n, iters, variant)?;
+
+    Ok(CongestionRow {
+        scenario,
+        app: variant_label(variant),
+        n: n as u64,
+        iters,
+        ranks,
+        fault_free_ms: fault_free.elapsed_ms,
+        flood_from_ms,
+        flood_until_ms,
+        flood_period_us: period_us,
+        stay,
+        adaptive,
+        detections: rec.drift_detections,
+        congestion_confirmations: rec.congestion_confirmations,
+        recalibrations: rec.recalibrations,
+        repartitions: rec.repartitions,
+        declined: rec.repartitions_declined,
+    })
+}
+
+/// The congestion table at the given problem size: the sustained flood,
+/// the mid-run knee crossing, and the congestion-then-clears transient.
+pub fn congestion_table(
+    model: &CalibratedCostModel,
+    n: usize,
+    iters: u64,
+) -> Result<Vec<CongestionRow>, NetpartError> {
+    Ok(vec![
+        // Sustained oversubscription from early in the run to past its end.
+        congestion_row(
+            model,
+            n,
+            iters,
+            StencilVariant::Sten1,
+            "flood",
+            0.15,
+            1.5,
+            1500,
+        )?,
+        // Just past capacity mid-run: the queue hovers around the knee.
+        congestion_row(
+            model,
+            n,
+            iters,
+            StencilVariant::Sten2,
+            "knee",
+            0.3,
+            0.9,
+            2500,
+        )?,
+        // The flood clears mid-run; the run must still finish exactly.
+        congestion_row(
+            model,
+            n,
+            iters,
+            StencilVariant::Sten1,
+            "transient",
+            0.15,
+            0.6,
+            1500,
+        )?,
+    ])
+}
+
+/// Close the calibration loop on a congested testbed: shrink the knee and
+/// raise the saturation penalty so the calibration sweep's larger rings
+/// cross into the saturated regime, then run the gated fit. The linear
+/// Eq. 1 shape cannot express the knee, its R² falls below the gate, and
+/// the fit falls back to the two-piece model.
+pub fn lack_of_fit_demo() -> Result<LackOfFitDemo, NetpartError> {
+    let mut tb = congested_testbed();
+    tb.segment.congestion = Some(CongestionSpec {
+        queue_frames: 64,
+        overflow: OverflowPolicy::Mark,
+        knee_queue: 2,
+        saturated_penalty: SimDur::from_millis(4),
+    });
+    // Offline calibration measures the channel, it does not need
+    // backpressure — and sustained saturation would collapse the window
+    // into the typed error before the sweep completes.
+    tb.mmps.congestion_window = None;
+    let cfg = CalibrationConfig {
+        lack_of_fit_r2: Some(0.97),
+        ..CalibrationConfig::default()
+    };
+    let (model, lof) = calibrate_cluster_gated(&tb, 0, Topology::Ring, &cfg)?;
+    let piecewise = matches!(model, CostModel::Piecewise(_));
+    Ok(match lof {
+        Some(l) => LackOfFitDemo {
+            cluster: 0,
+            gate: l.gate,
+            linear_r_squared: l.linear_r_squared,
+            knee_p: Some(l.knee_p),
+            piecewise,
+        },
+        None => LackOfFitDemo {
+            cluster: 0,
+            gate: cfg.lack_of_fit_r2.unwrap_or(f64::NAN),
+            linear_r_squared: match &model {
+                CostModel::Linear(f) => f.r_squared,
+                CostModel::Piecewise(_) => f64::NAN,
+            },
+            knee_p: None,
+            piecewise,
+        },
+    })
+}
+
+/// The opt-in property, demonstrated end to end: a congestion spec whose
+/// knee and queue bound can never be reached prices a full stencil run
+/// exactly like the plain paper testbed — same elapsed time, same bits.
+pub fn transparency_check(model: &CalibratedCostModel) -> Result<TransparencyCheck, NetpartError> {
+    let (n, iters) = (120usize, 10u64);
+    let run = |tb: Testbed| -> Result<(f64, bool), NetpartError> {
+        let s = Scenario::new(tb, stencil_model(n as u64, StencilVariant::Sten1))
+            .with_cost(CostSource::Fixed(model.clone()));
+        let plan = s.plan()?;
+        let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, plan.ranks());
+        let r = plan.run(&mut app)?;
+        Ok((
+            r.elapsed_ms,
+            bits_eq_f32(&app.gather(), &sequential_reference(n, iters)),
+        ))
+    };
+    let (baseline_ms, base_ok) = run(Testbed::paper())?;
+    let mut shadow = Testbed::paper();
+    shadow.segment.congestion = Some(CongestionSpec {
+        queue_frames: 1 << 20,
+        overflow: OverflowPolicy::Mark,
+        knee_queue: 1 << 20,
+        saturated_penalty: SimDur::from_millis(100),
+    });
+    let (shadowed_ms, shadow_ok) = run(shadow)?;
+    Ok(TransparencyCheck {
+        baseline_ms,
+        shadowed_ms,
+        identical: baseline_ms == shadowed_ms && base_ok && shadow_ok,
+    })
+}
+
+/// CI floor for the congested-path event rate (events/s): the
+/// [`run_congested_drain`] workload drives every frame through the
+/// bounded-queue/mark bookkeeping, so a collapse here means the
+/// congestion branch regressed algorithmically. Set well below the
+/// uncongested `datagram_drain` floor (2.5e6) to absorb both the extra
+/// per-frame work and slower CI hardware.
+pub const CONGESTION_FLOOR_EVENTS_PER_SEC: f64 = 1.0e6;
+
+/// The congested-path sibling of the simcore datagram drain: seven
+/// stations keep a fixed window of frames outstanding toward one receiver
+/// on a Mark-policy bounded queue, so the queue sits past the knee and
+/// every frame pays the congestion bookkeeping. Returns a
+/// [`crate::simcore::SimcoreSample`] named `congested_drain`; the event
+/// count is deterministic per codebase.
+///
+/// # Panics
+/// If the segment fails to deliver every frame or never marks one — both
+/// would mean the workload is not exercising the congested path at all.
+pub fn run_congested_drain(sends: u64) -> crate::simcore::SimcoreSample {
+    use bytes::Bytes;
+    use netpart_sim::{NetworkBuilder, ProcType, SegmentSpec, SimEvent};
+    use std::time::Instant;
+
+    let mut nb = NetworkBuilder::new(1);
+    let pt = nb.add_proc_type(ProcType::sparcstation_2());
+    let mut spec = SegmentSpec::ethernet_10mbps();
+    spec.congestion = Some(CongestionSpec::ethernet_default(OverflowPolicy::Mark));
+    let seg = nb.add_segment(spec);
+    let nodes: Vec<_> = (0..8).map(|_| nb.add_node(pt, seg)).collect();
+    let mut net = nb.build().expect("valid topology");
+    // Keep 28 frames outstanding: past the knee (8) so frames are marked,
+    // under the hard bound (64) so none are tail-dropped.
+    let window = 28u64.min(sends);
+    let start = Instant::now();
+    let mut sent = 0u64;
+    while sent < window {
+        let s = (sent % 7) as usize;
+        net.send_datagram(nodes[s], nodes[7], sent, Bytes::from_static(b"x"))
+            .expect("send accepted");
+        sent += 1;
+    }
+    let mut delivered = 0u64;
+    let mut marked = 0u64;
+    while let Some(evt) = net.next_event() {
+        if let SimEvent::DatagramDelivered { dgram, .. } = evt {
+            delivered += 1;
+            if dgram.marked_by.is_some() {
+                marked += 1;
+            }
+            if sent < sends {
+                let s = (sent % 7) as usize;
+                net.send_datagram(nodes[s], nodes[7], sent, Bytes::from_static(b"x"))
+                    .expect("send accepted");
+                sent += 1;
+            }
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    assert_eq!(delivered, sends, "bounded Mark queue must deliver all");
+    assert!(marked > 0, "the drain must actually cross the knee");
+    crate::simcore::SimcoreSample {
+        name: "congested_drain",
+        events: net.events_processed(),
+        wall_secs,
+    }
+}
+
+fn outcome_cell(o: &CongestionOutcome) -> String {
+    match o {
+        CongestionOutcome::Finished {
+            elapsed_ms,
+            bit_identical,
+        } => format!(
+            "{:.1} ms ({})",
+            elapsed_ms,
+            if *bit_identical { "bit-id" } else { "WRONG" }
+        ),
+        CongestionOutcome::Saturated { segment } => format!("saturated(seg {segment})"),
+    }
+}
+
+/// Render the congestion table for the terminal.
+pub fn render_congestion(rows: &[CongestionRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Congested-segment scenarios — cross traffic floods cluster 0's segment; \
+         Adapt attributes drift to the segment via congestion marks:\n\n",
+    );
+    out.push_str(&format!(
+        "{:<10} {:<8} {:>5} {:>12} {:>16} {:>8} {:>20} {:>20} {:>4} {:>4} {:>6} {:>8}\n",
+        "scenario",
+        "app",
+        "n",
+        "T_ff (ms)",
+        "window (ms)",
+        "per(µs)",
+        "stay",
+        "adaptive",
+        "det",
+        "seg",
+        "repart",
+        "declined"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<8} {:>5} {:>12.3} {:>16} {:>8} {:>20} {:>20} {:>4} {:>4} {:>6} {:>8}\n",
+            r.scenario,
+            r.app,
+            r.n,
+            r.fault_free_ms,
+            format!("{:.0}..{:.0}", r.flood_from_ms, r.flood_until_ms),
+            r.flood_period_us,
+            outcome_cell(&r.stay),
+            outcome_cell(&r.adaptive),
+            r.detections,
+            r.congestion_confirmations,
+            r.repartitions,
+            r.declined
+        ));
+    }
+    out
+}
+
+fn outcome_json(o: &CongestionOutcome) -> String {
+    match o {
+        CongestionOutcome::Finished {
+            elapsed_ms,
+            bit_identical,
+        } => format!(
+            "{{ \"finished\": true, \"elapsed_ms\": {elapsed_ms:.4}, \
+             \"bit_identical\": {bit_identical} }}"
+        ),
+        CongestionOutcome::Saturated { segment } => {
+            format!("{{ \"finished\": false, \"typed_error\": \"SegmentSaturated\", \"segment\": {segment} }}")
+        }
+    }
+}
+
+/// Serialise the congestion table, the lack-of-fit demonstration, and the
+/// transparency check as `BENCH_congestion.json`.
+pub fn congestion_json(
+    rows: &[CongestionRow],
+    lof: &LackOfFitDemo,
+    transparency: &TransparencyCheck,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"description\": \"Congested-link experiments: background cross traffic floods \
+         cluster 0's segment on a congestion-enabled paper testbed (Mark-policy bounded \
+         queues, MMPS AIMD window). 'stay' runs under plain Replan and limps; 'adaptive' \
+         runs under Adapt, whose drift monitor reads the accumulated congestion marks, \
+         attributes the confirmation to the segment rather than the waiting rank, \
+         recalibrates with the segment cost inflated, and repartitions when the gate \
+         projects a win. Sustained overload may instead surface the typed \
+         SegmentSaturated error. lack_of_fit shows the calibration-side closure: a sweep \
+         crossing the knee fails the linear R-squared gate and falls back to the \
+         two-piece cost model. transparency pins the opt-in property: unreachable \
+         congestion thresholds price runs exactly like the plain testbed.\",\n",
+    );
+    out.push_str("  \"policy\": { \"degrade_threshold\": ");
+    out.push_str(&format!("{DEGRADE_THRESHOLD:.2}"));
+    out.push_str(", \"cooldown_cycles\": ");
+    out.push_str(&COOLDOWN.to_string());
+    out.push_str(" },\n");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"scenario\": \"{}\", \"app\": \"{}\", \"n\": {}, \"iters\": {}, \
+             \"ranks\": {}, \"fault_free_ms\": {:.4}, \"flood_from_ms\": {:.4}, \
+             \"flood_until_ms\": {:.4}, \"flood_period_us\": {}, \"stay\": {}, \
+             \"adaptive\": {}, \"detections\": {}, \"congestion_confirmations\": {}, \
+             \"recalibrations\": {}, \"repartitions\": {}, \"declined\": {} }}{}\n",
+            r.scenario,
+            r.app,
+            r.n,
+            r.iters,
+            r.ranks,
+            r.fault_free_ms,
+            r.flood_from_ms,
+            r.flood_until_ms,
+            r.flood_period_us,
+            outcome_json(&r.stay),
+            outcome_json(&r.adaptive),
+            r.detections,
+            r.congestion_confirmations,
+            r.recalibrations,
+            r.repartitions,
+            r.declined,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"lack_of_fit\": {{ \"cluster\": {}, \"gate\": {:.3}, \"linear_r_squared\": {:.4}, \
+         \"knee_p\": {}, \"piecewise\": {} }},\n",
+        lof.cluster,
+        lof.gate,
+        lof.linear_r_squared,
+        lof.knee_p.map_or("null".to_string(), |p| p.to_string()),
+        lof.piecewise
+    ));
+    out.push_str(&format!(
+        "  \"transparency\": {{ \"baseline_ms\": {:.6}, \"shadowed_ms\": {:.6}, \
+         \"identical\": {} }}\n",
+        transparency.baseline_ms, transparency.shadowed_ms, transparency.identical
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparency_is_exact() {
+        let model = crate::experiments::paper_calibration().expect("calibration");
+        let t = transparency_check(&model).expect("transparency run");
+        assert!(
+            t.identical,
+            "unreachable congestion thresholds must be byte-transparent: \
+             baseline {} vs shadowed {}",
+            t.baseline_ms, t.shadowed_ms
+        );
+    }
+
+    #[test]
+    fn congested_drain_is_deterministic() {
+        let a = run_congested_drain(500);
+        let b = run_congested_drain(500);
+        assert_eq!(a.events, b.events, "event count must be deterministic");
+        assert!(a.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn lack_of_fit_gate_fires_on_a_congested_sweep() {
+        let d = lack_of_fit_demo().expect("gated calibration");
+        assert!(
+            d.piecewise,
+            "the congested sweep must reject the linear fit (R²={} vs gate {})",
+            d.linear_r_squared, d.gate
+        );
+        assert!(d.linear_r_squared < d.gate);
+        assert!(d.knee_p.is_some());
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod ablations;
 pub mod chaos_fuzz;
+pub mod congestion;
 pub mod drift;
 pub mod experiments;
 pub mod faults;
@@ -30,6 +31,7 @@ pub mod sweep;
 
 pub use ablations::*;
 pub use chaos_fuzz::*;
+pub use congestion::*;
 pub use drift::*;
 pub use experiments::*;
 pub use faults::*;

@@ -59,6 +59,55 @@ impl FittedCost {
     }
 }
 
+/// A two-piece Eq. 1: one fit for the linear (below-knee) regime, a
+/// second for the saturated regime. Produced by gated calibration
+/// ([`crate::fit::calibrate_cluster_gated`]) when the single linear fit
+/// fails its lack-of-fit gate — the shape a congested segment's cost
+/// curve takes once offered load passes the knee of its utilization
+/// curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiecewiseCost {
+    /// Fit for `p < knee_p` (the paper's linear regime).
+    pub below: FittedCost,
+    /// Fit for `p >= knee_p` (the saturated regime).
+    pub above: FittedCost,
+    /// First processor count priced by the saturated piece.
+    pub knee_p: u32,
+}
+
+impl PiecewiseCost {
+    /// Evaluate at `b` bytes and `p` processors, using whichever piece
+    /// covers `p`.
+    pub fn eval_ms(&self, bytes: f64, p: u32) -> f64 {
+        if p < self.knee_p {
+            self.below.eval_ms(bytes, p)
+        } else {
+            self.above.eval_ms(bytes, p)
+        }
+    }
+}
+
+/// The typed result of a gated calibration: the linear Eq. 1 fit when it
+/// passes the lack-of-fit gate, or the two-piece fallback when the sweep
+/// crossed a congestion knee the linear shape cannot express.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// The linear fit was adequate (or no gate was configured).
+    Linear(FittedCost),
+    /// The linear fit failed the gate; a two-piece fit replaced it.
+    Piecewise(PiecewiseCost),
+}
+
+impl CostModel {
+    /// Evaluate at `b` bytes and `p` processors.
+    pub fn eval_ms(&self, bytes: f64, p: u32) -> f64 {
+        match self {
+            CostModel::Linear(f) => f.eval_ms(bytes, p),
+            CostModel::Piecewise(pw) => pw.eval_ms(bytes, p),
+        }
+    }
+}
+
 /// A linear-in-bytes penalty: `ms(b) = a + k·b` (router forwarding,
 /// format coercion).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -173,6 +222,10 @@ pub trait CommCostModel {
 pub struct CalibratedCostModel {
     /// Eq. 1 constants per (cluster, topology).
     pub intra: HashMap<(usize, Topology), FittedCost>,
+    /// Two-piece overrides per (cluster, topology), installed when gated
+    /// calibration rejects the linear fit. Consulted before `intra`;
+    /// empty (and cost-free) for ungated calibrations.
+    pub piecewise: HashMap<(usize, Topology), PiecewiseCost>,
     /// Router penalty per unordered cluster pair (stored with a ≤ b).
     pub router: HashMap<(usize, usize), LinearCost>,
     /// Coercion penalty per unordered cluster pair.
@@ -189,6 +242,14 @@ impl CalibratedCostModel {
         self.intra.insert((cluster, topo), fit);
     }
 
+    /// Install a two-piece override for a (cluster, topology); it takes
+    /// precedence over the linear entry in [`intra_ms`].
+    ///
+    /// [`intra_ms`]: CommCostModel::intra_ms
+    pub fn set_piecewise(&mut self, cluster: usize, topo: Topology, fit: PiecewiseCost) {
+        self.piecewise.insert((cluster, topo), fit);
+    }
+
     /// Insert a router fit for a cluster pair.
     pub fn set_router(&mut self, a: usize, b: usize, cost: LinearCost) {
         self.router.insert(key(a, b), cost);
@@ -202,12 +263,15 @@ impl CalibratedCostModel {
 
 impl CommCostModel for CalibratedCostModel {
     fn covers(&self, cluster: usize, topo: Topology) -> bool {
-        self.intra.contains_key(&(cluster, topo))
+        self.intra.contains_key(&(cluster, topo)) || self.piecewise.contains_key(&(cluster, topo))
     }
 
     fn intra_ms(&self, cluster: usize, topo: Topology, bytes: f64, p: u32) -> f64 {
         if p <= 1 && !topo.is_bandwidth_limited() {
             return 0.0;
+        }
+        if let Some(pw) = self.piecewise.get(&(cluster, topo)) {
+            return pw.eval_ms(bytes, p);
         }
         self.intra
             .get(&(cluster, topo))

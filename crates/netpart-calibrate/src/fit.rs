@@ -11,7 +11,7 @@ use netpart_spmd::Executor;
 use netpart_topology::{PlacementStrategy, Topology};
 
 use crate::bench_app::CommBench;
-use crate::costmodel::{CalibratedCostModel, FittedCost, LinearCost};
+use crate::costmodel::{CalibratedCostModel, CostModel, FittedCost, LinearCost, PiecewiseCost};
 use crate::linreg::least_squares;
 use crate::testbed::Testbed;
 
@@ -24,6 +24,12 @@ pub struct CalibrationConfig {
     pub cycles: u64,
     /// Leading cycles discarded as warmup (pipeline fill).
     pub warmup: usize,
+    /// Lack-of-fit gate on the linear Eq. 1 fit: when set, a cluster fit
+    /// whose R² falls below this threshold is rejected and
+    /// [`calibrate_cluster_gated`] falls back to a two-piece fit (the
+    /// sweep crossed a congestion knee the linear shape cannot express).
+    /// `None` (the default) keeps the ungated, always-linear behaviour.
+    pub lack_of_fit_r2: Option<f64>,
 }
 
 impl Default for CalibrationConfig {
@@ -32,8 +38,21 @@ impl Default for CalibrationConfig {
             b_values: vec![64, 256, 1024, 2048, 4096, 8192],
             cycles: 12,
             warmup: 2,
+            lack_of_fit_r2: None,
         }
     }
+}
+
+/// Typed lack-of-fit report: the linear fit that failed the gate, the
+/// gate it failed, and the knee the two-piece fallback chose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LackOfFit {
+    /// R² of the rejected linear fit.
+    pub linear_r_squared: f64,
+    /// The configured gate it fell below.
+    pub gate: f64,
+    /// First processor count priced by the saturated piece.
+    pub knee_p: u32,
 }
 
 /// Measure the mean communication-cycle time (ms) for a processor
@@ -69,6 +88,56 @@ pub fn measure_cycle_ms(
     Ok(usable.iter().sum::<f64>() / usable.len() as f64)
 }
 
+/// Run one cluster's `(p, b)` benchmark grid and return the grid points
+/// with their measured cycle times. Each grid point is an independent
+/// simulation; the sweep returns them in grid order, so downstream
+/// least-squares systems are built exactly as a sequential loop would
+/// build them.
+/// A swept `(p, b)` grid paired with the measured cycle time per point.
+type SweptGrid = (Vec<(u32, u32)>, Vec<f64>);
+
+fn sweep_cluster_grid(
+    testbed: &Testbed,
+    cluster: usize,
+    topo: Topology,
+    cfg: &CalibrationConfig,
+) -> Result<SweptGrid, NetpartError> {
+    let capacity = testbed.clusters[cluster].nodes;
+    if capacity < 2 {
+        return Err(NetpartError::Calibration(format!(
+            "cluster {cluster} has {capacity} node(s); need at least two to communicate"
+        )));
+    }
+    let grid: Vec<(u32, u32)> = (2..=capacity)
+        .flat_map(|p| cfg.b_values.iter().map(move |&b| (p, b)))
+        .collect();
+    let times = netpart_sweep::sweep(grid.clone(), |(p, b)| {
+        let mut config = vec![0u32; testbed.num_clusters()];
+        config[cluster] = p;
+        measure_cycle_ms(testbed, &config, topo, b, cfg)
+    });
+    let y = times.into_iter().collect::<Result<Vec<f64>, _>>()?;
+    Ok((grid, y))
+}
+
+/// Fit Eq. 1 to measured `(p, b)` points: `T = c1 + c2·p + b·(c3 + c4·p)`.
+/// `None` when the system is singular.
+fn fit_eq1(points: &[(u32, u32)], y: &[f64]) -> Option<FittedCost> {
+    let rows: Vec<Vec<f64>> = points
+        .iter()
+        .map(|&(p, b)| vec![1.0, p as f64, b as f64, p as f64 * b as f64])
+        .collect();
+    let fit = least_squares(&rows, y)?;
+    Some(FittedCost {
+        c1: fit.coefficients[0],
+        c2: fit.coefficients[1],
+        c3: fit.coefficients[2],
+        c4: fit.coefficients[3],
+        r_squared: fit.r_squared,
+        abs_fix: true, // same guard the paper applies to poor small-p fits
+    })
+}
+
 /// Benchmark one cluster's Eq. 1 constants for `topo`: sweep
 /// `p ∈ 2..=capacity` × configured message sizes, fit
 /// `T = c1 + c2·p + b·(c3 + c4·p)`.
@@ -78,40 +147,98 @@ pub fn calibrate_cluster(
     topo: Topology,
     cfg: &CalibrationConfig,
 ) -> Result<FittedCost, NetpartError> {
-    let capacity = testbed.clusters[cluster].nodes;
-    if capacity < 2 {
-        return Err(NetpartError::Calibration(format!(
-            "cluster {cluster} has {capacity} node(s); need at least two to communicate"
-        )));
-    }
-    // Each (p, b) grid point is an independent simulation; the sweep
-    // returns them in grid order, so the least-squares system is built
-    // exactly as the sequential loop built it.
-    let grid: Vec<(u32, u32)> = (2..=capacity)
-        .flat_map(|p| cfg.b_values.iter().map(move |&b| (p, b)))
-        .collect();
-    let times = netpart_sweep::sweep(grid.clone(), |(p, b)| {
-        let mut config = vec![0u32; testbed.num_clusters()];
-        config[cluster] = p;
-        measure_cycle_ms(testbed, &config, topo, b, cfg)
-    });
-    let mut rows = Vec::new();
-    let mut y = Vec::new();
-    for (&(p, b), t) in grid.iter().zip(times) {
-        rows.push(vec![1.0, p as f64, b as f64, p as f64 * b as f64]);
-        y.push(t?);
-    }
-    let fit = least_squares(&rows, &y).ok_or_else(|| {
+    let (grid, y) = sweep_cluster_grid(testbed, cluster, topo, cfg)?;
+    fit_eq1(&grid, &y).ok_or_else(|| {
         NetpartError::Calibration("calibration sweep produced a singular system".into())
-    })?;
-    Ok(FittedCost {
-        c1: fit.coefficients[0],
-        c2: fit.coefficients[1],
-        c3: fit.coefficients[2],
-        c4: fit.coefficients[3],
-        r_squared: fit.r_squared,
-        abs_fix: true, // same guard the paper applies to poor small-p fits
     })
+}
+
+/// Like [`calibrate_cluster`], but with the lack-of-fit gate applied:
+/// when `cfg.lack_of_fit_r2` is set and the linear fit's R² falls below
+/// it (the measured curve bends — a congestion knee inside the swept `p`
+/// range), fall back to a two-piece fit. The knee is chosen by searching
+/// every split of the swept `p` values with at least two distinct `p` on
+/// each side and keeping the split with the smallest total squared
+/// residual. Returns the model and, when the gate tripped, the typed
+/// [`LackOfFit`] report.
+///
+/// With `lack_of_fit_r2: None` this is exactly [`calibrate_cluster`]
+/// wrapped in [`CostModel::Linear`].
+pub fn calibrate_cluster_gated(
+    testbed: &Testbed,
+    cluster: usize,
+    topo: Topology,
+    cfg: &CalibrationConfig,
+) -> Result<(CostModel, Option<LackOfFit>), NetpartError> {
+    let (grid, y) = sweep_cluster_grid(testbed, cluster, topo, cfg)?;
+    let linear = fit_eq1(&grid, &y);
+    let Some(gate) = cfg.lack_of_fit_r2 else {
+        return linear.map(|f| (CostModel::Linear(f), None)).ok_or_else(|| {
+            NetpartError::Calibration("calibration sweep produced a singular system".into())
+        });
+    };
+    if let Some(f) = linear {
+        if f.r_squared >= gate {
+            return Ok((CostModel::Linear(f), None));
+        }
+    }
+    // Knee search: distinct swept p values, in order (the grid is built
+    // p-major so dedup preserves ascending order).
+    let mut ps: Vec<u32> = grid.iter().map(|&(p, _)| p).collect();
+    ps.dedup();
+    let mut best: Option<(f64, PiecewiseCost)> = None;
+    for &knee_p in ps.iter().take(ps.len().saturating_sub(1)).skip(2) {
+        let (mut below_pts, mut below_y) = (Vec::new(), Vec::new());
+        let (mut above_pts, mut above_y) = (Vec::new(), Vec::new());
+        for (&pt, &t) in grid.iter().zip(&y) {
+            if pt.0 < knee_p {
+                below_pts.push(pt);
+                below_y.push(t);
+            } else {
+                above_pts.push(pt);
+                above_y.push(t);
+            }
+        }
+        let (Some(below), Some(above)) =
+            (fit_eq1(&below_pts, &below_y), fit_eq1(&above_pts, &above_y))
+        else {
+            continue;
+        };
+        let pw = PiecewiseCost {
+            below,
+            above,
+            knee_p,
+        };
+        let sse: f64 = grid
+            .iter()
+            .zip(&y)
+            .map(|(&(p, b), &t)| {
+                let e = pw.eval_ms(b as f64, p) - t;
+                e * e
+            })
+            .sum();
+        if best.as_ref().is_none_or(|(s, _)| sse < *s) {
+            best = Some((sse, pw));
+        }
+    }
+    match best {
+        Some((_, pw)) => {
+            let report = LackOfFit {
+                linear_r_squared: linear.map_or(0.0, |f| f.r_squared),
+                gate,
+                knee_p: pw.knee_p,
+            };
+            Ok((CostModel::Piecewise(pw), Some(report)))
+        }
+        None => match linear {
+            // The sweep was too small to split (fewer than four distinct
+            // p values): keep the linear fit, gate or no gate.
+            Some(f) => Ok((CostModel::Linear(f), None)),
+            None => Err(NetpartError::Calibration(
+                "calibration sweep produced a singular system".into(),
+            )),
+        },
+    }
 }
 
 /// Benchmark the router penalty between two clusters: the per-byte excess
@@ -253,7 +380,74 @@ mod tests {
             b_values: vec![256, 1024, 4096],
             cycles: 6,
             warmup: 1,
+            lack_of_fit_r2: None,
         }
+    }
+
+    /// The two-piece model must degenerate to the plain linear Eq. 1
+    /// below the knee: on a sweep that is *exactly* linear in the
+    /// sub-knee regime, the below piece recovers the generating
+    /// constants and every sub-knee prediction matches the pure linear
+    /// model to 1e-9 — splitting at the knee must not let saturated
+    /// samples contaminate the linear piece.
+    #[test]
+    fn piecewise_matches_linear_below_the_knee() {
+        let truth = FittedCost {
+            c1: 1.25,
+            c2: 0.4,
+            c3: 0.0008,
+            c4: 0.0002,
+            r_squared: 1.0,
+            abs_fix: false,
+        };
+        let knee_p = 6u32;
+        let (mut grid, mut y) = (Vec::new(), Vec::new());
+        for p in 2..=9u32 {
+            for b in [64u32, 1024, 4096] {
+                grid.push((p, b));
+                let base = truth.eval_ms(b as f64, p);
+                // Above the knee the channel saturates: a superlinear
+                // penalty the single Eq. 1 shape cannot express.
+                let t = if p < knee_p {
+                    base
+                } else {
+                    base + 3.0 * ((p - knee_p + 1) as f64).powi(2)
+                };
+                y.push(t);
+            }
+        }
+        let (below, above): (Vec<usize>, Vec<usize>) =
+            (0..grid.len()).partition(|&i| grid[i].0 < knee_p);
+        let pick = |idx: &[usize]| -> (Vec<(u32, u32)>, Vec<f64>) {
+            (
+                idx.iter().map(|&i| grid[i]).collect(),
+                idx.iter().map(|&i| y[i]).collect(),
+            )
+        };
+        let (below_pts, below_y) = pick(&below);
+        let (above_pts, above_y) = pick(&above);
+        let pw = PiecewiseCost {
+            below: fit_eq1(&below_pts, &below_y).expect("sub-knee fit"),
+            above: fit_eq1(&above_pts, &above_y).expect("saturated fit"),
+            knee_p,
+        };
+        for p in 2..knee_p {
+            for b in [64u32, 700, 1024, 4096, 8000] {
+                let lin = truth.eval_ms(b as f64, p);
+                let piece = pw.eval_ms(b as f64, p);
+                assert!(
+                    (lin - piece).abs() < 1e-9,
+                    "p={p} b={b}: linear {lin} vs piecewise {piece}"
+                );
+            }
+        }
+        // And the saturated piece really is different — the split carried
+        // information, it did not just duplicate the linear model.
+        let p_above = knee_p + 2;
+        assert!(
+            (pw.eval_ms(1024.0, p_above) - truth.eval_ms(1024.0, p_above)).abs() > 1.0,
+            "saturated piece must diverge from the linear extrapolation"
+        );
     }
 
     #[test]

@@ -35,11 +35,12 @@ pub use cache::{
     calibrate_testbed_cached, calibrate_testbed_cached_status, calibration_fingerprint, CacheStatus,
 };
 pub use costmodel::{
-    CalibratedCostModel, CommCostModel, CrossClusterMode, FittedCost, LinearCost, PaperCostModel,
+    CalibratedCostModel, CommCostModel, CostModel, CrossClusterMode, FittedCost, LinearCost,
+    PaperCostModel, PiecewiseCost,
 };
 pub use fit::{
-    calibrate_cluster, calibrate_coerce, calibrate_router, calibrate_testbed, measure_cycle_ms,
-    CalibrationConfig,
+    calibrate_cluster, calibrate_cluster_gated, calibrate_coerce, calibrate_router,
+    calibrate_testbed, measure_cycle_ms, CalibrationConfig, LackOfFit,
 };
 pub use linreg::{least_squares, FitResult};
 pub use netpart_sim::{Fabric, Wiring};

@@ -290,6 +290,7 @@ fn router_overflow_is_recovered_by_retransmission() {
         per_frame: SimDur::from_micros(120),
         per_byte_sec: 5.0e-6, // slower than the ingress wire: queue builds
         buffer_frames: 2,     // absurdly small: bursts overflow
+        port_bandwidth_bps: None,
     });
     let a = b.add_node(pt, s1);
     let c = b.add_node(pt, s2);

@@ -19,7 +19,7 @@
 use crate::datagram::Datagram;
 use crate::ids::{DgramId, NodeId, RouterId, SegmentId, TimerId};
 use crate::slab::DgramHandle;
-use crate::time::SimTime;
+use crate::time::{SimDur, SimTime};
 
 /// Events visible to the layers above the raw network (MMPS, the SPMD
 /// runtime, the calibration driver). Internal plumbing such as frame
@@ -100,6 +100,10 @@ pub enum DropReason {
     NodeDown,
     /// The router was inside a scheduled outage window (fault injection).
     RouterDown,
+    /// The segment's bounded transmit queue was at its hard limit
+    /// (congested-link model; never occurs without a
+    /// [`CongestionSpec`](crate::segment::CongestionSpec)).
+    QueueOverflow,
 }
 
 /// Internal scheduler work items. These drive the frame pipeline and are
@@ -163,6 +167,12 @@ pub(crate) enum FaultAction {
     Load(NodeId, f64),
     /// Segment frame-corruption probability override until the given time.
     Corrupt(SegmentId, f64, SimTime),
+    /// Start a background cross-traffic flood on a segment (frames of the
+    /// given payload size at the given period) and schedule its stop at
+    /// the given time.
+    FloodStart(SegmentId, u32, SimDur, SimTime),
+    /// Stop the background flow with the given handle.
+    FloodStop(usize),
 }
 
 impl Work {

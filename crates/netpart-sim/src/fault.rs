@@ -154,6 +154,25 @@ pub enum FaultEvent {
         /// `[0, 1]`).
         prob: f64,
     },
+    /// In `[from, until)` a background cross-traffic flood runs on
+    /// `segment`: `bytes`-byte frames injected every `period` between the
+    /// segment's first two attached nodes, contending for the channel
+    /// (and the congestion queue, when the segment has a
+    /// [`CongestionSpec`](crate::segment::CongestionSpec)) exactly like
+    /// application traffic. The frames carry tag 0, which reliability
+    /// layers ignore. A segment with fewer than two nodes floods nothing.
+    TrafficBurst {
+        /// The flooded segment.
+        segment: SegmentId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Payload bytes per flood frame (≤ MTU).
+        bytes: u32,
+        /// Interval between flood frames.
+        period: crate::time::SimDur,
+    },
 }
 
 impl FaultEvent {
@@ -168,7 +187,8 @@ impl FaultEvent {
             | FaultEvent::ExternalLoad { at, .. } => *at,
             FaultEvent::RouterOutage { from, .. }
             | FaultEvent::LossBurst { from, .. }
-            | FaultEvent::CorruptBurst { from, .. } => *from,
+            | FaultEvent::CorruptBurst { from, .. }
+            | FaultEvent::TrafficBurst { from, .. } => *from,
         }
     }
 }
@@ -297,6 +317,28 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a background traffic flood on `segment`: `bytes`-byte
+    /// frames injected every `period` in `[from, until)`, contending with
+    /// application traffic (and filling the congestion queue, when the
+    /// segment has one).
+    pub fn traffic_burst(
+        mut self,
+        segment: SegmentId,
+        from: SimTime,
+        until: SimTime,
+        bytes: u32,
+        period: crate::time::SimDur,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent::TrafficBurst {
+            segment,
+            from,
+            until,
+            bytes,
+            period,
+        });
+        self
+    }
+
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -370,6 +412,12 @@ impl FaultPlan {
                     ..
                 }
                 | FaultEvent::CorruptBurst {
+                    segment,
+                    from,
+                    until,
+                    ..
+                }
+                | FaultEvent::TrafficBurst {
                     segment,
                     from,
                     until,

@@ -44,7 +44,7 @@ use crate::fault::{FaultEvent, FaultPlan};
 use crate::ids::{DgramId, NodeId, ProcTypeId, RouterId, SegmentId, TimerId};
 use crate::node::{Node, OpClass, ProcType};
 use crate::router::{Router, RouterSpec, RouterStats};
-use crate::segment::{Segment, SegmentSpec, SegmentStats};
+use crate::segment::{OverflowPolicy, Segment, SegmentSpec, SegmentStats};
 use crate::slab::{DgramHandle, DgramSlab};
 use crate::time::{SimDur, SimTime};
 
@@ -135,6 +135,18 @@ impl NetworkBuilder {
                     "loss probability must be in [0,1)",
                 ));
             }
+            if let Some(c) = &spec.congestion {
+                if c.queue_frames == 0 || c.knee_queue == 0 {
+                    return Err(SimError::InvalidParameter(
+                        "congestion queue bounds must be positive",
+                    ));
+                }
+                if c.knee_queue > c.queue_frames {
+                    return Err(SimError::InvalidParameter(
+                        "congestion knee must not exceed the hard queue bound",
+                    ));
+                }
+            }
         }
         for (pt, seg) in &self.nodes {
             if pt.index() >= self.proc_types.len() {
@@ -155,6 +167,13 @@ impl NetworkBuilder {
             for s in &r.segments {
                 if s.index() >= self.segments.len() {
                     return Err(SimError::UnknownSegment(*s));
+                }
+            }
+            if let Some(bps) = r.port_bandwidth_bps {
+                if bps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(SimError::InvalidParameter(
+                        "router port bandwidth must be positive",
+                    ));
                 }
             }
         }
@@ -327,6 +346,18 @@ impl Network {
                     prob,
                     ..
                 } => FaultAction::Corrupt(segment, prob.clamp(0.0, 1.0), until),
+                FaultEvent::TrafficBurst {
+                    segment,
+                    until,
+                    bytes,
+                    period,
+                    ..
+                } => FaultAction::FloodStart(
+                    segment,
+                    bytes.min(MAX_DATAGRAM_PAYLOAD as u32),
+                    period.max(SimDur::from_nanos(1)),
+                    until,
+                ),
             };
             self.queue
                 .push(ev.at().max(self.now), Work::Fault { action });
@@ -491,6 +522,7 @@ impl Network {
             payload,
             wire_len,
             corrupted: false,
+            marked_by: None,
         };
 
         // Sender host processing: serialized on the node's protocol stack.
@@ -620,8 +652,7 @@ impl Network {
                     });
                 }
                 let seg = self.nodes[src.index()].segment;
-                self.enqueue_frame(seg, dgram);
-                None
+                self.enqueue_frame(seg, dgram)
             }
             Work::TxEnd { segment, dgram } => self.tx_end(segment, dgram),
             Work::RouterForwarded {
@@ -632,8 +663,7 @@ impl Network {
                 let r = &mut self.routers[router.index()];
                 r.in_flight -= 1;
                 r.frames_forwarded += 1;
-                self.enqueue_frame(egress, dgram);
-                None
+                self.enqueue_frame(egress, dgram)
             }
             Work::Deliver { dgram } => {
                 let dgram = self.slab.take(dgram);
@@ -737,6 +767,32 @@ impl Network {
                 s.corrupt_prob = prob;
                 s.corrupt_until = s.corrupt_until.max(until);
             }
+            FaultAction::FloodStart(segment, bytes, period, until) => {
+                // The flood rides the ordinary background-flow machinery:
+                // frames between the segment's first two nodes, stopped by
+                // a scheduled FloodStop. Fewer than two attached nodes
+                // means there is nothing to flood between.
+                let mut on_seg = (0..self.nodes.len())
+                    .filter(|&i| self.nodes[i].segment == segment)
+                    .map(|i| NodeId(i as u32));
+                if let (Some(src), Some(dst)) = (on_seg.next(), on_seg.next()) {
+                    let handle = self.add_background_flow(BackgroundFlow {
+                        src,
+                        dst,
+                        bytes,
+                        period,
+                    });
+                    self.queue.push(
+                        until.max(self.now),
+                        Work::Fault {
+                            action: FaultAction::FloodStop(handle),
+                        },
+                    );
+                }
+            }
+            FaultAction::FloodStop(handle) => {
+                self.stop_background_flow(handle);
+            }
         }
     }
 
@@ -755,12 +811,31 @@ impl Network {
 
     /// A frame wants the channel on `segment`: queue it, and start
     /// transmitting if the channel is idle.
-    fn enqueue_frame(&mut self, segment: SegmentId, dgram: DgramHandle) {
+    ///
+    /// With a [`CongestionSpec`](crate::segment::CongestionSpec) the queue
+    /// is bounded: at the hard limit the frame is tail-dropped (surfaced as
+    /// [`DropReason::QueueOverflow`]), and under the `Mark` policy frames
+    /// joining a queue at or past the knee carry an ECN-style congestion
+    /// bit to the receiver. Without one (the default) this is the original
+    /// unbounded FIFO, byte for byte.
+    fn enqueue_frame(&mut self, segment: SegmentId, dgram: DgramHandle) -> Option<SimEvent> {
+        let seg = &self.segments[segment.index()];
+        if let Some(c) = seg.spec.congestion {
+            if seg.queue.len() >= c.queue_frames {
+                self.segments[segment.index()].frames_overflowed += 1;
+                return self.drop_frame(dgram, DropReason::QueueOverflow);
+            }
+            if c.overflow == OverflowPolicy::Mark && seg.queue.len() >= c.knee_queue {
+                self.segments[segment.index()].frames_marked += 1;
+                self.slab.get_mut(dgram).marked_by = Some(segment);
+            }
+        }
         let seg = &mut self.segments[segment.index()];
         seg.queue.push_back(dgram);
         if !seg.busy {
             self.start_next_tx(segment);
         }
+        None
     }
 
     /// Pop the next frame off `segment`'s queue and put it on the wire.
@@ -811,9 +886,9 @@ impl Network {
             self.slab.get_mut(dgram).corrupted = true;
         }
 
-        let (dst, wire_len) = {
+        let (dst, wire_len, frame_bytes) = {
             let d = self.slab.get(dgram);
-            (d.dst, d.wire_len)
+            (d.dst, d.wire_len, d.frame_bytes())
         };
         let dst_seg = self.nodes[dst.index()].segment;
         if dst_seg == segment {
@@ -848,8 +923,22 @@ impl Network {
             }
             let fwd = r.spec.forward_time(wire_len);
             let start = self.now.max(r.free_at);
-            let done = start + fwd;
+            let mut done = start + fwd;
             r.free_at = done;
+            // Per-direction port bandwidth: after the forwarding engine,
+            // the frame serializes through its egress port, independently
+            // of other ports. `None` (the default) skips this entirely.
+            if let Some(ptx) = r.spec.port_tx_time(frame_bytes) {
+                let port = r
+                    .spec
+                    .segments
+                    .iter()
+                    .position(|&s| s == egress)
+                    .expect("egress is one of the router's ports");
+                let dep = done.max(r.port_free_at[port]) + ptx;
+                r.port_free_at[port] = dep;
+                done = dep;
+            }
             r.in_flight += 1;
             self.queue.push(
                 done,

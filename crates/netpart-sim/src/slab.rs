@@ -90,6 +90,7 @@ mod tests {
             payload: Bytes::new(),
             wire_len: 100,
             corrupted: false,
+            marked_by: None,
         }
     }
 

@@ -170,3 +170,64 @@ fn load_ramp_steps_apply_in_sequence() {
     assert_eq!(started2, ended1 + SimDur::from_millis(200));
     assert_eq!(ended2, started2 + SimDur::from_millis(2 * BASE_MS));
 }
+
+#[test]
+fn traffic_burst_floods_only_inside_its_window() {
+    let (mut net, _a, _c) = one_node_net();
+    let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+    net.install_fault_plan(&FaultPlan::new().traffic_burst(
+        netpart_sim::SegmentId(0),
+        t(0),
+        t(10),
+        1400,
+        SimDur::from_millis(1),
+    ))
+    .unwrap();
+    let mut delivered = 0u32;
+    let mut last = SimTime::ZERO;
+    let mut steps = 0u32;
+    while let Some(ev) = net.next_event() {
+        steps += 1;
+        assert!(steps < 10_000, "flood did not stop at the window end");
+        if let SimEvent::DatagramDelivered { at, .. } = ev {
+            delivered += 1;
+            last = at;
+        }
+    }
+    assert!(delivered >= 5, "flood should deliver frames: {delivered}");
+    // Only frames enqueued inside the 10 ms window exist (one per 1 ms
+    // period, plus the initial send); deliveries may trail the window
+    // while the medium drains, but the stream itself must have stopped.
+    assert!(
+        delivered <= 11,
+        "flood kept sending after the window: {delivered} frames, last at {last:?}"
+    );
+    assert!(net.is_idle());
+}
+
+#[test]
+fn traffic_burst_on_underpopulated_segment_is_a_noop() {
+    // A segment with fewer than two attached nodes has no (src, dst)
+    // pair to flood between — the burst must dissolve silently.
+    let mut b = NetworkBuilder::new(1);
+    let pt = b.add_proc_type(ProcType::sparcstation_2());
+    let seg0 = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let seg1 = b.add_segment(SegmentSpec::ethernet_10mbps());
+    let _a = b.add_node(pt, seg0);
+    let mut net = b.build().expect("network");
+    let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+    net.install_fault_plan(&FaultPlan::new().traffic_burst(
+        seg1,
+        t(0),
+        t(10),
+        1400,
+        SimDur::from_millis(1),
+    ))
+    .unwrap();
+    let mut steps = 0;
+    while net.next_event().is_some() {
+        steps += 1;
+        assert!(steps < 10, "no traffic expected on an empty segment");
+    }
+    assert!(net.is_idle());
+}

@@ -384,6 +384,15 @@ impl<A: Probe, B: Probe> Probe for Tee<'_, A, B> {
         self.b.on_message(from, to, cycle, bytes, at);
     }
 
+    fn wants_segment_marks(&self) -> bool {
+        self.a.wants_segment_marks() || self.b.wants_segment_marks()
+    }
+
+    fn on_segment_marks(&mut self, rank: Rank, cycle: u64, marks: &[(u16, u64)]) {
+        self.a.on_segment_marks(rank, cycle, marks);
+        self.b.on_segment_marks(rank, cycle, marks);
+    }
+
     fn wants_checkpoint(&self, rank: Rank, cycle: u64) -> bool {
         self.a.wants_checkpoint(rank, cycle) || self.b.wants_checkpoint(rank, cycle)
     }
@@ -425,6 +434,46 @@ mod tests {
 
     fn blob(x: u8) -> Bytes {
         Bytes::from(vec![x])
+    }
+
+    /// Regression pin: `Tee` must forward the segment-marks seam to both
+    /// observers. The engine only reads `segment_marks()` when the probe
+    /// asks for it, so a `Tee` that leaves the trait defaults in place
+    /// silently starves a wrapped [`DriftMonitor`](crate::DriftMonitor)
+    /// of the marks it needs to attribute drift to a segment — the
+    /// recovery pipeline then reports every congestion drift as a slow
+    /// rank and never inflates the segment's cost.
+    #[test]
+    fn tee_forwards_segment_marks_to_both_sides() {
+        #[derive(Default)]
+        struct MarkSink {
+            seen: Vec<(u16, u64)>,
+        }
+        impl Probe for MarkSink {
+            fn wants_segment_marks(&self) -> bool {
+                true
+            }
+            fn on_segment_marks(&mut self, _rank: Rank, _cycle: u64, marks: &[(u16, u64)]) {
+                self.seen.extend_from_slice(marks);
+            }
+        }
+        struct Blind;
+        impl Probe for Blind {}
+
+        let mut sink = MarkSink::default();
+        let mut blind = Blind;
+        let mut tee = Tee::new(&mut blind, &mut sink);
+        assert!(
+            tee.wants_segment_marks(),
+            "one interested side is enough for the tee to ask"
+        );
+        tee.on_segment_marks(0, 3, &[(1, 42)]);
+        assert_eq!(sink.seen, vec![(1, 42)]);
+
+        let mut deaf_a = Blind;
+        let mut deaf_b = Blind;
+        let tee = Tee::new(&mut deaf_a, &mut deaf_b);
+        assert!(!tee.wants_segment_marks());
     }
 
     #[test]

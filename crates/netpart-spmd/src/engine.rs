@@ -144,6 +144,26 @@ pub trait Probe {
     fn drift_abort(&self) -> Option<DriftAbort> {
         None
     }
+
+    /// Whether this probe wants the message layer's per-segment
+    /// congestion-mark counters. The default `false` means the engine
+    /// never touches the mark accounting, so un-instrumented runs stay
+    /// byte-identical.
+    #[inline]
+    fn wants_segment_marks(&self) -> bool {
+        false
+    }
+
+    /// Cumulative per-segment congestion-mark counts `(segment, marks)`
+    /// observed by the message layer, snapshotted when `rank` completed
+    /// `cycle` (only fires when
+    /// [`wants_segment_marks`](Probe::wants_segment_marks) returned
+    /// true). Counters are cumulative over the message layer's lifetime;
+    /// probes difference consecutive snapshots themselves.
+    #[inline]
+    fn on_segment_marks(&mut self, rank: Rank, cycle: u64, marks: &[(u16, u64)]) {
+        let _ = (rank, cycle, marks);
+    }
 }
 
 /// The no-op probe: an un-instrumented run.
@@ -497,6 +517,31 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                         }
                     }
                 }
+                MmpsEvent::WindowCollapsed {
+                    src,
+                    dst,
+                    segment,
+                    offered,
+                    capacity,
+                    ..
+                } => {
+                    // The message layer's congestion window for a pair of
+                    // this run's nodes has been pinned at its floor with a
+                    // backlog behind it: the segment is saturated and the
+                    // run cannot make useful progress. Collapses between
+                    // nodes outside the computation (background traffic,
+                    // an abandoned epoch's retransmission tail) are not
+                    // our failure.
+                    if engine.node_to_rank.contains_key(&src)
+                        && engine.node_to_rank.contains_key(&dst)
+                    {
+                        return Err(NetpartError::SegmentSaturated {
+                            segment: segment.index(),
+                            offered,
+                            capacity,
+                        });
+                    }
+                }
                 MmpsEvent::MessageAcked { .. } | MmpsEvent::TimerFired { .. } => {}
             }
         }
@@ -624,6 +669,14 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                             _ => self.probe.on_checkpoint(rank, cycle, blob),
                         }
                     }
+                }
+                // Congestion seam: monitoring probes see the message
+                // layer's per-segment mark counters at the same cycle
+                // boundary the drift poll reads, so segment attribution
+                // and drift confirmation work from one snapshot.
+                if self.probe.wants_segment_marks() {
+                    let marks = self.mmps.segment_marks();
+                    self.probe.on_segment_marks(rank, cycle, &marks);
                 }
                 // Drift seam: a monitoring probe that has just confirmed
                 // sustained degradation aborts the run here, *after* the

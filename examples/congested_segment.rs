@@ -1,0 +1,129 @@
+//! The congested-link model, end to end: background cross traffic floods
+//! one cluster's ethernet segment mid-run. The congestion model is
+//! opt-in — per-segment bounded transmit queues that mark (ECN-style) or
+//! drop past a knee, plus an AIMD send window in the message layer — and
+//! with it enabled the flood shows up as *gray* network degradation:
+//! every node keeps computing and answering, only the shared wire gets
+//! slow.
+//!
+//! Under plain `Replan` the run limps (or, if the flood is heavy enough,
+//! the send window collapses into the typed
+//! `NetpartError::SegmentSaturated`). Under `Adapt` the drift monitor
+//! compares observed receive-waits against the plan's predictions,
+//! reads the congestion marks accumulated during the degraded streak,
+//! attributes the drift to *segment 0* rather than to whichever rank
+//! happened to be waiting, recalibrates with that segment's cost
+//! inflated, and repartitions work off the congested cluster — but only
+//! because the cost/benefit gate projects a win.
+//!
+//! ```text
+//! cargo run --release --example congested_segment
+//! ```
+
+use netpart::apps::stencil::{sequential_reference, stencil_model, StencilApp, StencilVariant};
+use netpart::calibrate::Testbed;
+use netpart::mmps::WindowConfig;
+use netpart::model::NetpartError;
+use netpart::sim::{CongestionSpec, OverflowPolicy};
+use netpart::{AppStart, CostSource, Fault, FaultSchedule, RecoveryPolicy, Scenario};
+
+fn main() -> Result<(), NetpartError> {
+    let (n, iters) = (120usize, 30u64);
+
+    // The paper testbed with the congestion model switched on. Both
+    // fields default to `None`: without them every run is byte-identical
+    // to the plain testbed.
+    let mut testbed = Testbed::paper();
+    testbed.segment.congestion = Some(CongestionSpec {
+        knee_queue: 2,
+        ..CongestionSpec::ethernet_default(OverflowPolicy::Mark)
+    });
+    testbed.mmps.congestion_window = Some(WindowConfig {
+        floor: 2,
+        ..WindowConfig::default()
+    });
+
+    let scenario = Scenario::new(testbed, stencil_model(n as u64, StencilVariant::Sten1))
+        .with_cost(CostSource::Paper);
+    let plan = scenario.plan()?;
+    let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, plan.ranks());
+    let fault_free = plan.run(&mut app)?;
+    println!(
+        "fault-free: {} ranks, {:.3} ms simulated",
+        plan.ranks(),
+        fault_free.elapsed_ms
+    );
+
+    // A 1400-byte frame occupies a 10 Mbit/s ethernet for ~1.16 ms, so a
+    // 1.2 ms period claims nearly the whole channel the border exchange
+    // also needs. The flood starts at 15% of the fault-free wall time
+    // and never clears.
+    let from = fault_free.elapsed_ms * 0.15;
+    let faults = FaultSchedule::new().with(Fault::TrafficFlood {
+        cluster: 0,
+        from_ms: from,
+        until_ms: fault_free.elapsed_ms * 3.0,
+        bytes: 1400,
+        period_us: 1200,
+    });
+    println!("injecting: cross-traffic flood on cluster 0's segment from {from:.3} ms");
+
+    let factory = move |ranks: usize, start: AppStart<'_>| {
+        Ok(match start {
+            AppStart::Fresh => StencilApp::new(n, iters, StencilVariant::Sten1, ranks),
+            AppStart::Resume(c) => StencilApp::resume(c, n, iters, StencilVariant::Sten1, ranks),
+        })
+    };
+
+    // Staying put: blind to gray congestion, the run limps until the
+    // send window collapses into the typed saturation error — the
+    // documented outcome under sustained overload.
+    match scenario.run_recoverable(
+        &faults,
+        RecoveryPolicy::Replan {
+            max_replans: 4,
+            backoff_ms: 5.0,
+        },
+        2,
+        factory,
+    ) {
+        Ok((run, _)) => println!("stay:  finished at {:.3} ms", run.elapsed_ms),
+        Err(NetpartError::SegmentSaturated {
+            segment,
+            offered,
+            capacity,
+        }) => println!(
+            "stay:  saturated — segment {segment} offered {offered} vs capacity {capacity} \
+             (typed error, not a hang)"
+        ),
+        Err(e) => return Err(e),
+    }
+
+    // Adapting: confirm the drift, attribute it to the segment via the
+    // accumulated marks, recalibrate, and move off the congested wire.
+    let (run, final_app) = scenario.run_recoverable(
+        &faults,
+        RecoveryPolicy::Adapt {
+            degrade_threshold: 1.75,
+            min_gain: 0.0,
+            cooldown: 4,
+        },
+        2,
+        factory,
+    )?;
+    let st = run.recovery.clone().unwrap_or_default();
+    println!(
+        "adapt: finished at {:.3} ms — {} drift confirmation(s), {} attributed to a segment, \
+         {} repartition(s), {} declined",
+        run.elapsed_ms,
+        st.drift_detections,
+        st.congestion_confirmations,
+        st.repartitions,
+        st.repartitions_declined
+    );
+
+    let exact = final_app.gather() == sequential_reference(n, iters);
+    println!("answer bit-identical to the sequential reference: {exact}");
+    assert!(exact, "congestion must never corrupt the answer");
+    Ok(())
+}

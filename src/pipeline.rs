@@ -378,6 +378,24 @@ pub enum Fault {
         /// External load fraction in `[0, 1)`.
         load: f64,
     },
+    /// Cross traffic floods `cluster`'s segment inside the window: a
+    /// background flow between the segment's first two nodes sends
+    /// `bytes`-sized frames every `period_us` µs, competing with the
+    /// application for the medium. With the segment's congestion model
+    /// enabled the flood pushes the queue past its knee and the
+    /// application's frames come back marked.
+    TrafficFlood {
+        /// Cluster whose segment is flooded.
+        cluster: usize,
+        /// Window start, simulated ms.
+        from_ms: f64,
+        /// Window end (exclusive), simulated ms.
+        until_ms: f64,
+        /// Payload bytes per flood frame.
+        bytes: u32,
+        /// Microseconds between flood frames.
+        period_us: u64,
+    },
 }
 
 /// A deterministic fault schedule for one recoverable run. Same schedule +
@@ -476,6 +494,19 @@ impl FaultSchedule {
                     })?;
                     plan.load(t(at_ms), node, load)
                 }
+                Fault::TrafficFlood {
+                    cluster,
+                    from_ms,
+                    until_ms,
+                    bytes,
+                    period_us,
+                } => plan.traffic_burst(
+                    SegmentId(cluster as u16),
+                    t(from_ms),
+                    t(until_ms),
+                    bytes,
+                    SimDur::from_micros(period_us),
+                ),
             };
         }
         Ok(plan)
@@ -658,6 +689,10 @@ pub struct RecoveryStats {
     /// Drift confirmations by the monitor ([`RecoveryPolicy::Adapt`]
     /// only; gray failures, not fail-stop crashes).
     pub drift_detections: u32,
+    /// Drift confirmations the monitor attributed to a congested network
+    /// segment (via the message layer's congestion marks) rather than to
+    /// the confirmed rank itself; a subset of `drift_detections`.
+    pub congestion_confirmations: u32,
     /// Online recalibrations performed from in-flight drift measurements
     /// (one per confirmed drift).
     pub recalibrations: u32,
@@ -948,6 +983,13 @@ impl Scenario {
                 comp_scale: f64,
                 comm_scale: f64,
                 t_stay_ms: f64,
+                /// The cluster whose *segment* the monitor confirmed as
+                /// congested (marks accumulated during the degraded
+                /// streak), when that attribution survived the compute
+                /// outlier analysis. Redirects the comm-cost inflation
+                /// from the confirmed rank's cluster to the congested one
+                /// and arms the repartition gate for comm-driven drift.
+                congested_cluster: Option<usize>,
                 report: DriftReport,
             }
             let recal = drift.map(|report| {
@@ -1017,8 +1059,23 @@ impl Scenario {
                 let t_stay_ms = obs_comp_ms
                     + (cur_part.breakdown.t_comm_ms * comm_scale - cur_part.breakdown.t_overlap_ms)
                         .max(0.0);
+                // Segment attribution holds only when no compute outlier
+                // explains the drift (a slow node must never hide behind
+                // wire congestion), and only for segments that map to a
+                // physical cluster of this testbed — the per-cluster
+                // segment ids are the cluster indices, so anything past
+                // `num_clusters` is backbone fabric no partition move can
+                // route around.
+                let congested_cluster = if comp_scale > 1.0 {
+                    None
+                } else {
+                    report.segment.filter(|&s| s < self.testbed.num_clusters())
+                };
                 stats.drift_detections += 1;
                 stats.recalibrations += 1;
+                if congested_cluster.is_some() {
+                    stats.congestion_confirmations += 1;
+                }
                 stats.cycles_to_detect += report.cycle + 1 - report.first_degraded_cycle;
                 Recal {
                     cluster,
@@ -1026,6 +1083,7 @@ impl Scenario {
                     comp_scale,
                     comm_scale,
                     t_stay_ms,
+                    congested_cluster,
                     report: DriftReport {
                         rank,
                         comp_ratio: raw_comp,
@@ -1152,10 +1210,12 @@ impl Scenario {
                 replan_model = Some(self.resolve_model()?);
             }
             let model = replan_model.as_ref().expect("just resolved");
-            let inflated = recal
-                .as_ref()
-                .filter(|r| r.comm_scale > 1.0)
-                .map(|r| InflatedCostModel::new(model.as_dyn(), r.cluster, r.comm_scale));
+            let inflated = recal.as_ref().filter(|r| r.comm_scale > 1.0).map(|r| {
+                // Inflate the congested segment's cluster when the marks
+                // named one; otherwise the confirmed rank's own cluster.
+                let target = r.congested_cluster.unwrap_or(r.cluster);
+                InflatedCostModel::new(model.as_dyn(), target, r.comm_scale)
+            });
             let model_dyn: &dyn CommCostModel = match &inflated {
                 Some(m) => m,
                 None => model.as_dyn(),
@@ -1218,15 +1278,20 @@ impl Scenario {
                         .sum();
                     (r.t_stay_ms - t_new) * remaining - (dist_ms + redo * t_new + backoff_ms)
                 });
-                // A comm-only confirmation (no attributable compute
-                // outlier) never repartitions: the elevated waits are
-                // either a transient burst — waiting it out beats shipping
+                // A comm-only confirmation with no attributable *cause*
+                // never repartitions: the elevated waits are either a
+                // transient burst — waiting it out beats shipping
                 // checkpoint state through the already-degraded network —
                 // or a systematic comm misprediction, and replanning on a
-                // model known to be wrong is thrashing. The recalibrated
+                // model known to be wrong is thrashing. Two causes arm the
+                // gate: a compute outlier (a slow node to plan around),
+                // or a mark-confirmed congested segment — there the
+                // inflated model prices that cluster's wire honestly and
+                // the partitioner can route work off it, so the
+                // cost/benefit projection is trustworthy. The recalibrated
                 // (inflated) model is kept either way and prices any later
                 // fail-stop replan in this run.
-                let accept = r.comp_scale > 1.0
+                let accept = (r.comp_scale > 1.0 || r.congested_cluster.is_some())
                     && net_gain.is_some_and(|g| g > min_gain)
                     && stats.replans < max_replans;
                 if accept {
@@ -1597,6 +1662,68 @@ mod tests {
         assert_eq!(st.drift_gain_ms, 0.0);
         assert_eq!(st.replans, 0, "no placement change ever happens");
         assert_eq!(rapp.gather(), sequential_reference(40, iters));
+    }
+
+    /// End-to-end pin for segment attribution: a cross-traffic flood on
+    /// the congestion-enabled testbed must surface as a *congestion*
+    /// confirmation (marks name the segment), not as a slow rank. This
+    /// exercises the whole seam — Mark-policy queues, MMPS mark
+    /// bookkeeping, the engine's cycle-boundary forwarding, and the
+    /// probe tee in front of the drift monitor; a break anywhere
+    /// downgrades the confirmation to a rank attribution and fails here.
+    #[test]
+    fn flood_confirms_the_segment_not_the_rank() {
+        use netpart_apps::stencil::sequential_reference;
+        use netpart_mmps::WindowConfig;
+        use netpart_sim::{CongestionSpec, OverflowPolicy};
+
+        let mut testbed = Testbed::paper();
+        testbed.segment.congestion = Some(CongestionSpec {
+            knee_queue: 2,
+            ..CongestionSpec::ethernet_default(OverflowPolicy::Mark)
+        });
+        testbed.mmps.congestion_window = Some(WindowConfig {
+            floor: 2,
+            ..WindowConfig::default()
+        });
+        // n=120 is the smallest grid the paper cost model spreads past a
+        // single rank on this testbed; one rank would leave the flood
+        // nothing to degrade.
+        let n = 120usize;
+        let s = Scenario::new(testbed, stencil_model(n as u64, StencilVariant::Sten1))
+            .with_cost(CostSource::Paper);
+        let plan = s.plan().unwrap();
+        let iters = 10u64;
+        let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+        assert!(plan.ranks() > 1, "flood needs border traffic to degrade");
+        let faults = FaultSchedule::new().with(Fault::TrafficFlood {
+            cluster: 0,
+            from_ms: fault_free.elapsed_ms * 0.15,
+            until_ms: fault_free.elapsed_ms * 1.5,
+            bytes: 1400,
+            period_us: 1500,
+        });
+        let (run, rapp) = s
+            .run_recoverable(
+                &faults,
+                RecoveryPolicy::Adapt {
+                    degrade_threshold: 1.75,
+                    min_gain: 0.0,
+                    cooldown: 4,
+                },
+                2,
+                stencil_factory(n, iters),
+            )
+            .unwrap();
+        let st = run.recovery.clone().expect("stats");
+        assert!(st.drift_detections >= 1, "drift must be confirmed: {st:?}");
+        assert!(
+            st.congestion_confirmations >= 1,
+            "the confirmation must name the flooded segment: {st:?}"
+        );
+        assert_eq!(st.recalibrations, st.drift_detections);
+        assert_eq!(rapp.gather(), sequential_reference(n, iters));
     }
 
     #[test]
