@@ -14,8 +14,12 @@
 //! invariant or event-rate-floor break), `simcore`
 //! (event-core throughput; excluded from `all` because its wall-clock
 //! figures are machine-dependent), `scale` (hierarchical-fabric planning
-//! sweep up to 4096 nodes; excluded from `all` for the same reason), and
-//! `scale-smoke` (CI's 256-node fat-tree guard; exits 5 on regression).
+//! sweep up to 4096 nodes; excluded from `all` for the same reason),
+//! `scale-smoke` (CI's 256-node fat-tree guard; exits 5 on regression),
+//! `serve` (plan-server overload experiment — sustained load, flood,
+//! deadlines, chaos; excluded from `all` for its wall-clock throughput
+//! figures), and `serve-smoke` (CI's fast serve guard with a plans/sec
+//! floor and a zero-hangs assertion; exits 7 on any violation).
 
 use std::sync::OnceLock;
 
@@ -562,6 +566,37 @@ fn cmd_scale_smoke() {
     }
 }
 
+/// Run the plan-server experiment at `distinct` scenarios, print the
+/// tables, write `BENCH_serve.json`, and exit 7 on any invariant
+/// violation (a hang, a wrong plan, a mistyped rejection) — plus, for
+/// the smoke variant, a plans/sec floor.
+fn cmd_serve(distinct: usize, enforce_floor: bool) {
+    println!(
+        "Plan server — {} distinct scenarios + flood + deadlines + chaos:",
+        distinct
+    );
+    let report = run_serve_bench(distinct);
+    print!("{}", render_serve(&report));
+    let json = serve_json(&report);
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("BENCH_serve.json not written: {e}"),
+    }
+    let mut violations = report.violations();
+    if enforce_floor && report.sustained.plans_per_sec < SERVE_SMOKE_PLANS_PER_SEC_FLOOR {
+        violations.push(format!(
+            "throughput {:.1} plans/s below the {:.0} plans/s floor",
+            report.sustained.plans_per_sec, SERVE_SMOKE_PLANS_PER_SEC_FLOOR
+        ));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("serve: {v}");
+        }
+        std::process::exit(7);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmds: Vec<&str> = if args.is_empty() {
@@ -683,6 +718,16 @@ fn main() {
     }
     if cmds.contains(&"scale-smoke") {
         cmd_scale_smoke();
+        println!();
+    }
+    // Also wall-clock-dependent, so not part of `all`: the full serve
+    // experiment reports plans/sec; the smoke variant enforces a floor.
+    if cmds.contains(&"serve") {
+        cmd_serve(1000, false);
+        println!();
+    }
+    if cmds.contains(&"serve-smoke") {
+        cmd_serve(200, true);
         println!();
     }
 }

@@ -26,6 +26,7 @@ pub mod experiments;
 pub mod faults;
 pub mod report;
 pub mod scale;
+pub mod serve;
 pub mod simcore;
 pub mod sweep;
 
@@ -37,4 +38,5 @@ pub use experiments::*;
 pub use faults::*;
 pub use report::*;
 pub use scale::*;
+pub use serve::*;
 pub use simcore::*;

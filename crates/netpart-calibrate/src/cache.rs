@@ -23,11 +23,11 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
 
-use netpart_model::NetpartError;
+use netpart_model::{Budget, NetpartError};
 use netpart_topology::Topology;
 
 use crate::costmodel::{CalibratedCostModel, FittedCost, LinearCost};
-use crate::fit::{calibrate_testbed, CalibrationConfig};
+use crate::fit::{calibrate_testbed_budgeted, CalibrationConfig};
 use crate::testbed::Testbed;
 
 /// Where a cached-calibration request was satisfied from.
@@ -84,6 +84,22 @@ pub fn calibrate_testbed_cached_status(
     topologies: &[Topology],
     cfg: &CalibrationConfig,
 ) -> Result<(CalibratedCostModel, CacheStatus), NetpartError> {
+    calibrate_testbed_cached_budgeted_status(testbed, topologies, cfg, &Budget::unlimited())
+}
+
+/// [`calibrate_testbed_cached_status`] under a cooperative [`Budget`].
+/// Cache hits are served regardless of the budget (they are cheap); only
+/// a miss — the full simulated benchmarking procedure — polls the budget,
+/// so an expired plan-server request stops sweeping instead of burning a
+/// worker. The memo lock is held across the fill, so concurrent requests
+/// for the same fingerprint wait for one calibration (single-flight) —
+/// a waiter's own deadline is re-checked once it acquires the lock.
+pub fn calibrate_testbed_cached_budgeted_status(
+    testbed: &Testbed,
+    topologies: &[Topology],
+    cfg: &CalibrationConfig,
+    budget: &Budget,
+) -> Result<(CalibratedCostModel, CacheStatus), NetpartError> {
     static MEMO: OnceLock<Mutex<HashMap<u64, CalibratedCostModel>>> = OnceLock::new();
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     let fp = calibration_fingerprint(testbed, topologies, cfg);
@@ -113,7 +129,8 @@ pub fn calibrate_testbed_cached_status(
         "netpart-calibrate: cache miss, running full calibration ({})",
         describe(testbed, topologies)
     );
-    let model = calibrate_testbed(testbed, topologies, cfg)?;
+    budget.check()?;
+    let model = calibrate_testbed_budgeted(testbed, topologies, cfg, budget)?;
     if let Err(e) = persist(&path, fp, &model) {
         eprintln!(
             "netpart-calibrate: could not persist calibration to {}: {e}",
@@ -132,6 +149,16 @@ pub fn calibrate_testbed_cached(
     cfg: &CalibrationConfig,
 ) -> Result<CalibratedCostModel, NetpartError> {
     Ok(calibrate_testbed_cached_status(testbed, topologies, cfg)?.0)
+}
+
+/// [`calibrate_testbed_cached`] under a cooperative [`Budget`].
+pub fn calibrate_testbed_cached_budgeted(
+    testbed: &Testbed,
+    topologies: &[Topology],
+    cfg: &CalibrationConfig,
+    budget: &Budget,
+) -> Result<CalibratedCostModel, NetpartError> {
+    Ok(calibrate_testbed_cached_budgeted_status(testbed, topologies, cfg, budget)?.0)
 }
 
 fn describe(testbed: &Testbed, topologies: &[Topology]) -> String {

@@ -6,7 +6,7 @@
 //! benchmarked using different p and b values to derive the appropriate
 //! constants", executed against the simulator instead of real Sun4s.
 
-use netpart_model::{NetpartError, PartitionVector};
+use netpart_model::{Budget, NetpartError, PartitionVector};
 use netpart_spmd::Executor;
 use netpart_topology::{PlacementStrategy, Topology};
 
@@ -101,6 +101,7 @@ fn sweep_cluster_grid(
     cluster: usize,
     topo: Topology,
     cfg: &CalibrationConfig,
+    budget: &Budget,
 ) -> Result<SweptGrid, NetpartError> {
     let capacity = testbed.clusters[cluster].nodes;
     if capacity < 2 {
@@ -112,6 +113,10 @@ fn sweep_cluster_grid(
         .flat_map(|p| cfg.b_values.iter().map(move |&b| (p, b)))
         .collect();
     let times = netpart_sweep::sweep(grid.clone(), |(p, b)| {
+        // Cooperative deadline checkpoint: each grid point is a full
+        // simulation, so an expired request stops here instead of
+        // finishing the sweep.
+        budget.check()?;
         let mut config = vec![0u32; testbed.num_clusters()];
         config[cluster] = p;
         measure_cycle_ms(testbed, &config, topo, b, cfg)
@@ -147,7 +152,20 @@ pub fn calibrate_cluster(
     topo: Topology,
     cfg: &CalibrationConfig,
 ) -> Result<FittedCost, NetpartError> {
-    let (grid, y) = sweep_cluster_grid(testbed, cluster, topo, cfg)?;
+    calibrate_cluster_budgeted(testbed, cluster, topo, cfg, &Budget::unlimited())
+}
+
+/// [`calibrate_cluster`] under a cooperative [`Budget`]: the sweep checks
+/// the budget before each grid point. With an unlimited budget the result
+/// is bit-identical to [`calibrate_cluster`].
+pub fn calibrate_cluster_budgeted(
+    testbed: &Testbed,
+    cluster: usize,
+    topo: Topology,
+    cfg: &CalibrationConfig,
+    budget: &Budget,
+) -> Result<FittedCost, NetpartError> {
+    let (grid, y) = sweep_cluster_grid(testbed, cluster, topo, cfg, budget)?;
     fit_eq1(&grid, &y).ok_or_else(|| {
         NetpartError::Calibration("calibration sweep produced a singular system".into())
     })
@@ -170,7 +188,7 @@ pub fn calibrate_cluster_gated(
     topo: Topology,
     cfg: &CalibrationConfig,
 ) -> Result<(CostModel, Option<LackOfFit>), NetpartError> {
-    let (grid, y) = sweep_cluster_grid(testbed, cluster, topo, cfg)?;
+    let (grid, y) = sweep_cluster_grid(testbed, cluster, topo, cfg, &Budget::unlimited())?;
     let linear = fit_eq1(&grid, &y);
     let Some(gate) = cfg.lack_of_fit_r2 else {
         return linear.map(|f| (CostModel::Linear(f), None)).ok_or_else(|| {
@@ -250,6 +268,18 @@ pub fn calibrate_router(
     cb: usize,
     cfg: &CalibrationConfig,
 ) -> Result<LinearCost, NetpartError> {
+    calibrate_router_budgeted(testbed, ca, cb, cfg, &Budget::unlimited())
+}
+
+/// [`calibrate_router`] under a cooperative [`Budget`] (checked before
+/// each message-size point).
+pub fn calibrate_router_budgeted(
+    testbed: &Testbed,
+    ca: usize,
+    cb: usize,
+    cfg: &CalibrationConfig,
+    budget: &Budget,
+) -> Result<LinearCost, NetpartError> {
     // The penalty belongs to the *path*, not the machines, so measure it
     // with identical hosts on both sides: clone cluster `ca`'s machine
     // class onto cluster `cb`'s segment (this also unifies data formats,
@@ -260,6 +290,7 @@ pub fn calibrate_router(
     tb.clusters[cb].proc_type = tb.clusters[ca].proc_type.clone();
 
     let excesses = netpart_sweep::sweep(cfg.b_values.clone(), |b| {
+        budget.check()?;
         let mut cross_cfg = vec![0u32; tb.num_clusters()];
         cross_cfg[ca] = 1;
         cross_cfg[cb] = 1;
@@ -289,6 +320,18 @@ pub fn calibrate_coerce(
     cb: usize,
     cfg: &CalibrationConfig,
 ) -> Result<LinearCost, NetpartError> {
+    calibrate_coerce_budgeted(testbed, ca, cb, cfg, &Budget::unlimited())
+}
+
+/// [`calibrate_coerce`] under a cooperative [`Budget`] (checked before
+/// each message-size point).
+pub fn calibrate_coerce_budgeted(
+    testbed: &Testbed,
+    ca: usize,
+    cb: usize,
+    cfg: &CalibrationConfig,
+    budget: &Budget,
+) -> Result<LinearCost, NetpartError> {
     if testbed.clusters[ca].proc_type.data_format == testbed.clusters[cb].proc_type.data_format {
         return Ok(LinearCost::default());
     }
@@ -296,6 +339,7 @@ pub fn calibrate_coerce(
     unified.clusters[cb].proc_type.data_format = unified.clusters[ca].proc_type.data_format;
 
     let excesses = netpart_sweep::sweep(cfg.b_values.clone(), |b| {
+        budget.check()?;
         let mut cc = vec![0u32; testbed.num_clusters()];
         cc[ca] = 1;
         cc[cb] = 1;
@@ -334,6 +378,20 @@ pub fn calibrate_testbed(
     topologies: &[Topology],
     cfg: &CalibrationConfig,
 ) -> Result<CalibratedCostModel, NetpartError> {
+    calibrate_testbed_budgeted(testbed, topologies, cfg, &Budget::unlimited())
+}
+
+/// [`calibrate_testbed`] under a cooperative [`Budget`]: every sweep
+/// checks the budget before each simulated grid point, so an expired
+/// plan-server request abandons the procedure at the next point instead
+/// of finishing hours of benchmarking. With an unlimited budget the
+/// model is bit-identical to [`calibrate_testbed`]'s.
+pub fn calibrate_testbed_budgeted(
+    testbed: &Testbed,
+    topologies: &[Topology],
+    cfg: &CalibrationConfig,
+    budget: &Budget,
+) -> Result<CalibratedCostModel, NetpartError> {
     if testbed.num_clusters() == 0 {
         return Err(NetpartError::EmptyTestbed);
     }
@@ -343,7 +401,7 @@ pub fn calibrate_testbed(
             model.set_intra(
                 cluster,
                 topo,
-                calibrate_cluster(testbed, cluster, topo, cfg)?,
+                calibrate_cluster_budgeted(testbed, cluster, topo, cfg, budget)?,
             );
         }
     }
@@ -358,14 +416,14 @@ pub fn calibrate_testbed(
     for pairs in by_distance.values() {
         // Lexicographically first pair at this distance represents it.
         let (ra, rb) = pairs[0];
-        let fit = calibrate_router(testbed, ra, rb, cfg)?;
+        let fit = calibrate_router_budgeted(testbed, ra, rb, cfg, budget)?;
         for &(a, b) in pairs {
             model.set_router(a, b, fit);
         }
     }
     for a in 0..testbed.num_clusters() {
         for b in a + 1..testbed.num_clusters() {
-            model.set_coerce(a, b, calibrate_coerce(testbed, a, b, cfg)?);
+            model.set_coerce(a, b, calibrate_coerce_budgeted(testbed, a, b, cfg, budget)?);
         }
     }
     Ok(model)

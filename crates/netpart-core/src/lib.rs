@@ -54,8 +54,8 @@ pub use estimator::{Estimator, FillContext, TcBreakdown};
 pub use manager::{determine_available, AvailabilityPolicy, AvailabilityReport};
 pub use overhead::{measure_overhead, OverheadReport};
 pub use partitioner::{
-    partition, partition_exhaustive, ClusterOrder, EvalMode, Partition, PartitionError,
-    PartitionOptions, AUTO_INCREMENTAL_MIN_K,
+    partition, partition_budgeted, partition_exhaustive, ClusterOrder, EvalMode, Partition,
+    PartitionError, PartitionOptions, AUTO_INCREMENTAL_MIN_K,
 };
 pub use search::{SearchResult, SearchStrategy};
 pub use system::{ClusterInfo, SystemModel};

@@ -15,7 +15,7 @@
 //! scalability argument), which [`Partition::evaluations`] lets tests
 //! verify.
 
-use netpart_model::PartitionVector;
+use netpart_model::{Budget, PartitionVector};
 
 use crate::estimator::{Estimator, TcBreakdown};
 use crate::search::{SearchResult, SearchStrategy};
@@ -144,6 +144,21 @@ pub fn partition(
     est: &Estimator<'_>,
     opts: &PartitionOptions,
 ) -> Result<Partition, PartitionError> {
+    partition_budgeted(est, opts, &Budget::unlimited())
+}
+
+/// [`partition`] under a cooperative [`Budget`]: the fill loop checks the
+/// budget before each cluster's search and each refinement pass, so an
+/// expired or revoked deadline returns the typed
+/// `PlanDeadlineExceeded` instead of finishing the search. With an
+/// unlimited budget the arithmetic — and therefore the output — is
+/// bit-identical to [`partition`].
+pub fn partition_budgeted(
+    est: &Estimator<'_>,
+    opts: &PartitionOptions,
+    budget: &Budget,
+) -> Result<Partition, PartitionError> {
+    budget.check()?;
     let sys = est.system();
     let k = sys.num_clusters();
     let kind = est.app().dominant_comp().op_kind;
@@ -176,6 +191,7 @@ pub fn partition(
     let mut config = vec![0u32; k];
     let mut first = true;
     for &cluster in &order {
+        budget.check()?;
         let avail = sys.clusters[cluster].available;
         if avail == 0 {
             if first {
@@ -209,7 +225,7 @@ pub fn partition(
         return Err(PartitionError::NoProcessorsAvailable);
     }
 
-    let refinement_moves = refine(est, &mut config, opts.refine_passes);
+    let refinement_moves = refine(est, &mut config, opts.refine_passes, budget)?;
 
     let breakdown = est.breakdown(&config);
     let evaluations = est.evaluations() - 1; // final breakdown isn't search work
@@ -237,15 +253,21 @@ pub fn partition(
 /// processor the fill loop insists on using. One exchange pass recovers
 /// exactly that class of miss at O(K²) evaluations per pass, far below
 /// the exhaustive search's `Π(Nᵢ+1)`.
-fn refine(est: &Estimator<'_>, config: &mut [u32], max_passes: u32) -> u32 {
+fn refine(
+    est: &Estimator<'_>,
+    config: &mut [u32],
+    max_passes: u32,
+    budget: &Budget,
+) -> Result<u32, PartitionError> {
     if max_passes == 0 {
-        return 0;
+        return Ok(0);
     }
     let sys = est.system();
     let k = config.len();
     let mut best = est.t_c_ms(config);
     let mut moves = 0u32;
     while moves < max_passes {
+        budget.check()?;
         // Candidate moves: (from, to) shifts one processor; from == to
         // with a spare means "add one"; to == usize::MAX means "drop one".
         let mut winner: Option<(usize, usize, f64)> = None;
@@ -292,7 +314,7 @@ fn refine(est: &Estimator<'_>, config: &mut [u32], max_passes: u32) -> u32 {
         best = tc;
         moves += 1;
     }
-    moves
+    Ok(moves)
 }
 
 /// The *general* partitioner: exhaustively search the full cross-product
@@ -734,6 +756,64 @@ mod tests {
             partition(&est, &opts).unwrap_err(),
             PartitionError::InvalidOrder
         );
+    }
+
+    #[test]
+    fn budgeted_partition_with_unlimited_budget_is_bit_identical() {
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        for n in [60u64, 300, 600, 1200] {
+            let app = stencil(n, false);
+            let est = Estimator::new(&sys, &cost, &app);
+            let plain = partition(&est, &PartitionOptions::default()).unwrap();
+            let budgeted =
+                partition_budgeted(&est, &PartitionOptions::default(), &Budget::unlimited())
+                    .unwrap();
+            assert_eq!(plain.config, budgeted.config);
+            assert_eq!(
+                plain.predicted_tc_ms().to_bits(),
+                budgeted.predicted_tc_ms().to_bits(),
+                "N={n}"
+            );
+            assert_eq!(
+                format!("{:?}", plain.vector),
+                format!("{:?}", budgeted.vector)
+            );
+        }
+    }
+
+    #[test]
+    fn expired_budget_cancels_the_fill_loop() {
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app = stencil(600, false);
+        let est = Estimator::new(&sys, &cost, &app);
+        let b = Budget::deadline_ms(0.0);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        match partition_budgeted(&est, &PartitionOptions::default(), &b) {
+            Err(PartitionError::PlanDeadlineExceeded { .. }) => {}
+            other => panic!("expected PlanDeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_refinement() {
+        let sys = paper_system();
+        let cost = PaperCostModel;
+        let app = stencil(300, false);
+        let est = Estimator::new(&sys, &cost, &app);
+        let b = Budget::unlimited();
+        b.cancel();
+        let opts = PartitionOptions {
+            refine_passes: 4,
+            ..Default::default()
+        };
+        match partition_budgeted(&est, &opts, &b) {
+            Err(PartitionError::PlanDeadlineExceeded { budget_ms, .. }) => {
+                assert_eq!(budget_ms, 0, "revoked budget reports 0")
+            }
+            other => panic!("expected PlanDeadlineExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -147,6 +147,28 @@ pub enum NetpartError {
         /// The watchdog budget that was exceeded, simulated ms, rounded.
         budget_ms: u64,
     },
+
+    // ---- Plan serving ----------------------------------------------------
+    /// The plan server's admission queue is full: the request was shed
+    /// immediately rather than queued into unbounded latency. Retry later
+    /// (ideally with jittered backoff) or raise `queue_depth`.
+    ServerOverloaded {
+        /// Requests already queued when this one arrived.
+        depth: usize,
+        /// The configured admission-queue capacity.
+        capacity: usize,
+    },
+    /// A request's cooperative deadline budget expired (or was revoked)
+    /// before planning finished. Wall-clock milliseconds, rounded; a
+    /// revoked budget reports `budget_ms: 0`.
+    PlanDeadlineExceeded {
+        /// Wall-clock ms elapsed when the budget check failed.
+        elapsed_ms: u64,
+        /// The wall-clock budget the request carried.
+        budget_ms: u64,
+    },
+    /// The plan server was stopped while this request was still queued.
+    ServerStopped,
 }
 
 impl std::fmt::Display for NetpartError {
@@ -248,6 +270,26 @@ impl std::fmt::Display for NetpartError {
                     "recovery stalled: {attempts} nested failures with no checkpoint \
                      progress over {stalled_ms} ms (watchdog budget {budget_ms} ms)"
                 )
+            }
+            NetpartError::ServerOverloaded { depth, capacity } => {
+                write!(
+                    f,
+                    "plan server overloaded: {depth} requests queued against a \
+                     capacity of {capacity}; request shed"
+                )
+            }
+            NetpartError::PlanDeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "plan deadline exceeded: {elapsed_ms} ms elapsed against a \
+                     budget of {budget_ms} ms"
+                )
+            }
+            NetpartError::ServerStopped => {
+                write!(f, "plan server stopped before the request was served")
             }
         }
     }
@@ -361,6 +403,24 @@ mod tests {
                 },
                 "recovery stalled: 3 nested failures",
             ),
+            (
+                NetpartError::ServerOverloaded {
+                    depth: 64,
+                    capacity: 64,
+                },
+                "64 requests queued against a capacity of 64",
+            ),
+            (
+                NetpartError::PlanDeadlineExceeded {
+                    elapsed_ms: 120,
+                    budget_ms: 100,
+                },
+                "120 ms elapsed against a budget of 100 ms",
+            ),
+            (
+                NetpartError::ServerStopped,
+                "stopped before the request was served",
+            ),
         ];
         for (e, needle) in cases {
             let s = e.to_string();
@@ -372,5 +432,16 @@ mod tests {
     fn error_trait_is_implemented() {
         let e: Box<dyn std::error::Error> = Box::new(NetpartError::ZeroPdus);
         assert!(!e.to_string().is_empty());
+    }
+
+    /// The server fans one result out to every coalesced duplicate
+    /// request across worker threads, so the error type must be shareable
+    /// and cloneable. Compile-time assertion — fails to build if a new
+    /// variant ever smuggles in an `Rc`, a raw pointer, or a `!Sync`
+    /// payload.
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn assert_shareable<T: Send + Sync + Clone + 'static>() {}
+        assert_shareable::<NetpartError>();
     }
 }

@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod derive;
 pub mod error;
 pub mod model;
 pub mod partition_vector;
 pub mod phase;
 
+pub use budget::{Backoff, Budget};
 pub use derive::{derive_model, BytesExpr, KernelSpec, Stmt};
 pub use error::NetpartError;
 pub use model::AppModel;

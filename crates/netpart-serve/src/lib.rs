@@ -1,0 +1,34 @@
+//! Overload-robust serving of expensive computations.
+//!
+//! `netpart-serve` is the generic engine behind `netpart::serve`'s
+//! `PlanServer`: a multi-threaded server over any [`PlanService`] with
+//!
+//! - **bounded admission** — beyond [`ServeConfig::queue_depth`] queued
+//!   requests, submissions are shed synchronously with the typed
+//!   `NetpartError::ServerOverloaded`;
+//! - **cooperative deadlines** — each request carries a
+//!   [`Budget`](netpart_model::Budget) checked after the queue wait, at
+//!   retry boundaries, and inside the computation itself, terminating
+//!   with `NetpartError::PlanDeadlineExceeded`;
+//! - **a fingerprinted response cache** with single-flight coalescing of
+//!   duplicate in-flight requests;
+//! - **per-class circuit breakers** ([`BreakerConfig`]) that switch a
+//!   failing class to degraded serving (stale cache, then fallback, then
+//!   the class's last typed error) and recover via counted half-open
+//!   probes;
+//! - **deterministic retry backoff** reusing the recovery engine's
+//!   [`Backoff`](netpart_model::Backoff) schedule;
+//! - **[`ServerStats`]** — typed outcome counters, queue high-water
+//!   mark, and per-outcome latency histograms.
+//!
+//! The invariant the whole crate exists to uphold: *every submitted
+//! request terminates with a correct response or a typed error — never a
+//! hang, never a wrong answer.*
+
+pub mod breaker;
+pub mod server;
+pub mod stats;
+
+pub use breaker::{Admission, Breaker, BreakerConfig};
+pub use server::{PlanService, ServeConfig, ServeSource, Served, Server, Ticket};
+pub use stats::{LatencyHistogram, ServerStats};

@@ -1,0 +1,1024 @@
+//! The generic overload-control engine: bounded admission, worker pool,
+//! cooperative deadlines, a fingerprinted response cache with
+//! single-flight coalescing, per-class circuit breakers, and seeded
+//! retry backoff.
+//!
+//! The engine is generic over a [`PlanService`] — the netpart facade
+//! binds it to `Scenario → plan()`; tests bind it to tiny controllable
+//! services. Everything overload-related lives here once, typed and
+//! unit-tested, independent of what is being computed.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use netpart_model::{Backoff, Budget, NetpartError};
+
+use crate::breaker::{Admission, Breaker, BreakerConfig};
+use crate::stats::ServerStats;
+
+/// What a [`Server`] serves: how to fingerprint, execute, retry, break,
+/// and degrade one kind of request.
+pub trait PlanService: Send + Sync + 'static {
+    /// The request type (moved into the queue).
+    type Request: Send + 'static;
+    /// The response type (cloned to coalesced duplicate requests and
+    /// into the cache).
+    type Response: Clone + Send + 'static;
+
+    /// Cache / single-flight key: requests with equal fingerprints must
+    /// be interchangeable (same response).
+    fn fingerprint(&self, req: &Self::Request) -> u64;
+
+    /// Circuit-breaker class: the unit that fails together (e.g. one
+    /// calibration fingerprint). Defaults to one global class.
+    fn class(&self, req: &Self::Request) -> u64 {
+        let _ = req;
+        0
+    }
+
+    /// Start the request's cooperative budget clock (called once at
+    /// submission). Defaults to unlimited.
+    fn budget(&self, req: &Self::Request) -> Budget {
+        let _ = req;
+        Budget::unlimited()
+    }
+
+    /// Compute a fresh response under the request's budget.
+    fn execute(&self, req: &Self::Request, budget: &Budget)
+        -> Result<Self::Response, NetpartError>;
+
+    /// Does this failure count toward the class's circuit breaker?
+    fn breaker_counts(&self, err: &NetpartError) -> bool {
+        let _ = err;
+        false
+    }
+
+    /// Is this failure transient — worth a backoff-and-retry?
+    fn retryable(&self, err: &NetpartError) -> bool {
+        let _ = err;
+        false
+    }
+
+    /// Degraded-mode computation while the class's circuit is open and
+    /// no cached response exists: `None` = no fallback (the class's last
+    /// error is served), `Some(result)` = the fallback's outcome.
+    fn fallback(
+        &self,
+        req: &Self::Request,
+        budget: &Budget,
+    ) -> Option<Result<Self::Response, NetpartError>> {
+        let _ = (req, budget);
+        None
+    }
+}
+
+/// Which path produced a [`Served`] response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeSource {
+    /// Computed by [`PlanService::execute`] for this request.
+    Fresh,
+    /// Served from the fingerprint cache while the class is healthy.
+    Cache,
+    /// Served from the cache while the class's circuit is open.
+    StaleCache {
+        /// Milliseconds since the cached response was computed.
+        age_ms: u64,
+    },
+    /// A duplicate in-flight request that coalesced onto another
+    /// request's computation (single-flight follower).
+    Coalesced,
+    /// Computed by [`PlanService::fallback`] under an open circuit.
+    Fallback,
+}
+
+/// A successful response plus provenance and latency accounting.
+#[derive(Debug, Clone)]
+pub struct Served<R> {
+    /// The response.
+    pub value: R,
+    /// Which path produced it.
+    pub source: ServeSource,
+    /// Transient-failure retries spent.
+    pub retries: u32,
+    /// Wall-clock ms spent in the admission queue.
+    pub queue_ms: f64,
+    /// Wall-clock ms from submission to completion.
+    pub total_ms: f64,
+}
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Admission-queue capacity: a submission finding this many requests
+    /// already queued is shed with `ServerOverloaded`. `usize::MAX`
+    /// disables shedding.
+    pub queue_depth: usize,
+    /// Transient-failure retries per request.
+    pub max_retries: u32,
+    /// Delay schedule between retries — deterministic from its seed,
+    /// shared with the recovery engine's pause machinery.
+    pub retry_backoff: Backoff,
+    /// Per-class circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Keep a response cache (disable to force every request through
+    /// `execute`, e.g. for throughput benchmarking).
+    pub cache: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            max_retries: 2,
+            retry_backoff: Backoff::exponential(5.0, 100.0, 0),
+            breaker: BreakerConfig::default(),
+            cache: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The trivial configuration: one worker, no shedding, no retries —
+    /// the server is then byte-transparent to calling the service
+    /// directly.
+    pub fn transparent() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            queue_depth: usize::MAX,
+            max_retries: 0,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// A submitted request's completion handle.
+#[derive(Debug)]
+pub struct Ticket<R> {
+    state: Arc<TicketState<R>>,
+}
+
+#[derive(Debug)]
+struct TicketState<R> {
+    slot: Mutex<Option<Result<Served<R>, NetpartError>>>,
+    cv: Condvar,
+}
+
+impl<R: Clone> Ticket<R> {
+    /// Block until the request terminates — with a response or a typed
+    /// error. Every admitted request terminates: shedding happens at
+    /// submission, deadlines are enforced cooperatively, and shutdown
+    /// drains the queue with `ServerStopped`.
+    pub fn wait(&self) -> Result<Served<R>, NetpartError> {
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
+            }
+            slot = self.state.cv.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// Non-blocking peek: `Some` once the request has terminated.
+    pub fn try_wait(&self) -> Option<Result<Served<R>, NetpartError>> {
+        self.state
+            .slot
+            .lock()
+            .expect("ticket poisoned")
+            .as_ref()
+            .cloned()
+    }
+}
+
+struct Job<S: PlanService> {
+    req: S::Request,
+    budget: Budget,
+    submitted: Instant,
+    ticket: Arc<TicketState<S::Response>>,
+}
+
+struct CacheEntry<R> {
+    value: R,
+    created: Instant,
+}
+
+/// A leader's published result that single-flight followers wait on.
+struct Flight<R> {
+    result: Mutex<Option<Result<R, NetpartError>>>,
+    cv: Condvar,
+}
+
+enum FollowerOutcome<R> {
+    Ready(Result<R, NetpartError>),
+    Expired(NetpartError),
+}
+
+impl<R: Clone> Flight<R> {
+    fn new() -> Flight<R> {
+        Flight {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<R, NetpartError>) {
+        let mut slot = self.result.lock().expect("flight poisoned");
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+
+    /// Wait for the leader's result, bounded by the follower's budget.
+    fn wait(&self, budget: &Budget) -> FollowerOutcome<R> {
+        let mut slot = self.result.lock().expect("flight poisoned");
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return FollowerOutcome::Ready(r.clone());
+            }
+            if let Err(e) = budget.check() {
+                return FollowerOutcome::Expired(e);
+            }
+            let rem = budget.remaining_ms();
+            if rem.is_infinite() {
+                slot = self.cv.wait(slot).expect("flight poisoned");
+            } else {
+                let (s, _) = self
+                    .cv
+                    .wait_timeout(slot, Duration::from_millis(rem.ceil().max(1.0) as u64))
+                    .expect("flight poisoned");
+                slot = s;
+            }
+        }
+    }
+}
+
+struct Inner<S: PlanService> {
+    service: S,
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Job<S>>>,
+    queue_cv: Condvar,
+    stopping: AtomicBool,
+    cache: Mutex<HashMap<u64, CacheEntry<S::Response>>>,
+    inflight: Mutex<HashMap<u64, Arc<Flight<S::Response>>>>,
+    breakers: Mutex<HashMap<u64, Breaker>>,
+    last_class_error: Mutex<HashMap<u64, NetpartError>>,
+    stats: Mutex<ServerStats>,
+}
+
+/// A multi-threaded server over a [`PlanService`]: bounded admission
+/// with typed shedding, per-request cooperative deadlines, a
+/// fingerprinted response cache with single-flight coalescing, per-class
+/// circuit breakers with degraded-mode serving, and deterministic retry
+/// backoff. The invariant: **every submitted request terminates with a
+/// response or a typed error** — shed at the door, expired by its own
+/// budget, drained at shutdown, or completed.
+pub struct Server<S: PlanService> {
+    inner: Arc<Inner<S>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<S: PlanService> Server<S> {
+    /// Start the worker pool.
+    pub fn start(service: S, cfg: ServeConfig) -> Server<S> {
+        let inner = Arc::new(Inner {
+            service,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            cache: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            breakers: Mutex::new(HashMap::new()),
+            last_class_error: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ServerStats::default()),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(inner))
+            })
+            .collect();
+        Server {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a request. Sheds synchronously with
+    /// [`NetpartError::ServerOverloaded`] when the admission queue is
+    /// full; otherwise returns a [`Ticket`] that is guaranteed to
+    /// terminate.
+    pub fn submit(&self, req: S::Request) -> Result<Ticket<S::Response>, NetpartError> {
+        if self.inner.stopping.load(Ordering::Acquire) {
+            return Err(NetpartError::ServerStopped);
+        }
+        let budget = self.inner.service.budget(&req);
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            if q.len() >= self.inner.cfg.queue_depth {
+                let depth = q.len();
+                drop(q);
+                let mut st = self.inner.stats.lock().expect("stats poisoned");
+                st.shed += 1;
+                return Err(NetpartError::ServerOverloaded {
+                    depth,
+                    capacity: self.inner.cfg.queue_depth,
+                });
+            }
+            q.push_back(Job {
+                req,
+                budget,
+                submitted: Instant::now(),
+                ticket: Arc::clone(&state),
+            });
+            let depth = q.len();
+            drop(q);
+            let mut st = self.inner.stats.lock().expect("stats poisoned");
+            st.admitted += 1;
+            if depth > st.queue_high_water {
+                st.queue_high_water = depth;
+            }
+        }
+        self.inner.queue_cv.notify_one();
+        Ok(Ticket { state })
+    }
+
+    /// A snapshot of the server's counters and histograms.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats.lock().expect("stats poisoned").clone()
+    }
+
+    /// Stop accepting work, complete every queued request with
+    /// [`NetpartError::ServerStopped`], let in-flight requests finish,
+    /// and join the workers. Idempotent.
+    pub fn stop(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        let drained: Vec<Job<S>> = {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            q.drain(..).collect()
+        };
+        self.inner.queue_cv.notify_all();
+        for job in drained {
+            self.inner
+                .complete_err(&job, NetpartError::ServerStopped, 0.0);
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut w = self.workers.lock().expect("workers poisoned");
+            w.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S: PlanService> Drop for Server<S> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop<S: PlanService>(inner: Arc<Inner<S>>) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if inner.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                q = inner.queue_cv.wait(q).expect("queue poisoned");
+            }
+        };
+        inner.process(job);
+    }
+}
+
+impl<S: PlanService> Inner<S> {
+    fn process(&self, job: Job<S>) {
+        let queue_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+        self.stats
+            .lock()
+            .expect("stats poisoned")
+            .queue_wait
+            .record(queue_ms);
+        // Deadline re-check after the queue wait: an already-expired
+        // request must not burn the worker.
+        if let Err(e) = job.budget.check() {
+            self.complete_err(&job, e, queue_ms);
+            return;
+        }
+        let fp = self.service.fingerprint(&job.req);
+        let class = self.service.class(&job.req);
+        let mut retries_total: u32 = 0;
+        // The loop re-enters when a single-flight follower inherits a
+        // leader's *deadline* error while its own budget still holds: it
+        // retries the round and becomes the new leader.
+        loop {
+            let open = {
+                let map = self.breakers.lock().expect("breakers poisoned");
+                map.get(&class).is_some_and(|b| b.is_open())
+            };
+            if self.cfg.cache {
+                let hit = {
+                    let cache = self.cache.lock().expect("cache poisoned");
+                    cache
+                        .get(&fp)
+                        .map(|e| (e.value.clone(), e.created.elapsed()))
+                };
+                if let Some((value, age)) = hit {
+                    let source = if open {
+                        ServeSource::StaleCache {
+                            age_ms: age.as_millis() as u64,
+                        }
+                    } else {
+                        ServeSource::Cache
+                    };
+                    self.complete_ok(&job, value, source, retries_total, queue_ms);
+                    return;
+                }
+            }
+            let admission = if open {
+                let mut map = self.breakers.lock().expect("breakers poisoned");
+                map.get_mut(&class).map_or(Admission::Normal, |b| b.admit())
+            } else {
+                Admission::Normal
+            };
+            if admission == Admission::Degraded {
+                match self.service.fallback(&job.req, &job.budget) {
+                    Some(Ok(v)) => {
+                        self.complete_ok(&job, v, ServeSource::Fallback, retries_total, queue_ms)
+                    }
+                    Some(Err(e)) => self.complete_err(&job, e, queue_ms),
+                    None => {
+                        let e = self
+                            .last_class_error
+                            .lock()
+                            .expect("class errors poisoned")
+                            .get(&class)
+                            .cloned()
+                            .unwrap_or_else(|| {
+                                NetpartError::Calibration(
+                                    "circuit open: no cached response and no fallback".into(),
+                                )
+                            });
+                        self.complete_err(&job, e, queue_ms);
+                    }
+                }
+                return;
+            }
+            let probing = admission == Admission::Probe;
+
+            // Single-flight: first request for a fingerprint leads, the
+            // rest follow its published result.
+            let flight = {
+                let mut inf = self.inflight.lock().expect("inflight poisoned");
+                match inf.get(&fp) {
+                    Some(f) => Some(Arc::clone(f)),
+                    None => {
+                        inf.insert(fp, Arc::new(Flight::new()));
+                        None
+                    }
+                }
+            };
+            if let Some(flight) = flight {
+                match flight.wait(&job.budget) {
+                    FollowerOutcome::Expired(e) => {
+                        self.complete_err(&job, e, queue_ms);
+                        return;
+                    }
+                    FollowerOutcome::Ready(Ok(v)) => {
+                        self.complete_ok(&job, v, ServeSource::Coalesced, retries_total, queue_ms);
+                        return;
+                    }
+                    FollowerOutcome::Ready(Err(e)) => {
+                        // The leader died of *its* deadline; ours may
+                        // still hold — retry the round as leader.
+                        let leader_deadline =
+                            matches!(e, NetpartError::PlanDeadlineExceeded { .. });
+                        if leader_deadline && job.budget.check().is_ok() {
+                            continue;
+                        }
+                        self.complete_err(&job, e, queue_ms);
+                        return;
+                    }
+                }
+            }
+
+            // Leader: execute with deterministic retry backoff.
+            let mut attempt: u32 = 0;
+            let result = loop {
+                if let Err(e) = job.budget.check() {
+                    break Err(e);
+                }
+                match self.service.execute(&job.req, &job.budget) {
+                    Ok(v) => break Ok(v),
+                    Err(e) => {
+                        if self.service.retryable(&e) && attempt < self.cfg.max_retries {
+                            let delay = self.cfg.retry_backoff.delay_ms(attempt);
+                            attempt += 1;
+                            let pause = delay.min(job.budget.remaining_ms());
+                            if pause > 0.0 && pause.is_finite() {
+                                std::thread::sleep(Duration::from_micros((pause * 1e3) as u64));
+                            }
+                            continue;
+                        }
+                        break Err(e);
+                    }
+                }
+            };
+            retries_total += attempt;
+            if attempt > 0 {
+                self.stats.lock().expect("stats poisoned").retries += attempt as u64;
+            }
+
+            // Breaker bookkeeping before publication, so followers and
+            // later arrivals observe the transition.
+            match &result {
+                Ok(_) => {
+                    let closed = {
+                        let mut map = self.breakers.lock().expect("breakers poisoned");
+                        map.get_mut(&class).is_some_and(|b| b.record_success())
+                    };
+                    if closed {
+                        self.stats.lock().expect("stats poisoned").breaker_closes += 1;
+                    }
+                }
+                Err(e) if self.service.breaker_counts(e) => {
+                    let opened = {
+                        let mut map = self.breakers.lock().expect("breakers poisoned");
+                        map.entry(class)
+                            .or_insert_with(|| Breaker::new(self.cfg.breaker))
+                            .record_failure()
+                    };
+                    self.last_class_error
+                        .lock()
+                        .expect("class errors poisoned")
+                        .insert(class, e.clone());
+                    if opened {
+                        self.stats.lock().expect("stats poisoned").breaker_opens += 1;
+                    }
+                }
+                Err(_) => {}
+            }
+            if self.cfg.cache {
+                if let Ok(v) = &result {
+                    self.cache.lock().expect("cache poisoned").insert(
+                        fp,
+                        CacheEntry {
+                            value: v.clone(),
+                            created: Instant::now(),
+                        },
+                    );
+                }
+            }
+            // Publish to followers and release the flight.
+            let flight = self.inflight.lock().expect("inflight poisoned").remove(&fp);
+            if let Some(flight) = flight {
+                flight.publish(result.clone());
+            }
+            let _ = probing; // a probe's outcome is just the breaker update above
+            match result {
+                Ok(v) => self.complete_ok(&job, v, ServeSource::Fresh, retries_total, queue_ms),
+                Err(e) => self.complete_err(&job, e, queue_ms),
+            }
+            return;
+        }
+    }
+
+    fn complete_ok(
+        &self,
+        job: &Job<S>,
+        value: S::Response,
+        source: ServeSource,
+        retries: u32,
+        queue_ms: f64,
+    ) {
+        let total_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut st = self.stats.lock().expect("stats poisoned");
+            match source {
+                ServeSource::Fresh => {
+                    st.fresh += 1;
+                    st.latency_fresh.record(total_ms);
+                }
+                ServeSource::Cache => {
+                    st.cache_hits += 1;
+                    st.latency_cache.record(total_ms);
+                }
+                ServeSource::StaleCache { .. } => {
+                    st.cache_hits += 1;
+                    st.degraded += 1;
+                    st.latency_degraded.record(total_ms);
+                }
+                ServeSource::Coalesced => {
+                    st.coalesced += 1;
+                    st.latency_cache.record(total_ms);
+                }
+                ServeSource::Fallback => {
+                    st.fallbacks += 1;
+                    st.degraded += 1;
+                    st.latency_degraded.record(total_ms);
+                }
+            }
+        }
+        self.finish(
+            job,
+            Ok(Served {
+                value,
+                source,
+                retries,
+                queue_ms,
+                total_ms,
+            }),
+        );
+    }
+
+    fn complete_err(&self, job: &Job<S>, err: NetpartError, queue_ms: f64) {
+        let _ = queue_ms;
+        let total_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut st = self.stats.lock().expect("stats poisoned");
+            match &err {
+                NetpartError::PlanDeadlineExceeded { .. } => st.expired += 1,
+                NetpartError::ServerStopped => st.stopped += 1,
+                _ => st.failed += 1,
+            }
+            st.latency_error.record(total_ms);
+        }
+        self.finish(job, Err(err));
+    }
+
+    fn finish(&self, job: &Job<S>, outcome: Result<Served<S::Response>, NetpartError>) {
+        let mut slot = job.ticket.slot.lock().expect("ticket poisoned");
+        *slot = Some(outcome);
+        job.ticket.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A controllable service: responds with `req * 10`, counts
+    /// executions, optionally fails requests in a poisoned set, and can
+    /// gate executions on a latch so tests control concurrency.
+    struct TestService {
+        executions: AtomicU64,
+        fail: Mutex<HashMap<u64, u32>>, // request → remaining failures
+        gate: Option<Arc<(Mutex<bool>, Condvar)>>,
+        deadline_ms: Mutex<HashMap<u64, f64>>,
+    }
+
+    impl TestService {
+        fn new() -> TestService {
+            TestService {
+                executions: AtomicU64::new(0),
+                fail: Mutex::new(HashMap::new()),
+                gate: None,
+                deadline_ms: Mutex::new(HashMap::new()),
+            }
+        }
+
+        fn gated() -> (TestService, Arc<(Mutex<bool>, Condvar)>) {
+            let gate = Arc::new((Mutex::new(false), Condvar::new()));
+            let mut s = TestService::new();
+            s.gate = Some(Arc::clone(&gate));
+            (s, gate)
+        }
+
+        fn fail_times(&self, req: u64, times: u32) {
+            self.fail.lock().expect("fail").insert(req, times);
+        }
+
+        fn set_deadline(&self, req: u64, ms: f64) {
+            self.deadline_ms.lock().expect("deadline").insert(req, ms);
+        }
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cv) = &**gate;
+        *lock.lock().expect("gate") = true;
+        cv.notify_all();
+    }
+
+    impl PlanService for TestService {
+        type Request = u64;
+        type Response = u64;
+
+        fn fingerprint(&self, req: &u64) -> u64 {
+            *req
+        }
+
+        fn class(&self, req: &u64) -> u64 {
+            req % 2
+        }
+
+        fn budget(&self, req: &u64) -> Budget {
+            match self.deadline_ms.lock().expect("deadline").get(req) {
+                Some(&ms) => Budget::deadline_ms(ms),
+                None => Budget::unlimited(),
+            }
+        }
+
+        fn execute(&self, req: &u64, budget: &Budget) -> Result<u64, NetpartError> {
+            if let Some(gate) = &self.gate {
+                let (lock, cv) = &**gate;
+                let mut open = lock.lock().expect("gate");
+                while !*open {
+                    open = cv.wait(open).expect("gate");
+                }
+            }
+            budget.check()?;
+            self.executions.fetch_add(1, Ordering::SeqCst);
+            let mut fail = self.fail.lock().expect("fail");
+            if let Some(n) = fail.get_mut(req) {
+                if *n > 0 {
+                    *n -= 1;
+                    return Err(NetpartError::Calibration(format!("injected for {req}")));
+                }
+            }
+            Ok(req * 10)
+        }
+
+        fn breaker_counts(&self, err: &NetpartError) -> bool {
+            matches!(err, NetpartError::Calibration(_))
+        }
+
+        fn fallback(&self, req: &u64, _budget: &Budget) -> Option<Result<u64, NetpartError>> {
+            Some(Ok(req * 10 + 1)) // distinguishable degraded answer
+        }
+    }
+
+    fn quick_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+            max_retries: 0,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_and_caches() {
+        let server = Server::start(TestService::new(), quick_cfg());
+        let a = server.submit(7).expect("admitted").wait().expect("served");
+        assert_eq!(a.value, 70);
+        assert_eq!(a.source, ServeSource::Fresh);
+        let b = server.submit(7).expect("admitted").wait().expect("served");
+        assert_eq!(b.value, 70);
+        assert_eq!(b.source, ServeSource::Cache);
+        let st = server.stats();
+        assert_eq!(st.fresh, 1);
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.admitted, 2);
+        server.stop();
+    }
+
+    #[test]
+    fn sheds_beyond_queue_depth_with_typed_error() {
+        let (svc, gate) = TestService::gated();
+        let server = Server::start(
+            svc,
+            ServeConfig {
+                workers: 1,
+                queue_depth: 2,
+                ..quick_cfg()
+            },
+        );
+        // Worker blocks on the gate with request 0; then 2 fit in the
+        // queue; the 4th submission must shed.
+        let t0 = server.submit(100).expect("in flight");
+        std::thread::sleep(Duration::from_millis(20)); // let the worker pick it up
+        let t1 = server.submit(101).expect("queued 1");
+        let t2 = server.submit(102).expect("queued 2");
+        match server.submit(103) {
+            Err(NetpartError::ServerOverloaded { depth, capacity }) => {
+                assert_eq!(depth, 2);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected ServerOverloaded, got {other:?}"),
+        }
+        open_gate(&gate);
+        for t in [t0, t1, t2] {
+            t.wait().expect("terminates");
+        }
+        let st = server.stats();
+        assert_eq!(st.shed, 1);
+        assert!(st.queue_high_water >= 2);
+        server.stop();
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_not_hung() {
+        let (svc, gate) = TestService::gated();
+        svc.set_deadline(201, 5.0);
+        let server = Server::start(
+            svc,
+            ServeConfig {
+                workers: 1,
+                ..quick_cfg()
+            },
+        );
+        let t0 = server.submit(200).expect("blocks the worker");
+        std::thread::sleep(Duration::from_millis(10));
+        let t1 = server.submit(201).expect("queued behind the block");
+        std::thread::sleep(Duration::from_millis(10)); // deadline passes in queue
+        open_gate(&gate);
+        t0.wait().expect("long request fine");
+        match t1.wait() {
+            Err(NetpartError::PlanDeadlineExceeded { budget_ms, .. }) => {
+                assert_eq!(budget_ms, 5)
+            }
+            other => panic!("expected PlanDeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(server.stats().expired, 1);
+        server.stop();
+    }
+
+    #[test]
+    fn duplicate_in_flight_requests_coalesce_to_one_execution() {
+        let (svc, gate) = TestService::gated();
+        let server = Server::start(
+            svc,
+            ServeConfig {
+                workers: 4,
+                queue_depth: usize::MAX,
+                ..quick_cfg()
+            },
+        );
+        let tickets: Vec<_> = (0..4)
+            .map(|_| server.submit(42).expect("admitted"))
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        open_gate(&gate);
+        let mut values = Vec::new();
+        for t in tickets {
+            values.push(t.wait().expect("served").value);
+        }
+        assert_eq!(values, vec![420; 4], "identical results");
+        let st = server.stats();
+        assert_eq!(
+            st.fresh, 1,
+            "exactly one execution; the rest coalesced or hit cache: {st:?}"
+        );
+        assert_eq!(st.fresh + st.coalesced + st.cache_hits, 4);
+        server.stop();
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers() {
+        let svc = TestService::new();
+        // Class 0 (even requests): fail enough distinct requests to trip
+        // the default threshold of 3.
+        for req in [2u64, 4, 6] {
+            svc.fail_times(req, 1);
+        }
+        let server = Server::start(
+            svc,
+            ServeConfig {
+                workers: 1,
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    probe_every: 2,
+                },
+                ..quick_cfg()
+            },
+        );
+        for req in [2u64, 4, 6] {
+            let err = server.submit(req).expect("admitted").wait();
+            assert!(matches!(err, Err(NetpartError::Calibration(_))), "{err:?}");
+        }
+        let st = server.stats();
+        assert_eq!(st.breaker_opens, 1);
+        // Circuit open: the next even request is served degraded by the
+        // fallback (odd requests — class 1 — stay normal).
+        let d = server.submit(8).expect("admitted").wait().expect("served");
+        assert_eq!(d.source, ServeSource::Fallback);
+        assert_eq!(d.value, 81);
+        let n = server.submit(9).expect("admitted").wait().expect("served");
+        assert_eq!(n.source, ServeSource::Fresh);
+        // Second arrival since opening is the probe (probe_every = 2);
+        // the service is healthy again, so it closes the circuit.
+        let p = server.submit(10).expect("admitted").wait().expect("served");
+        assert_eq!(p.source, ServeSource::Fresh, "probe took the normal path");
+        let st = server.stats();
+        assert_eq!(st.breaker_closes, 1);
+        assert_eq!(st.degraded, 1);
+        let h = server.submit(12).expect("admitted").wait().expect("served");
+        assert_eq!(h.source, ServeSource::Fresh, "circuit closed again");
+        server.stop();
+    }
+
+    #[test]
+    fn open_breaker_serves_stale_cache_with_age() {
+        let svc = TestService::new();
+        for req in [2u64, 4, 6] {
+            svc.fail_times(req, 1);
+        }
+        let server = Server::start(
+            svc,
+            ServeConfig {
+                workers: 1,
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    probe_every: 100,
+                },
+                ..quick_cfg()
+            },
+        );
+        // Cache request 20 while healthy.
+        server.submit(20).expect("admitted").wait().expect("served");
+        for req in [2u64, 4, 6] {
+            let _ = server.submit(req).expect("admitted").wait();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let s = server.submit(20).expect("admitted").wait().expect("served");
+        match s.source {
+            ServeSource::StaleCache { age_ms } => assert!(age_ms >= 5, "age {age_ms}"),
+            other => panic!("expected StaleCache, got {other:?}"),
+        }
+        assert_eq!(s.value, 200, "stale plan is still the right plan");
+        server.stop();
+    }
+
+    #[test]
+    fn retries_transient_failures_with_backoff() {
+        struct Flaky(AtomicU64);
+        impl PlanService for Flaky {
+            type Request = u64;
+            type Response = u64;
+            fn fingerprint(&self, req: &u64) -> u64 {
+                *req
+            }
+            fn execute(&self, req: &u64, _b: &Budget) -> Result<u64, NetpartError> {
+                if self.0.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(NetpartError::Network("transient".into()))
+                } else {
+                    Ok(*req)
+                }
+            }
+            fn retryable(&self, err: &NetpartError) -> bool {
+                matches!(err, NetpartError::Network(_))
+            }
+        }
+        let server = Server::start(
+            Flaky(AtomicU64::new(0)),
+            ServeConfig {
+                workers: 1,
+                max_retries: 3,
+                retry_backoff: Backoff::fixed(1.0),
+                ..ServeConfig::default()
+            },
+        );
+        let r = server.submit(5).expect("admitted").wait().expect("served");
+        assert_eq!(r.value, 5);
+        assert_eq!(r.retries, 2);
+        assert_eq!(server.stats().retries, 2);
+        server.stop();
+    }
+
+    #[test]
+    fn stop_drains_queue_with_typed_error_and_terminates_everything() {
+        let (svc, gate) = TestService::gated();
+        let server = Server::start(
+            svc,
+            ServeConfig {
+                workers: 1,
+                queue_depth: usize::MAX,
+                ..quick_cfg()
+            },
+        );
+        let in_flight = server.submit(300).expect("picked up");
+        std::thread::sleep(Duration::from_millis(10));
+        let queued: Vec<_> = (301..305)
+            .map(|r| server.submit(r).expect("queued"))
+            .collect();
+        open_gate(&gate);
+        server.stop();
+        // The in-flight request finished normally; the queued ones were
+        // drained with the typed shutdown error.
+        assert_eq!(in_flight.wait().expect("finished").value, 3000);
+        for t in queued {
+            match t.wait() {
+                Err(NetpartError::ServerStopped) | Ok(_) => {}
+                other => panic!("expected termination, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            server.submit(999),
+            Err(NetpartError::ServerStopped)
+        ));
+    }
+}

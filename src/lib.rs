@@ -45,12 +45,14 @@
 #![forbid(unsafe_code)]
 
 pub mod pipeline;
+pub mod serve;
 
 pub use netpart_model::NetpartError;
 pub use pipeline::{
     AppStart, CheckpointPolicy, CostSource, Durability, Fault, FaultSchedule, PhaseTotals, Plan,
-    RecoveryPolicy, RecoveryStats, Run, Scenario,
+    PlanRequest, PlanResponse, PlanSource, RecoveryPolicy, RecoveryStats, Run, Scenario,
 };
+pub use serve::{PlanServer, PlanTicket, ServeConfig};
 
 pub use netpart_apps as apps;
 pub use netpart_baselines as baselines;

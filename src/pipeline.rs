@@ -27,15 +27,15 @@
 //! ```
 
 use netpart_calibrate::{
-    calibrate_testbed_cached, speed_scale, CalibratedCostModel, CalibrationConfig, CommCostModel,
-    InflatedCostModel, PaperCostModel, Testbed,
+    calibrate_testbed_cached_budgeted, calibration_fingerprint, speed_scale, CalibratedCostModel,
+    CalibrationConfig, CommCostModel, InflatedCostModel, PaperCostModel, Testbed,
 };
 use netpart_core::{
-    determine_available, partition, AvailabilityPolicy, Estimator, Partition, PartitionOptions,
-    SystemModel,
+    determine_available, partition, partition_budgeted, AvailabilityPolicy, Estimator, Partition,
+    PartitionOptions, SystemModel,
 };
 use netpart_mmps::MmpsEvent;
-use netpart_model::{AppModel, NetpartError, PartitionVector};
+use netpart_model::{AppModel, Backoff, Budget, NetpartError, PartitionVector};
 use netpart_sim::{FaultPlan, NodeId, RouterId, SegmentId, SimDur, SimError, SimTime};
 use netpart_spmd::{
     Checkpoint, CheckpointStore, DriftConfig, DriftMonitor, DriftReport, Executor, Phase, Probe,
@@ -153,6 +153,13 @@ impl Scenario {
     /// Resolve [`CostSource`] into a priced model, verifying it covers
     /// every (cluster, topology) pair the application can exercise.
     fn resolve_model(&self) -> Result<PlanModel, NetpartError> {
+        self.resolve_model_budgeted(&Budget::unlimited())
+    }
+
+    /// [`resolve_model`](Self::resolve_model) under a cooperative
+    /// [`Budget`]: a `Calibrated` cost source polls the budget through
+    /// the calibration sweep (cache hits are served regardless).
+    fn resolve_model_budgeted(&self, budget: &Budget) -> Result<PlanModel, NetpartError> {
         let model = match &self.cost {
             CostSource::Measured => {
                 return Err(NetpartError::InvalidScenario(
@@ -162,10 +169,11 @@ impl Scenario {
                 ))
             }
             CostSource::Paper => PlanModel::Paper(PaperCostModel),
-            CostSource::Calibrated(cfg) => PlanModel::Table(calibrate_testbed_cached(
+            CostSource::Calibrated(cfg) => PlanModel::Table(calibrate_testbed_cached_budgeted(
                 &self.testbed,
                 &self.topologies,
                 cfg,
+                budget,
             )?),
             CostSource::Fixed(m) => PlanModel::Table(m.clone()),
         };
@@ -189,11 +197,21 @@ impl Scenario {
     /// run the heuristic partitioner, and return the decision with its
     /// predicted per-cycle time.
     pub fn plan(&self) -> Result<Plan, NetpartError> {
+        self.plan_budgeted(&Budget::unlimited())
+    }
+
+    /// [`plan`](Self::plan) under a cooperative [`Budget`]: the
+    /// calibration sweep and the partitioner's fill loop poll the budget
+    /// at their checkpoints, so an expired request returns the typed
+    /// [`NetpartError::PlanDeadlineExceeded`] instead of finishing. With
+    /// an unlimited budget the arithmetic — and therefore the plan — is
+    /// bit-identical to [`plan`](Self::plan).
+    pub fn plan_budgeted(&self, budget: &Budget) -> Result<Plan, NetpartError> {
         self.validate()?;
-        let model = self.resolve_model()?;
+        let model = self.resolve_model_budgeted(budget)?;
         let sys = SystemModel::from_testbed(&self.testbed);
         let est = Estimator::new(&sys, model.as_dyn(), &self.app);
-        let part = partition(&est, &self.options)?;
+        let part = partition_budgeted(&est, &self.options, budget)?;
         Ok(Plan {
             testbed: self.testbed.clone(),
             placement: self.placement,
@@ -303,6 +321,137 @@ impl Plan {
             recovery: None,
             report,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan serving: the request/response vocabulary of `netpart::serve`.
+
+/// A planning request as submitted to a
+/// [`PlanServer`](crate::serve::PlanServer): the scenario plus an
+/// optional wall-clock deadline budget.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The scenario to plan.
+    pub scenario: Scenario,
+    /// Wall-clock deadline, milliseconds, measured from submission.
+    /// `None` = no deadline. An expired request terminates with the typed
+    /// [`NetpartError::PlanDeadlineExceeded`] — queued, mid-calibration,
+    /// or mid-partition.
+    pub deadline_ms: Option<f64>,
+}
+
+impl PlanRequest {
+    /// A request with no deadline.
+    pub fn new(scenario: Scenario) -> PlanRequest {
+        PlanRequest {
+            scenario,
+            deadline_ms: None,
+        }
+    }
+
+    /// Attach a wall-clock deadline budget, in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: f64) -> PlanRequest {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Start the request's cooperative budget clock (at submission time).
+    pub fn start_budget(&self) -> Budget {
+        match self.deadline_ms {
+            Some(ms) => Budget::deadline_ms(ms),
+            None => Budget::unlimited(),
+        }
+    }
+}
+
+/// Where a served plan came from — stamped on every
+/// [`PlanResponse`] so callers can tell a fresh computation from a cache
+/// hit from degraded-mode service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Computed by the full planning pipeline for this request.
+    Fresh,
+    /// Byte-identical cached plan for the same scenario fingerprint,
+    /// served while the scenario's calibration class is healthy.
+    Cache,
+    /// The last-known-good cached plan, served while the calibration
+    /// circuit for this scenario's fingerprint class is **open**
+    /// (degraded mode). The plan is still byte-identical to a cold
+    /// computation of the same scenario; the stamp carries its age so
+    /// callers can judge staleness.
+    StaleCache {
+        /// Milliseconds since the cached plan was computed.
+        age_ms: u64,
+    },
+    /// Planned fresh under the [`CostSource::Paper`] fallback model
+    /// because the calibration circuit is open and no cached plan exists
+    /// for this fingerprint.
+    PaperFallback,
+}
+
+/// A served plan plus its provenance and latency accounting.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// The partitioning decision.
+    pub plan: Plan,
+    /// Where the plan came from.
+    pub source: PlanSource,
+    /// Transient-failure retries spent before this response.
+    pub retries: u32,
+    /// Wall-clock ms the request waited in the admission queue.
+    pub queue_ms: f64,
+    /// Wall-clock ms from submission to response.
+    pub total_ms: f64,
+}
+
+/// Fingerprint of everything [`Scenario::plan`] depends on: the full
+/// testbed description, the application model, the topology list, the
+/// cost source, the partitioner options, placement, and distribution.
+///
+/// FNV-1a over the `Debug` rendering — the same technique as
+/// [`calibration_fingerprint`] — extended with point samples of every
+/// phase's complexity callback at several PDU counts: callbacks
+/// `Debug`-print only as their value at `a = 1`, so two different
+/// nonlinear annotations could otherwise collide on one fingerprint and
+/// the plan cache would serve a *wrong* plan. Probing at 1, 7, 1000 and
+/// 123457 pins the curve, not just one point.
+pub fn scenario_fingerprint(s: &Scenario) -> u64 {
+    let mut repr = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        s.testbed, s.app, s.topologies, s.cost, s.options, s.placement, s.distribute
+    );
+    for phase in s.app.comp_phases() {
+        for a in [1.0, 7.0, 1000.0, 123_457.0] {
+            repr.push_str(&format!("|comp {} @{a}: {:?}", phase.name, phase.ops(a)));
+        }
+    }
+    for phase in s.app.comm_phases() {
+        for a in [1.0, 7.0, 1000.0, 123_457.0] {
+            repr.push_str(&format!("|comm {} @{a}: {:?}", phase.name, phase.bytes(a)));
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in repr.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The breaker *class* of a scenario: what groups requests for circuit-
+/// breaking purposes. Calibrated scenarios share a class when they share
+/// a calibration fingerprint (same testbed, topologies, and sweep
+/// configuration — the unit that fails together when calibration
+/// breaks); other cost sources never touch the calibration path, so they
+/// map to per-source sentinel classes that the breaker counts but which
+/// in practice never trip.
+pub fn scenario_class(s: &Scenario) -> u64 {
+    match &s.cost {
+        CostSource::Calibrated(cfg) => calibration_fingerprint(&s.testbed, &s.topologies, cfg),
+        CostSource::Paper => 1,
+        CostSource::Measured => 2,
+        CostSource::Fixed(_) => 3,
     }
 }
 
@@ -644,6 +793,13 @@ pub struct CheckpointPolicy {
     /// instead of spinning through its replan budget on a hopeless
     /// network.
     pub watchdog_ms: f64,
+    /// Override for the recovery decision pause: `None` (the default)
+    /// derives a flat [`Backoff::fixed`] from the policy's `backoff_ms`
+    /// knob (byte-identical to the historical behaviour); `Some` replaces
+    /// it with any configurable schedule — e.g.
+    /// [`Backoff::exponential`] for jittered, seeded, capped growth
+    /// across recovery rounds.
+    pub backoff: Option<Backoff>,
 }
 
 impl CheckpointPolicy {
@@ -653,6 +809,7 @@ impl CheckpointPolicy {
             every,
             durability: Durability::Local,
             watchdog_ms: 10_000.0,
+            backoff: None,
         }
     }
 
@@ -667,6 +824,13 @@ impl CheckpointPolicy {
     /// Replace the watchdog budget.
     pub fn with_watchdog_ms(mut self, budget_ms: f64) -> CheckpointPolicy {
         self.watchdog_ms = budget_ms;
+        self
+    }
+
+    /// Replace the recovery decision pause with an explicit [`Backoff`]
+    /// schedule (attempt-indexed by completed replans).
+    pub fn with_backoff(mut self, backoff: Backoff) -> CheckpointPolicy {
+        self.backoff = Some(backoff);
         self
     }
 }
@@ -735,12 +899,14 @@ pub enum AppStart<'a> {
 /// MMPS-internal and availability-round owners).
 const OWNER_RECOVERY: u64 = u64::MAX - 3;
 
-/// Fail-stop replan budget and decision pause used by
-/// [`RecoveryPolicy::Adapt`], which fixes the [`RecoveryPolicy::Replan`]
-/// knobs so its own surface stays the three drift parameters the
-/// cost/benefit gate actually needs.
+/// Fail-stop replan budget used by [`RecoveryPolicy::Adapt`], which
+/// fixes the [`RecoveryPolicy::Replan`] knobs so its own surface stays
+/// the three drift parameters the cost/benefit gate actually needs. Its
+/// decision pause is the same flat 5 ms [`Backoff::fixed`] schedule a
+/// `Replan { backoff_ms: 5.0 }` policy gets — one backoff implementation
+/// serves recovery and the plan server's retries alike, and
+/// [`CheckpointPolicy::backoff`] overrides it.
 const ADAPT_MAX_REPLANS: u32 = 4;
-const ADAPT_BACKOFF_MS: f64 = 5.0;
 
 impl Scenario {
     /// Plan and run `app` with scheduled faults and a recovery policy —
@@ -825,9 +991,11 @@ impl Scenario {
             RecoveryPolicy::Replan {
                 max_replans,
                 backoff_ms,
-            } => Some((max_replans, backoff_ms)),
-            RecoveryPolicy::Adapt { .. } => Some((ADAPT_MAX_REPLANS, ADAPT_BACKOFF_MS)),
-        };
+            } => Some((max_replans, Backoff::fixed(backoff_ms))),
+            RecoveryPolicy::Adapt { .. } => Some((ADAPT_MAX_REPLANS, Backoff::fixed(5.0))),
+        }
+        // The policy-wide schedule yields to an explicit override.
+        .map(|(max, b)| (max, ckpt.backoff.unwrap_or(b)));
 
         let mut cur_vector = plan.vector.clone();
         let mut distribute = self.distribute;
@@ -970,9 +1138,13 @@ impl Scenario {
                 RecoveryAction::Drift => (confirmed, None),
                 RecoveryAction::Suspect(s) => (None, s),
             };
-            let Some((max_replans, backoff_ms)) = fail_params else {
+            let Some((max_replans, backoff)) = fail_params else {
                 unreachable!("a recoverable classification implies a recovery budget")
             };
+            // This round's decision pause, indexed by completed replans so
+            // exponential schedules grow across rounds. `Backoff::fixed`
+            // reproduces the historical flat pause bit-for-bit.
+            let backoff_ms = backoff.delay_ms(stats.replans);
             let t_fail = exec.mmps().now();
 
             // Online recalibration from the in-flight measurement — pure

@@ -1,0 +1,341 @@
+//! Planner-as-a-service: an overload-robust server over
+//! [`Scenario::plan`].
+//!
+//! [`PlanServer`] binds the generic engine in [`netpart_serve`] to the
+//! planning pipeline: submissions are [`PlanRequest`]s (a [`Scenario`]
+//! plus an optional deadline), responses are [`PlanResponse`]s (a
+//! [`Plan`](crate::pipeline::Plan) stamped with its [`PlanSource`]).
+//! The server layers a fingerprinted **plan cache** over the calibration
+//! cache: two requests with equal [`scenario_fingerprint`]s get
+//! byte-identical plans, computed once.
+//!
+//! Overload behavior, end to end:
+//!
+//! - submissions beyond [`ServeConfig::queue_depth`] are shed with the
+//!   typed [`NetpartError::ServerOverloaded`];
+//! - a request's [`PlanRequest::deadline_ms`] is enforced cooperatively
+//!   through the calibration sweep and the partitioner's fill loop —
+//!   expiry terminates with [`NetpartError::PlanDeadlineExceeded`];
+//! - consecutive calibration failures for one fingerprint *class* open a
+//!   circuit breaker: further requests of the class are served degraded
+//!   — the last-known-good cached plan (stamped
+//!   [`PlanSource::StaleCache`]) or a fresh plan under the
+//!   [`CostSource::Paper`] fallback model ([`PlanSource::PaperFallback`])
+//!   when the paper's constants cover the scenario — while counted
+//!   half-open probes test for recovery;
+//! - transient (chaos-injected) failures are retried on a deterministic
+//!   jittered exponential [`Backoff`](crate::model::Backoff).
+//!
+//! With the [`ServeConfig::transparent`] configuration (one worker, no
+//! queue bound, no deadline, no retries) the server is byte-transparent
+//! to calling [`Scenario::plan`] directly — property-tested in
+//! `tests/serve.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use netpart_model::{Budget, NetpartError};
+use netpart_serve::{PlanService, ServeSource, Served, Server, Ticket};
+use netpart_topology::Topology;
+
+use crate::pipeline::{
+    scenario_class, scenario_fingerprint, CostSource, Plan, PlanRequest, PlanResponse, PlanSource,
+    Scenario,
+};
+
+pub use netpart_serve::{BreakerConfig, LatencyHistogram, ServeConfig, ServerStats};
+
+/// Deterministic fault injection for chaos testing: each execution
+/// attempt is independently replaced by an injected calibration failure
+/// with probability `fault_rate`, decided by a hash of `seed` and the
+/// attempt index — reproducible across runs, no RNG state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Seed for the per-attempt fault decision.
+    pub seed: u64,
+    /// Probability in [0, 1] that an execution attempt fails.
+    pub fault_rate: f64,
+}
+
+impl ChaosSpec {
+    /// Does attempt `n` get an injected fault?
+    pub fn injects(&self, n: u64) -> bool {
+        // splitmix64 of (seed, n) → unit interval, same construction as
+        // `Backoff`'s jitter.
+        let mut z = self
+            .seed
+            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) < self.fault_rate
+    }
+}
+
+/// Can the paper's §6 constants price this scenario? They cover two
+/// clusters on a 1-D topology — the same predicate
+/// [`PaperCostModel::covers`](crate::calibrate::PaperCostModel) applies
+/// per (cluster, topology) pair during model resolution.
+fn paper_covers(s: &Scenario) -> bool {
+    s.testbed
+        .clusters
+        .iter()
+        .enumerate()
+        .all(|(i, c)| c.nodes == 0 || i < 2)
+        && s.app
+            .comm_phases()
+            .iter()
+            .all(|p| p.topology == Topology::OneD)
+}
+
+/// The [`PlanService`] binding: fingerprints via [`scenario_fingerprint`],
+/// breaker classes via [`scenario_class`], execution via
+/// [`Scenario::plan_budgeted`], degraded fallback via
+/// [`CostSource::Paper`] when it covers the scenario.
+struct ScenarioService {
+    chaos: Option<ChaosSpec>,
+    attempts: AtomicU64,
+}
+
+impl PlanService for ScenarioService {
+    type Request = PlanRequest;
+    type Response = Plan;
+
+    fn fingerprint(&self, req: &PlanRequest) -> u64 {
+        scenario_fingerprint(&req.scenario)
+    }
+
+    fn class(&self, req: &PlanRequest) -> u64 {
+        scenario_class(&req.scenario)
+    }
+
+    fn budget(&self, req: &PlanRequest) -> Budget {
+        req.start_budget()
+    }
+
+    fn execute(&self, req: &PlanRequest, budget: &Budget) -> Result<Plan, NetpartError> {
+        if let Some(chaos) = &self.chaos {
+            let n = self.attempts.fetch_add(1, Ordering::Relaxed);
+            if chaos.injects(n) {
+                return Err(NetpartError::Calibration(format!(
+                    "injected chaos fault on attempt {n}"
+                )));
+            }
+        }
+        req.scenario.plan_budgeted(budget)
+    }
+
+    fn breaker_counts(&self, err: &NetpartError) -> bool {
+        matches!(err, NetpartError::Calibration(_))
+    }
+
+    fn retryable(&self, err: &NetpartError) -> bool {
+        // Real calibration failures are deterministic (a missing fit
+        // stays missing); only chaos-injected faults are transient.
+        matches!(err, NetpartError::Calibration(msg) if msg.starts_with("injected chaos"))
+    }
+
+    fn fallback(&self, req: &PlanRequest, budget: &Budget) -> Option<Result<Plan, NetpartError>> {
+        // Degraded mode only makes sense when the broken path is
+        // calibration; and the paper model must actually cover the
+        // scenario, else the class's last typed error is the honest
+        // answer.
+        if !matches!(req.scenario.cost, CostSource::Calibrated(_)) || !paper_covers(&req.scenario) {
+            return None;
+        }
+        let fallback = req.scenario.clone().with_cost(CostSource::Paper);
+        Some(fallback.plan_budgeted(budget))
+    }
+}
+
+/// Completion handle for a submitted [`PlanRequest`].
+#[derive(Debug)]
+pub struct PlanTicket {
+    inner: Ticket<Plan>,
+}
+
+fn to_response(served: Served<Plan>) -> PlanResponse {
+    let source = match served.source {
+        ServeSource::Fresh => PlanSource::Fresh,
+        // A coalesced duplicate got the leader's plan — to the caller
+        // that is a cache hit that happened to be in flight.
+        ServeSource::Cache | ServeSource::Coalesced => PlanSource::Cache,
+        ServeSource::StaleCache { age_ms } => PlanSource::StaleCache { age_ms },
+        ServeSource::Fallback => PlanSource::PaperFallback,
+    };
+    PlanResponse {
+        plan: served.value,
+        source,
+        retries: served.retries,
+        queue_ms: served.queue_ms,
+        total_ms: served.total_ms,
+    }
+}
+
+impl PlanTicket {
+    /// Block until the request terminates with a plan or a typed error.
+    pub fn wait(&self) -> Result<PlanResponse, NetpartError> {
+        self.inner.wait().map(to_response)
+    }
+
+    /// Non-blocking peek: `Some` once the request has terminated.
+    pub fn try_wait(&self) -> Option<Result<PlanResponse, NetpartError>> {
+        self.inner.try_wait().map(|r| r.map(to_response))
+    }
+}
+
+/// A multi-threaded planning server with bounded admission, deadlines,
+/// load shedding, and degraded-mode serving. See the module docs for the
+/// overload model; see [`ServeConfig`] for tuning.
+///
+/// ```no_run
+/// use netpart::apps::stencil::{stencil_model, StencilVariant};
+/// use netpart::calibrate::Testbed;
+/// use netpart::pipeline::{PlanRequest, Scenario};
+/// use netpart::serve::{PlanServer, ServeConfig};
+///
+/// let server = PlanServer::start(ServeConfig::default());
+/// let scenario = Scenario::new(Testbed::paper(), stencil_model(600, StencilVariant::Sten2));
+/// let ticket = server.submit(PlanRequest::new(scenario).with_deadline_ms(5_000.0))?;
+/// let response = ticket.wait()?;
+/// println!("{:?} plan: {:?}", response.source, response.plan.config);
+/// # Ok::<(), netpart::NetpartError>(())
+/// ```
+pub struct PlanServer {
+    inner: Server<ScenarioService>,
+}
+
+impl PlanServer {
+    /// Start a server with `cfg.workers` planning threads.
+    pub fn start(cfg: ServeConfig) -> PlanServer {
+        PlanServer {
+            inner: Server::start(
+                ScenarioService {
+                    chaos: None,
+                    attempts: AtomicU64::new(0),
+                },
+                cfg,
+            ),
+        }
+    }
+
+    /// Start a server whose execution path injects deterministic faults
+    /// — the harness behind `experiments -- serve`'s chaos mode.
+    pub fn start_with_chaos(cfg: ServeConfig, chaos: ChaosSpec) -> PlanServer {
+        PlanServer {
+            inner: Server::start(
+                ScenarioService {
+                    chaos: Some(chaos),
+                    attempts: AtomicU64::new(0),
+                },
+                cfg,
+            ),
+        }
+    }
+
+    /// Submit a planning request. Sheds synchronously with
+    /// [`NetpartError::ServerOverloaded`] when the admission queue is
+    /// full; an admitted request's [`PlanTicket`] always terminates.
+    pub fn submit(&self, req: PlanRequest) -> Result<PlanTicket, NetpartError> {
+        self.inner.submit(req).map(|inner| PlanTicket { inner })
+    }
+
+    /// Plan one scenario through the server, synchronously — submit,
+    /// wait, unwrap the provenance stamp.
+    pub fn plan(&self, scenario: Scenario) -> Result<PlanResponse, NetpartError> {
+        self.submit(PlanRequest::new(scenario))?.wait()
+    }
+
+    /// A snapshot of the server's counters and latency histograms.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Stop accepting work, drain the queue with
+    /// [`NetpartError::ServerStopped`], finish in-flight requests, and
+    /// join the workers. Idempotent; also runs on drop.
+    pub fn stop(&self) {
+        self.inner.stop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::stencil::{stencil_model, StencilVariant};
+    use crate::calibrate::Testbed;
+
+    fn paper_scenario(n: u64) -> Scenario {
+        Scenario::new(Testbed::paper(), stencil_model(n, StencilVariant::Sten2))
+            .with_cost(CostSource::Paper)
+    }
+
+    #[test]
+    fn chaos_spec_is_deterministic_and_rate_bounded() {
+        let chaos = ChaosSpec {
+            seed: 42,
+            fault_rate: 0.3,
+        };
+        let a: Vec<bool> = (0..512).map(|n| chaos.injects(n)).collect();
+        let b: Vec<bool> = (0..512).map(|n| chaos.injects(n)).collect();
+        assert_eq!(a, b, "same seed, same faults");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!((80..230).contains(&hits), "~30% of 512, got {hits}");
+        let never = ChaosSpec {
+            seed: 42,
+            fault_rate: 0.0,
+        };
+        assert!((0..512).all(|n| !never.injects(n)));
+    }
+
+    #[test]
+    fn paper_covers_matches_the_model_predicate() {
+        assert!(paper_covers(&paper_scenario(100)));
+        let three = Scenario::new(
+            Testbed::synthetic(3, 4, 0.2),
+            stencil_model(100, StencilVariant::Sten2),
+        );
+        assert!(!paper_covers(&three), "three clusters exceed the paper fit");
+    }
+
+    #[test]
+    fn served_plan_matches_direct_plan() {
+        let server = PlanServer::start(ServeConfig::transparent());
+        let scenario = paper_scenario(300);
+        let direct = scenario.plan().expect("direct plan");
+        let served = server.plan(scenario).expect("served plan");
+        assert_eq!(served.source, PlanSource::Fresh);
+        assert_eq!(served.plan.config, direct.config);
+        assert_eq!(served.plan.vector, direct.vector);
+        assert_eq!(
+            served.plan.predicted_tc_ms.map(f64::to_bits),
+            direct.predicted_tc_ms.map(f64::to_bits),
+            "bit-identical prediction"
+        );
+        let again = server.plan(paper_scenario(300)).expect("cache hit");
+        assert_eq!(again.source, PlanSource::Cache);
+        assert_eq!(
+            again.plan.predicted_tc_ms.map(f64::to_bits),
+            direct.predicted_tc_ms.map(f64::to_bits),
+            "cache-hit plan is byte-identical to the cold plan"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn distinct_scenarios_get_distinct_cache_entries() {
+        let server = PlanServer::start(ServeConfig::default());
+        let a = server.plan(paper_scenario(200)).expect("a");
+        let b = server.plan(paper_scenario(400)).expect("b");
+        assert_eq!(a.source, PlanSource::Fresh);
+        assert_eq!(
+            b.source,
+            PlanSource::Fresh,
+            "different N ⇒ different fingerprint"
+        );
+        assert_ne!(
+            scenario_fingerprint(&paper_scenario(200)),
+            scenario_fingerprint(&paper_scenario(400))
+        );
+        server.stop();
+    }
+}

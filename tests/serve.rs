@@ -1,0 +1,201 @@
+//! Integration and property tests for the plan server: byte-transparency
+//! of the trivial configuration, cache-hit ≡ cold-plan byte identity,
+//! single-flight coalescing, typed overload errors, and degraded-mode
+//! serving under injected calibration faults.
+
+use proptest::prelude::*;
+
+use netpart::apps::stencil::{stencil_model, StencilVariant};
+use netpart::calibrate::Testbed;
+use netpart::model::NetpartError;
+use netpart::pipeline::{PlanRequest, PlanSource, Scenario};
+use netpart::serve::{ChaosSpec, PlanServer, ServeConfig};
+use netpart::CostSource;
+
+fn paper_scenario(n: u64, variant: StencilVariant) -> Scenario {
+    Scenario::new(Testbed::paper(), stencil_model(n, variant)).with_cost(CostSource::Paper)
+}
+
+type PlanBits = (Vec<u32>, String, Option<u64>);
+
+fn plan_bits(plan: &netpart::Plan) -> PlanBits {
+    (
+        plan.config.clone(),
+        format!("{:?}", plan.vector),
+        plan.predicted_tc_ms.map(f64::to_bits),
+    )
+}
+
+proptest! {
+    /// A trivially-configured server (one worker, unbounded queue, no
+    /// deadline, no retries) is byte-transparent to calling `plan()`
+    /// directly, for arbitrary scenario streams.
+    #[test]
+    fn trivial_server_is_byte_transparent_to_plan(
+        sizes in prop::collection::vec(50u64..1500, 1..6),
+        sten1 in any::<bool>(),
+    ) {
+        let variant = if sten1 { StencilVariant::Sten1 } else { StencilVariant::Sten2 };
+        let server = PlanServer::start(ServeConfig::transparent());
+        for n in sizes {
+            let scenario = paper_scenario(n, variant);
+            let direct = scenario.plan().expect("direct plan");
+            let served = server.plan(scenario).expect("served plan");
+            prop_assert_eq!(plan_bits(&served.plan), plan_bits(&direct));
+        }
+        server.stop();
+    }
+
+    /// Cache-hit plans are byte-identical to the cold plan for random
+    /// scenario streams containing duplicates.
+    #[test]
+    fn cache_hits_are_byte_identical_to_cold_plans(
+        sizes in prop::collection::vec(50u64..800, 2..8),
+    ) {
+        let server = PlanServer::start(ServeConfig::default());
+        let mut cold: Vec<(u64, PlanBits)> = Vec::new();
+        // First pass: cold plans. Second pass: every plan must be a cache
+        // hit and byte-identical.
+        for &n in &sizes {
+            let r = server.plan(paper_scenario(n, StencilVariant::Sten2)).expect("cold");
+            cold.push((n, plan_bits(&r.plan)));
+        }
+        for (n, bits) in cold {
+            let r = server.plan(paper_scenario(n, StencilVariant::Sten2)).expect("warm");
+            prop_assert_eq!(r.source, PlanSource::Cache);
+            prop_assert_eq!(plan_bits(&r.plan), bits);
+        }
+        server.stop();
+    }
+}
+
+/// Duplicate in-flight requests coalesce onto one computation and all
+/// observers get byte-identical plans.
+#[test]
+fn duplicate_in_flight_requests_coalesce_with_identical_results() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 4,
+        queue_depth: usize::MAX,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<_> = (0..8)
+        .map(|_| {
+            server
+                .submit(PlanRequest::new(paper_scenario(640, StencilVariant::Sten2)))
+                .expect("admitted")
+        })
+        .collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("served"))
+        .collect();
+    let first = plan_bits(&responses[0].plan);
+    for r in &responses {
+        assert_eq!(plan_bits(&r.plan), first, "all duplicates agree");
+    }
+    let st = server.stats();
+    assert_eq!(st.fresh, 1, "one computation for eight requests: {st:?}");
+    assert_eq!(st.fresh + st.coalesced + st.cache_hits, 8);
+    server.stop();
+}
+
+/// An expired deadline terminates with the typed error — here the budget
+/// is already spent when the worker picks the request up.
+#[test]
+fn expired_deadline_is_typed() {
+    let server = PlanServer::start(ServeConfig::transparent());
+    let req = PlanRequest::new(paper_scenario(500, StencilVariant::Sten2)).with_deadline_ms(0.0);
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    match server.submit(req).expect("admitted").wait() {
+        Err(NetpartError::PlanDeadlineExceeded { budget_ms, .. }) => assert_eq!(budget_ms, 0),
+        other => panic!("expected PlanDeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(server.stats().expired, 1);
+    server.stop();
+}
+
+/// Submissions beyond the queue bound shed with the typed overload error
+/// while everything admitted still terminates.
+#[test]
+fn flood_sheds_typed_and_everything_admitted_terminates() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let mut tickets = Vec::new();
+    let mut shed = 0usize;
+    for n in 0..200u64 {
+        // Distinct fingerprints so the cache can't absorb the flood.
+        match server.submit(PlanRequest::new(paper_scenario(
+            50 + n,
+            StencilVariant::Sten2,
+        ))) {
+            Ok(t) => tickets.push(t),
+            Err(NetpartError::ServerOverloaded { capacity, .. }) => {
+                assert_eq!(capacity, 4);
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected submit error {other:?}"),
+        }
+    }
+    for t in tickets {
+        t.wait().expect("admitted requests complete with a plan");
+    }
+    let st = server.stats();
+    assert_eq!(st.shed as usize, shed);
+    assert_eq!(st.completed(), st.admitted, "no admitted request hangs");
+    server.stop();
+}
+
+/// Under total calibration failure the breaker opens and calibrated
+/// scenarios the paper model covers are served degraded — with plans
+/// byte-identical to a direct `CostSource::Paper` plan, never a wrong
+/// plan.
+#[test]
+fn chaos_opens_breaker_and_serves_paper_fallback() {
+    let server = PlanServer::start_with_chaos(
+        ServeConfig {
+            workers: 1,
+            max_retries: 0,
+            ..ServeConfig::default()
+        },
+        ChaosSpec {
+            seed: 7,
+            fault_rate: 1.0,
+        },
+    );
+    // Calibrated scenarios (distinct N ⇒ distinct fingerprints, same
+    // calibration class). Every execution attempt fails by injection.
+    let mut failures = 0;
+    let mut degraded = Vec::new();
+    for n in 0..8u64 {
+        let scenario = Scenario::new(
+            Testbed::paper(),
+            stencil_model(100 + n * 50, StencilVariant::Sten2),
+        );
+        match server.plan(scenario.clone()) {
+            Err(NetpartError::Calibration(_)) => failures += 1,
+            Ok(r) => {
+                assert_eq!(r.source, PlanSource::PaperFallback);
+                let direct = scenario
+                    .with_cost(CostSource::Paper)
+                    .plan()
+                    .expect("paper plan");
+                assert_eq!(
+                    plan_bits(&r.plan),
+                    plan_bits(&direct),
+                    "degraded plan is the correct paper plan"
+                );
+                degraded.push(r);
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    let st = server.stats();
+    assert!(st.breaker_opens >= 1, "breaker opened: {st:?}");
+    assert_eq!(failures, 8 - degraded.len());
+    assert!(!degraded.is_empty(), "open circuit served degraded mode");
+    assert_eq!(st.completed(), st.admitted, "every request terminated");
+    server.stop();
+}
