@@ -18,8 +18,13 @@
 //! `scale-smoke` (CI's 256-node fat-tree guard; exits 5 on regression),
 //! `serve` (plan-server overload experiment — sustained load, flood,
 //! deadlines, chaos; excluded from `all` for its wall-clock throughput
-//! figures), and `serve-smoke` (CI's fast serve guard with a plans/sec
-//! floor and a zero-hangs assertion; exits 7 on any violation).
+//! figures), `serve-smoke` (CI's fast serve guard with a plans/sec
+//! floor and a zero-hangs assertion; exits 7 on any violation),
+//! `chaos-fabric` (seeded fault schedules against tree/fat-tree fabrics
+//! at 256 and 1024 nodes plus directed single-spine outages that must
+//! complete via reroute; excluded from `all` for its multi-minute
+//! 1024-node cells; exits 8 on a violation), and `chaos-fabric-smoke`
+//! (CI's fast fabric guard — the 256-node fat-tree subset).
 
 use std::sync::OnceLock;
 
@@ -499,6 +504,33 @@ fn cmd_chaos_fuzz() {
     }
 }
 
+/// Run the fabric chaos sweep (or its CI smoke subset), print the
+/// tables, write `BENCH_chaos_fabric.json`, and exit 8 on any invariant
+/// violation — including a directed single-spine outage that errored
+/// instead of completing via reroute.
+fn cmd_chaos_fabric(smoke: bool) {
+    let report = if smoke {
+        println!("Fabric chaos smoke (256-node fat-tree cells + directed spine outage):");
+        ok(chaos_fabric_smoke())
+    } else {
+        println!("Fabric chaos — seeded schedules against tree/fat-tree at 256 and 1024 nodes:");
+        ok(chaos_fabric())
+    };
+    print!("{}", render_chaos_fabric(&report));
+    let json = chaos_fabric_json(&report);
+    match std::fs::write("BENCH_chaos_fabric.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_chaos_fabric.json"),
+        Err(e) => eprintln!("BENCH_chaos_fabric.json not written: {e}"),
+    }
+    if report.violations() > 0 {
+        eprintln!(
+            "chaos-fabric: {} invariant violation(s) — details above",
+            report.violations()
+        );
+        std::process::exit(8);
+    }
+}
+
 fn cmd_simcore() {
     println!("Event-core throughput — wheel queue vs committed heap baseline:");
     let samples = run_simcore(3);
@@ -703,6 +735,16 @@ fn main() {
     }
     if want("chaos-fuzz") {
         cmd_chaos_fuzz();
+        println!();
+    }
+    // Not part of `all`: the 1024-node cells run for minutes. Exits 8 on
+    // a violation; the smoke variant is CI's fast fabric guard.
+    if cmds.contains(&"chaos-fabric") {
+        cmd_chaos_fabric(false);
+        println!();
+    }
+    if cmds.contains(&"chaos-fabric-smoke") {
+        cmd_chaos_fabric(true);
         println!();
     }
     // Deliberately not part of `all`: simcore reports machine-dependent

@@ -1,0 +1,580 @@
+//! Fabric-level chaos: seeded fault schedules against *hierarchical*
+//! fabrics at 256 and 1024 nodes.
+//!
+//! [`crate::chaos_fuzz`](mod@crate::chaos_fuzz) fuzzes the star testbed, where every node pair
+//! shares one router and the backbone cannot fail independently of it.
+//! This module points the same invariant at wired fabrics — trees and
+//! leaf–spine fat-trees — where schedules drawn from
+//! [`FaultPlan::random`] under
+//! [`fabric_bounds`](crate::chaos_fuzz::fabric_bounds) additionally cover
+//! `RouterOutage` on interior routers, `LinkDown` on individual router
+//! ports, and bursts on trunk segments. The invariant is unchanged:
+//! every run either completes **bit-identical** to the sequential
+//! reference or ends in a **typed** recovery error; anything else is a
+//! violation, delta-debugged to a minimal repro.
+//!
+//! # Cells
+//!
+//! The random sweep crosses `{STEN-1, GAUSS}` × `{tree(arity 4),
+//! fat-tree(pod 8, spines 4)}` × `{64×4 = 256 nodes, 128×8 = 1024
+//! nodes}` with uniform cluster speeds, eight seeds per cell — 64
+//! schedules. The STEN-1 cells are sized so the plan spans **every**
+//! cluster (routing crosses the live fabric each halo exchange); the
+//! GAUSS cells plan into a single cluster, so for them the sweep checks
+//! fabric *inertness* — backbone faults must not perturb a run that
+//! never crosses the backbone.
+//!
+//! # Directed reroute
+//!
+//! Two handcrafted cases assert the stronger half of the contract: on a
+//! fat-tree with four spines, a `LinkDown` that darkens one router's
+//! first spine port mid-run must **complete via reroute** over the
+//! remaining spines — a typed error here is a violation, not an
+//! acceptable outcome, because path diversity exists by construction.
+//!
+//! Fabric cells run local-durability checkpoints rather than the star
+//! fuzzer's replicated ones: mirroring hundred-KB blobs across 10 Mb
+//! shared segments saturates them past the MMPS retransmission budget
+//! at 1024 ranks, failing healthy nodes with zero faults injected (see
+//! `ChaosTarget`'s `ckpt` field).
+
+use crate::chaos_fuzz::{
+    shrink_schedule, ChaosFuzzCase, ChaosTarget, ChaosVerdict, MinimizedRepro,
+};
+use crate::scale::scale_cost_model;
+use netpart_apps::{gauss_model, stencil_model, StencilVariant};
+use netpart_calibrate::{Testbed, Wiring};
+use netpart_model::NetpartError;
+use netpart_sim::{FaultPlan, RouterId, SimDur, SimTime};
+
+/// Seeds per random cell; 8 cells × 8 seeds = 64 schedules per sweep.
+pub const FABRIC_SEEDS_PER_CELL: u64 = 8;
+
+/// Which app a cell fuzzes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellApp {
+    Sten1,
+    Gauss,
+}
+
+/// One random-sweep cell: an app on a wired shape, with a deterministic
+/// per-cell seed base so every schedule in the sweep is distinct and
+/// reproducible from its `(cell, seed)` pair alone.
+#[derive(Debug, Clone)]
+struct CellSpec {
+    app: CellApp,
+    wiring_name: &'static str,
+    wiring: Wiring,
+    clusters: u32,
+    nodes_per: u32,
+    seed_base: u64,
+}
+
+/// The full random-sweep cell list. Smoke runs reuse entries from this
+/// list (same seed bases), so a smoke verdict is a strict subset of the
+/// full sweep's.
+fn cells() -> Vec<CellSpec> {
+    let shapes = [(64u32, 4u32), (128, 8)];
+    let wirings = [
+        ("tree", Wiring::Tree { arity: 4 }),
+        ("fat-tree", Wiring::FatTree { pod: 8, spines: 4 }),
+    ];
+    let mut out = Vec::new();
+    let mut base = 0u64;
+    for (clusters, nodes_per) in shapes {
+        for (wname, wiring) in &wirings {
+            for app in [CellApp::Sten1, CellApp::Gauss] {
+                out.push(CellSpec {
+                    app,
+                    wiring_name: wname,
+                    wiring: wiring.clone(),
+                    clusters,
+                    nodes_per,
+                    seed_base: base,
+                });
+                base += 100;
+            }
+        }
+    }
+    out
+}
+
+/// Build the [`ChaosTarget`] for a cell: uniform speeds, STEN-1 grids at
+/// 4 rows per node (capacity binds, so the plan spans every cluster),
+/// GAUSS systems at 4 rows per *cluster* (single-cluster plans).
+fn build_target(spec: &CellSpec) -> Result<ChaosTarget, NetpartError> {
+    let tb = Testbed::synthetic(spec.clusters as usize, spec.nodes_per, 1.0)
+        .with_wiring(spec.wiring.clone());
+    match spec.app {
+        CellApp::Sten1 => {
+            let n = (4 * spec.clusters * spec.nodes_per) as usize;
+            let model = scale_cost_model(&tb, &stencil_model(n as u64, StencilVariant::Sten1))?;
+            ChaosTarget::sten_fabric(tb, &model, n, 6)
+        }
+        CellApp::Gauss => {
+            let n = (4 * spec.clusters) as usize;
+            let model = scale_cost_model(&tb, &gauss_model(n as u64))?;
+            ChaosTarget::gauss_fabric(tb, &model, n)
+        }
+    }
+}
+
+/// One random-sweep cell's results.
+#[derive(Debug, Clone)]
+pub struct FabricCellReport {
+    /// Application label (`STEN-1`, `GAUSS`).
+    pub app: &'static str,
+    /// Wiring label (`tree`, `fat-tree`).
+    pub wiring: &'static str,
+    /// Clusters in the testbed.
+    pub clusters: u32,
+    /// Nodes per cluster.
+    pub nodes_per: u32,
+    /// Planned ranks.
+    pub ranks: usize,
+    /// Distinct clusters the plan places ranks on.
+    pub clusters_spanned: usize,
+    /// Fault-free simulated elapsed, ms (the fuzz horizon is 1.2× this).
+    pub fault_free_ms: f64,
+    /// One row per seed.
+    pub cases: Vec<ChaosFuzzCase>,
+}
+
+/// A directed single-spine-outage case: must complete via reroute.
+#[derive(Debug, Clone)]
+pub struct DirectedRerouteCase {
+    /// Clusters in the fat-tree testbed.
+    pub clusters: u32,
+    /// Nodes per cluster.
+    pub nodes_per: u32,
+    /// Planned ranks (spans every cluster, hence every pod).
+    pub ranks: usize,
+    /// Distinct pods the plan places ranks on (must be ≥ 2 for the
+    /// outage to sit on live cross-pod paths).
+    pub pods_spanned: usize,
+    /// Router whose spine port goes dark.
+    pub router: u16,
+    /// The darkened spine trunk segment.
+    pub spine_segment: u16,
+    /// Outage window, ms (fractions of the fault-free run).
+    pub window_ms: (f64, f64),
+    /// Fault-free simulated elapsed, ms.
+    pub fault_free_ms: f64,
+    /// The run's outcome. Anything but `OkIdentical` violates the
+    /// directed contract: with three live spines remaining, the fabric
+    /// must reroute, not error.
+    pub case: ChaosFuzzCase,
+}
+
+impl DirectedRerouteCase {
+    /// Whether this directed case met its (stricter) contract.
+    pub fn ok(&self) -> bool {
+        self.case.verdict == ChaosVerdict::OkIdentical
+    }
+}
+
+/// Everything a `chaos-fabric` invocation produced.
+#[derive(Debug, Clone)]
+pub struct ChaosFabricReport {
+    /// Random-sweep cells, eight seeds each.
+    pub cells: Vec<FabricCellReport>,
+    /// Directed single-spine-outage cases.
+    pub directed: Vec<DirectedRerouteCase>,
+    /// Shrunk repros for random-sweep violations.
+    pub repros: Vec<MinimizedRepro>,
+}
+
+impl ChaosFabricReport {
+    /// Total schedules across cells and directed cases.
+    pub fn schedules(&self) -> usize {
+        self.cells.iter().map(|c| c.cases.len()).sum::<usize>() + self.directed.len()
+    }
+
+    /// Invariant violations: random-sweep violations plus directed
+    /// cases that did not complete bit-identically.
+    pub fn violations(&self) -> usize {
+        let random: usize = self
+            .cells
+            .iter()
+            .map(|c| c.cases.iter().filter(|k| k.verdict.is_violation()).count())
+            .sum();
+        random + self.directed.iter().filter(|d| !d.ok()).count()
+    }
+}
+
+/// Run one random-sweep cell: draw `seeds` schedules from the cell's
+/// seed base and check each against the invariant, shrinking any
+/// violation to a minimal repro.
+fn run_cell(
+    spec: &CellSpec,
+    seeds: u64,
+    repros: &mut Vec<MinimizedRepro>,
+) -> Result<FabricCellReport, NetpartError> {
+    let target = build_target(spec)?;
+    let rank_clusters = target.rank_clusters()?;
+    let spanned: std::collections::BTreeSet<u32> = rank_clusters.iter().copied().collect();
+    let mut cases = Vec::with_capacity(seeds as usize);
+    for i in 0..seeds {
+        let seed = spec.seed_base + i;
+        let plan = FaultPlan::random(seed, target.bounds());
+        let case = target.run_case(seed, &plan, false);
+        if let ChaosVerdict::Violation(v) = &case.verdict {
+            let violation = v.clone();
+            let min = shrink_schedule(&plan, |p| {
+                target.run_case(seed, p, false).verdict.is_violation()
+            });
+            repros.push(MinimizedRepro {
+                app: match spec.app {
+                    CellApp::Sten1 => "STEN-1",
+                    CellApp::Gauss => "GAUSS",
+                },
+                seed,
+                original_events: plan.events.len(),
+                plan: min,
+                violation,
+            });
+        }
+        cases.push(case);
+    }
+    Ok(FabricCellReport {
+        app: match spec.app {
+            CellApp::Sten1 => "STEN-1",
+            CellApp::Gauss => "GAUSS",
+        },
+        wiring: spec.wiring_name,
+        clusters: spec.clusters,
+        nodes_per: spec.nodes_per,
+        ranks: rank_clusters.len(),
+        clusters_spanned: spanned.len(),
+        fault_free_ms: target.fault_free_ms(),
+        cases,
+    })
+}
+
+/// Run one directed single-spine-outage case on a `FatTree { pod: 8,
+/// spines: 4 }` of `clusters × nodes_per`: darken router 0's first
+/// spine port for the middle half of the fault-free window and require
+/// bit-identical completion via the three remaining spines.
+fn run_directed(clusters: u32, nodes_per: u32) -> Result<DirectedRerouteCase, NetpartError> {
+    const POD: usize = 8;
+    let tb = Testbed::synthetic(clusters as usize, nodes_per, 1.0).with_wiring(Wiring::FatTree {
+        pod: POD,
+        spines: 4,
+    });
+    // The first trunk segment past the leaves is the first spine; the
+    // fat-tree generator gives every pod router a port on every spine.
+    let fabric = tb.fabric();
+    let spine = fabric.routers[0]
+        .segments
+        .iter()
+        .copied()
+        .find(|s| (s.0 as u32) >= clusters)
+        .ok_or_else(|| {
+            NetpartError::InvalidScenario("fat-tree router 0 has no spine port".into())
+        })?;
+    let n = (4 * clusters * nodes_per) as usize;
+    let model = scale_cost_model(&tb, &stencil_model(n as u64, StencilVariant::Sten1))?;
+    let target = ChaosTarget::sten_fabric(tb, &model, n, 6)?;
+    let rank_clusters = target.rank_clusters()?;
+    let pods: std::collections::BTreeSet<u32> =
+        rank_clusters.iter().map(|&c| c / POD as u32).collect();
+    let ff = target.fault_free_ms();
+    let (from_ms, until_ms) = (0.2 * ff, 0.7 * ff);
+    let t = |ms: f64| SimTime::ZERO + SimDur::from_millis_f64(ms);
+    let plan = FaultPlan::new().link_down(RouterId(0), spine, t(from_ms), t(until_ms));
+    let case = target.run_case(0, &plan, false);
+    Ok(DirectedRerouteCase {
+        clusters,
+        nodes_per,
+        ranks: rank_clusters.len(),
+        pods_spanned: pods.len(),
+        router: 0,
+        spine_segment: spine.0,
+        window_ms: (from_ms, until_ms),
+        fault_free_ms: ff,
+        case,
+    })
+}
+
+/// The full fabric chaos sweep: all eight random cells at
+/// [`FABRIC_SEEDS_PER_CELL`] seeds each, plus the two directed
+/// single-spine-outage cases (256 and 1024 nodes).
+pub fn chaos_fabric() -> Result<ChaosFabricReport, NetpartError> {
+    let mut repros = Vec::new();
+    let mut cell_reports = Vec::new();
+    for spec in cells() {
+        cell_reports.push(run_cell(&spec, FABRIC_SEEDS_PER_CELL, &mut repros)?);
+    }
+    let directed = vec![run_directed(64, 4)?, run_directed(128, 8)?];
+    Ok(ChaosFabricReport {
+        cells: cell_reports,
+        directed,
+        repros,
+    })
+}
+
+/// The CI smoke subset: the two 256-node fat-tree cells (STEN-1 and
+/// GAUSS, four seeds each from the same seed bases as the full sweep)
+/// plus the 256-node directed reroute case. Fast enough for every push;
+/// any verdict here is a strict subset of the full sweep's.
+pub fn chaos_fabric_smoke() -> Result<ChaosFabricReport, NetpartError> {
+    let mut repros = Vec::new();
+    let mut cell_reports = Vec::new();
+    for spec in cells()
+        .into_iter()
+        .filter(|s| s.wiring_name == "fat-tree" && s.clusters == 64)
+    {
+        cell_reports.push(run_cell(&spec, 4, &mut repros)?);
+    }
+    let directed = vec![run_directed(64, 4)?];
+    Ok(ChaosFabricReport {
+        cells: cell_reports,
+        directed,
+        repros,
+    })
+}
+
+/// Render a fabric chaos report for the terminal.
+pub fn render_chaos_fabric(report: &ChaosFabricReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} schedules against wired fabrics: {} violation(s)\n\n",
+        report.schedules(),
+        report.violations()
+    ));
+    out.push_str(&format!(
+        "{:<7} {:>9} {:>7} {:>6} {:>9} {:>12} {:>4} {:>6} {:>7}\n",
+        "app", "wiring", "shape", "ranks", "clusters", "fault-free", "ok", "typed", "replans"
+    ));
+    for c in &report.cells {
+        let ok = c
+            .cases
+            .iter()
+            .filter(|k| k.verdict == ChaosVerdict::OkIdentical)
+            .count();
+        let typed = c
+            .cases
+            .iter()
+            .filter(|k| matches!(k.verdict, ChaosVerdict::TypedError(_)))
+            .count();
+        let replans: u32 = c.cases.iter().map(|k| k.replans).sum();
+        out.push_str(&format!(
+            "{:<7} {:>9} {:>7} {:>6} {:>9} {:>10.1}ms {:>4} {:>6} {:>7}\n",
+            c.app,
+            c.wiring,
+            format!("{}x{}", c.clusters, c.nodes_per),
+            c.ranks,
+            c.clusters_spanned,
+            c.fault_free_ms,
+            ok,
+            typed,
+            replans
+        ));
+    }
+    out.push_str("\ndirected single-spine outages (must complete via reroute):\n");
+    for d in &report.directed {
+        let verdict = match &d.case.verdict {
+            ChaosVerdict::OkIdentical => "rerouted, bit-identical".to_string(),
+            ChaosVerdict::TypedError(e) => format!("VIOLATION (typed error: {e})"),
+            ChaosVerdict::Violation(v) => format!("VIOLATION ({v})"),
+        };
+        out.push_str(&format!(
+            "  fat-tree {}x{}: r{} spine seg{} dark {:.0}..{:.0}ms of {:.0}ms, \
+             {} ranks over {} pods -> {}\n",
+            d.clusters,
+            d.nodes_per,
+            d.router,
+            d.spine_segment,
+            d.window_ms.0,
+            d.window_ms.1,
+            d.fault_free_ms,
+            d.ranks,
+            d.pods_spanned,
+            verdict
+        ));
+    }
+    for r in &report.repros {
+        out.push_str(&format!(
+            "\nVIOLATION {} seed {}: {}\n  minimized {} -> {} event(s):\n",
+            r.app,
+            r.seed,
+            r.violation,
+            r.original_events,
+            r.plan.events.len()
+        ));
+        for ev in &r.plan.events {
+            out.push_str(&format!("    {ev:?}\n"));
+        }
+    }
+    out
+}
+
+/// Serialise a fabric chaos report as `BENCH_chaos_fabric.json`
+/// (hand-rolled, like the repo's other benchmark artefacts).
+pub fn chaos_fabric_json(report: &ChaosFabricReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"description\": \"Fabric-level chaos: seeded random fault schedules (all \
+         eight kinds, including router outages, per-port link downs, and trunk bursts) \
+         against tree and fat-tree fabrics at 256 and 1024 nodes, plus directed \
+         single-spine outages that must complete bit-identically via reroute over the \
+         remaining spines. Invariant: every run completes bit-identical to the \
+         sequential reference or ends in a typed recovery error. Deterministic per \
+         (cell, seed).\",\n",
+    );
+    out.push_str(&format!("  \"schedules\": {},\n", report.schedules()));
+    out.push_str(&format!("  \"violations\": {},\n", report.violations()));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in report.cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"wiring\": \"{}\", \"clusters\": {}, \
+             \"nodes_per\": {}, \"nodes\": {}, \"ranks\": {}, \"clusters_spanned\": {}, \
+             \"fault_free_ms\": {:.4}, \"cases\": [\n",
+            c.app,
+            c.wiring,
+            c.clusters,
+            c.nodes_per,
+            c.clusters * c.nodes_per,
+            c.ranks,
+            c.clusters_spanned,
+            c.fault_free_ms
+        ));
+        for (j, k) in c.cases.iter().enumerate() {
+            let (verdict, detail) = match &k.verdict {
+                ChaosVerdict::OkIdentical => ("ok-identical", String::new()),
+                ChaosVerdict::TypedError(e) => ("typed-error", e.clone()),
+                ChaosVerdict::Violation(v) => ("VIOLATION", v.clone()),
+            };
+            out.push_str(&format!(
+                "      {{ \"seed\": {}, \"events\": {}, \"replans\": {}, \
+                 \"replica_restores\": {}, \"generation_fallbacks\": {}, \
+                 \"recovered_ms\": {:.4}, \"verdict\": \"{}\", \"detail\": \"{}\" }}{}\n",
+                k.seed,
+                k.events,
+                k.replans,
+                k.replica_restores,
+                k.generation_fallbacks,
+                k.recovered_ms,
+                verdict,
+                detail.replace('"', "'"),
+                if j + 1 == c.cases.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "    ] }}{}\n",
+            if i + 1 == report.cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"directed_reroute\": [\n");
+    for (i, d) in report.directed.iter().enumerate() {
+        let (verdict, detail) = match &d.case.verdict {
+            ChaosVerdict::OkIdentical => ("ok-identical", String::new()),
+            ChaosVerdict::TypedError(e) => ("VIOLATION", format!("typed error: {e}")),
+            ChaosVerdict::Violation(v) => ("VIOLATION", v.clone()),
+        };
+        out.push_str(&format!(
+            "    {{ \"wiring\": \"fat-tree\", \"clusters\": {}, \"nodes_per\": {}, \
+             \"nodes\": {}, \"ranks\": {}, \"pods_spanned\": {}, \"router\": {}, \
+             \"spine_segment\": {}, \"window_ms\": [{:.4}, {:.4}], \
+             \"fault_free_ms\": {:.4}, \"recovered_ms\": {:.4}, \"replans\": {}, \
+             \"verdict\": \"{}\", \"detail\": \"{}\" }}{}\n",
+            d.clusters,
+            d.nodes_per,
+            d.clusters * d.nodes_per,
+            d.ranks,
+            d.pods_spanned,
+            d.router,
+            d.spine_segment,
+            d.window_ms.0,
+            d.window_ms.1,
+            d.fault_free_ms,
+            d.case.recovered_ms,
+            d.case.replans,
+            verdict,
+            detail.replace('"', "'"),
+            if i + 1 == report.directed.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"minimized_repros\": [\n");
+    for (i, r) in report.repros.iter().enumerate() {
+        let events: Vec<String> = r
+            .plan
+            .events
+            .iter()
+            .map(|ev| format!("\"{}\"", format!("{ev:?}").replace('"', "'")))
+            .collect();
+        out.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"seed\": {}, \"original_events\": {}, \
+             \"violation\": \"{}\", \"events\": [{}] }}{}\n",
+            r.app,
+            r.seed,
+            r.original_events,
+            r.violation.replace('"', "'"),
+            events.join(", "),
+            if i + 1 == report.repros.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_table_shape_and_seed_bases() {
+        let cells = cells();
+        assert_eq!(cells.len(), 8, "2 apps x 2 wirings x 2 sizes");
+        // 8 cells x 8 seeds + 2 directed = at least the promised 64
+        // random schedules.
+        assert!(cells.len() as u64 * FABRIC_SEEDS_PER_CELL >= 64);
+        // Seed bases are spaced so no two cells ever share a seed.
+        let mut bases: Vec<u64> = cells.iter().map(|c| c.seed_base).collect();
+        bases.sort_unstable();
+        for w in bases.windows(2) {
+            assert!(w[1] - w[0] >= FABRIC_SEEDS_PER_CELL);
+        }
+        // The smoke subset is non-empty and a strict subset.
+        let smoke: Vec<&CellSpec> = cells
+            .iter()
+            .filter(|s| s.wiring_name == "fat-tree" && s.clusters == 64)
+            .collect();
+        assert_eq!(
+            smoke.len(),
+            2,
+            "STEN-1 and GAUSS fat-tree cells at 256 nodes"
+        );
+    }
+
+    #[test]
+    fn directed_case_targets_a_spine_port() {
+        // The directed builder must pick a trunk past the leaves that is
+        // actually wired on router 0 — guard the id arithmetic against
+        // generator changes.
+        let tb = netpart_calibrate::Testbed::synthetic(16, 1, 1.0)
+            .with_wiring(Wiring::FatTree { pod: 8, spines: 4 });
+        let fabric = tb.fabric();
+        let spine = fabric.routers[0]
+            .segments
+            .iter()
+            .copied()
+            .find(|s| s.0 >= 16)
+            .expect("router 0 must have a spine port");
+        assert!(
+            (16..20).contains(&spine.0),
+            "first spine sits right past the 16 leaves: {spine:?}"
+        );
+    }
+}

@@ -48,8 +48,10 @@ use netpart_sim::{FaultBounds, FaultPlan};
 const MAX_REPLANS: u32 = 4;
 /// Simulated pause before each failure-aware availability re-probe, ms.
 const BACKOFF_MS: f64 = 5.0;
-/// Checkpoint interval (cycles) for fuzzed runs; replicated durability,
-/// so the replica/assembly machinery is under fuzz too.
+/// Checkpoint interval (cycles) for fuzzed runs. Durability is
+/// per-target (see [`ChaosTarget`]'s `ckpt` field): star targets mirror
+/// blobs to buddy replicas so that machinery stays under fuzz, fabric
+/// targets use local stable storage.
 const CKPT_EVERY: u64 = 4;
 
 /// How one fuzzed run ended, against the invariant.
@@ -140,6 +142,15 @@ pub struct ChaosTarget {
     scenario: Scenario,
     kind: TargetKind,
     bounds: FaultBounds,
+    /// Checkpoint policy fuzzed runs use. Star targets keep
+    /// `replicated(CKPT_EVERY)` so the replica machinery stays under
+    /// fuzz; fabric targets use Local durability (the paper's
+    /// stable-storage model) because mirroring hundred-KB blobs across
+    /// 10 Mb shared segments saturates them for longer than the MMPS
+    /// retransmission budget — the burst itself would fail healthy
+    /// ranks — and a watchdog scaled to the target's cycle time (a
+    /// 1024-rank fat-tree cycle outlasts the 10 s default on its own).
+    ckpt: CheckpointPolicy,
 }
 
 fn testbed_bounds(tb: &Testbed, horizon_ms: f64) -> FaultBounds {
@@ -150,10 +161,102 @@ fn testbed_bounds(tb: &Testbed, horizon_ms: f64) -> FaultBounds {
         horizon_ms,
         max_events: 5,
         max_crashes: 2,
+        // Empty wiring keeps the classic six-kind draw, so the seeded
+        // star-testbed sweep keeps its schedules byte-identically.
+        router_ports: Vec::new(),
+    }
+}
+
+/// Fabric-shaped bounds for a hierarchical testbed: every router, every
+/// segment (trunks included), and the per-router port lists enter the
+/// draw, so random schedules cover `LinkDown` and `TrafficBurst` on the
+/// backbone as well as the classic six node/segment kinds.
+pub fn fabric_bounds(tb: &Testbed, horizon_ms: f64) -> FaultBounds {
+    let fabric = tb.fabric();
+    FaultBounds {
+        num_nodes: tb.clusters.iter().map(|c| c.nodes).sum(),
+        num_routers: fabric.routers.len() as u32,
+        num_segments: fabric.segments.len() as u32,
+        horizon_ms,
+        max_events: 5,
+        max_crashes: 2,
+        router_ports: fabric.routers.iter().map(|r| r.segments.clone()).collect(),
     }
 }
 
 impl ChaosTarget {
+    /// A STEN-1 target on an arbitrary wired testbed, fuzzed under
+    /// fabric-shaped bounds (router outages and link downs included in
+    /// the draw). The star targets below keep their leaner six-kind
+    /// bounds so their seeded schedules stay byte-identical.
+    pub fn sten_fabric(
+        tb: Testbed,
+        model: &CalibratedCostModel,
+        n: usize,
+        iters: u64,
+    ) -> Result<ChaosTarget, NetpartError> {
+        let variant = StencilVariant::Sten1;
+        let bounds_tb = tb.clone();
+        let s = Scenario::new(tb, stencil_model(n as u64, variant))
+            .with_cost(CostSource::Fixed(model.clone()));
+        let plan = s.plan()?;
+        let mut app = StencilApp::new(n, iters, variant, plan.ranks());
+        let fault_free = plan.run(&mut app)?;
+        Ok(ChaosTarget {
+            label: "STEN-1",
+            bounds: fabric_bounds(&bounds_tb, fault_free.elapsed_ms * 1.2),
+            scenario: s,
+            kind: TargetKind::Sten {
+                n,
+                iters,
+                variant,
+                reference: sequential_reference(n, iters),
+            },
+            ckpt: CheckpointPolicy::local(CKPT_EVERY)
+                .with_watchdog_ms(fault_free.elapsed_ms.max(10_000.0)),
+        })
+    }
+
+    /// A Gaussian-elimination target on an arbitrary wired testbed with
+    /// fabric-shaped bounds, like [`ChaosTarget::sten_fabric`].
+    pub fn gauss_fabric(
+        tb: Testbed,
+        model: &CalibratedCostModel,
+        n: usize,
+    ) -> Result<ChaosTarget, NetpartError> {
+        let bounds_tb = tb.clone();
+        let s =
+            Scenario::new(tb, gauss_model(n as u64)).with_cost(CostSource::Fixed(model.clone()));
+        let plan = s.plan()?;
+        let (a, b, _x_true) = make_system(n, 1994);
+        let mut app = GaussApp::new(n, a.clone(), b.clone(), plan.ranks());
+        let fault_free = plan.run(&mut app)?;
+        let reference = sequential_solve(n, &a, &b);
+        Ok(ChaosTarget {
+            label: "GAUSS",
+            bounds: fabric_bounds(&bounds_tb, fault_free.elapsed_ms * 1.2),
+            scenario: s,
+            kind: TargetKind::Gauss { n, a, b, reference },
+            ckpt: CheckpointPolicy::local(CKPT_EVERY)
+                .with_watchdog_ms(fault_free.elapsed_ms.max(10_000.0)),
+        })
+    }
+
+    /// The planned rank→cluster assignment of the target's scenario,
+    /// for span diagnostics (does the placement cross pods?).
+    pub fn rank_clusters(&self) -> Result<Vec<u32>, NetpartError> {
+        let plan = self.scenario.plan()?;
+        let part = plan.partition.ok_or_else(|| {
+            NetpartError::InvalidScenario("plan() produced no partition output".into())
+        })?;
+        Ok(part.rank_clusters())
+    }
+
+    /// The fault-free elapsed time the bounds horizon was derived from.
+    pub fn fault_free_ms(&self) -> f64 {
+        self.bounds.horizon_ms / 1.2
+    }
+
     /// The STEN-1 fuzz target: 60×60 grid, 8 iterations, two ranks on
     /// the paper testbed. Small on purpose — blobs must clear the 10 Mb
     /// wire well inside a checkpoint interval, and a fuzz sweep runs
@@ -177,6 +280,7 @@ impl ChaosTarget {
                 variant,
                 reference: sequential_reference(n, iters),
             },
+            ckpt: CheckpointPolicy::replicated(CKPT_EVERY),
         })
     }
 
@@ -199,6 +303,7 @@ impl ChaosTarget {
             bounds: testbed_bounds(&bounds_tb, fault_free.elapsed_ms * 1.2),
             scenario: s,
             kind: TargetKind::Gauss { n, a, b, reference },
+            ckpt: CheckpointPolicy::replicated(CKPT_EVERY),
         })
     }
 
@@ -222,7 +327,7 @@ impl ChaosTarget {
             max_replans: MAX_REPLANS,
             backoff_ms: BACKOFF_MS,
         };
-        let ckpt = CheckpointPolicy::replicated(CKPT_EVERY);
+        let ckpt = self.ckpt;
         let mut case = ChaosFuzzCase {
             app: self.label,
             seed,

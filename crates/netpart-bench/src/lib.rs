@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod chaos_fabric;
 pub mod chaos_fuzz;
 pub mod congestion;
 pub mod drift;
@@ -31,6 +32,7 @@ pub mod simcore;
 pub mod sweep;
 
 pub use ablations::*;
+pub use chaos_fabric::*;
 pub use chaos_fuzz::*;
 pub use congestion::*;
 pub use drift::*;

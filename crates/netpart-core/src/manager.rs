@@ -115,10 +115,17 @@ pub fn determine_available(
             if member == manager || suspected_dead.contains(&member) {
                 continue;
             }
-            mmps.send_message(manager, member, PROBE_TAG | k as u64, Bytes::new())
-                .expect("probe route");
-            pending.push(member);
-            messages += 1;
+            // A fabric partition makes the probe fail fast at send time:
+            // the member is unreachable, which to the manager is
+            // indistinguishable from dead — suspect it now and let a later
+            // round re-admit it once the fabric heals.
+            match mmps.send_message(manager, member, PROBE_TAG | k as u64, Bytes::new()) {
+                Ok(_) => {
+                    pending.push(member);
+                    messages += 1;
+                }
+                Err(_) => suspected_dead.push(member),
+            }
         }
     }
 
@@ -143,11 +150,18 @@ pub fn determine_available(
                     let k = tag & 0xFFFF_FFFF;
                     let load = mmps.net_ref().node(dst).effective_load();
                     let quantized = (load * 255.0).round().clamp(0.0, 255.0) as u8;
-                    mmps.send_message(dst, src, REPLY_TAG | (u64::from(quantized) << 16) | k, {
-                        Bytes::from(vec![quantized])
-                    })
-                    .expect("reply route");
-                    messages += 1;
+                    // A reply that cannot leave (fabric partitioned since
+                    // the probe arrived) is simply lost: the manager's
+                    // deadline suspects the member, same as a dropped
+                    // reply in flight.
+                    if mmps
+                        .send_message(dst, src, REPLY_TAG | (u64::from(quantized) << 16) | k, {
+                            Bytes::from(vec![quantized])
+                        })
+                        .is_ok()
+                    {
+                        messages += 1;
+                    }
                 } else if tag & REPLY_TAG != 0 {
                     let k = (tag & 0xFFFF) as usize;
                     let quantized = ((tag >> 16) & 0xFF) as u8;

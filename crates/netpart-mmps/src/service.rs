@@ -836,14 +836,34 @@ impl Mmps {
                 };
                 let wire = (e - s) + self.cfg.header_bytes;
                 let (src, dst) = (out.src, out.dst);
-                let _ = self.net.send_datagram_sized(
+                match self.net.send_datagram_sized(
                     src,
                     dst,
                     pack_tag(WireKind::Data, MsgId(msg_id), frag),
                     frag_payload,
                     wire,
-                );
-                None
+                ) {
+                    // Every router path to the destination is down: fail
+                    // the message *now* instead of burning the remaining
+                    // retry budget on frames a partitioned fabric can only
+                    // refuse. (Other errors keep the old behaviour — the
+                    // retransmission timer decides the message's fate.)
+                    Err(SimError::FabricPartitioned { .. }) => {
+                        let out = self.outgoing.remove(&msg_id).expect("present");
+                        self.stats.messages_failed += 1;
+                        self.retire_incoming(msg_id);
+                        self.window_release(out.src, out.dst);
+                        Some(MmpsEvent::MessageFailed {
+                            at,
+                            msg: MsgId(msg_id),
+                            src: out.src,
+                            dst: out.dst,
+                            tag: out.user_tag,
+                            attempts: out.retries,
+                        })
+                    }
+                    _ => None,
+                }
             }
             _ => None,
         }

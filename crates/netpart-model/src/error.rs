@@ -34,6 +34,16 @@ pub enum NetpartError {
         /// Total transmission attempts made (original send + retries).
         attempts: u32,
     },
+    /// A send failed fast because the network fabric is partitioned:
+    /// every router path between the sender's segment and the peer's is
+    /// currently severed by router or link outages. The peer itself may
+    /// be alive — recovery should treat this as an *island* event
+    /// (replan over the reachable component, re-admit the cut-off ranks
+    /// once the fabric heals) rather than a permanent death.
+    FabricPartitioned {
+        /// The rank on the far side of the partition.
+        rank: usize,
+    },
     /// A rank stopped responding mid-computation. Carries everything a
     /// recovery layer needs to decide what to do next.
     RankFailed {
@@ -183,6 +193,13 @@ impl std::fmt::Display for NetpartError {
             NetpartError::PeerUnreachable { rank, attempts } => {
                 write!(f, "rank {rank} is unreachable after {attempts} attempts")
             }
+            NetpartError::FabricPartitioned { rank } => {
+                write!(
+                    f,
+                    "fabric is partitioned: rank {rank} is unreachable \
+                     (every live router path is down)"
+                )
+            }
             NetpartError::RankFailed {
                 rank,
                 cycle,
@@ -314,6 +331,10 @@ mod tests {
                     attempts: 11,
                 },
                 "rank 3 is unreachable after 11 attempts",
+            ),
+            (
+                NetpartError::FabricPartitioned { rank: 6 },
+                "fabric is partitioned: rank 6 is unreachable",
             ),
             (
                 NetpartError::RankFailed {

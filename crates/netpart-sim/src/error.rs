@@ -27,6 +27,18 @@ pub enum SimError {
         /// Destination segment.
         to: SegmentId,
     },
+    /// A route exists in the built fabric, but every path is currently
+    /// severed by injected router outages or link downs: the send fails
+    /// fast instead of burning a retry budget on frames that a dead
+    /// fabric can only drop. Distinct from [`NoRoute`](SimError::NoRoute)
+    /// — the pair is wired, just not *live* right now; traffic can flow
+    /// again once a router or link recovers.
+    FabricPartitioned {
+        /// Source segment.
+        from: SegmentId,
+        /// Destination segment.
+        to: SegmentId,
+    },
     /// The network was built with no nodes or no segments.
     EmptyNetwork,
     /// A [`Fabric`](crate::fabric::Fabric) description failed build-time
@@ -54,6 +66,13 @@ impl fmt::Display for SimError {
             SimError::NoRoute { from, to } => {
                 write!(f, "no router path joins segments {from} and {to}")
             }
+            SimError::FabricPartitioned { from, to } => {
+                write!(
+                    f,
+                    "fabric is partitioned: every router path between segments \
+                     {from} and {to} is down"
+                )
+            }
             SimError::EmptyNetwork => write!(f, "network has no nodes or segments"),
             SimError::InvalidFabric(e) => write!(f, "invalid fabric: {e}"),
             SimError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
@@ -80,6 +99,12 @@ mod tests {
             to: SegmentId(3),
         };
         assert!(e.to_string().contains("seg3"));
+        let e = SimError::FabricPartitioned {
+            from: SegmentId(1),
+            to: SegmentId(4),
+        };
+        assert!(e.to_string().contains("partitioned"), "{e}");
+        assert!(e.to_string().contains("seg4"), "{e}");
         let e = SimError::InvalidFaultPlan("event 2 names unknown node n9".into());
         assert!(e.to_string().contains("unknown node n9"));
         let e = SimError::InvalidFabric("router r1 lists seg3 twice".into());

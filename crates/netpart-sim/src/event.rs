@@ -100,6 +100,10 @@ pub enum DropReason {
     NodeDown,
     /// The router was inside a scheduled outage window (fault injection).
     RouterDown,
+    /// The frame needed a router port inside a scheduled link-down window
+    /// (fault injection), or was in flight when the residual fabric lost
+    /// its last path to the destination.
+    LinkDown,
     /// The segment's bounded transmit queue was at its hard limit
     /// (congested-link model; never occurs without a
     /// [`CongestionSpec`](crate::segment::CongestionSpec)).
@@ -157,6 +161,14 @@ pub(crate) enum FaultAction {
     Slow(NodeId, f64),
     /// Router drops frames until the given time.
     RouterDown(RouterId, SimTime),
+    /// One router port (the link onto `SegmentId`) drops frames until the
+    /// given time; the rest of the router keeps forwarding.
+    LinkDown(RouterId, SegmentId, SimTime),
+    /// A router or link outage window ended: recompute the live routing
+    /// table from current liveness. Scheduled by the down action itself;
+    /// with merged (max'd) overlapping windows an early restore finds the
+    /// entity still down and the recompute is a deterministic no-op.
+    FabricRestore,
     /// Segment loss probability override until the given time.
     Burst(SegmentId, f64, SimTime),
     /// Clear a node's compute-slowdown multiplier (back to 1.0).

@@ -37,8 +37,9 @@ use crate::error::SimError;
 use crate::ids::{ProcTypeId, RouterId, SegmentId};
 use crate::network::{Network, NetworkBuilder};
 use crate::node::ProcType;
-use crate::router::RouterSpec;
+use crate::router::{Router, RouterSpec};
 use crate::segment::SegmentSpec;
+use crate::time::SimTime;
 
 /// A member cluster handed to the fabric generators: a machine class and
 /// how many stations of it sit on the cluster's leaf segment.
@@ -527,6 +528,93 @@ pub(crate) fn compute_routes(
     routes
 }
 
+/// Breadth-first search over the *residual* fabric at `now`: identical
+/// traversal order to [`bfs_from`] (routers in index order, ports in
+/// declared order), but a router inside an outage window contributes no
+/// edges and a port inside a link-down window severs its edge in both
+/// directions. With nothing down this visits exactly the edges
+/// [`bfs_from`] does, so the two searches agree route for route — the
+/// determinism argument for the incremental recompute is that both are
+/// pure functions of (shape, liveness set) with a fixed visit order.
+fn bfs_from_live(
+    src: usize,
+    routers: &[Router],
+    attached: &[Vec<usize>],
+    now: SimTime,
+    first_hop: &mut [Option<(RouterId, SegmentId)>],
+    dist: &mut [Option<u32>],
+) {
+    let n = first_hop.len();
+    let mut queue = VecDeque::with_capacity(n);
+    dist[src] = Some(0);
+    queue.push_back(src);
+    while let Some(cur) = queue.pop_front() {
+        let d = dist[cur].unwrap_or(0);
+        for &ri in &attached[cur] {
+            let r = &routers[ri];
+            if r.is_down(now) {
+                continue;
+            }
+            let ports = &r.spec.segments;
+            // The frame enters through the port on `cur`; a downed
+            // ingress link severs every edge through this router from
+            // this segment.
+            let ingress_down = ports
+                .iter()
+                .position(|s| s.index() == cur)
+                .is_some_and(|pi| r.port_is_down(pi, now));
+            if ingress_down {
+                continue;
+            }
+            for (pi, s) in ports.iter().enumerate() {
+                let t = s.index();
+                if t >= n || dist[t].is_some() || r.port_is_down(pi, now) {
+                    continue;
+                }
+                dist[t] = Some(d + 1);
+                first_hop[t] = if cur == src {
+                    Some((RouterId(ri as u16), *s))
+                } else {
+                    first_hop[cur]
+                };
+                queue.push_back(t);
+            }
+        }
+    }
+}
+
+/// Recompute the dense next-hop table over the residual fabric: the
+/// bipartite graph minus routers inside outage windows and minus links
+/// inside link-down windows at `now`. Same shape and visit order as
+/// [`compute_routes`], so with everything live the result is equal entry
+/// for entry, and two recomputes at the same liveness state are
+/// byte-identical. Called by the network at every liveness transition
+/// (outage onset and window end) — never on the fault-free path.
+pub(crate) fn compute_routes_live(
+    num_segments: usize,
+    routers: &[Router],
+    now: SimTime,
+) -> Vec<Option<(RouterId, SegmentId)>> {
+    let mut attached: Vec<Vec<usize>> = vec![Vec::new(); num_segments];
+    for (ri, r) in routers.iter().enumerate() {
+        for s in &r.spec.segments {
+            if s.index() < num_segments {
+                attached[s.index()].push(ri);
+            }
+        }
+    }
+    let mut routes = vec![None; num_segments * num_segments];
+    let mut first_hop = vec![None; num_segments];
+    let mut dist = vec![None; num_segments];
+    for src in 0..num_segments {
+        first_hop.iter_mut().for_each(|f| *f = None);
+        dist.iter_mut().for_each(|d| *d = None);
+        bfs_from_live(src, routers, &attached, now, &mut first_hop, &mut dist);
+        routes[src * num_segments..(src + 1) * num_segments].clone_from_slice(&first_hop);
+    }
+    routes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,6 +737,25 @@ mod tests {
         let f = Fabric::star(&members(2), &eth(), &rtr(), 7);
         assert_eq!(f.hop_distance(SegmentId(0), SegmentId(0)), Some(0));
         assert_eq!(f.hop_distance(SegmentId(0), SegmentId(9)), None);
+    }
+
+    #[test]
+    fn live_recompute_with_everything_up_equals_static() {
+        // The residual-fabric BFS must agree with the build-time BFS
+        // entry for entry when nothing is down — same visit order, same
+        // table — across every generator shape.
+        for f in [
+            Fabric::star(&members(3), &eth(), &rtr(), 7),
+            Fabric::tree(&members(8), 2, &eth(), &rtr(), 7),
+            Fabric::fat_tree(&members(8), 2, 3, &eth(), &rtr(), 7),
+            Fabric::dumbbell(&members(6), &eth(), &eth(), &rtr(), 7),
+            Fabric::pairwise(&members(4), &eth(), &rtr(), 7),
+        ] {
+            let statics = compute_routes(f.num_segments(), &f.routers);
+            let runtime: Vec<Router> = f.routers.iter().cloned().map(Router::new).collect();
+            let live = compute_routes_live(f.num_segments(), &runtime, SimTime(123_456));
+            assert_eq!(statics, live);
+        }
     }
 
     #[test]

@@ -35,6 +35,18 @@
 //!   [`FaultPlan::load_ramp`] is a convenience that emits the steps.
 //! * **Router outage** — frames reaching the router inside the window are
 //!   dropped with [`DropReason::RouterDown`](crate::event::DropReason::RouterDown).
+//!   Overlapping windows merge. The network also recomputes its live
+//!   routing table over the residual fabric at the window's start and
+//!   end, so flows shift to alternate routers where path diversity
+//!   exists and sends fail fast with
+//!   [`SimError::FabricPartitioned`](crate::error::SimError::FabricPartitioned)
+//!   where none does.
+//! * **Link down** — one router *port* (a `(router, segment)` attachment)
+//!   drops every frame that would enter or leave through it inside the
+//!   window, surfaced as
+//!   [`DropReason::LinkDown`](crate::event::DropReason::LinkDown).
+//!   Like a router outage it triggers a live-route recompute, so traffic
+//!   detours around the dead link when the fabric has another path.
 //!   Overlapping windows merge.
 //! * **Loss burst** — inside the window the segment's channel-loss
 //!   probability is replaced by `loss`; outside it reverts to the spec
@@ -94,6 +106,22 @@ pub enum FaultEvent {
     RouterOutage {
         /// The affected router.
         router: RouterId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// The link between `router` and `segment` is severed in
+    /// `[from, until)`: frames must neither enter nor leave the router
+    /// through that port, and the live routing table detours around it.
+    /// The pair must actually be wired —
+    /// [`FaultPlan::validate_wired`] rejects a `LinkDown` naming a port
+    /// the router does not have, instead of silently no-opping.
+    LinkDown {
+        /// The router whose port goes down.
+        router: RouterId,
+        /// The segment the dead port attaches to.
+        segment: SegmentId,
         /// Window start.
         from: SimTime,
         /// Window end (exclusive).
@@ -186,6 +214,7 @@ impl FaultEvent {
             | FaultEvent::NodeRecover { at, .. }
             | FaultEvent::ExternalLoad { at, .. } => *at,
             FaultEvent::RouterOutage { from, .. }
+            | FaultEvent::LinkDown { from, .. }
             | FaultEvent::LossBurst { from, .. }
             | FaultEvent::CorruptBurst { from, .. }
             | FaultEvent::TrafficBurst { from, .. } => *from,
@@ -224,6 +253,24 @@ impl FaultPlan {
     pub fn router_outage(mut self, router: RouterId, from: SimTime, until: SimTime) -> FaultPlan {
         self.events.push(FaultEvent::RouterOutage {
             router,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Schedule a link-down window on the port joining `router` to
+    /// `segment`.
+    pub fn link_down(
+        mut self,
+        router: RouterId,
+        segment: SegmentId,
+        from: SimTime,
+        until: SimTime,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent::LinkDown {
+            router,
+            segment,
             from,
             until,
         });
@@ -361,6 +408,34 @@ impl FaultPlan {
         num_routers: usize,
         num_segments: usize,
     ) -> Result<(), crate::error::SimError> {
+        self.validate_impl(num_nodes, num_routers, num_segments, None)
+    }
+
+    /// Like [`validate`](FaultPlan::validate), but with the actual fabric
+    /// wiring in hand: `ports[r]` lists the segments router `r` attaches
+    /// to (so `ports.len()` is the router count). In addition to the
+    /// shape checks, a [`FaultEvent::LinkDown`] naming a `(router,
+    /// segment)` pair that is not wired is rejected as
+    /// [`InvalidFaultPlan`](crate::error::SimError::InvalidFaultPlan)
+    /// rather than silently no-opping. This is the form
+    /// [`Network::install_fault_plan`](crate::network::Network::install_fault_plan)
+    /// uses.
+    pub fn validate_wired(
+        &self,
+        num_nodes: usize,
+        num_segments: usize,
+        ports: &[&[SegmentId]],
+    ) -> Result<(), crate::error::SimError> {
+        self.validate_impl(num_nodes, ports.len(), num_segments, Some(ports))
+    }
+
+    fn validate_impl(
+        &self,
+        num_nodes: usize,
+        num_routers: usize,
+        num_segments: usize,
+        ports: Option<&[&[SegmentId]]>,
+    ) -> Result<(), crate::error::SimError> {
         use crate::error::SimError;
         let bad =
             |i: usize, what: String| Err(SimError::InvalidFaultPlan(format!("event {i} {what}")));
@@ -405,6 +480,36 @@ impl FaultPlan {
                     }
                     window_ok(i, from, until)?;
                 }
+                FaultEvent::LinkDown {
+                    router,
+                    segment,
+                    from,
+                    until,
+                } => {
+                    if router.index() >= num_routers {
+                        return bad(
+                            i,
+                            format!("names unknown router {router} ({num_routers} routers)"),
+                        );
+                    }
+                    if segment.index() >= num_segments {
+                        return bad(
+                            i,
+                            format!("names unknown segment {segment} ({num_segments} segments)"),
+                        );
+                    }
+                    if let Some(ports) = ports {
+                        if !ports[router.index()].contains(&segment) {
+                            return bad(
+                                i,
+                                format!(
+                                    "downs a link {router} does not have: no port on {segment}"
+                                ),
+                            );
+                        }
+                    }
+                    window_ok(i, from, until)?;
+                }
                 FaultEvent::LossBurst {
                     segment,
                     from,
@@ -441,9 +546,14 @@ impl FaultPlan {
     /// whole fault model — crashes (sometimes with a later recover),
     /// slowdowns (always paired with an end), router outages, loss
     /// bursts, corruption bursts, and background-load steps — with every
-    /// instant inside `[0, bounds.horizon_ms)`. The same `(seed, bounds)`
-    /// always yields the same plan; this is the generator the chaos
-    /// fuzzer iterates over hundreds of seeds.
+    /// instant inside `[0, bounds.horizon_ms)`. When
+    /// `bounds.router_ports` describes the fabric wiring the draw widens
+    /// to traffic bursts and link downs as well (with link downs drawn
+    /// only on wired `(router, segment)` pairs); with empty
+    /// `router_ports` the draw is byte-identical to the classic six-kind
+    /// generator, so existing seeded sweeps keep their schedules. The
+    /// same `(seed, bounds)` always yields the same plan; this is the
+    /// generator the chaos fuzzer iterates over hundreds of seeds.
     pub fn random(seed: u64, bounds: &FaultBounds) -> FaultPlan {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -451,8 +561,16 @@ impl FaultPlan {
         let t = |frac: f64| SimTime::ZERO + crate::time::SimDur::from_millis_f64(frac);
         let n_events = 1 + (rng.random::<u32>() % bounds.max_events.max(1)) as usize;
         let mut crashes = 0u32;
+        let wired: Vec<usize> = bounds
+            .router_ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let kinds: u32 = if bounds.router_ports.is_empty() { 6 } else { 8 };
         for _ in 0..n_events {
-            let kind = rng.random::<u32>() % 6;
+            let kind = rng.random::<u32>() % kinds;
             match kind {
                 0 if crashes < bounds.max_crashes && bounds.num_nodes > 0 => {
                     crashes += 1;
@@ -493,6 +611,22 @@ impl FaultPlan {
                     let prob = 0.1 + 0.6 * rng.random::<f64>();
                     plan = plan.corrupt_burst(segment, t(from), t(from + span), prob);
                 }
+                6 if bounds.num_segments > 0 => {
+                    let segment = SegmentId((rng.random::<u32>() % bounds.num_segments) as u16);
+                    let from = bounds.horizon_ms * rng.random::<f64>();
+                    let span = bounds.horizon_ms * 0.3 * rng.random::<f64>();
+                    let bytes = 256 + rng.random::<u32>() % 1024;
+                    let period = crate::time::SimDur::from_millis_f64(0.2 + rng.random::<f64>());
+                    plan = plan.traffic_burst(segment, t(from), t(from + span), bytes, period);
+                }
+                7 if !wired.is_empty() => {
+                    let ri = wired[(rng.random::<u32>() as usize) % wired.len()];
+                    let ports = &bounds.router_ports[ri];
+                    let segment = ports[(rng.random::<u32>() as usize) % ports.len()];
+                    let from = bounds.horizon_ms * rng.random::<f64>();
+                    let span = bounds.horizon_ms * 0.2 * rng.random::<f64>();
+                    plan = plan.link_down(RouterId(ri as u16), segment, t(from), t(from + span));
+                }
                 _ if bounds.num_nodes > 0 => {
                     let node = NodeId(rng.random::<u32>() % bounds.num_nodes);
                     let at = bounds.horizon_ms * rng.random::<f64>();
@@ -525,6 +659,13 @@ pub struct FaultBounds {
     /// Cap on crash events per plan, so a schedule cannot trivially kill
     /// every node.
     pub max_crashes: u32,
+    /// Fabric wiring: `router_ports[r]` lists the segments router `r`
+    /// attaches to. When **empty** the draw is restricted to the classic
+    /// six event kinds and is byte-identical to the pre-fabric generator
+    /// (existing seeded sweeps keep their schedules); when populated the
+    /// draw also produces traffic bursts and link downs, the latter only
+    /// on wired `(router, segment)` pairs.
+    pub router_ports: Vec<Vec<SegmentId>>,
 }
 
 #[cfg(test)]
@@ -608,6 +749,7 @@ mod tests {
             horizon_ms: 50.0,
             max_events: 6,
             max_crashes: 2,
+            router_ports: Vec::new(),
         };
         let mut distinct = 0usize;
         for seed in 0..500u64 {
@@ -621,6 +763,125 @@ mod tests {
             }
         }
         assert!(distinct > 400, "plans barely vary: {distinct}/500");
+    }
+
+    #[test]
+    fn validate_wired_rejects_unwired_link_down() {
+        let t = |ms| SimTime::ZERO + SimDur::from_millis(ms);
+        let ports: Vec<&[SegmentId]> =
+            vec![&[SegmentId(0), SegmentId(1)], &[SegmentId(1), SegmentId(2)]];
+
+        // A wired pair passes both forms.
+        let ok = FaultPlan::new().link_down(RouterId(1), SegmentId(2), t(1), t(5));
+        assert_eq!(ok.validate(3, 2, 3), Ok(()));
+        assert_eq!(ok.validate_wired(3, 3, &ports), Ok(()));
+
+        // An unwired pair passes the shape check (both ids exist) but the
+        // wired form rejects it instead of silently no-opping.
+        let unwired = FaultPlan::new().link_down(RouterId(0), SegmentId(2), t(1), t(5));
+        assert_eq!(unwired.validate(3, 2, 3), Ok(()));
+        let e = unwired.validate_wired(3, 3, &ports).unwrap_err();
+        assert!(e.to_string().contains("no port on seg2"), "{e}");
+        assert!(e.to_string().contains("event 0"), "{e}");
+
+        // Out-of-range ids and inverted windows are still caught.
+        let bad_router = FaultPlan::new().link_down(RouterId(2), SegmentId(0), t(1), t(5));
+        let e = bad_router.validate_wired(3, 3, &ports).unwrap_err();
+        assert!(e.to_string().contains("unknown router r2"), "{e}");
+        let bad_seg = FaultPlan::new().link_down(RouterId(0), SegmentId(3), t(1), t(5));
+        let e = bad_seg.validate_wired(3, 3, &ports).unwrap_err();
+        assert!(e.to_string().contains("unknown segment seg3"), "{e}");
+        let inverted = FaultPlan::new().link_down(RouterId(0), SegmentId(1), t(5), t(1));
+        let e = inverted.validate_wired(3, 3, &ports).unwrap_err();
+        assert!(e.to_string().contains('<'), "{e}");
+    }
+
+    #[test]
+    fn random_with_wiring_draws_every_fault_kind() {
+        // Fabric-shaped bounds: the widened 8-kind draw must surface every
+        // FaultEvent variant somewhere across a modest seed range, and
+        // every drawn plan must already satisfy the wired validation.
+        let ports: Vec<Vec<SegmentId>> = vec![
+            vec![SegmentId(0), SegmentId(1)],
+            vec![SegmentId(1), SegmentId(2)],
+        ];
+        let bounds = FaultBounds {
+            num_nodes: 12,
+            num_routers: 2,
+            num_segments: 3,
+            horizon_ms: 50.0,
+            max_events: 8,
+            max_crashes: 2,
+            router_ports: ports.clone(),
+        };
+        let port_refs: Vec<&[SegmentId]> = ports.iter().map(|p| p.as_slice()).collect();
+        let mut seen = [false; 10];
+        for seed in 0..64u64 {
+            let plan = FaultPlan::random(seed, &bounds);
+            assert_eq!(
+                plan.validate_wired(12, 3, &port_refs),
+                Ok(()),
+                "seed {seed} drew an invalid plan"
+            );
+            for ev in &plan.events {
+                let k = match ev {
+                    FaultEvent::NodeCrash { .. } => 0,
+                    FaultEvent::NodeSlowdown { .. } => 1,
+                    FaultEvent::RouterOutage { .. } => 2,
+                    FaultEvent::LinkDown { .. } => 3,
+                    FaultEvent::LossBurst { .. } => 4,
+                    FaultEvent::EndSlowdown { .. } => 5,
+                    FaultEvent::NodeRecover { .. } => 6,
+                    FaultEvent::ExternalLoad { .. } => 7,
+                    FaultEvent::CorruptBurst { .. } => 8,
+                    FaultEvent::TrafficBurst { .. } => 9,
+                };
+                seen[k] = true;
+            }
+        }
+        let names = [
+            "NodeCrash",
+            "NodeSlowdown",
+            "RouterOutage",
+            "LinkDown",
+            "LossBurst",
+            "EndSlowdown",
+            "NodeRecover",
+            "ExternalLoad",
+            "CorruptBurst",
+            "TrafficBurst",
+        ];
+        for (k, name) in names.iter().enumerate() {
+            assert!(seen[k], "{name} never drawn across 64 seeds");
+        }
+    }
+
+    #[test]
+    fn random_without_wiring_never_draws_fabric_kinds() {
+        // Empty router_ports pins the classic six-kind draw: no LinkDown
+        // and no TrafficBurst may appear, so pre-fabric seeded sweeps
+        // keep their schedules byte-identically.
+        let bounds = FaultBounds {
+            num_nodes: 12,
+            num_routers: 1,
+            num_segments: 2,
+            horizon_ms: 50.0,
+            max_events: 8,
+            max_crashes: 2,
+            router_ports: Vec::new(),
+        };
+        for seed in 0..128u64 {
+            let plan = FaultPlan::random(seed, &bounds);
+            for ev in &plan.events {
+                assert!(
+                    !matches!(
+                        ev,
+                        FaultEvent::LinkDown { .. } | FaultEvent::TrafficBurst { .. }
+                    ),
+                    "seed {seed} drew a fabric fault without wiring: {ev:?}"
+                );
+            }
+        }
     }
 
     #[test]

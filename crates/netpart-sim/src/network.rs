@@ -181,6 +181,8 @@ impl NetworkBuilder {
         Ok(Network {
             proc_types: self.proc_types,
             routes,
+            live_routes: None,
+            route_recomputes: 0,
             segments: self.segments.into_iter().map(Segment::new).collect(),
             nodes: self
                 .nodes
@@ -226,8 +228,19 @@ pub struct Network {
     proc_types: Vec<ProcType>,
     /// Dense next-hop table, `src_seg × dst_seg` → (router, egress
     /// segment), precomputed at build time by
-    /// [`crate::fabric::compute_routes`].
+    /// [`crate::fabric::compute_routes`]. This is the *static* table over
+    /// the full fabric; it never changes after build.
     routes: Vec<Option<(RouterId, SegmentId)>>,
+    /// The *live* next-hop table over the residual fabric (routers and
+    /// links currently inside injected outage windows removed),
+    /// recomputed by [`crate::fabric::compute_routes_live`] at every
+    /// liveness transition. `None` until the first router or link fault
+    /// fires — the fault-free path never recomputes and routes off the
+    /// static table byte-identically to the pre-liveness simulator.
+    live_routes: Option<Vec<Option<(RouterId, SegmentId)>>>,
+    /// How many residual re-BFS passes have run (0 on any fault-free run;
+    /// the byte-parity suites pin this).
+    route_recomputes: u64,
     segments: Vec<Segment>,
     nodes: Vec<Node>,
     routers: Vec<Router>,
@@ -319,7 +332,14 @@ impl Network {
     /// anything is queued — silently skipping a misaddressed fault would
     /// make a chaos schedule quietly weaker than it claims.
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
-        plan.validate(self.nodes.len(), self.routers.len(), self.segments.len())?;
+        {
+            let ports: Vec<&[crate::ids::SegmentId]> = self
+                .routers
+                .iter()
+                .map(|r| r.spec.segments.as_slice())
+                .collect();
+            plan.validate_wired(self.nodes.len(), self.segments.len(), &ports)?;
+        }
         for ev in &plan.events {
             let action = match *ev {
                 FaultEvent::NodeCrash { node, .. } => FaultAction::Crash(node),
@@ -329,6 +349,12 @@ impl Network {
                 FaultEvent::RouterOutage { router, until, .. } => {
                     FaultAction::RouterDown(router, until)
                 }
+                FaultEvent::LinkDown {
+                    router,
+                    segment,
+                    until,
+                    ..
+                } => FaultAction::LinkDown(router, segment, until),
                 FaultEvent::LossBurst {
                     segment,
                     until,
@@ -445,9 +471,103 @@ impl Network {
 
     /// Next hop for a frame on `from` bound for a node on `to`: the
     /// router to hand it to and the segment that router forwards onto.
+    /// Consults the live table once any fabric fault has fired, so flows
+    /// shift to alternate routers/links wherever the residual fabric has
+    /// path diversity.
     #[inline]
     fn route(&self, from: SegmentId, to: SegmentId) -> Option<(RouterId, SegmentId)> {
+        let idx = from.index() * self.segments.len() + to.index();
+        match &self.live_routes {
+            Some(t) => t[idx],
+            None => self.routes[idx],
+        }
+    }
+
+    /// Next hop on the full (build-time) fabric, ignoring liveness.
+    #[inline]
+    fn static_route(&self, from: SegmentId, to: SegmentId) -> Option<(RouterId, SegmentId)> {
         self.routes[from.index() * self.segments.len() + to.index()]
+    }
+
+    /// The live next hop between two segments — the entry frames actually
+    /// follow right now. Substrate-only, like
+    /// [`node_crashed`](Network::node_crashed): tests and diagnostics may
+    /// inspect it; recovery layers must detect reroutes through observed
+    /// message behaviour.
+    pub fn next_hop(&self, from: SegmentId, to: SegmentId) -> Option<(RouterId, SegmentId)> {
+        if from.index() >= self.segments.len() || to.index() >= self.segments.len() {
+            return None;
+        }
+        self.route(from, to)
+    }
+
+    /// The build-time next hop between two segments, unaffected by
+    /// injected faults. Substrate-only.
+    pub fn static_next_hop(&self, from: SegmentId, to: SegmentId) -> Option<(RouterId, SegmentId)> {
+        if from.index() >= self.segments.len() || to.index() >= self.segments.len() {
+            return None;
+        }
+        self.static_route(from, to)
+    }
+
+    /// Router hops between two nodes' segments on the build-time routing
+    /// table, unaffected by injected faults. The baseline
+    /// [`hop_count`](Network::hop_count) is compared against when a
+    /// reroute's detour needs to be distinguished from the planned path.
+    pub fn static_hop_count(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let mut cur = self.nodes[a.index()].segment;
+        let dst = self.nodes[b.index()].segment;
+        let mut hops = 0;
+        while cur != dst {
+            let (_, next) = self.static_route(cur, dst)?;
+            cur = next;
+            hops += 1;
+        }
+        Some(hops)
+    }
+
+    /// Number of residual re-BFS passes the network has run. Stays 0 for
+    /// the lifetime of any run without router or link faults — the
+    /// byte-parity suites pin exactly that.
+    pub fn route_recomputes(&self) -> u64 {
+        self.route_recomputes
+    }
+
+    /// Whether any router or link is inside an injected outage window
+    /// right now. Substrate-only.
+    pub fn fabric_degraded(&self) -> bool {
+        self.routers
+            .iter()
+            .any(|r| r.is_down(self.now) || r.port_down_until.iter().any(|&until| self.now < until))
+    }
+
+    /// Recompute the live next-hop table over the residual fabric. Called
+    /// only at liveness transitions (outage onset, window end), never
+    /// from the steady-state frame path.
+    fn recompute_live_routes(&mut self) {
+        self.live_routes = Some(crate::fabric::compute_routes_live(
+            self.segments.len(),
+            &self.routers,
+            self.now,
+        ));
+        self.route_recomputes += 1;
+    }
+
+    /// A router or link outage window was applied: schedule the recompute
+    /// at the window end and re-BFS the residual fabric now. Overlapping
+    /// windows merge via `max` on the entity's `down_until`, so an early
+    /// restore recomputes against a still-down entity and changes
+    /// nothing; the final restore brings the original routes back.
+    fn fabric_fault_applied(&mut self, until: SimTime) {
+        if until > self.now {
+            self.queue.push(
+                until,
+                Work::Fault {
+                    action: FaultAction::FabricRestore,
+                },
+            );
+            self.recompute_live_routes();
+        }
     }
 
     // ---- submitting work -------------------------------------------------
@@ -498,9 +618,20 @@ impl Network {
         let src_seg = self.nodes[src.index()].segment;
         let dst_seg = self.nodes[dst.index()].segment;
         if src_seg != dst_seg && self.route(src_seg, dst_seg).is_none() {
-            return Err(SimError::NoRoute {
-                from: src_seg,
-                to: dst_seg,
+            // Typed fail-fast: a pair the built fabric never joined is
+            // `NoRoute`; a pair that is wired but currently severed by
+            // injected outages is `FabricPartitioned`, so callers can
+            // stop retrying instead of burning a budget on a dead path.
+            return Err(if self.static_route(src_seg, dst_seg).is_some() {
+                SimError::FabricPartitioned {
+                    from: src_seg,
+                    to: dst_seg,
+                }
+            } else {
+                SimError::NoRoute {
+                    from: src_seg,
+                    to: dst_seg,
+                }
             });
         }
 
@@ -660,8 +791,29 @@ impl Network {
                 dgram,
                 egress,
             } => {
+                let now = self.now;
                 let r = &mut self.routers[router.index()];
                 r.in_flight -= 1;
+                // The router (or the egress link) died while the frame
+                // sat in its store-and-forward buffer: the frame dies
+                // with it. MMPS retransmission covers the loss — over
+                // the rerouted path, once the live table has one.
+                if r.is_down(now) {
+                    r.frames_dropped += 1;
+                    return self.drop_frame(dgram, DropReason::RouterDown);
+                }
+                if !r.port_down_until.is_empty() {
+                    let port_dead = r
+                        .spec
+                        .segments
+                        .iter()
+                        .position(|&s| s == egress)
+                        .is_some_and(|pi| r.port_is_down(pi, now));
+                    if port_dead {
+                        r.frames_dropped += 1;
+                        return self.drop_frame(dgram, DropReason::LinkDown);
+                    }
+                }
                 r.frames_forwarded += 1;
                 self.enqueue_frame(egress, dgram)
             }
@@ -747,6 +899,15 @@ impl Network {
             FaultAction::RouterDown(router, until) => {
                 let r = &mut self.routers[router.index()];
                 r.down_until = r.down_until.max(until);
+                self.fabric_fault_applied(until);
+            }
+            FaultAction::LinkDown(router, segment, until) => {
+                if self.routers[router.index()].merge_port_down(segment, until) {
+                    self.fabric_fault_applied(until);
+                }
+            }
+            FaultAction::FabricRestore => {
+                self.recompute_live_routes();
             }
             FaultAction::Burst(segment, loss, until) => {
                 let s = &mut self.segments[segment.index()];
@@ -909,9 +1070,13 @@ impl Network {
             // Cross-segment: the routing table names the next router on
             // the path and the segment it forwards onto; each hop repeats
             // this step until the frame lands on the destination segment.
-            let (router, egress) = self
-                .route(segment, dst_seg)
-                .expect("route validated at send time");
+            // The lookup is against the *live* table, so a frame mid-path
+            // reroutes hop by hop around outages that struck after it was
+            // sent — and dies here when the residual fabric no longer
+            // joins the pair at all.
+            let Some((router, egress)) = self.route(segment, dst_seg) else {
+                return self.drop_frame(dgram, DropReason::LinkDown);
+            };
             let r = &mut self.routers[router.index()];
             if self.now < r.down_until {
                 r.frames_dropped += 1;

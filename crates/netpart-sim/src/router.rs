@@ -86,6 +86,12 @@ pub(crate) struct Router {
     /// Injected outage: frames arriving before this instant are dropped.
     /// Overlapping outage windows merge via `max`.
     pub(crate) down_until: SimTime,
+    /// Injected per-port link outages, indexed parallel to
+    /// `spec.segments`; a frame must not enter or leave through a port
+    /// whose entry is in the future. Allocated lazily on the first
+    /// `LinkDown` fault so fabrics that never see one pay nothing (an
+    /// empty vector means every port is up).
+    pub(crate) port_down_until: Vec<SimTime>,
     /// Per-egress-port busy-until times, indexed parallel to
     /// `spec.segments`. Only consulted when `spec.port_bandwidth_bps` is
     /// set; stays all-zero (and allocation-free per forward) otherwise.
@@ -102,8 +108,39 @@ impl Router {
             frames_forwarded: 0,
             frames_dropped: 0,
             down_until: SimTime::ZERO,
+            port_down_until: Vec::new(),
             port_free_at: vec![SimTime::ZERO; ports],
         }
+    }
+
+    /// Whether the router as a whole is inside an outage window at `now`.
+    #[inline]
+    pub(crate) fn is_down(&self, now: SimTime) -> bool {
+        now < self.down_until
+    }
+
+    /// Whether the port at `port_idx` (an index into `spec.segments`) is
+    /// inside a link-down window at `now`.
+    #[inline]
+    pub(crate) fn port_is_down(&self, port_idx: usize, now: SimTime) -> bool {
+        self.port_down_until
+            .get(port_idx)
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Merge a link-down window onto the port attached to `segment`,
+    /// allocating the per-port table on first use. Returns `false` when
+    /// the router has no port on `segment` (callers validate first, so
+    /// this is defensive).
+    pub(crate) fn merge_port_down(&mut self, segment: SegmentId, until: SimTime) -> bool {
+        let Some(idx) = self.spec.segments.iter().position(|&s| s == segment) else {
+            return false;
+        };
+        if self.port_down_until.is_empty() {
+            self.port_down_until = vec![SimTime::ZERO; self.spec.segments.len()];
+        }
+        self.port_down_until[idx] = self.port_down_until[idx].max(until);
+        true
     }
 }
 

@@ -1,0 +1,416 @@
+//! Fabric fault tolerance: rerouting around dead routers and links,
+//! typed partition detection, and byte-identical route recovery.
+//!
+//! Three directed scenarios plus a property sweep:
+//!
+//! * a fat-tree losing one spine uplink **reroutes** cross-pod flows via
+//!   the sibling spine (hop counts re-verified against a reference BFS
+//!   over the residual graph);
+//! * a dumbbell losing its bottleneck fails fast with
+//!   [`SimError::FabricPartitioned`] on exactly the cross-bottleneck
+//!   pairs, while intra-side traffic keeps flowing;
+//! * when the outage window ends, the live table reverts to the
+//!   build-time routes byte-identically;
+//! * a proptest draws wirings and a random router/link kill and checks
+//!   the live next-hop walk against the reference residual BFS for every
+//!   segment pair.
+
+use bytes::Bytes;
+use netpart_sim::{
+    Fabric, FaultPlan, Network, NodeId, ProcType, RouterId, SegmentId, SegmentSpec, SimDur,
+    SimError, SimEvent, SimTime, Wiring,
+};
+use proptest::prelude::*;
+
+fn members(k: usize, nodes_per: u32) -> Vec<(ProcType, u32)> {
+    (0..k)
+        .map(|_| (ProcType::sparcstation_2(), nodes_per))
+        .collect()
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDur::from_millis(ms)
+}
+
+/// Pump the event queue until a timer with `token` fires, so `net.now()`
+/// has passed the instants of every fault scheduled before it.
+fn advance_to(net: &mut Network, ms: u64, token: u64) {
+    let delay_ns = (t(ms).0).saturating_sub(net.now().0);
+    net.set_timer(SimDur::from_nanos(delay_ns), 0, token);
+    loop {
+        match net.next_event() {
+            Some(SimEvent::TimerFired { token: tk, .. }) if tk == token => return,
+            Some(_) => {}
+            None => panic!("queue drained before the timer at {ms} ms"),
+        }
+    }
+}
+
+/// Hop count along the *live* next-hop table, as a frame would walk it.
+fn live_hops(net: &Network, from: SegmentId, to: SegmentId, cap: usize) -> Option<u32> {
+    let mut cur = from;
+    let mut hops = 0u32;
+    while cur != to {
+        let (_, next) = net.next_hop(cur, to)?;
+        cur = next;
+        hops += 1;
+        assert!((hops as usize) <= cap, "routing loop from {from} to {to}");
+    }
+    Some(hops)
+}
+
+/// Reference shortest-path distance over the residual fabric: routers in
+/// `dead_routers` contribute no edges at all, and a port in `dead_ports`
+/// neither admits nor emits frames. Deliberately independent of the
+/// production BFS (plain per-level expansion, no first-hop bookkeeping).
+fn residual_dist(
+    f: &Fabric,
+    from: SegmentId,
+    to: SegmentId,
+    dead_routers: &[usize],
+    dead_ports: &[(usize, SegmentId)],
+) -> Option<u32> {
+    let n = f.num_segments();
+    if from == to {
+        return Some(0);
+    }
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    dist[from.index()] = Some(0);
+    let mut frontier = vec![from];
+    while !frontier.is_empty() {
+        let mut next_level = Vec::new();
+        for seg in frontier {
+            let d = dist[seg.index()].expect("frontier segment has a distance");
+            for (ri, r) in f.routers.iter().enumerate() {
+                if dead_routers.contains(&ri)
+                    || !r.segments.contains(&seg)
+                    || dead_ports.contains(&(ri, seg))
+                {
+                    continue;
+                }
+                for &out in &r.segments {
+                    if out == seg || dead_ports.contains(&(ri, out)) {
+                        continue;
+                    }
+                    if dist[out.index()].is_none() {
+                        dist[out.index()] = Some(d + 1);
+                        next_level.push(out);
+                    }
+                }
+            }
+        }
+        frontier = next_level;
+    }
+    dist[to.index()]
+}
+
+/// Assert the live table matches the reference residual BFS for every
+/// segment pair: same reachability, same hop count.
+fn assert_live_matches_reference(
+    net: &Network,
+    f: &Fabric,
+    dead_routers: &[usize],
+    dead_ports: &[(usize, SegmentId)],
+) {
+    let n = f.num_segments();
+    for i in 0..n as u16 {
+        for j in 0..n as u16 {
+            let (a, b) = (SegmentId(i), SegmentId(j));
+            let want = residual_dist(f, a, b, dead_routers, dead_ports);
+            let got = live_hops(net, a, b, n);
+            assert_eq!(got, want, "hop mismatch {a}->{b}");
+        }
+    }
+}
+
+// ---- fat-tree: spine loss reroutes ------------------------------------
+
+/// 8 clusters in two pods of 4, two spine trunks. Router 0 joins leaves
+/// 0..4 plus both spines (segments 8 and 9); router 1 joins leaves 4..8
+/// plus both spines. Losing the (router 0, spine 8) uplink must shift
+/// cross-pod flows onto spine 9 at the same 2-hop distance.
+#[test]
+fn fat_tree_spine_link_loss_reroutes_via_sibling_spine() {
+    let f = Wiring::FatTree { pod: 4, spines: 2 }.generate(
+        &members(8, 1),
+        &SegmentSpec::ethernet_10mbps(),
+        &netpart_sim::RouterSpec::paper_router(Vec::new()),
+        7,
+    );
+    let spine_a = SegmentId(8);
+    let spine_b = SegmentId(9);
+    let mut net = f.build().expect("network");
+
+    // Sanity: the static route for cross-pod traffic uses spine 8 (the
+    // BFS discovers ports in declared order).
+    assert_eq!(
+        net.static_next_hop(SegmentId(0), SegmentId(4)),
+        Some((RouterId(0), spine_a))
+    );
+    assert_eq!(net.hop_count(NodeId(0), NodeId(4)), Some(2));
+    assert_eq!(net.route_recomputes(), 0);
+
+    net.install_fault_plan(&FaultPlan::new().link_down(RouterId(0), spine_a, t(5), t(50)))
+        .expect("valid plan");
+    advance_to(&mut net, 10, 1);
+
+    // Inside the window: rerouted via spine 9, hop count unchanged.
+    assert!(net.fabric_degraded());
+    assert_eq!(net.route_recomputes(), 1);
+    assert_eq!(
+        net.next_hop(SegmentId(0), SegmentId(4)),
+        Some((RouterId(0), spine_b)),
+        "cross-pod flow must detour via the sibling spine"
+    );
+    assert_eq!(net.hop_count(NodeId(0), NodeId(4)), Some(2));
+    assert_live_matches_reference(&net, &f, &[], &[(0, spine_a)]);
+
+    // The rerouted path actually carries traffic.
+    net.send_datagram(NodeId(0), NodeId(4), 42, Bytes::from(vec![0u8; 128]))
+        .expect("send across the detour");
+    let mut delivered = false;
+    while let Some(ev) = net.next_event() {
+        if let SimEvent::DatagramDelivered { dgram, .. } = ev {
+            assert_eq!(dgram.tag, 42);
+            delivered = true;
+        }
+    }
+    assert!(delivered, "datagram must cross via the surviving spine");
+
+    // Past the window: the original routes come back byte-identically.
+    advance_to(&mut net, 60, 2);
+    assert!(!net.fabric_degraded());
+    assert_eq!(net.route_recomputes(), 2);
+    let n = f.num_segments() as u16;
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                net.next_hop(SegmentId(i), SegmentId(j)),
+                net.static_next_hop(SegmentId(i), SegmentId(j)),
+                "restored route {i}->{j} differs from the build-time table"
+            );
+        }
+    }
+}
+
+// ---- dumbbell: bottleneck loss partitions exactly the cross pairs -----
+
+/// Two clusters of two nodes joined by a single router: killing it must
+/// partition exactly the cross pairs, typed, while same-segment traffic
+/// keeps flowing; recovery restores everything.
+#[test]
+fn dumbbell_router_loss_partitions_exactly_cross_pairs() {
+    let f = Wiring::Dumbbell.generate(
+        &members(2, 2),
+        &SegmentSpec::ethernet_10mbps(),
+        &netpart_sim::RouterSpec::paper_router(Vec::new()),
+        7,
+    );
+    let mut net = f.build().expect("network");
+    net.install_fault_plan(&FaultPlan::new().router_outage(RouterId(0), t(1), t(20)))
+        .expect("valid plan");
+    advance_to(&mut net, 5, 1);
+
+    // Nodes 0,1 live on seg0; nodes 2,3 on seg1.
+    let payload = || Bytes::from(vec![0u8; 64]);
+    for (a, b) in [(0u32, 2u32), (0, 3), (1, 2), (1, 3)] {
+        let err = net
+            .send_datagram(NodeId(a), NodeId(b), 1, payload())
+            .expect_err("cross-bottleneck send must fail fast");
+        assert_eq!(
+            err,
+            SimError::FabricPartitioned {
+                from: SegmentId(0),
+                to: SegmentId(1),
+            },
+            "pair n{a}->n{b}"
+        );
+        assert!(!net.route_exists(NodeId(a), NodeId(b)));
+        assert_eq!(net.hop_count(NodeId(a), NodeId(b)), None);
+    }
+    // Same-segment pairs are untouched by the dead router.
+    net.send_datagram(NodeId(0), NodeId(1), 7, payload())
+        .expect("intra-segment send");
+    net.send_datagram(NodeId(2), NodeId(3), 8, payload())
+        .expect("intra-segment send");
+    let mut intra = 0;
+    while let Some(ev) = net.next_event() {
+        if let SimEvent::DatagramDelivered { .. } = ev {
+            intra += 1;
+        }
+    }
+    assert_eq!(intra, 2, "intra-segment traffic must keep flowing");
+
+    // After recovery the cross pairs work again.
+    advance_to(&mut net, 30, 2);
+    assert!(net.route_exists(NodeId(0), NodeId(2)));
+    assert_eq!(net.hop_count(NodeId(0), NodeId(2)), Some(1));
+    net.send_datagram(NodeId(0), NodeId(2), 9, payload())
+        .expect("send after recovery");
+    let mut healed = false;
+    while let Some(ev) = net.next_event() {
+        if let SimEvent::DatagramDelivered { dgram, .. } = ev {
+            assert_eq!(dgram.tag, 9);
+            healed = true;
+        }
+    }
+    assert!(healed);
+}
+
+/// Four clusters, two access routers, one bottleneck trunk. A link-down
+/// on router 0's trunk port severs exactly the cross-half pairs (and the
+/// trunk itself, from the left); intra-half routing is untouched.
+#[test]
+fn dumbbell_trunk_link_loss_partitions_cross_half_pairs_only() {
+    let f = Wiring::Dumbbell.generate(
+        &members(4, 1),
+        &SegmentSpec::ethernet_10mbps(),
+        &netpart_sim::RouterSpec::paper_router(Vec::new()),
+        7,
+    );
+    // Leaves 0..4, trunk seg4; router 0 = [0, 1, 4], router 1 = [2, 3, 4].
+    let trunk = SegmentId(4);
+    let mut net = f.build().expect("network");
+    net.install_fault_plan(&FaultPlan::new().link_down(RouterId(0), trunk, t(2), t(30)))
+        .expect("valid plan");
+    advance_to(&mut net, 10, 1);
+
+    assert_live_matches_reference(&net, &f, &[], &[(0, trunk)]);
+    // Cross-half node pairs fail typed; intra-half still one hop.
+    for (a, b) in [(0u32, 2u32), (0, 3), (1, 2), (1, 3)] {
+        let err = net
+            .send_datagram(NodeId(a), NodeId(b), 1, Bytes::from(vec![0u8; 64]))
+            .expect_err("cross-half send must fail fast");
+        assert!(
+            matches!(err, SimError::FabricPartitioned { .. }),
+            "pair n{a}->n{b}: {err}"
+        );
+    }
+    assert_eq!(net.hop_count(NodeId(0), NodeId(1)), Some(1));
+    assert_eq!(net.hop_count(NodeId(2), NodeId(3)), Some(1));
+
+    advance_to(&mut net, 40, 2);
+    assert_eq!(net.hop_count(NodeId(0), NodeId(2)), Some(2));
+    let n = f.num_segments() as u16;
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                net.next_hop(SegmentId(i), SegmentId(j)),
+                net.static_next_hop(SegmentId(i), SegmentId(j)),
+            );
+        }
+    }
+}
+
+// ---- fault-free runs never touch the live table -----------------------
+
+/// Node crashes, slowdowns, loss bursts: none of them are fabric faults,
+/// so the residual re-BFS must never fire and the live table must stay
+/// uninstalled (`route_recomputes() == 0` is what the byte-parity suites
+/// lean on).
+#[test]
+fn non_fabric_faults_never_trigger_route_recompute() {
+    let f = Wiring::Star.generate(
+        &members(3, 2),
+        &SegmentSpec::ethernet_10mbps(),
+        &netpart_sim::RouterSpec::paper_router(Vec::new()),
+        7,
+    );
+    let mut net = f.build().expect("network");
+    net.install_fault_plan(
+        &FaultPlan::new()
+            .crash(t(2), NodeId(5))
+            .slow(t(1), NodeId(0), 3.0)
+            .end_slowdown(t(8), NodeId(0))
+            .loss_burst(SegmentId(1), t(1), t(9), 0.4),
+    )
+    .expect("valid plan");
+    net.send_datagram(NodeId(0), NodeId(2), 1, Bytes::from(vec![0u8; 64]))
+        .expect("send");
+    advance_to(&mut net, 20, 1);
+    while net.next_event().is_some() {}
+    assert_eq!(net.route_recomputes(), 0);
+    assert!(!net.fabric_degraded());
+}
+
+// ---- property sweep: live table == reference residual BFS -------------
+
+proptest! {
+    /// Across wirings and a random router (or link) kill, the live
+    /// next-hop walk must agree with the reference residual BFS on
+    /// reachability and hop count for every segment pair, and a
+    /// statically-wired but dead pair must fail typed.
+    #[test]
+    fn live_routes_match_reference_bfs_under_outage(
+        k in 3usize..7,
+        wiring_pick in 0usize..5,
+        victim in 0usize..64,
+        port_pick in 0usize..64,
+        kill_link in any::<bool>(),
+    ) {
+        let wiring = match wiring_pick {
+            0 => Wiring::Star,
+            1 => Wiring::Pairwise,
+            2 => Wiring::Tree { arity: 2 },
+            3 => Wiring::FatTree { pod: 2, spines: 2 },
+            _ => Wiring::Dumbbell,
+        };
+        let f = wiring.generate(
+            &members(k, 1),
+            &SegmentSpec::ethernet_10mbps(),
+            &netpart_sim::RouterSpec::paper_router(Vec::new()),
+            7,
+        );
+        prop_assume!(f.num_routers() > 0);
+        let victim = victim % f.num_routers();
+        let mut net = f.build().expect("network");
+
+        let (plan, dead_routers, dead_ports) = if kill_link {
+            let ports = &f.routers[victim].segments;
+            let seg = ports[port_pick % ports.len()];
+            (
+                FaultPlan::new().link_down(RouterId(victim as u16), seg, t(1), t(100)),
+                vec![],
+                vec![(victim, seg)],
+            )
+        } else {
+            (
+                FaultPlan::new().router_outage(RouterId(victim as u16), t(1), t(100)),
+                vec![victim],
+                vec![],
+            )
+        };
+        net.install_fault_plan(&plan).expect("valid plan");
+        advance_to(&mut net, 5, 1);
+
+        prop_assert_eq!(net.route_recomputes(), 1);
+        let n = f.num_segments();
+        for i in 0..n as u16 {
+            for j in 0..n as u16 {
+                let (a, b) = (SegmentId(i), SegmentId(j));
+                let want = residual_dist(&f, a, b, &dead_routers, &dead_ports);
+                let got = live_hops(&net, a, b, n);
+                prop_assert_eq!(got, want, "hop mismatch {}->{}", a, b);
+                if want.is_none() && net.static_next_hop(a, b).is_some() {
+                    prop_assert_eq!(
+                        net.next_hop(a, b),
+                        None,
+                        "wired-but-dead pair must have no live hop"
+                    );
+                }
+            }
+        }
+
+        // Window end: byte-identical restoration.
+        advance_to(&mut net, 120, 2);
+        prop_assert_eq!(net.route_recomputes(), 2);
+        for i in 0..n as u16 {
+            for j in 0..n as u16 {
+                prop_assert_eq!(
+                    net.next_hop(SegmentId(i), SegmentId(j)),
+                    net.static_next_hop(SegmentId(i), SegmentId(j))
+                );
+            }
+        }
+    }
+}

@@ -27,6 +27,19 @@ use netpart_sim::{NodeId, SimDur, SimTime};
 use crate::report::SpmdReport;
 use crate::task::{Rank, SpmdApp, Step};
 
+/// Map a send-time network error to its typed form: a fail-fast
+/// partitioned fabric names the unreachable peer rank, so recovery can
+/// classify it as an island event (replan over the reachable component,
+/// re-admit once the fabric heals) instead of a generic network failure.
+fn send_err(peer: Rank) -> impl Fn(netpart_sim::SimError) -> NetpartError {
+    move |e| match e {
+        netpart_sim::SimError::FabricPartitioned { .. } => {
+            NetpartError::FabricPartitioned { rank: peer }
+        }
+        other => NetpartError::Network(other.to_string()),
+    }
+}
+
 /// The phase of a cycle script a [`Probe`] observation refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
@@ -321,7 +334,7 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                         with_epoch(epoch, tag_of(0, 0, 0)),
                         bytes as u32,
                     )
-                    .map_err(|e| NetpartError::Network(e.to_string()))?;
+                    .map_err(send_err(rank))?;
             }
         }
 
@@ -604,7 +617,7 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                     with_epoch(self.epoch, PING_TAG | ((from as u64) << 8) | to as u64),
                     Bytes::new(),
                 )
-                .map_err(|e| NetpartError::Network(e.to_string()))?;
+                .map_err(send_err(to))?;
         }
         Ok(targets.len())
     }
@@ -664,7 +677,7 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                                         ),
                                         blob,
                                     )
-                                    .map_err(|e| NetpartError::Network(e.to_string()))?;
+                                    .map_err(send_err(buddy))?;
                             }
                             _ => self.probe.on_checkpoint(rank, cycle, blob),
                         }
@@ -720,7 +733,7 @@ impl<'a, A: SpmdApp, P: Probe> CycleEngine<'a, A, P> {
                                 with_epoch(self.epoch, tag_of(cycle + 1, rank, seq)),
                                 payload,
                             )
-                            .map_err(|e| NetpartError::Network(e.to_string()))?;
+                            .map_err(send_err(peer))?;
                     }
                     self.states[rank].step += 1;
                     self.states[rank].phase_active = false;

@@ -1,0 +1,193 @@
+//! Fabric-level fault tolerance, end to end: the three ways a run can
+//! meet a broken backbone.
+//!
+//! 1. **Reroute** — on a fat-tree with two spines, a `LinkDown` darkens
+//!    one router's spine port mid-run. Path diversity exists, so the
+//!    live routing table detours over the surviving spine and the run
+//!    completes **bit-identically** with zero replans — the application
+//!    never notices.
+//! 2. **Typed partition** — on a dumbbell, killing the router that owns
+//!    one half cuts it off entirely. Under `FailFast` the cut surfaces
+//!    as the typed `FabricPartitioned` error, not a hang and not a
+//!    generic peer timeout.
+//! 3. **Island recovery** — the same cut under `Replan` classifies the
+//!    unreachable half as an *island* (unreachable, not dead), replans
+//!    over the reachable component, and re-admits the islanded clusters
+//!    once the fabric heals — finishing bit-identical to the sequential
+//!    reference.
+//!
+//! ```text
+//! cargo run --release --example fabric_failover
+//! ```
+
+use netpart::apps::stencil::{sequential_reference, stencil_model, StencilApp, StencilVariant};
+use netpart::calibrate::{CalibratedCostModel, FittedCost, LinearCost, Testbed, Wiring};
+use netpart::model::{AppModel, NetpartError};
+use netpart::{AppStart, CostSource, Fault, FaultSchedule, RecoveryPolicy, Scenario};
+
+/// The analytic hop-aware cost model the bench crate's scale sweeps use:
+/// one shared intra fit per (cluster, topology), and a router penalty
+/// that grows linearly with the cluster pair's hop distance.
+fn analytic_model(tb: &Testbed, app: &AppModel) -> Result<CalibratedCostModel, NetpartError> {
+    let mut cost = CalibratedCostModel::default();
+    for c in 0..tb.clusters.len() {
+        for phase in app.comm_phases() {
+            cost.set_intra(
+                c,
+                phase.topology,
+                FittedCost {
+                    c1: 0.2,
+                    c2: 0.5,
+                    c3: -0.001,
+                    c4: 0.0011,
+                    r_squared: 1.0,
+                    abs_fix: true,
+                },
+            );
+        }
+    }
+    let hops = tb.cluster_hops()?;
+    for (a, row) in hops.iter().enumerate() {
+        for (b, &d) in row.iter().enumerate().skip(a + 1) {
+            let h = f64::from(d);
+            cost.set_router(
+                a,
+                b,
+                LinearCost {
+                    a: 0.5 * h,
+                    k: 0.0006 * h,
+                },
+            );
+        }
+    }
+    Ok(cost)
+}
+
+fn main() -> Result<(), NetpartError> {
+    // ---- Act 1: spine outage on a fat-tree -> transparent reroute ----
+    let (n, iters) = (64usize, 8u64);
+    let tb = Testbed::synthetic(8, 2, 1.0).with_wiring(Wiring::FatTree { pod: 2, spines: 2 });
+    let model = stencil_model(n as u64, StencilVariant::Sten1);
+    let cost = analytic_model(&tb, &model)?;
+    let scenario = Scenario::new(tb, model).with_cost(CostSource::Fixed(cost));
+
+    let plan = scenario.plan()?;
+    let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, plan.ranks());
+    let fault_free = plan.run(&mut app)?;
+    println!(
+        "fat-tree 8x2 (pod 2, spines 2): {} ranks, fault-free {:.3} ms",
+        plan.ranks(),
+        fault_free.elapsed_ms
+    );
+
+    // Leaf segments are 0..8, so segment 8 is the first spine trunk.
+    // Darken router 0's port on it for the middle half of the run; the
+    // other spine keeps every pod pair connected.
+    let faults = FaultSchedule::new().with(Fault::LinkDown {
+        router: 0,
+        segment: 8,
+        from_ms: fault_free.elapsed_ms * 0.2,
+        until_ms: fault_free.elapsed_ms * 0.7,
+    });
+    let factory = move |ranks: usize, start: AppStart<'_>| {
+        Ok(match start {
+            AppStart::Fresh => StencilApp::new(n, iters, StencilVariant::Sten1, ranks),
+            AppStart::Resume(c) => StencilApp::resume(c, n, iters, StencilVariant::Sten1, ranks),
+        })
+    };
+    let policy = RecoveryPolicy::Replan {
+        max_replans: 3,
+        backoff_ms: 5.0,
+    };
+    let (run, rapp) = scenario.run_recoverable(&faults, policy, 2, factory)?;
+    let stats = run.recovery.clone().unwrap_or_default();
+    let identical = rapp.gather() == sequential_reference(n, iters);
+    println!(
+        "spine dark {:.0}%..{:.0}%: completed in {:.3} ms, {} replan(s), answer {}",
+        20.0,
+        70.0,
+        run.elapsed_ms,
+        stats.replans,
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    assert!(identical, "reroute must not perturb the answer");
+    assert_eq!(stats.replans, 0, "reroute is transparent: no replan");
+
+    // ---- Act 2: dumbbell partition -> typed error under FailFast ----
+    let (n, iters) = (1200usize, 10u64);
+    let tb = Testbed::synthetic(4, 1, 1.2).with_wiring(Wiring::Dumbbell);
+    let model = stencil_model(n as u64, StencilVariant::Sten1);
+    let cost = analytic_model(&tb, &model)?;
+    let scenario = Scenario::new(tb, model).with_cost(CostSource::Fixed(cost));
+    let plan = scenario.plan()?;
+    let mut app = StencilApp::new(n, iters, StencilVariant::Sten1, plan.ranks());
+    let fault_free = plan.run(&mut app)?;
+    println!(
+        "\ndumbbell 4x1: {} ranks, fault-free {:.3} ms",
+        plan.ranks(),
+        fault_free.elapsed_ms
+    );
+
+    // Router 1 owns the right half; killing it for the rest of the run
+    // is a pure fabric partition — every node stays alive.
+    let cut = FaultSchedule::new().with(Fault::RouterOutage {
+        router: 1,
+        from_ms: fault_free.elapsed_ms * 0.2,
+        until_ms: fault_free.elapsed_ms * 10.0,
+    });
+    let factory = move |ranks: usize, start: AppStart<'_>| {
+        Ok(match start {
+            AppStart::Fresh => StencilApp::new(n, iters, StencilVariant::Sten1, ranks),
+            AppStart::Resume(c) => StencilApp::resume(c, n, iters, StencilVariant::Sten1, ranks),
+        })
+    };
+    match scenario.run_recoverable(&cut, RecoveryPolicy::FailFast, 2, factory) {
+        Err(e @ NetpartError::FabricPartitioned { .. }) => println!("fail-fast: {e}"),
+        Err(e) => panic!("expected the typed fabric-partition error, got: {e}"),
+        Ok(_) => panic!("a permanent partition cannot complete under FailFast"),
+    }
+
+    // ---- Act 3: the same cut, healing -> island recovery ----
+    let heal = FaultSchedule::new().with(Fault::RouterOutage {
+        router: 1,
+        from_ms: fault_free.elapsed_ms * 0.2,
+        until_ms: fault_free.elapsed_ms * 0.5,
+    });
+    let (run, rapp) = scenario.run_recoverable(
+        &heal,
+        RecoveryPolicy::Replan {
+            max_replans: 3,
+            backoff_ms: 5.0,
+        },
+        1,
+        factory,
+    )?;
+    let stats = run.recovery.clone().unwrap_or_default();
+    let identical = rapp.gather() == sequential_reference(n, iters);
+    println!(
+        "replan: {:.3} ms total, {} island event(s), {} replan(s), 0 dead ranks ({:?}), answer {}",
+        run.elapsed_ms,
+        stats.island_events,
+        stats.replans,
+        stats.failed_ranks,
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    assert!(identical, "island recovery must converge to the reference");
+    assert!(
+        stats.island_events >= 1,
+        "the cut must classify as an island"
+    );
+    assert!(
+        stats.failed_ranks.is_empty(),
+        "islanded peers are unreachable, never dead"
+    );
+    Ok(())
+}

@@ -527,6 +527,22 @@ pub enum Fault {
         /// External load fraction in `[0, 1)`.
         load: f64,
     },
+    /// Router `router` loses its port on `segment` inside the window —
+    /// the link goes dark while the router itself stays up. Where the
+    /// wiring offers path diversity the live routing table detours
+    /// around the dead link; where none exists, sends across the cut
+    /// fail fast with the typed fabric-partition error and recovery
+    /// replans over the reachable component.
+    LinkDown {
+        /// Router whose port goes down.
+        router: usize,
+        /// Segment (cluster or backbone index) the dead port serves.
+        segment: usize,
+        /// Window start, simulated ms.
+        from_ms: f64,
+        /// Window end (exclusive), simulated ms.
+        until_ms: f64,
+    },
     /// Cross traffic floods `cluster`'s segment inside the window: a
     /// background flow between the segment's first two nodes sends
     /// `bytes`-sized frames every `period_us` µs, competing with the
@@ -616,6 +632,17 @@ impl FaultSchedule {
                     from_ms,
                     until_ms,
                 } => plan.router_outage(RouterId(router as u16), t(from_ms), t(until_ms)),
+                Fault::LinkDown {
+                    router,
+                    segment,
+                    from_ms,
+                    until_ms,
+                } => plan.link_down(
+                    RouterId(router as u16),
+                    SegmentId(segment as u16),
+                    t(from_ms),
+                    t(until_ms),
+                ),
                 Fault::LossBurst {
                     cluster,
                     from_ms,
@@ -722,6 +749,11 @@ enum RecoveryAction {
     /// Recover from a fail-stop failure; `Some(rank)` names the suspect,
     /// `None` is a fault-explained deadlock that names nobody.
     Suspect(Option<Rank>),
+    /// Recover from a fabric partition: the named rank is unreachable but
+    /// not known dead. Its component is excluded from the replan like a
+    /// corpse's, but never blacklisted — a later round re-admits it once
+    /// the fabric heals. Budgeted like fail-stop rounds.
+    Island(Rank),
 }
 
 /// Classify a failed segment.
@@ -747,6 +779,16 @@ fn classify_failure(
                 RecoveryAction::Fail
             } else {
                 RecoveryAction::Suspect(Some(*rank))
+            }
+        }
+        // A fail-fast partitioned send names a peer that is unreachable,
+        // not dead: replan over the reachable component without
+        // blacklisting anyone, so router recovery re-admits the island.
+        NetpartError::FabricPartitioned { rank } => {
+            if replans >= max {
+                RecoveryAction::Fail
+            } else {
+                RecoveryAction::Island(*rank)
             }
         }
         NetpartError::DriftDegraded { .. } if drift_confirmed => RecoveryAction::Drift,
@@ -875,6 +917,17 @@ pub struct RecoveryStats {
     /// i.e. rounds where the checkpoint frontier had not advanced since
     /// the previous failure (faults mid-redistribution or mid-replan).
     pub nested_attempts: u32,
+    /// Recovery rounds triggered by a typed fabric-partition error: a
+    /// peer was unreachable (every live router path down) but not known
+    /// dead, so the round replanned over the reachable component without
+    /// blacklisting the island.
+    pub island_events: u32,
+    /// Drift confirmations attributed to a fabric reroute: the live path
+    /// between some cluster pair is longer than the planned (build-time)
+    /// path, so the elevated comm time has a concrete cause and the
+    /// cost/benefit gate may repartition off the detour. A subset of
+    /// `drift_detections`.
+    pub detour_confirmations: u32,
     /// Ranks restored from a buddy replica instead of the primary copy
     /// ([`Durability::Replicated`] only), summed over recoveries.
     pub replica_restores: u64,
@@ -1133,11 +1186,13 @@ impl Scenario {
                 stats.replans,
                 fail_params.map(|(m, _)| m),
             );
-            let (drift, suspect): (Option<DriftReport>, Option<Rank>) = match action {
-                RecoveryAction::Fail => return Err(err),
-                RecoveryAction::Drift => (confirmed, None),
-                RecoveryAction::Suspect(s) => (None, s),
-            };
+            let (drift, suspect, island): (Option<DriftReport>, Option<Rank>, Option<Rank>) =
+                match action {
+                    RecoveryAction::Fail => return Err(err),
+                    RecoveryAction::Drift => (confirmed, None, None),
+                    RecoveryAction::Suspect(s) => (None, s, None),
+                    RecoveryAction::Island(r) => (None, None, Some(r)),
+                };
             let Some((max_replans, backoff)) = fail_params else {
                 unreachable!("a recoverable classification implies a recovery budget")
             };
@@ -1162,8 +1217,50 @@ impl Scenario {
                 /// from the confirmed rank's cluster to the congested one
                 /// and arms the repartition gate for comm-driven drift.
                 congested_cluster: Option<usize>,
+                /// The cluster most entangled in fabric detours, when any
+                /// cluster pair's live route is longer than the planned
+                /// (static) one. A reroute around a dead router or link is
+                /// a *physical* cause for elevated comm waits — the detour
+                /// a traceroute would show — so it arms the repartition
+                /// gate like a congestion confirmation and becomes the
+                /// inflation target when no congested segment outranks it.
+                detour_cluster: Option<usize>,
                 report: DriftReport,
             }
+            // Detour attribution runs against the routing tables, not the
+            // drift marks: compare the live hop count between one
+            // representative node per cluster with the planned (static)
+            // one. Any pair where live > static is riding a failover
+            // detour; the cluster appearing in the most such pairs is the
+            // one the partitioner can most profitably move work off.
+            // Unreachable pairs are not detours — the island path owns
+            // those — and with a healthy fabric live == static for every
+            // pair, so this attributes nothing.
+            let detour_cluster: Option<usize> = if drift.is_some() {
+                let kk = self.testbed.num_clusters();
+                let net = exec.mmps().net_ref();
+                let reps: Vec<Option<NodeId>> = (0..kk)
+                    .map(|k| net.nodes_on_segment(SegmentId(k as u16)).first().copied())
+                    .collect();
+                let mut votes = vec![0u32; kk];
+                for i in 0..kk {
+                    for j in (i + 1)..kk {
+                        if let (Some(a), Some(b)) = (reps[i], reps[j]) {
+                            if let (Some(live), Some(planned)) =
+                                (net.hop_count(a, b), net.static_hop_count(a, b))
+                            {
+                                if live > planned {
+                                    votes[i] += 1;
+                                    votes[j] += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                (0..kk).filter(|&k| votes[k] > 0).max_by_key(|&k| votes[k])
+            } else {
+                None
+            };
             let recal = drift.map(|report| {
                 let m = monitor.as_ref().expect("a drift report implies a monitor");
                 let rc = cur_part.rank_clusters();
@@ -1248,6 +1345,9 @@ impl Scenario {
                 if congested_cluster.is_some() {
                     stats.congestion_confirmations += 1;
                 }
+                if detour_cluster.is_some() {
+                    stats.detour_confirmations += 1;
+                }
                 stats.cycles_to_detect += report.cycle + 1 - report.first_degraded_cycle;
                 Recal {
                     cluster,
@@ -1256,6 +1356,7 @@ impl Scenario {
                     comm_scale,
                     t_stay_ms,
                     congested_cluster,
+                    detour_cluster,
                     report: DriftReport {
                         rank,
                         comp_ratio: raw_comp,
@@ -1274,6 +1375,16 @@ impl Scenario {
                 if !known_dead.contains(&node) {
                     known_dead.push(node);
                 }
+            }
+            // An island event names an *unreachable* peer, not a corpse:
+            // purge the in-flight protocol state towards it (like a dead
+            // peer's), but never blacklist it — the reachability filter
+            // below excludes its whole component for this round, and a
+            // later round re-admits it once the fabric heals.
+            if let Some(rank) = island {
+                stats.island_events += 1;
+                let peer = exec.nodes()[rank];
+                exec.mmps().abort_peer(peer);
             }
             let progress = store.max_cycle_seen().map_or(base, |m| m + 1);
             for &d in &known_dead {
@@ -1308,12 +1419,53 @@ impl Scenario {
                         .collect()
                 })
                 .collect();
-            let avail = determine_available(exec.mmps(), &clusters, AvailabilityPolicy::default());
+            let mut avail =
+                determine_available(exec.mmps(), &clusters, AvailabilityPolicy::default());
             for &n in &avail.suspected_dead {
                 if !known_dead.contains(&n) {
                     known_dead.push(n);
                 }
                 exec.mmps().abort_peer(n);
+            }
+
+            // Reachable-component filter: a cluster the coordinator has no
+            // live router path to cannot take part in this segment — the
+            // first distribution send towards it would fail fast with the
+            // same typed partition error that triggered an island round.
+            // Consulting the live routing table here is that send-error
+            // check without paying for the doomed message (a real stack
+            // reports "destination unreachable" from its local table
+            // without transmitting). Unreachable clusters are excluded
+            // for THIS round only and never join `known_dead`: every
+            // recovery round re-runs the filter, so a healed fabric
+            // re-admits the cut-off clusters automatically. With no
+            // fabric faults the live table is the static table and the
+            // filter excludes nothing.
+            {
+                let coord = avail.nodes.iter().flatten().copied().next();
+                if let Some(coord) = coord {
+                    let net = exec.mmps().net_ref();
+                    let cut: Vec<usize> = (0..avail.nodes.len())
+                        .filter(|&k| {
+                            avail.nodes[k]
+                                .first()
+                                .is_some_and(|&n| !net.route_exists(coord, n))
+                        })
+                        .collect();
+                    for k in cut {
+                        // Purge in-flight protocol state toward *every*
+                        // node behind the cut, exactly as a corpse's is
+                        // purged — otherwise their pending retransmits
+                        // keep surfacing partition errors against the
+                        // already-resumed run and recovery never makes
+                        // checkpoint progress.
+                        for &n in &avail.nodes[k] {
+                            exec.mmps().abort_peer(n);
+                        }
+                        avail.nodes[k].clear();
+                        avail.available[k] = 0;
+                    }
+                }
             }
 
             // Fold this segment's checkpoints into the best restorable
@@ -1384,8 +1536,12 @@ impl Scenario {
             let model = replan_model.as_ref().expect("just resolved");
             let inflated = recal.as_ref().filter(|r| r.comm_scale > 1.0).map(|r| {
                 // Inflate the congested segment's cluster when the marks
-                // named one; otherwise the confirmed rank's own cluster.
-                let target = r.congested_cluster.unwrap_or(r.cluster);
+                // named one; else the cluster most entangled in fabric
+                // detours; else the confirmed rank's own cluster.
+                let target = r
+                    .congested_cluster
+                    .or(r.detour_cluster)
+                    .unwrap_or(r.cluster);
                 InflatedCostModel::new(model.as_dyn(), target, r.comm_scale)
             });
             let model_dyn: &dyn CommCostModel = match &inflated {
@@ -1455,15 +1611,20 @@ impl Scenario {
                 // transient burst — waiting it out beats shipping
                 // checkpoint state through the already-degraded network —
                 // or a systematic comm misprediction, and replanning on a
-                // model known to be wrong is thrashing. Two causes arm the
-                // gate: a compute outlier (a slow node to plan around),
-                // or a mark-confirmed congested segment — there the
-                // inflated model prices that cluster's wire honestly and
-                // the partitioner can route work off it, so the
-                // cost/benefit projection is trustworthy. The recalibrated
-                // (inflated) model is kept either way and prices any later
-                // fail-stop replan in this run.
-                let accept = (r.comp_scale > 1.0 || r.congested_cluster.is_some())
+                // model known to be wrong is thrashing. Three causes arm
+                // the gate: a compute outlier (a slow node to plan
+                // around), a mark-confirmed congested segment, or a
+                // fabric detour (a reroute around a dead router or link
+                // lengthened some cluster pair's live path) — for the
+                // latter two the inflated model prices the implicated
+                // cluster's wire honestly and the partitioner can route
+                // work off it, so the cost/benefit projection is
+                // trustworthy. The recalibrated (inflated) model is kept
+                // either way and prices any later fail-stop replan in
+                // this run.
+                let accept = (r.comp_scale > 1.0
+                    || r.congested_cluster.is_some()
+                    || r.detour_cluster.is_some())
                     && net_gain.is_some_and(|g| g > min_gain)
                     && stats.replans < max_replans;
                 if accept {
@@ -2095,6 +2256,123 @@ mod tests {
             classify_failure(&dead, false, true, 4, Some(4)),
             RecoveryAction::Fail
         );
+        // A typed fabric partition is an island event — recoverable
+        // within the budget (the round replans the reachable component
+        // without blacklisting the named peer), terminal past it.
+        let cut = NetpartError::FabricPartitioned { rank: 3 };
+        assert_eq!(
+            classify_failure(&cut, false, false, 0, Some(4)),
+            RecoveryAction::Island(3)
+        );
+        assert_eq!(
+            classify_failure(&cut, true, true, 4, Some(4)),
+            RecoveryAction::Fail
+        );
+        assert_eq!(
+            classify_failure(&cut, false, true, 0, None),
+            RecoveryAction::Fail
+        );
+    }
+
+    #[test]
+    fn fabric_partition_recovers_as_island_and_readmits_on_heal() {
+        use netpart_apps::stencil::sequential_reference;
+        use netpart_calibrate::Wiring;
+        // Dumbbell fabric: router 0 joins clusters {0,1} to trunk
+        // segment 4, router 1 joins {2,3}. Killing router 1 cuts the
+        // right half off while every node on it stays alive — a pure
+        // fabric partition, invisible to the intra-cluster probe round.
+        let testbed = Testbed::synthetic(4, 1, 1.2).with_wiring(Wiring::Dumbbell);
+        let app = stencil_model(1200, StencilVariant::Sten1);
+        // The paper model only covers the paper's testbed; price this
+        // synthetic fabric with a small analytic fixed model instead
+        // (same shape the bench crate's scale sweeps use).
+        let mut cost = CalibratedCostModel::default();
+        for c in 0..testbed.clusters.len() {
+            for phase in app.comm_phases() {
+                cost.set_intra(
+                    c,
+                    phase.topology,
+                    netpart_calibrate::FittedCost {
+                        c1: 0.2,
+                        c2: 0.5,
+                        c3: -0.001,
+                        c4: 0.0011,
+                        r_squared: 1.0,
+                        abs_fix: true,
+                    },
+                );
+            }
+        }
+        let hops = testbed.cluster_hops().unwrap();
+        for (a, row) in hops.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate().skip(a + 1) {
+                let h = f64::from(d);
+                cost.set_router(
+                    a,
+                    b,
+                    netpart_calibrate::LinearCost {
+                        a: 0.5 * h,
+                        k: 0.0006 * h,
+                    },
+                );
+            }
+        }
+        let s = Scenario::new(testbed, app).with_cost(CostSource::Fixed(cost));
+        let plan = s.plan().unwrap();
+        assert!(
+            plan.ranks() >= 3,
+            "the initial plan must span both halves: {} ranks",
+            plan.ranks()
+        );
+        let iters = 10u64;
+        let mut app = StencilApp::new(1200, iters, StencilVariant::Sten1, plan.ranks());
+        let fault_free = plan.run(&mut app).unwrap();
+
+        // The outage opens at 20% of the fault-free runtime and heals at
+        // half of it; a later crash (well past the heal, with room for
+        // the halved machine to advance its checkpoint frontier) forces
+        // a second recovery round on the healed fabric, whose
+        // availability round must re-admit the formerly-cut clusters —
+        // islands are never blacklisted.
+        let faults = FaultSchedule::new()
+            .with(Fault::RouterOutage {
+                router: 1,
+                from_ms: fault_free.elapsed_ms * 0.2,
+                until_ms: fault_free.elapsed_ms * 0.5,
+            })
+            .with(Fault::RankCrash {
+                at_ms: fault_free.elapsed_ms * 1.2,
+                rank: 0,
+            });
+        let (run, rapp) = s
+            .run_recoverable(
+                &faults,
+                RecoveryPolicy::Replan {
+                    max_replans: 4,
+                    backoff_ms: 5.0,
+                },
+                1,
+                stencil_factory(1200, iters),
+            )
+            .unwrap();
+        let st = run.recovery.clone().expect("stats");
+        assert!(
+            st.island_events >= 1,
+            "the cut must classify as an island event: {st:?}"
+        );
+        assert!(
+            st.replans >= 2,
+            "island round plus crash round both replan: {st:?}"
+        );
+        // The islanded peers were unreachable, never dead: only the
+        // genuine crash may name a suspect.
+        assert_eq!(
+            st.failed_ranks.len(),
+            1,
+            "only the crash names a suspect: {st:?}"
+        );
+        assert_eq!(rapp.gather(), sequential_reference(1200, iters));
     }
 
     #[test]
